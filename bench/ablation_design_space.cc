@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Design-space ablations (the thesis' stated future work, Section 6):
+ * sweep L2 size, branch-predictor strength and LSQ depth on one cold
+ * and one warm request of a representative function, on both ISAs.
+ */
+
+#include "bench_common.hh"
+
+using namespace svb;
+
+namespace
+{
+
+FunctionSpec
+pick(const std::string &name)
+{
+    for (const FunctionSpec &spec : workloads::allFunctions()) {
+        if (spec.name == name)
+            return spec;
+    }
+    return {};
+}
+
+void
+runPoint(const std::string &label, const ClusterConfig &cfg,
+         const FunctionSpec &spec)
+{
+    ExperimentRunner runner(cfg);
+    const FunctionResult res =
+        runner.runFunction(spec, workloads::workloadImpl(spec.workload));
+    std::printf("  %-34s cold %9lu cyc (cpi %4.2f)   warm %9lu cyc"
+                " (cpi %4.2f)%s\n",
+                label.c_str(), (unsigned long)res.cold.cycles,
+                res.cold.cpi, (unsigned long)res.warm.cycles, res.warm.cpi,
+                res.ok ? "" : "  [FAILED]");
+}
+
+} // namespace
+
+int
+main()
+{
+    const FunctionSpec spec = pick("fibonacci-go");
+
+    report::figureHeader("Ablation A", "L2 capacity sweep (fibonacci-go)",
+                         {});
+    for (IsaId isa : {IsaId::Riscv, IsaId::Cx86}) {
+        for (uint32_t kb : {256u, 512u, 1024u, 2048u}) {
+            ClusterConfig cfg = benchutil::chapter4Config(isa, false);
+            cfg.system.caches.l2.sizeBytes = kb * 1024;
+            runPoint(std::string(isaName(isa)) + " L2=" +
+                         std::to_string(kb) + "KB",
+                     cfg, spec);
+        }
+    }
+
+    report::figureHeader("Ablation B",
+                         "branch predictor sweep (fibonacci-go)", {});
+    for (IsaId isa : {IsaId::Riscv, IsaId::Cx86}) {
+        for (uint32_t entries : {256u, 1024u, 4096u, 16384u}) {
+            ClusterConfig cfg = benchutil::chapter4Config(isa, false);
+            cfg.system.o3.bp.tableEntries = entries;
+            cfg.system.o3.bp.btbEntries = entries;
+            runPoint(std::string(isaName(isa)) + " BP=" +
+                         std::to_string(entries) + " entries",
+                     cfg, spec);
+        }
+    }
+
+    report::figureHeader("Ablation C", "LSQ depth sweep (fibonacci-go)",
+                         {});
+    for (IsaId isa : {IsaId::Riscv, IsaId::Cx86}) {
+        for (unsigned entries : {8u, 16u, 32u, 64u}) {
+            ClusterConfig cfg = benchutil::chapter4Config(isa, false);
+            cfg.system.o3.lqEntries = entries;
+            cfg.system.o3.sqEntries = entries;
+            runPoint(std::string(isaName(isa)) + " LQ/SQ=" +
+                         std::to_string(entries),
+                     cfg, spec);
+        }
+    }
+
+    report::figureHeader("Ablation D",
+                         "branch predictor organisation (fibonacci-go)",
+                         {});
+    for (IsaId isa : {IsaId::Riscv, IsaId::Cx86}) {
+        for (BpKind kind :
+             {BpKind::Bimodal, BpKind::GShare, BpKind::Tournament}) {
+            ClusterConfig cfg = benchutil::chapter4Config(isa, false);
+            cfg.system.o3.bp.kind = kind;
+            runPoint(std::string(isaName(isa)) + " " + bpKindName(kind),
+                     cfg, spec);
+        }
+    }
+
+    report::figureHeader(
+        "Ablation E", "next-line prefetching (fibonacci-go)", {});
+    for (IsaId isa : {IsaId::Riscv, IsaId::Cx86}) {
+        for (int mode = 0; mode < 3; ++mode) {
+            ClusterConfig cfg = benchutil::chapter4Config(isa, false);
+            std::string label(isaName(isa));
+            if (mode >= 1) {
+                cfg.system.caches.l1i.nextLinePrefetch = true;
+                label += " +L1I-pf";
+            }
+            if (mode >= 2) {
+                cfg.system.caches.l2.nextLinePrefetch = true;
+                label += " +L2-pf";
+            }
+            if (mode == 0)
+                label += " no prefetch";
+            runPoint(label, cfg, spec);
+        }
+    }
+    return 0;
+}

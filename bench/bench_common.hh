@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction binaries.
+ *
+ * Every binary keys its measurements through the on-disk ResultCache
+ * (svbench_results.csv in the working directory), so figures that
+ * replot the same experiments — exactly as the paper's do — reuse
+ * each other's runs. Set SVBENCH_FRESH=1 to force re-measurement.
+ */
+
+#ifndef SVB_BENCH_BENCH_COMMON_HH
+#define SVB_BENCH_BENCH_COMMON_HH
+
+#include <vector>
+
+#include "core/report.hh"
+#include "core/result_cache.hh"
+#include "workloads/workloads.hh"
+
+namespace svb::benchutil
+{
+
+/** Cluster configuration used throughout Chapter 4. */
+inline ClusterConfig
+chapter4Config(IsaId isa, bool with_stores,
+               db::DbKind kind = db::DbKind::Cassandra)
+{
+    ClusterConfig cfg;
+    cfg.system = SystemConfig::paperConfig(isa);
+    cfg.dbKind = kind;
+    cfg.startDb = with_stores;
+    cfg.startMemcached = with_stores;
+    return cfg;
+}
+
+/** Run (or fetch) detailed results for a list of functions. */
+inline std::vector<FunctionResult>
+sweep(ResultCache &cache, IsaId isa,
+      const std::vector<FunctionSpec> &specs, bool with_stores)
+{
+    std::vector<FunctionResult> out;
+    const ClusterConfig cfg = chapter4Config(isa, with_stores);
+    for (const FunctionSpec &spec : specs) {
+        out.push_back(cache.detailed(
+            cfg, spec, workloads::workloadImpl(spec.workload)));
+    }
+    return out;
+}
+
+/** The standalone+shop set in the paper's Fig 4.4/4.12/4.15 order. */
+inline std::vector<FunctionSpec>
+standalonePlusShop()
+{
+    std::vector<FunctionSpec> specs = workloads::standaloneSuite();
+    for (const FunctionSpec &spec : workloads::onlineShopSuite())
+        specs.push_back(spec);
+    return specs;
+}
+
+} // namespace svb::benchutil
+
+#endif // SVB_BENCH_BENCH_COMMON_HH

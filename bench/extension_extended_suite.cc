@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Extension: the thesis' first future-work item — port the remaining
+ * vSwarm applications. Two more standalone workloads (compression,
+ * jsonserdes), in all three runtimes, run through the same cold/warm
+ * protocol as Figure 4.4.
+ */
+
+#include "bench_common.hh"
+
+using namespace svb;
+
+int
+main()
+{
+    ResultCache cache;
+    const auto results = benchutil::sweep(cache, IsaId::Riscv,
+                                          workloads::extendedSuite(),
+                                          false);
+
+    report::figureHeader(
+        "Extension: extended suite",
+        "cycles, additionally ported workloads, RISC-V (cold/warm)",
+        {SystemConfig::paperConfig(IsaId::Riscv)});
+
+    std::vector<report::Row> rows;
+    for (const FunctionResult &res : results) {
+        rows.push_back({res.name,
+                        {double(res.cold.cycles), double(res.warm.cycles)}});
+    }
+    report::barFigure({"RISCV Cold", "RISCV Warm"}, "cycles", rows);
+    return 0;
+}

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 4.4: number of cycles for the standalone functions and the
+ * online-shop application on the RISC-V simulated system, cold vs
+ * warm execution.
+ */
+
+#include "bench_common.hh"
+
+using namespace svb;
+
+int
+main()
+{
+    ResultCache cache;
+    const auto specs = benchutil::standalonePlusShop();
+    const auto results =
+        benchutil::sweep(cache, IsaId::Riscv, specs, false);
+
+    report::figureHeader(
+        "Figure 4.4",
+        "cycles, standalone functions + online shop, RISC-V (cold/warm)",
+        {SystemConfig::paperConfig(IsaId::Riscv)});
+
+    std::vector<report::Row> rows;
+    for (const FunctionResult &res : results) {
+        rows.push_back({res.name,
+                        {double(res.cold.cycles), double(res.warm.cycles)}});
+    }
+    report::barFigure({"RISCV Cold", "RISCV Warm"}, "cycles", rows);
+    return 0;
+}

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Figure 4.5: number of cycles for the hotel application on the
+ * RISC-V simulated system (profile's extreme cold bar included here,
+ * unlike the paper's clipped plot).
+ */
+
+#include "bench_common.hh"
+
+using namespace svb;
+
+int
+main()
+{
+    ResultCache cache;
+    const auto results = benchutil::sweep(cache, IsaId::Riscv,
+                                          workloads::hotelSuite(), true);
+
+    report::figureHeader(
+        "Figure 4.5", "cycles, hotel application, RISC-V (cold/warm)",
+        {SystemConfig::paperConfig(IsaId::Riscv)});
+
+    std::vector<report::Row> rows;
+    for (const FunctionResult &res : results) {
+        rows.push_back({res.name,
+                        {double(res.cold.cycles), double(res.warm.cycles)}});
+    }
+    report::barFigure({"RISCV Cold", "RISCV Warm"}, "cycles", rows);
+    return 0;
+}

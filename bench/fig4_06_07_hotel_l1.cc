@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figures 4.6 / 4.7: L1 instruction+data cache miss counts for the
+ * hotel application on the RISC-V simulated system, after cold and
+ * after warm execution.
+ */
+
+#include "bench_common.hh"
+
+using namespace svb;
+
+int
+main()
+{
+    ResultCache cache;
+    const auto results = benchutil::sweep(cache, IsaId::Riscv,
+                                          workloads::hotelSuite(), true);
+
+    report::figureHeader("Figure 4.6",
+                         "hotel L1 cache misses, RISC-V, cold execution",
+                         {SystemConfig::paperConfig(IsaId::Riscv)});
+    std::vector<report::Row> cold_rows;
+    for (const FunctionResult &res : results) {
+        cold_rows.push_back({res.name,
+                             {double(res.cold.l1iMisses),
+                              double(res.cold.l1dMisses)}});
+    }
+    report::barFigure({"L1 Instruction", "L1 Data"}, "misses", cold_rows);
+
+    report::figureHeader("Figure 4.7",
+                         "hotel L1 cache misses, RISC-V, warm execution",
+                         {SystemConfig::paperConfig(IsaId::Riscv)});
+    std::vector<report::Row> warm_rows;
+    for (const FunctionResult &res : results) {
+        warm_rows.push_back({res.name,
+                             {double(res.warm.l1iMisses),
+                              double(res.warm.l1dMisses)}});
+    }
+    report::barFigure({"L1 Instruction", "L1 Data"}, "misses", warm_rows);
+    return 0;
+}

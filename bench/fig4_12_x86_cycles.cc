@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 4.12: number of cycles for the standalone functions and the
+ * online-shop application on the x86 (CX86) simulated system. The
+ * Python functions' cold runs are ~10x their warm runs, except the
+ * emailservice (see Fig 4.13).
+ */
+
+#include "bench_common.hh"
+
+using namespace svb;
+
+int
+main()
+{
+    ResultCache cache;
+    const auto specs = benchutil::standalonePlusShop();
+    const auto results = benchutil::sweep(cache, IsaId::Cx86, specs, false);
+
+    report::figureHeader(
+        "Figure 4.12",
+        "cycles, standalone functions + online shop, x86 (cold/warm)",
+        {SystemConfig::paperConfig(IsaId::Cx86)});
+
+    std::vector<report::Row> rows;
+    for (const FunctionResult &res : results) {
+        rows.push_back({res.name,
+                        {double(res.cold.cycles), double(res.warm.cycles)}});
+    }
+    report::barFigure({"x86 Cold", "x86 Warm"}, "cycles", rows);
+    return 0;
+}

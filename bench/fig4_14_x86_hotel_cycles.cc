@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Figure 4.14: number of cycles for the hotel application on the x86
+ * simulated system.
+ */
+
+#include "bench_common.hh"
+
+using namespace svb;
+
+int
+main()
+{
+    ResultCache cache;
+    const auto results = benchutil::sweep(cache, IsaId::Cx86,
+                                          workloads::hotelSuite(), true);
+
+    report::figureHeader("Figure 4.14",
+                         "cycles, hotel application, x86 (cold/warm)",
+                         {SystemConfig::paperConfig(IsaId::Cx86)});
+
+    std::vector<report::Row> rows;
+    for (const FunctionResult &res : results) {
+        rows.push_back({res.name,
+                        {double(res.cold.cycles), double(res.warm.cycles)}});
+    }
+    report::barFigure({"x86 Cold", "x86 Warm"}, "cycles", rows);
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 4.19: cycles for the hotel application, RISC-V vs x86.
+ * Neither platform does well cold; the RISC-V profile function is the
+ * worst cold run of the whole evaluation yet among the quickest warm.
+ */
+
+#include "bench_common.hh"
+
+using namespace svb;
+
+int
+main()
+{
+    ResultCache cache;
+    const auto rv = benchutil::sweep(cache, IsaId::Riscv,
+                                     workloads::hotelSuite(), true);
+    const auto cx = benchutil::sweep(cache, IsaId::Cx86,
+                                     workloads::hotelSuite(), true);
+
+    report::figureHeader("Figure 4.19",
+                         "cycles, hotel application, RISC-V vs x86",
+                         {SystemConfig::paperConfig(IsaId::Cx86),
+                          SystemConfig::paperConfig(IsaId::Riscv)});
+
+    std::vector<report::Row> rows;
+    for (size_t i = 0; i < rv.size(); ++i) {
+        rows.push_back({rv[i].name,
+                        {double(cx[i].cold.cycles),
+                         double(cx[i].warm.cycles),
+                         double(rv[i].cold.cycles),
+                         double(rv[i].warm.cycles)}});
+    }
+    report::barFigure({"x86 Cold", "x86 Warm", "RISCV Cold", "RISCV Warm"},
+                      "cycles", rows);
+    return 0;
+}

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's own components:
+ * decoders, cache model, TLB, branch predictor, and whole-CPU
+ * simulation rates (host-side throughput, not guest metrics).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "core/system.hh"
+#include "gen/guestlib.hh"
+#include "gen/ir.hh"
+#include "guest/loader.hh"
+#include "isa/cx86/assembler.hh"
+#include "isa/cx86/decoder.hh"
+#include "isa/riscv/assembler.hh"
+#include "isa/riscv/decoder.hh"
+#include "sim/rng.hh"
+
+using namespace svb;
+
+namespace
+{
+
+/** A small spinning compute program for CPU-rate benchmarks. */
+gen::Program
+computeProgram()
+{
+    gen::ProgramBuilder pb;
+    const gen::GuestLib lib = gen::GuestLib::addTo(pb);
+    auto f = pb.beginFunction("main", 0);
+    const int iters = f.imm(1 << 20);
+    f.callVoid(lib.burnAlu, {iters});
+    const int ptr = f.newVreg(), bytes = f.imm(1 << 16),
+              stride = f.imm(64);
+    f.movi(ptr, int64_t(layout::heapBase));
+    f.callVoid(lib.touchWrite, {ptr, bytes, stride});
+    f.ret();
+    pb.setEntry("main");
+    return pb.take();
+}
+
+void
+BM_RiscvDecode(benchmark::State &state)
+{
+    riscv::Assembler as;
+    as.add(rv::a0, rv::a1, rv::a2);
+    as.ld(rv::a0, rv::sp, 16);
+    as.mul(rv::a3, rv::a0, rv::a1);
+    const auto &code = as.finish();
+    uint32_t words[3];
+    std::memcpy(words, code.data(), 12);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(riscv::decode(words[i % 3]));
+        ++i;
+    }
+}
+BENCHMARK(BM_RiscvDecode);
+
+void
+BM_Cx86Decode(benchmark::State &state)
+{
+    cx86::Assembler as;
+    as.add(cx::r1, cx::r2);
+    as.load(cx::r3, cx::rsp, 16, 8, false);
+    as.imulImm(cx::r6, 37);
+    const auto &code = as.finish();
+    size_t off = 0;
+    const size_t offs[3] = {0, 2, 5};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cx86::decode(code.data() + offs[off % 3], code.size()));
+        ++off;
+    }
+}
+BENCHMARK(BM_Cx86Decode);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    StatGroup stats("bench");
+    DramCtrl dram(DramParams{}, stats);
+    Cache l2(CacheParams{"l2", 512 * 1024, 4, 64, 20}, dram, stats);
+    Cache l1(CacheParams{"l1", 32 * 1024, 8, 64, 2}, l2, stats);
+    Rng rng(7);
+    Cycles now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            l1.access(rng.nextBounded(1 << 22), false, ++now));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_BranchPredictor(benchmark::State &state)
+{
+    StatGroup stats("bench");
+    BranchPredictor bp(BranchPredParams{}, stats);
+    StaticInst inst;
+    inst.valid = true;
+    inst.length = 4;
+    inst.isControl = true;
+    inst.isCondCtrl = true;
+    inst.isDirectCtrl = true;
+    inst.directOffset = -16;
+    Addr pc = 0x10000;
+    for (auto _ : state) {
+        const auto pred = bp.predict(pc, inst, pc + 4);
+        bp.update(pc, inst, (pc >> 4) & 1, pred.nextPc);
+        pc += 4;
+        benchmark::DoNotOptimize(pred);
+    }
+}
+BENCHMARK(BM_BranchPredictor);
+
+/** Whole-system simulation rate: Atomic model. */
+void
+BM_AtomicSimRate(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        SystemConfig cfg = SystemConfig::paperConfig(IsaId::Riscv);
+        cfg.numCores = 1;
+        System sys(cfg);
+        LoadableImage image =
+            gen::compileProgram(computeProgram(), IsaId::Riscv);
+        loadProcess(sys.kernel(), image, "bench", 0);
+        sys.scheduleIdleCores();
+        state.ResumeTiming();
+        const uint64_t ran = sys.run(30'000'000);
+        state.counters["guest_insts/s"] = benchmark::Counter(
+            double(sys.atomicCpu(0).instCount()),
+            benchmark::Counter::kIsRate);
+        benchmark::DoNotOptimize(ran);
+    }
+}
+BENCHMARK(BM_AtomicSimRate)->Unit(benchmark::kMillisecond);
+
+/** Whole-system simulation rate: detailed O3 model. */
+void
+BM_O3SimRate(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        SystemConfig cfg = SystemConfig::paperConfig(IsaId::Riscv);
+        cfg.numCores = 1;
+        System sys(cfg);
+        LoadableImage image =
+            gen::compileProgram(computeProgram(), IsaId::Riscv);
+        loadProcess(sys.kernel(), image, "bench", 0);
+        sys.scheduleIdleCores();
+        sys.switchCpu(0, CpuModel::O3);
+        state.ResumeTiming();
+        const uint64_t ran = sys.run(30'000'000);
+        state.counters["guest_cycles/s"] = benchmark::Counter(
+            double(sys.o3Cpu(0).cycleCount()),
+            benchmark::Counter::kIsRate);
+        benchmark::DoNotOptimize(ran);
+    }
+}
+BENCHMARK(BM_O3SimRate)->Unit(benchmark::kMillisecond);
+
+/** Program compilation (IR -> machine code) throughput. */
+void
+BM_CompileProgram(benchmark::State &state)
+{
+    const auto isa = state.range(0) == 0 ? IsaId::Riscv : IsaId::Cx86;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            gen::compileProgram(computeProgram(), isa));
+    }
+}
+BENCHMARK(BM_CompileProgram)->Arg(0)->Arg(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table 4.4: compressed container image sizes (MB) for the x86 and
+ * RISC-V images of every evaluated function, from the layered
+ * registry model. Go images are the lightest, NodeJS second, Python
+ * heaviest — and cold-start time tracks image size (Section 4.2.5).
+ */
+
+#include "bench_common.hh"
+#include "stack/image.hh"
+
+using namespace svb;
+
+int
+main()
+{
+    report::figureHeader("Table 4.4",
+                         "Docker container compressed size in MB",
+                         {});
+    std::vector<report::Row> rows;
+    for (const FunctionSpec &spec : workloads::allFunctions()) {
+        const auto x86 =
+            containerImage(spec, IsaId::Cx86, RegistryProfile::GPour);
+        const auto rv =
+            containerImage(spec, IsaId::Riscv, RegistryProfile::GPour);
+        rows.push_back({spec.name,
+                        {x86 ? x86->totalMb() : -1.0,
+                         rv ? rv->totalMb() : -1.0}});
+    }
+    report::table({"Function", "x86", "RISC-V"}, rows);
+
+    // Layer breakdown for one image of each tier, showing the model.
+    std::printf("\nLayer decomposition (RISC-V, GPour profile):\n");
+    for (const char *name :
+         {"fibonacci-go", "fibonacci-nodejs", "fibonacci-python"}) {
+        for (const FunctionSpec &spec : workloads::allFunctions()) {
+            if (spec.name != name)
+                continue;
+            const auto img =
+                containerImage(spec, IsaId::Riscv, RegistryProfile::GPour);
+            std::printf("  %-20s base %5.2f + runtime %6.2f + libs %6.2f"
+                        " + app %5.2f = %7.2f MB\n",
+                        name, img->baseOsMb, img->runtimeMb, img->libsMb,
+                        img->appMb, img->totalMb());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Table 4.5: RISC-V image sizes, the thesis' registry ("GPour") vs
+ * the independently published "Natheesan" port. The hotel images are
+ * absent from the latter: they target MongoDB, which has no RISC-V
+ * port, so they cannot run (Section 4.2.6).
+ */
+
+#include "bench_common.hh"
+#include "stack/image.hh"
+
+using namespace svb;
+
+int
+main()
+{
+    report::figureHeader(
+        "Table 4.5",
+        "GPour vs Natheesan RISC-V container compressed size in MB", {});
+    std::vector<report::Row> rows;
+    for (const FunctionSpec &spec : workloads::allFunctions()) {
+        if (spec.usesDb)
+            continue; // the paper's Table 4.5 lists the 15 runnable ones
+        const auto nath = containerImage(spec, IsaId::Riscv,
+                                         RegistryProfile::Natheesan);
+        const auto gpour =
+            containerImage(spec, IsaId::Riscv, RegistryProfile::GPour);
+        rows.push_back({spec.name,
+                        {nath ? nath->totalMb() : -1.0,
+                         gpour ? gpour->totalMb() : -1.0}});
+    }
+    report::table({"Function", "Natheesan", "GPour"}, rows);
+    std::printf("\nHotel images: not comparable — the Natheesan port"
+                " expects MongoDB, which has no RISC-V build.\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Cold-start study: run the paper's full Figure-4.1 protocol for one
+ * serverless function and break the cold/warm gap down by
+ * microarchitectural cause.
+ *
+ *   ./build/examples/coldstart_study [function-name]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hh"
+#include "workloads/workloads.hh"
+
+using namespace svb;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "fibonacci-python";
+
+    FunctionSpec spec;
+    bool found = false;
+    for (const FunctionSpec &s : workloads::allFunctions()) {
+        if (s.name == name) {
+            spec = s;
+            found = true;
+        }
+    }
+    if (!found) {
+        std::printf("unknown function '%s'; available:\n", name.c_str());
+        for (const FunctionSpec &s : workloads::allFunctions())
+            std::printf("  %s\n", s.name.c_str());
+        return 1;
+    }
+
+    ClusterConfig cfg;
+    cfg.system = SystemConfig::paperConfig(IsaId::Riscv);
+    cfg.startDb = spec.usesDb;
+    cfg.startMemcached = spec.usesMemcached;
+
+    std::printf("running the vSwarm-u protocol for %s (%s tier%s)...\n",
+                spec.name.c_str(), tierName(spec.tier),
+                spec.usesDb ? ", database-backed" : "");
+
+    ExperimentRunner runner(cfg);
+    const FunctionResult res =
+        runner.runFunction(spec, workloads::workloadImpl(spec.workload));
+    if (!res.ok) {
+        std::printf("experiment failed\n");
+        return 1;
+    }
+
+    auto row = [](const char *label, uint64_t cold, uint64_t warm) {
+        const double ratio = warm ? double(cold) / double(warm) : 0.0;
+        std::printf("  %-22s %12lu %12lu   %5.2fx\n", label,
+                    (unsigned long)cold, (unsigned long)warm, ratio);
+    };
+    std::printf("\n  %-22s %12s %12s   %s\n", "metric", "cold (req 1)",
+                "warm (req 10)", "cold/warm");
+    row("cycles", res.cold.cycles, res.warm.cycles);
+    row("instructions", res.cold.insts, res.warm.insts);
+    row("micro-ops", res.cold.uops, res.warm.uops);
+    row("L1I misses", res.cold.l1iMisses, res.warm.l1iMisses);
+    row("L1D misses", res.cold.l1dMisses, res.warm.l1dMisses);
+    row("L2 misses", res.cold.l2Misses, res.warm.l2Misses);
+    row("branch mispredicts", res.cold.branchMispredicts,
+        res.warm.branchMispredicts);
+    row("ITLB misses", res.cold.itlbMisses, res.warm.itlbMisses);
+    row("DTLB misses", res.cold.dtlbMisses, res.warm.dtlbMisses);
+    std::printf("  %-22s %12.2f %12.2f\n", "CPI", res.cold.cpi,
+                res.warm.cpi);
+
+    std::printf("\nThe cold request pays for the lazy runtime"
+                " initialisation (module\nimports, store connections)"
+                " and runs against empty caches, TLBs and\nbranch"
+                " predictors; request 10 reuses all of that state.\n");
+    return 0;
+}

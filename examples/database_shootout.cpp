@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Database shootout: the Section-3.3.3 evaluation that led the thesis
+ * to Cassandra — boot each candidate store as the hotel application's
+ * backend and compare boot cost and request latency (emulation mode,
+ * as in the paper's QEMU study).
+ *
+ *   ./build/examples/database_shootout
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "workloads/workloads.hh"
+
+using namespace svb;
+
+int
+main()
+{
+    const db::DbKind kinds[] = {db::DbKind::Cassandra, db::DbKind::Mongo,
+                                db::DbKind::Maria};
+    FunctionSpec spec;
+    for (const FunctionSpec &s : workloads::hotelSuite()) {
+        if (s.name == "rate")
+            spec = s;
+    }
+
+    std::printf("%-12s %14s %14s %14s\n", "database", "boot (cycles)",
+                "cold req (ns)", "warm req (ns)");
+
+    for (db::DbKind kind : kinds) {
+        ClusterConfig cfg;
+        cfg.system = SystemConfig::paperConfig(IsaId::Riscv);
+        cfg.dbKind = kind;
+        cfg.startDb = true;
+        cfg.startMemcached = true;
+
+        // Boot cost: cycles until the stores report readiness.
+        ExperimentRunner runner(cfg);
+        runner.cluster().boot();
+        const uint64_t boot_cycles = runner.cluster().system().cycle();
+
+        const EmuResult res = runner.runFunctionEmu(
+            spec, workloads::workloadImpl(spec.workload));
+        std::printf("%-12s %14lu %14lu %14lu%s\n", db::dbKindName(kind),
+                    (unsigned long)boot_cycles,
+                    (unsigned long)res.coldNs, (unsigned long)res.warmNs,
+                    res.ok ? "" : "  [FAILED]");
+    }
+
+    std::printf(
+        "\nCassandra's JVM-style bootstrap and LSM read amplification"
+        " dominate\nits boot and cold-request costs (the thesis' 17-minute"
+        " QEMU boots);\nMongoDB's hash-indexed store is light to boot and"
+        " to query, but it\nhas no RISC-V port, which is why the thesis"
+        " shipped Cassandra.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Code inspector: build any suite function's container program for
+ * either ISA and dump its symbols and disassembly — the svb-objdump
+ * of the generated guest software stack.
+ *
+ *   ./build/examples/inspect_code [function-name] [riscv|x86] [max-lines]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "isa/disasm.hh"
+#include "stack/runtime.hh"
+#include "workloads/workloads.hh"
+
+using namespace svb;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "fibonacci-go";
+    const IsaId isa = (argc > 2 && std::string(argv[2]) == "x86")
+                          ? IsaId::Cx86
+                          : IsaId::Riscv;
+    const size_t max_lines =
+        argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 80;
+
+    FunctionSpec spec;
+    bool found = false;
+    for (const FunctionSpec &s : workloads::allFunctions()) {
+        if (s.name == name) {
+            spec = s;
+            found = true;
+        }
+    }
+    if (!found) {
+        std::printf("unknown function '%s'\n", name.c_str());
+        return 1;
+    }
+
+    const LoadableImage image = buildServerProgram(
+        spec, workloads::workloadImpl(spec.workload), isa);
+
+    std::printf("%s server image for %s\n", spec.name.c_str(),
+                isaName(isa));
+    std::printf("  code %zu bytes, data %zu bytes, heap %lu KiB,"
+                " %zu symbols\n\n",
+                image.code.size(), image.rodata.size(),
+                (unsigned long)(image.heapBytes / 1024),
+                image.symbols.size());
+
+    std::printf("symbols:\n");
+    size_t shown = 0;
+    for (const auto &[sym, off] : image.symbols) {
+        // Skip the bulk of the generated runtime layers in the listing.
+        if (sym.rfind("rt.", 0) == 0 && sym.find("0") == std::string::npos)
+            continue;
+        if (++shown > 24) {
+            std::printf("  ... (%zu more)\n", image.symbols.size() - shown);
+            break;
+        }
+        std::printf("  %6lu  %s\n", (unsigned long)off, sym.c_str());
+    }
+
+    std::printf("\ndisassembly (first %zu instructions):\n", max_lines);
+    const auto lines =
+        disassembleBuffer(image.code, isa, image.symbols, 0x10000);
+    for (size_t i = 0; i < lines.size() && i < max_lines; ++i) {
+        if (!lines[i].symbol.empty())
+            std::printf("\n<%s>:\n", lines[i].symbol.c_str());
+        std::printf("  %6lx:  %s\n",
+                    (unsigned long)(0x10000 + lines[i].offset),
+                    lines[i].text.c_str());
+    }
+    std::printf("\n(%zu instructions total)\n", lines.size());
+    return 0;
+}

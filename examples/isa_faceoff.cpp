@@ -1,0 +1,82 @@
+/**
+ * @file
+ * ISA face-off: the paper's central comparison for one function —
+ * identical microarchitecture (Table 4.1), identical workload,
+ * RISC-V software stack vs the heavier x86 one.
+ *
+ *   ./build/examples/isa_faceoff [function-name]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hh"
+#include "workloads/workloads.hh"
+
+using namespace svb;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "aes-go";
+
+    FunctionSpec spec;
+    bool found = false;
+    for (const FunctionSpec &s : workloads::allFunctions()) {
+        if (s.name == name) {
+            spec = s;
+            found = true;
+        }
+    }
+    if (!found) {
+        std::printf("unknown function '%s'\n", name.c_str());
+        return 1;
+    }
+
+    FunctionResult results[2];
+    const IsaId isas[2] = {IsaId::Riscv, IsaId::Cx86};
+    for (int i = 0; i < 2; ++i) {
+        ClusterConfig cfg;
+        cfg.system = SystemConfig::paperConfig(isas[i]);
+        cfg.startDb = spec.usesDb;
+        cfg.startMemcached = spec.usesMemcached;
+        std::printf("measuring %s on %s...\n", spec.name.c_str(),
+                    isaName(isas[i]));
+        ExperimentRunner runner(cfg);
+        results[i] = runner.runFunction(
+            spec, workloads::workloadImpl(spec.workload));
+        if (!results[i].ok) {
+            std::printf("experiment failed on %s\n", isaName(isas[i]));
+            return 1;
+        }
+    }
+
+    const FunctionResult &rv = results[0], &cx = results[1];
+    auto line = [](const char *label, uint64_t rv_v, uint64_t cx_v) {
+        std::printf("  %-24s %12lu %12lu   x86/riscv %5.2f\n", label,
+                    (unsigned long)rv_v, (unsigned long)cx_v,
+                    rv_v ? double(cx_v) / double(rv_v) : 0.0);
+    };
+
+    std::printf("\n%s, cold execution\n", spec.name.c_str());
+    std::printf("  %-24s %12s %12s\n", "", "riscv64", "cx86-64");
+    line("cycles", rv.cold.cycles, cx.cold.cycles);
+    line("instructions", rv.cold.insts, cx.cold.insts);
+    line("L1I misses", rv.cold.l1iMisses, cx.cold.l1iMisses);
+    line("L2 misses", rv.cold.l2Misses, cx.cold.l2Misses);
+
+    std::printf("\n%s, warm execution\n", spec.name.c_str());
+    line("cycles", rv.warm.cycles, cx.warm.cycles);
+    line("instructions", rv.warm.insts, cx.warm.insts);
+    line("L1I misses", rv.warm.l1iMisses, cx.warm.l1iMisses);
+    line("L2 misses", rv.warm.l2Misses, cx.warm.l2Misses);
+
+    if (rv.cold.cycles < cx.warm.cycles) {
+        std::printf("\n=> the RISC-V COLD run beats the x86 WARM run"
+                    " (%lu < %lu cycles),\n   the paper's headline"
+                    " observation (Section 4.2.3.1).\n",
+                    (unsigned long)rv.cold.cycles,
+                    (unsigned long)cx.warm.cycles);
+    }
+    return 0;
+}

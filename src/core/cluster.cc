@@ -1,0 +1,243 @@
+#include "cluster.hh"
+
+#include "guest/syscall_abi.hh"
+#include "sim/logging.hh"
+#include "stack/topology.hh"
+
+namespace svb
+{
+
+ServerlessCluster::ServerlessCluster(const ClusterConfig &config)
+    : cfg(config)
+{
+    buildSystem();
+}
+
+void
+ServerlessCluster::buildSystem()
+{
+    machine = std::make_unique<System>(cfg.system);
+    machine->setM5Listener(this);
+
+    // Shared ring region: one allocation, identical across rebuilds
+    // because the frame allocator is deterministic.
+    ringsPhys = machine->frames().allocFrames(topo::sharedRegionBytes /
+                                          paging::pageSize);
+    machine->phys().clearRange(ringsPhys, topo::sharedRegionBytes);
+
+    createStoreContainers();
+}
+
+void
+ServerlessCluster::createStoreContainers()
+{
+    dbPid = -1;
+    mcPid = -1;
+    if (cfg.startDb) {
+        db::DbParams params;
+        params.kind = cfg.dbKind;
+        params.reqRingVa = topo::dbReqRingVa;
+        LoadableImage image = db::buildDbProgram(params, cfg.system.isa);
+        LoadedProgram lp =
+            loadProcess(machine->kernel(), image,
+                        std::string(db::dbKindName(cfg.dbKind)),
+                        topo::clientCore);
+        dbPid = lp.pid;
+        mapSharedInto(machine->kernel(), dbPid, layout::sharedBase, ringsPhys,
+                      topo::sharedRegionBytes);
+    }
+    if (cfg.startMemcached) {
+        db::DbParams params;
+        params.kind = db::DbKind::Memcached;
+        params.reqRingVa = topo::mcReqRingVa;
+        LoadableImage image = db::buildDbProgram(params, cfg.system.isa);
+        LoadedProgram lp = loadProcess(machine->kernel(), image, "memcached",
+                                       topo::clientCore);
+        mcPid = lp.pid;
+        mapSharedInto(machine->kernel(), mcPid, layout::sharedBase, ringsPhys,
+                      topo::sharedRegionBytes);
+    }
+}
+
+void
+ServerlessCluster::boot()
+{
+    if (baseline.has_value())
+        return;
+
+    const uint64_t expected_ready =
+        (cfg.startDb ? 1u : 0u) + (cfg.startMemcached ? 1u : 0u);
+    machine->scheduleIdleCores();
+    if (expected_ready > 0) {
+        if (!runUntilReady(expected_ready))
+            svb_fatal("store containers failed to boot");
+        // Drain until both stores are parked in their receive loops.
+        machine->run(20'000);
+    }
+    baseline = machine->saveCheckpoint();
+}
+
+void
+ServerlessCluster::resetToBaseline()
+{
+    svb_assert(baseline.has_value(), "resetToBaseline before boot()");
+    nWorkBegin = nWorkEnd = nReady = 0;
+    nSlotWorkEnd[0] = nSlotWorkEnd[1] = 0;
+    workBeginCycle = workEndCycle = 0;
+    stopAtWorkEnds = ~uint64_t(0);
+    stopSlot = -1;
+    resetOnBegin = false;
+    resetOnBeginSlot = -1;
+    buildSystem();
+    machine->restoreCheckpoint(*baseline);
+}
+
+ServerlessCluster::Deployment
+ServerlessCluster::deploy(const FunctionSpec &spec,
+                          const WorkloadImpl &impl, unsigned ring_slot)
+{
+    Deployment dep;
+    {
+        LoadableImage image =
+            buildServerProgram(spec, impl, cfg.system.isa, ring_slot);
+        LoadedProgram lp = loadProcess(machine->kernel(), image,
+                                       spec.name + (ring_slot ? "#1" : ""),
+                                       topo::serverCore);
+        dep.serverPid = lp.pid;
+        mapSharedInto(machine->kernel(), dep.serverPid, layout::sharedBase,
+                      ringsPhys, topo::sharedRegionBytes);
+    }
+    {
+        LoadableImage image =
+            buildClientProgram(spec, impl, cfg.system.isa, ring_slot);
+        LoadedProgram lp = loadProcess(machine->kernel(), image,
+                                       spec.name + "-client" +
+                                           (ring_slot ? "#1" : ""),
+                                       topo::clientCore);
+        dep.clientPid = lp.pid;
+        mapSharedInto(machine->kernel(), dep.clientPid, layout::sharedBase,
+                      ringsPhys, topo::sharedRegionBytes);
+    }
+    resetFunctionRings();
+    machine->scheduleIdleCores();
+    return dep;
+}
+
+void
+ServerlessCluster::openClientGate(const Deployment &deployment)
+{
+    AddressSpace &as = *machine->kernel().process(deployment.clientPid).space;
+    as.write(layout::heapBase, 1, 8);
+}
+
+void
+ServerlessCluster::resetFunctionRings()
+{
+    // Client<->server ring pairs: pages 0-1 (slot 0) and 6-7 (slot 1).
+    machine->phys().clearRange(ringsPhys, 2 * 0x1000);
+    machine->phys().clearRange(ringsPhys + 6 * 0x1000, 2 * 0x1000);
+}
+
+bool
+ServerlessCluster::runUntilSlotWorkEnds(unsigned slot, uint64_t target)
+{
+    stopAtWorkEnds = target;
+    stopSlot = int(slot & 1);
+    while (nSlotWorkEnd[slot & 1] < target) {
+        const uint64_t ran = machine->run(cfg.phaseCycleLimit);
+        if (nSlotWorkEnd[slot & 1] >= target)
+            break;
+        if (ran >= cfg.phaseCycleLimit)
+            return false;
+        bool any_active = false;
+        for (unsigned c = 0; c < cfg.system.numCores; ++c)
+            any_active |= !machine->cpu(c).halted();
+        if (!any_active)
+            return false;
+    }
+    stopAtWorkEnds = ~uint64_t(0);
+    stopSlot = -1;
+    return true;
+}
+
+bool
+ServerlessCluster::runUntilWorkEnds(uint64_t target)
+{
+    stopAtWorkEnds = target;
+    stopSlot = -1;
+    while (nWorkEnd < target) {
+        const uint64_t ran = machine->run(cfg.phaseCycleLimit);
+        if (nWorkEnd >= target)
+            break;
+        if (ran >= cfg.phaseCycleLimit)
+            return false; // hung
+        // run() returned because of a requestStop from an earlier
+        // target or because everything halted.
+        bool any_active = false;
+        for (unsigned c = 0; c < cfg.system.numCores; ++c)
+            any_active |= !machine->cpu(c).halted();
+        if (!any_active)
+            return false;
+    }
+    stopAtWorkEnds = ~uint64_t(0);
+    return true;
+}
+
+bool
+ServerlessCluster::runUntilReady(uint64_t target_events)
+{
+    while (nReady < target_events) {
+        const uint64_t ran = machine->run(cfg.phaseCycleLimit);
+        if (nReady >= target_events)
+            break;
+        if (ran >= cfg.phaseCycleLimit)
+            return false;
+        bool any_active = false;
+        for (unsigned c = 0; c < cfg.system.numCores; ++c)
+            any_active |= !machine->cpu(c).halted();
+        if (!any_active)
+            return false;
+    }
+    return true;
+}
+
+void
+ServerlessCluster::m5Op(int core_id, uint64_t op, uint64_t arg)
+{
+    (void)core_id;
+    switch (op) {
+      case sys::m5WorkBegin: {
+        ++nWorkBegin;
+        workBeginCycle = machine->cycle();
+        const int slot = int(arg >> 32) & 1;
+        if (resetOnBegin &&
+            (resetOnBeginSlot < 0 || resetOnBeginSlot == slot)) {
+            machine->stats().resetAll();
+            resetOnBegin = false;
+        }
+        break;
+      }
+      case sys::m5WorkEnd: {
+        ++nWorkEnd;
+        const unsigned slot = unsigned(arg >> 32) & 1;
+        ++nSlotWorkEnd[slot];
+        workEndCycle = machine->cycle();
+        const uint64_t relevant =
+            stopSlot < 0 ? nWorkEnd : nSlotWorkEnd[unsigned(stopSlot)];
+        if ((stopSlot < 0 || stopSlot == int(slot)) &&
+            relevant >= stopAtWorkEnds)
+            machine->requestStop();
+        break;
+      }
+      case sys::m5Event:
+        if (arg == db::dbReadyEvent || arg == containerReadyEvent) {
+            ++nReady;
+            machine->requestStop();
+        }
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace svb

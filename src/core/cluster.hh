@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The serverless cluster: a System plus the booted database and
+ * memcached containers, the shared RPC rings, and per-experiment
+ * function deployment.
+ *
+ * Boot follows the paper's image-preparation step: construct the
+ * platform, create the store containers, run their bootstrap on the
+ * Atomic CPU, then take the baseline checkpoint every experiment
+ * restores from (Figure 4.1).
+ */
+
+#ifndef SVB_CORE_CLUSTER_HH
+#define SVB_CORE_CLUSTER_HH
+
+#include <memory>
+#include <optional>
+
+#include "db/store_gen.hh"
+#include "stack/runtime.hh"
+#include "system.hh"
+
+namespace svb
+{
+
+/** Cluster-level configuration. */
+struct ClusterConfig
+{
+    SystemConfig system;
+    db::DbKind dbKind = db::DbKind::Cassandra;
+    bool startDb = true;
+    bool startMemcached = true;
+    /** Upper bound for any single run phase (cycles). */
+    uint64_t phaseCycleLimit = 400'000'000;
+};
+
+/**
+ * One bootable serverless platform instance.
+ */
+class ServerlessCluster : public M5Listener
+{
+  public:
+    explicit ServerlessCluster(const ClusterConfig &config);
+
+    System &system() { return *machine; }
+    const ClusterConfig &config() const { return cfg; }
+
+    /**
+     * Boot the platform: create store containers, run their
+     * bootstrap to readiness (Atomic CPU), save the baseline
+     * checkpoint. Idempotent.
+     */
+    void boot();
+
+    /**
+     * Reset to the post-boot baseline: tears the System down,
+     * rebuilds it identically, and restores the checkpoint. Fast
+     * relative to re-running the store bootstraps.
+     */
+    void resetToBaseline();
+
+    /** A deployed function-under-test. */
+    struct Deployment
+    {
+        int serverPid = -1;
+        int clientPid = -1;
+    };
+
+    /**
+     * Load the function container and the load generator. The client
+     * stays gated until openClientGate(). @p ring_slot selects the
+     * client ring pair (slot 1 co-deploys a second function for the
+     * lukewarm/interleaving studies).
+     */
+    Deployment deploy(const FunctionSpec &spec, const WorkloadImpl &impl,
+                      unsigned ring_slot = 0);
+
+    /** Release the client's start gate. */
+    void openClientGate(const Deployment &deployment);
+
+    /** Zero the client<->server ring cursors. */
+    void resetFunctionRings();
+
+    // --- run-control counters (fed by the m5 plumbing) ------------------
+    uint64_t workBegins() const { return nWorkBegin; }
+    uint64_t workEnds() const { return nWorkEnd; }
+    uint64_t slotWorkEnds(unsigned slot) const
+    {
+        return nSlotWorkEnd[slot & 1];
+    }
+    uint64_t readyEvents() const { return nReady; }
+
+    /** Cycle at which the most recent workBegin / workEnd arrived. */
+    uint64_t lastWorkBeginCycle() const { return workBeginCycle; }
+    uint64_t lastWorkEndCycle() const { return workEndCycle; }
+
+    /** Run until total workEnds reach @p target. @return success */
+    bool runUntilWorkEnds(uint64_t target);
+
+    /** Run until deployment slot @p slot has completed @p target
+     *  requests (interleaving studies). @return success */
+    bool runUntilSlotWorkEnds(unsigned slot, uint64_t target);
+
+    /** Run until the store containers report ready. @return success */
+    bool runUntilReady(uint64_t target_events);
+
+    /**
+     * Reset stats exactly when the next workBegin arrives.
+     * @param slot restrict to one deployment slot, or -1 for any
+     */
+    void
+    armStatResetOnWorkBegin(int slot = -1)
+    {
+        resetOnBegin = true;
+        resetOnBeginSlot = slot;
+    }
+
+    void m5Op(int core_id, uint64_t op, uint64_t arg) override;
+
+  private:
+    void buildSystem();
+    void createStoreContainers();
+
+    ClusterConfig cfg;
+    std::unique_ptr<System> machine;
+    std::optional<Checkpoint> baseline;
+    Addr ringsPhys = 0;
+
+    int dbPid = -1;
+    int mcPid = -1;
+
+    uint64_t nWorkBegin = 0;
+    uint64_t nWorkEnd = 0;
+    uint64_t nSlotWorkEnd[2] = {0, 0};
+    uint64_t nReady = 0;
+    uint64_t workBeginCycle = 0;
+    uint64_t workEndCycle = 0;
+    uint64_t stopAtWorkEnds = ~uint64_t(0);
+    int stopSlot = -1; ///< -1: total count; 0/1: per-slot count
+    bool resetOnBegin = false;
+    int resetOnBeginSlot = -1;
+};
+
+} // namespace svb
+
+#endif // SVB_CORE_CLUSTER_HH

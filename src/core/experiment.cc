@@ -1,0 +1,193 @@
+#include "experiment.hh"
+
+#include "sim/logging.hh"
+#include "stack/topology.hh"
+
+namespace svb
+{
+
+ExperimentRunner::ExperimentRunner(const ClusterConfig &config)
+    : cfg(config), clusterPtr(std::make_unique<ServerlessCluster>(config))
+{
+}
+
+ExperimentRunner::~ExperimentRunner() = default;
+
+ServerlessCluster::Deployment
+ExperimentRunner::prepare(const FunctionSpec &spec,
+                          const WorkloadImpl &impl, bool &ok)
+{
+    ServerlessCluster &cl = *clusterPtr;
+    cl.boot();
+    cl.resetToBaseline();
+    auto dep = cl.deploy(spec, impl);
+    // Container boot on the Atomic CPU, up to the readiness report.
+    ok = cl.runUntilReady(1);
+    // Let the server settle into its receive loop.
+    cl.system().run(5'000);
+    return dep;
+}
+
+RequestStats
+ExperimentRunner::snapshotServerCore() const
+{
+    const auto snap = clusterPtr->system().stats().snapshotAll();
+    auto get = [&](const std::string &key) {
+        auto it = snap.find(key);
+        return it == snap.end() ? 0.0 : it->second;
+    };
+    const std::string cpu = "system.cpu1.o3.";
+    const std::string mem = "system.core1.";
+
+    RequestStats rs;
+    rs.cycles = uint64_t(get(cpu + "numCycles"));
+    rs.insts = uint64_t(get(cpu + "numInsts"));
+    rs.uops = uint64_t(get(cpu + "numUops"));
+    rs.cpi = rs.insts ? double(rs.cycles) / double(rs.insts) : 0.0;
+    rs.l1iMisses = uint64_t(get(mem + "l1i.misses"));
+    rs.l1dMisses = uint64_t(get(mem + "l1d.misses"));
+    rs.l2Misses = uint64_t(get(mem + "l2.misses"));
+    rs.branches = uint64_t(get(cpu + "numBranches"));
+    rs.branchMispredicts = uint64_t(get(cpu + "branchMispredicts"));
+    rs.itlbMisses = uint64_t(get(cpu + "itlb.misses"));
+    rs.dtlbMisses = uint64_t(get(cpu + "dtlb.misses"));
+    return rs;
+}
+
+FunctionResult
+ExperimentRunner::runFunction(const FunctionSpec &spec,
+                              const WorkloadImpl &impl)
+{
+    FunctionResult result;
+    result.name = spec.name;
+
+    bool ok = false;
+    ServerlessCluster &cl = *clusterPtr;
+    auto dep = prepare(spec, impl, ok);
+    if (!ok) {
+        warn(spec.name, ": container failed to boot");
+        return result;
+    }
+    System &m = cl.system();
+
+    // --- Evaluation mode, request 1 (cold) -------------------------------
+    m.switchCpu(topo::clientCore, CpuModel::O3);
+    m.switchCpu(topo::serverCore, CpuModel::O3);
+    // Checkpoint-restore semantics: detailed runs start with cold
+    // caches, TLBs and branch predictors, exactly as in gem5.
+    m.flushMicroarchState();
+    cl.armStatResetOnWorkBegin();
+    cl.openClientGate(dep);
+    if (!cl.runUntilWorkEnds(1)) {
+        warn(spec.name, ": cold request did not complete");
+        return result;
+    }
+    result.cold = snapshotServerCore();
+
+    // --- Setup mode: functional warming through requests 2..9 ------------
+    m.switchCpu(topo::clientCore, CpuModel::Atomic);
+    m.switchCpu(topo::serverCore, CpuModel::Atomic);
+    if (!cl.runUntilWorkEnds(9)) {
+        warn(spec.name, ": warming requests did not complete");
+        return result;
+    }
+
+    // --- Evaluation mode, request 10 (warm) -------------------------------
+    m.switchCpu(topo::clientCore, CpuModel::O3);
+    m.switchCpu(topo::serverCore, CpuModel::O3);
+    cl.armStatResetOnWorkBegin();
+    if (!cl.runUntilWorkEnds(10)) {
+        warn(spec.name, ": warm request did not complete");
+        return result;
+    }
+    result.warm = snapshotServerCore();
+    result.ok = true;
+    return result;
+}
+
+LukewarmResult
+ExperimentRunner::runLukewarm(const FunctionSpec &spec,
+                              const WorkloadImpl &impl,
+                              const FunctionSpec &interferer,
+                              const WorkloadImpl &interferer_impl)
+{
+    LukewarmResult result;
+    result.name = spec.name;
+    result.interferer = interferer.name;
+
+    // Baseline: the function's clean warm request.
+    const FunctionResult solo = runFunction(spec, impl);
+    if (!solo.ok)
+        return result;
+    result.warm = solo.warm;
+
+    // Interleaved run: both functions share the server core.
+    ServerlessCluster &cl = *clusterPtr;
+    cl.resetToBaseline();
+    auto dep = cl.deploy(spec, impl, /*ring_slot=*/0);
+    cl.deploy(interferer, interferer_impl, /*ring_slot=*/1);
+    if (!cl.runUntilReady(2)) {
+        warn(spec.name, ": lukewarm containers failed to boot");
+        return result;
+    }
+    cl.system().run(5'000);
+
+    System &m = cl.system();
+    // Warm both functions on the Atomic CPU with their requests
+    // interleaving freely through the cooperative scheduler.
+    cl.openClientGate(dep);
+    {
+        // The interferer's client is the most recent process.
+        AddressSpace &as =
+            *m.kernel()
+                 .process(int(m.kernel().numProcesses()) - 1)
+                 .space;
+        as.write(layout::heapBase, 1, 8);
+    }
+    if (!cl.runUntilSlotWorkEnds(0, 9) ||
+        !cl.runUntilSlotWorkEnds(1, 9)) {
+        warn(spec.name, ": lukewarm warming did not complete");
+        return result;
+    }
+
+    // Measure the next request of the function under test, detailed.
+    m.switchCpu(topo::clientCore, CpuModel::O3);
+    m.switchCpu(topo::serverCore, CpuModel::O3);
+    cl.armStatResetOnWorkBegin(/*slot=*/0);
+    const uint64_t done = cl.slotWorkEnds(0);
+    if (!cl.runUntilSlotWorkEnds(0, done + 1)) {
+        warn(spec.name, ": lukewarm measurement did not complete");
+        return result;
+    }
+    result.lukewarm = snapshotServerCore();
+    result.ok = true;
+    return result;
+}
+
+EmuResult
+ExperimentRunner::runFunctionEmu(const FunctionSpec &spec,
+                                 const WorkloadImpl &impl,
+                                 unsigned warm_request)
+{
+    EmuResult result;
+    result.name = spec.name;
+
+    bool ok = false;
+    ServerlessCluster &cl = *clusterPtr;
+    auto dep = prepare(spec, impl, ok);
+    if (!ok)
+        return result;
+
+    cl.openClientGate(dep);
+    if (!cl.runUntilWorkEnds(1))
+        return result;
+    result.coldNs = cl.lastWorkEndCycle() - cl.lastWorkBeginCycle();
+
+    if (!cl.runUntilWorkEnds(warm_request))
+        return result;
+    result.warmNs = cl.lastWorkEndCycle() - cl.lastWorkBeginCycle();
+    result.ok = true;
+    return result;
+}
+
+} // namespace svb

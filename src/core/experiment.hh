@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The vSwarm-u-style experiment runner (Figure 4.1).
+ *
+ * Per function: restore the post-boot checkpoint, start the container
+ * (Atomic CPU), switch to the detailed O3 CPU with cold
+ * microarchitectural state, measure request 1 (cold), functionally
+ * warm through requests 2-9 on the Atomic CPU, then measure request
+ * 10 (warm). Statistics are collected from the server core, reset at
+ * each measured request's workBegin and sampled at its workEnd.
+ */
+
+#ifndef SVB_CORE_EXPERIMENT_HH
+#define SVB_CORE_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+
+#include "cluster.hh"
+
+namespace svb
+{
+
+/** Server-core statistics over one measured request. */
+struct RequestStats
+{
+    uint64_t cycles = 0;
+    uint64_t insts = 0;
+    uint64_t uops = 0;
+    double cpi = 0.0;
+    uint64_t l1iMisses = 0;
+    uint64_t l1dMisses = 0;
+    uint64_t l2Misses = 0;
+    uint64_t branches = 0;
+    uint64_t branchMispredicts = 0;
+    uint64_t itlbMisses = 0;
+    uint64_t dtlbMisses = 0;
+};
+
+/** Cold and warm measurements for one function. */
+struct FunctionResult
+{
+    std::string name;
+    RequestStats cold;
+    RequestStats warm;
+    bool ok = false;
+};
+
+/** Lukewarm study result (Section 2.1's interleaving phenomenon). */
+struct LukewarmResult
+{
+    std::string name;       ///< the measured function
+    std::string interferer; ///< the co-located function
+    RequestStats warm;      ///< isolated warm request (baseline)
+    RequestStats lukewarm;  ///< warm request with interleaving
+    bool ok = false;
+};
+
+/** Emulation-mode (QEMU-equivalent) latency result. */
+struct EmuResult
+{
+    std::string name;
+    uint64_t coldNs = 0;
+    uint64_t warmNs = 0;
+    bool ok = false;
+};
+
+/**
+ * Drives full cold/warm experiments over a cluster.
+ */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(const ClusterConfig &config);
+    ~ExperimentRunner();
+
+    /** Run the Figure 4.1 protocol for one function. */
+    FunctionResult runFunction(const FunctionSpec &spec,
+                               const WorkloadImpl &impl);
+
+    /**
+     * The lukewarm study (paper Section 2.1): co-locate @p interferer
+     * on the same server core and interleave its invocations with
+     * @p spec's, then measure spec's request 10. Its microarchitectural
+     * state has been thrashed between invocations, so it lands between
+     * cold and warm — "behaving as if called for the first time".
+     */
+    LukewarmResult runLukewarm(const FunctionSpec &spec,
+                               const WorkloadImpl &impl,
+                               const FunctionSpec &interferer,
+                               const WorkloadImpl &interferer_impl);
+
+    /**
+     * Functional-emulation variant (the paper's QEMU studies):
+     * Atomic CPU, one cycle per instruction at 1 GHz, reporting the
+     * request latency in nanoseconds.
+     */
+    EmuResult runFunctionEmu(const FunctionSpec &spec,
+                             const WorkloadImpl &impl,
+                             unsigned warm_request = 10);
+
+    ServerlessCluster &cluster() { return *clusterPtr; }
+
+  private:
+    /** Prepare a deployment: reset, deploy, boot to readiness. */
+    ServerlessCluster::Deployment prepare(const FunctionSpec &spec,
+                                          const WorkloadImpl &impl,
+                                          bool &ok);
+
+    RequestStats snapshotServerCore() const;
+
+    ClusterConfig cfg;
+    std::unique_ptr<ServerlessCluster> clusterPtr;
+};
+
+} // namespace svb
+
+#endif // SVB_CORE_EXPERIMENT_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure/table emission: prints the same rows and series the paper's
+ * Chapter-4 figures report, as aligned text tables with ASCII bars.
+ */
+
+#ifndef SVB_CORE_REPORT_HH
+#define SVB_CORE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "system_config.hh"
+
+namespace svb::report
+{
+
+/** One row of a figure: a label plus one value per series. */
+struct Row
+{
+    std::string label;
+    std::vector<double> values;
+};
+
+/** Print the experiment banner (figure id, caption, platform). */
+void figureHeader(const std::string &figure_id, const std::string &caption,
+                  const std::vector<SystemConfig> &platforms);
+
+/**
+ * Print a grouped-bar figure: one row per benchmark, one column per
+ * series, with a scaled ASCII bar for the first series pair.
+ *
+ * @param series column names (e.g. {"cold", "warm"})
+ * @param unit   printed in the column header (e.g. "cycles")
+ */
+void barFigure(const std::vector<std::string> &series,
+               const std::string &unit, const std::vector<Row> &rows);
+
+/** Print a percentage-stacked figure (Figs 4.8/4.9 style). */
+void stackedPercentFigure(const std::vector<std::string> &series,
+                          const std::vector<Row> &rows);
+
+/** Print a plain table (Tables 4.4/4.5 style). */
+void table(const std::vector<std::string> &columns,
+           const std::vector<Row> &rows, int precision = 2);
+
+/** Print Tables 4.1-4.3: the platform configuration. */
+void configTables(const SystemConfig &riscv_cfg,
+                  const SystemConfig &x86_cfg);
+
+} // namespace svb::report
+
+#endif // SVB_CORE_REPORT_HH

@@ -1,0 +1,183 @@
+#include "result_cache.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "db/store_gen.hh"
+#include "sim/logging.hh"
+
+namespace svb
+{
+
+namespace
+{
+
+std::map<std::string, uint64_t>
+packStats(const RequestStats &rs, const std::string &prefix)
+{
+    return {
+        {prefix + "cycles", rs.cycles},
+        {prefix + "insts", rs.insts},
+        {prefix + "uops", rs.uops},
+        {prefix + "l1i", rs.l1iMisses},
+        {prefix + "l1d", rs.l1dMisses},
+        {prefix + "l2", rs.l2Misses},
+        {prefix + "branches", rs.branches},
+        {prefix + "mispredicts", rs.branchMispredicts},
+        {prefix + "itlb", rs.itlbMisses},
+        {prefix + "dtlb", rs.dtlbMisses},
+    };
+}
+
+RequestStats
+unpackStats(const std::map<std::string, uint64_t> &fields,
+            const std::string &prefix)
+{
+    auto get = [&](const std::string &name) {
+        auto it = fields.find(prefix + name);
+        return it == fields.end() ? 0ull : it->second;
+    };
+    RequestStats rs;
+    rs.cycles = get("cycles");
+    rs.insts = get("insts");
+    rs.uops = get("uops");
+    rs.l1iMisses = get("l1i");
+    rs.l1dMisses = get("l1d");
+    rs.l2Misses = get("l2");
+    rs.branches = get("branches");
+    rs.branchMispredicts = get("mispredicts");
+    rs.itlbMisses = get("itlb");
+    rs.dtlbMisses = get("dtlb");
+    rs.cpi = rs.insts ? double(rs.cycles) / double(rs.insts) : 0.0;
+    return rs;
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string path_arg) : path(std::move(path_arg))
+{
+    const char *env = std::getenv("SVBENCH_FRESH");
+    fresh = env != nullptr && env[0] == '1';
+    if (!fresh)
+        load();
+}
+
+void
+ResultCache::load()
+{
+    std::ifstream is(path);
+    if (!is)
+        return;
+    std::string line;
+    while (std::getline(is, line)) {
+        // Format: key|field=value|field=value|...
+        std::istringstream ls(line);
+        std::string key;
+        if (!std::getline(ls, key, '|'))
+            continue;
+        std::string kv;
+        auto &row = rows[key];
+        while (std::getline(ls, kv, '|')) {
+            const size_t eq = kv.find('=');
+            if (eq == std::string::npos)
+                continue;
+            row[kv.substr(0, eq)] =
+                std::strtoull(kv.c_str() + eq + 1, nullptr, 10);
+        }
+    }
+}
+
+void
+ResultCache::append(const std::string &key,
+                    const std::map<std::string, uint64_t> &fields)
+{
+    rows[key] = fields;
+    std::ofstream os(path, std::ios::app);
+    os << key;
+    for (const auto &[name, value] : fields)
+        os << "|" << name << "=" << value;
+    os << "\n";
+}
+
+std::string
+ResultCache::keyOf(const ClusterConfig &cfg, const FunctionSpec &spec,
+                   const std::string &mode) const
+{
+    std::ostringstream os;
+    os << isaName(cfg.system.isa) << "," << db::dbKindName(cfg.dbKind)
+       << "," << (cfg.startDb ? 1 : 0) << (cfg.startMemcached ? 1 : 0)
+       << "," << spec.name << "," << mode;
+    return os.str();
+}
+
+ExperimentRunner &
+ResultCache::runnerFor(const ClusterConfig &cfg)
+{
+    std::ostringstream os;
+    os << isaName(cfg.system.isa) << "/" << db::dbKindName(cfg.dbKind)
+       << "/" << cfg.startDb << cfg.startMemcached;
+    auto &slot = runners[os.str()];
+    if (!slot)
+        slot = std::make_unique<ExperimentRunner>(cfg);
+    return *slot;
+}
+
+FunctionResult
+ResultCache::detailed(const ClusterConfig &cfg, const FunctionSpec &spec,
+                      const WorkloadImpl &impl)
+{
+    const std::string key = keyOf(cfg, spec, "o3");
+    auto it = rows.find(key);
+    if (it != rows.end() && it->second.count("ok")) {
+        FunctionResult res;
+        res.name = spec.name;
+        res.ok = it->second.at("ok") != 0;
+        res.cold = unpackStats(it->second, "cold.");
+        res.warm = unpackStats(it->second, "warm.");
+        return res;
+    }
+
+    inform("measuring ", spec.name, " on ", isaName(cfg.system.isa),
+           " (detailed O3, cold+warm)...");
+    FunctionResult res = runnerFor(cfg).runFunction(spec, impl);
+    std::map<std::string, uint64_t> fields = packStats(res.cold, "cold.");
+    for (const auto &[k, v] : packStats(res.warm, "warm."))
+        fields[k] = v;
+    fields["ok"] = res.ok ? 1 : 0;
+    append(key, fields);
+    return res;
+}
+
+EmuResult
+ResultCache::emulated(const ClusterConfig &cfg, const FunctionSpec &spec,
+                      const WorkloadImpl &impl)
+{
+    const std::string key = keyOf(cfg, spec, "emu");
+    auto it = rows.find(key);
+    if (it != rows.end() && it->second.count("ok")) {
+        EmuResult res;
+        res.name = spec.name;
+        res.ok = it->second.at("ok") != 0;
+        res.coldNs = it->second.at("coldNs");
+        res.warmNs = it->second.at("warmNs");
+        return res;
+    }
+
+    inform("measuring ", spec.name, " on ", isaName(cfg.system.isa),
+           " (emulation)...");
+    EmuResult res = runnerFor(cfg).runFunctionEmu(spec, impl);
+    append(key, {{"coldNs", res.coldNs},
+                 {"warmNs", res.warmNs},
+                 {"ok", res.ok ? 1u : 0u}});
+    return res;
+}
+
+void
+ResultCache::clear()
+{
+    rows.clear();
+    std::remove(path.c_str());
+}
+
+} // namespace svb

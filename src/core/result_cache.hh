@@ -1,0 +1,66 @@
+/**
+ * @file
+ * On-disk memoisation of experiment results.
+ *
+ * The figures of Chapter 4 reuse each other's measurements (e.g.,
+ * Figs 4.15-4.18 replot the data of Figs 4.4 and 4.12). Simulation is
+ * bit-deterministic, so results are cached in a CSV file keyed by
+ * (ISA, database, function, mode); every bench binary transparently
+ * shares it. Delete the file (or set SVBENCH_FRESH=1) to re-measure.
+ */
+
+#ifndef SVB_CORE_RESULT_CACHE_HH
+#define SVB_CORE_RESULT_CACHE_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "experiment.hh"
+
+namespace svb
+{
+
+/**
+ * Lazily-populated store of detailed and emulation results.
+ */
+class ResultCache
+{
+  public:
+    /** @param path CSV backing file (created on first write) */
+    explicit ResultCache(std::string path = "svbench_results.csv");
+
+    /**
+     * Fetch (or run and record) the detailed cold/warm result for
+     * @p spec on a cluster configured by @p cfg.
+     */
+    FunctionResult detailed(const ClusterConfig &cfg,
+                            const FunctionSpec &spec,
+                            const WorkloadImpl &impl);
+
+    /** Fetch (or run and record) the emulation-mode result. */
+    EmuResult emulated(const ClusterConfig &cfg, const FunctionSpec &spec,
+                       const WorkloadImpl &impl);
+
+    /** Forget everything (and remove the backing file). */
+    void clear();
+
+  private:
+    std::string keyOf(const ClusterConfig &cfg, const FunctionSpec &spec,
+                      const std::string &mode) const;
+    ExperimentRunner &runnerFor(const ClusterConfig &cfg);
+    void load();
+    void append(const std::string &key,
+                const std::map<std::string, uint64_t> &fields);
+
+    std::string path;
+    bool fresh = false;
+    /** key -> field -> value. */
+    std::map<std::string, std::map<std::string, uint64_t>> rows;
+    /** One live runner per distinct cluster configuration. */
+    std::map<std::string, std::unique_ptr<ExperimentRunner>> runners;
+};
+
+} // namespace svb
+
+#endif // SVB_CORE_RESULT_CACHE_HH

@@ -1,0 +1,201 @@
+#include "system.hh"
+
+#include "guest/syscall_abi.hh"
+#include "sim/logging.hh"
+
+namespace svb
+{
+
+System::System(const SystemConfig &config)
+    : cfg(config), rngState(config.seed)
+{
+    physMem = std::make_unique<PhysMemory>(cfg.memBytes);
+    // Reserve the first 64 KiB as a null-guard region.
+    frameAlloc = std::make_unique<FrameAllocator>(0x10000, cfg.memBytes);
+    dram = std::make_unique<DramCtrl>(cfg.dram, rootStats);
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        coreMems.push_back(std::make_unique<CoreMemSystem>(
+            int(c), cfg.caches, *dram, bus, rootStats));
+    }
+    decoder = std::make_unique<DecodeCache>(cfg.isa, *physMem);
+    guestKernel = std::make_unique<GuestKernel>(
+        *physMem, *frameAlloc, cfg.isa, int(cfg.numCores), rootStats);
+    guestKernel->setM5Listener(this);
+
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        StatGroup &core_group =
+            rootStats.childGroup("cpu" + std::to_string(c));
+        atomics.push_back(std::make_unique<AtomicCpu>(
+            int(c), cfg.isa, *physMem, *coreMems[c], *decoder,
+            *guestKernel, core_group));
+        o3s.push_back(std::make_unique<O3Cpu>(
+            cfg.o3, int(c), cfg.isa, *physMem, *coreMems[c], *decoder,
+            *guestKernel, core_group));
+        models.push_back(CpuModel::Atomic);
+    }
+}
+
+BaseCpu &
+System::cpu(unsigned core)
+{
+    return models.at(core) == CpuModel::Atomic
+               ? static_cast<BaseCpu &>(*atomics.at(core))
+               : static_cast<BaseCpu &>(*o3s.at(core));
+}
+
+void
+System::switchCpu(unsigned core, CpuModel model)
+{
+    if (models.at(core) == model)
+        return;
+    const HwContext ctx = cpu(core).getContext();
+    models[core] = model;
+    cpu(core).setContext(ctx);
+}
+
+void
+System::scheduleIdleCores()
+{
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        if (!cpu(c).halted())
+            continue;
+        HwContext ctx;
+        if (guestKernel->scheduleCore(int(c), ctx))
+            cpu(c).setContext(ctx);
+    }
+}
+
+void
+System::flushMicroarchState()
+{
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        coreMems[c]->flushAll();
+        cpu(c).itlb().flush();
+        cpu(c).dtlb().flush();
+        o3s[c]->branchPredictor().reset();
+    }
+}
+
+uint64_t
+System::run(uint64_t max_cycles)
+{
+    stopRequested = false;
+    uint64_t ran = 0;
+    for (; ran < max_cycles && !stopRequested; ++ran) {
+        ++globalCycle;
+        bool any_active = false;
+        for (unsigned c = 0; c < cfg.numCores; ++c) {
+            BaseCpu &core = cpu(c);
+            core.tick();
+            any_active |= !core.halted();
+        }
+        eventq.serviceUpTo(globalCycle);
+        if (!any_active && eventq.pending() == 0) {
+            ++ran;
+            break;
+        }
+    }
+    return ran;
+}
+
+uint64_t
+System::runUntil(const std::function<bool()> &cond, uint64_t max_cycles)
+{
+    stopRequested = false;
+    uint64_t ran = 0;
+    while (ran < max_cycles && !stopRequested && !cond()) {
+        ++globalCycle;
+        ++ran;
+        bool any_active = false;
+        for (unsigned c = 0; c < cfg.numCores; ++c) {
+            BaseCpu &core = cpu(c);
+            core.tick();
+            any_active |= !core.halted();
+        }
+        eventq.serviceUpTo(globalCycle);
+        if (!any_active && eventq.pending() == 0)
+            break;
+    }
+    return ran;
+}
+
+void
+System::m5Op(int core_id, uint64_t op, uint64_t arg)
+{
+    switch (op) {
+      case sys::m5ResetStats:
+        rootStats.resetAll();
+        break;
+      case sys::m5DumpStats:
+        if (statsDumpStream != nullptr) {
+            *statsDumpStream << "---------- Begin Simulation Statistics"
+                             << " (cycle " << globalCycle
+                             << ") ----------\n";
+            rootStats.printAll(*statsDumpStream);
+            *statsDumpStream << "---------- End Simulation Statistics"
+                             << " ----------\n";
+        }
+        break;
+      case sys::m5ExitSim:
+        requestStop();
+        break;
+      default:
+        break;
+    }
+    if (chainedListener != nullptr)
+        chainedListener->m5Op(core_id, op, arg);
+}
+
+Checkpoint
+System::saveCheckpoint() const
+{
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        svb_assert(models[c] == CpuModel::Atomic,
+                   "checkpoints require the Atomic CPU (core ", c, ")");
+    }
+    Checkpoint cp;
+    cp.setString("system.isa", isaName(cfg.isa));
+    cp.setScalar("system.cycle", globalCycle);
+    physMem->serializeState("mem.", cp);
+    frameAlloc->serializeState("frames.", cp);
+    guestKernel->serializeState("kernel.", cp);
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        const HwContext ctx = atomics[c]->getContext();
+        const std::string prefix = "cpu" + std::to_string(c) + ".";
+        cp.setScalar(prefix + "pc", ctx.pc);
+        cp.setScalar(prefix + "ptRoot", ctx.ptRoot);
+        cp.setScalar(prefix + "processId",
+                     uint64_t(int64_t(ctx.processId)));
+        cp.setScalar(prefix + "halted", ctx.halted ? 1 : 0);
+        for (unsigned r = 0; r < maxArchRegs; ++r)
+            cp.setScalar(prefix + "reg" + std::to_string(r), ctx.regs[r]);
+    }
+    return cp;
+}
+
+void
+System::restoreCheckpoint(const Checkpoint &cp)
+{
+    svb_assert(cp.getString("system.isa") == isaName(cfg.isa),
+               "checkpoint ISA mismatch");
+    globalCycle = cp.getScalar("system.cycle");
+    eventq.clear();
+    physMem->unserializeState("mem.", cp);
+    frameAlloc->unserializeState("frames.", cp);
+    guestKernel->unserializeState("kernel.", cp);
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        const std::string prefix = "cpu" + std::to_string(c) + ".";
+        HwContext ctx;
+        ctx.pc = cp.getScalar(prefix + "pc");
+        ctx.ptRoot = cp.getScalar(prefix + "ptRoot");
+        ctx.processId = int(int64_t(cp.getScalar(prefix + "processId")));
+        ctx.halted = cp.getScalar(prefix + "halted") != 0;
+        for (unsigned r = 0; r < maxArchRegs; ++r)
+            ctx.regs[r] = cp.getScalar(prefix + "reg" + std::to_string(r));
+        models[c] = CpuModel::Atomic;
+        atomics[c]->setContext(ctx);
+    }
+    flushMicroarchState();
+}
+
+} // namespace svb

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The simulated platform: memory, cores, kernel, and run control.
+ *
+ * A System is the gem5-full-system equivalent: it owns the physical
+ * memory, the cache hierarchies, one Atomic and one O3 CPU per core
+ * (switchable, as in the vSwarm-u setup/evaluation methodology), and
+ * the guest kernel.
+ */
+
+#ifndef SVB_CORE_SYSTEM_HH
+#define SVB_CORE_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <ostream>
+
+#include "cpu/atomic_cpu.hh"
+#include "cpu/o3_cpu.hh"
+#include "guest/kernel.hh"
+#include "sim/eventq.hh"
+#include "sim/rng.hh"
+#include "system_config.hh"
+
+namespace svb
+{
+
+/** Which CPU model currently drives a core. */
+enum class CpuModel { Atomic, O3 };
+
+/**
+ * One simulated machine.
+ */
+class System : public M5Listener
+{
+  public:
+    explicit System(const SystemConfig &config);
+
+    // --- accessors ---------------------------------------------------------
+    const SystemConfig &config() const { return cfg; }
+    PhysMemory &phys() { return *physMem; }
+    FrameAllocator &frames() { return *frameAlloc; }
+    GuestKernel &kernel() { return *guestKernel; }
+    EventQueue &events() { return eventq; }
+    Rng &rng() { return rngState; }
+    StatGroup &stats() { return rootStats; }
+    CoreMemSystem &coreMem(unsigned core) { return *coreMems.at(core); }
+    AtomicCpu &atomicCpu(unsigned core) { return *atomics.at(core); }
+    O3Cpu &o3Cpu(unsigned core) { return *o3s.at(core); }
+    BaseCpu &cpu(unsigned core);
+    CpuModel cpuModel(unsigned core) const { return models.at(core); }
+    uint64_t cycle() const { return globalCycle; }
+
+    // --- CPU control --------------------------------------------------------
+    /** Hand the core's architectural state to the other CPU model. */
+    void switchCpu(unsigned core, CpuModel model);
+
+    /** Put runnable processes onto idle cores. */
+    void scheduleIdleCores();
+
+    /** Drop all cached microarchitectural state (cold start). */
+    void flushMicroarchState();
+
+    // --- execution -----------------------------------------------------------
+    /**
+     * Run for at most @p max_cycles; stops early when requestStop() is
+     * called or every core is halted.
+     *
+     * @return cycles actually run
+     */
+    uint64_t run(uint64_t max_cycles);
+
+    /** Run until @p cond returns true (checked each cycle). */
+    uint64_t runUntil(const std::function<bool()> &cond,
+                      uint64_t max_cycles);
+
+    /** Ask the run loop to return at the end of the current cycle. */
+    void requestStop() { stopRequested = true; }
+
+    // --- magic-operation plumbing ---------------------------------------------
+    /** Install the downstream listener (the experiment harness). */
+    void setM5Listener(M5Listener *listener) { chainedListener = listener; }
+
+    /**
+     * Stream that receives a gem5-style stats listing on every guest
+     * m5DumpStats; nullptr (default) disables dumping.
+     */
+    void setStatsDumpStream(std::ostream *os) { statsDumpStream = os; }
+
+    void m5Op(int core_id, uint64_t op, uint64_t arg) override;
+
+    // --- checkpointing ----------------------------------------------------------
+    /**
+     * Serialise the full functional state. Every core must currently
+     * run its Atomic CPU (detailed state is not checkpointable, as in
+     * gem5).
+     */
+    Checkpoint saveCheckpoint() const;
+
+    /** Restore a checkpoint taken on an identically built system. */
+    void restoreCheckpoint(const Checkpoint &cp);
+
+  private:
+    SystemConfig cfg;
+    StatGroup rootStats{"system"};
+    Rng rngState;
+    EventQueue eventq;
+
+    std::unique_ptr<PhysMemory> physMem;
+    std::unique_ptr<FrameAllocator> frameAlloc;
+    std::unique_ptr<DramCtrl> dram;
+    CoherenceBus bus;
+    std::vector<std::unique_ptr<CoreMemSystem>> coreMems;
+    std::unique_ptr<DecodeCache> decoder;
+    std::unique_ptr<GuestKernel> guestKernel;
+    std::vector<std::unique_ptr<AtomicCpu>> atomics;
+    std::vector<std::unique_ptr<O3Cpu>> o3s;
+    std::vector<CpuModel> models;
+
+    uint64_t globalCycle = 0;
+    bool stopRequested = false;
+    M5Listener *chainedListener = nullptr;
+    std::ostream *statsDumpStream = nullptr;
+};
+
+} // namespace svb
+
+#endif // SVB_CORE_SYSTEM_HH

@@ -1,0 +1,154 @@
+#include "atomic_cpu.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace svb
+{
+
+AtomicCpu::AtomicCpu(int core_id, IsaId isa_id, PhysMemory &phys_mem,
+                     CoreMemSystem &mem_sys, DecodeCache &decode,
+                     TrapHandler &trap_handler, StatGroup &stats)
+    : BaseCpu(core_id, isa_id, phys_mem, mem_sys, decode, trap_handler,
+              stats, "atomic"),
+      statCycles(group.addScalar("numCycles", "cycles simulated")),
+      statInsts(group.addScalar("numInsts", "macro instructions executed")),
+      statUops(group.addScalar("numUops", "micro-ops executed")),
+      statBranches(group.addScalar("numBranches", "control instructions")),
+      statLoads(group.addScalar("numLoads", "load micro-ops")),
+      statStores(group.addScalar("numStores", "store micro-ops")),
+      statIdleCycles(group.addScalar("idleCycles", "cycles halted"))
+{
+    group.addFormula("cpi", "cycles per instruction", [this]() {
+        return statInsts.value()
+                   ? double(statCycles.value()) / double(statInsts.value())
+                   : 0.0;
+    });
+}
+
+void
+AtomicCpu::dumpHistory() const
+{
+    std::ostringstream os;
+    os << "recent pcs (core " << coreId << "):";
+    for (size_t i = 0; i < pcHistory.size(); ++i) {
+        const size_t idx = (pcHistoryPos + i) % pcHistory.size();
+        os << " " << pcHistory[idx];
+    }
+    os << " | regs:";
+    for (unsigned r = 0; r < 32; ++r)
+        os << " r" << r << "=" << ctx.regs[r];
+    warn(os.str());
+}
+
+void
+AtomicCpu::tick()
+{
+    if (ctx.halted) {
+        ++statIdleCycles;
+        return;
+    }
+    ++statCycles;
+    if (pendingStall > 0) {
+        --pendingStall;
+        return;
+    }
+
+    // --- Fetch & decode ---------------------------------------------------
+    TranslateResult itr =
+        itlbUnit.translate(ctx.pc, ctx.ptRoot, phys, nullptr, 0);
+    svb_assert(!itr.fault, "instruction page fault at pc=", ctx.pc,
+               " core=", coreId);
+    pcHistory[pcHistoryPos++ % pcHistory.size()] = ctx.pc;
+    const StaticInst &inst = decoder.decodeAt(itr.paddr);
+    if (!inst.valid) {
+        dumpHistory();
+        svb_panic("illegal instruction at pc=", ctx.pc, " (",
+                  isaDesc.name, ")");
+    }
+    if (warming)
+        mem.warmFetch(itr.paddr, inst.length);
+
+    ++statInsts;
+    if (traceSink)
+        traceSink(ctx.pc, inst);
+    const Addr next_pc = ctx.pc + inst.length;
+    Addr redirect = 0;
+    bool redirected = false;
+
+    auto reg = [this](uint8_t r) -> uint64_t {
+        return r == invalidReg ? 0 : ctx.regs[r];
+    };
+
+    for (unsigned i = 0; i < inst.numUops; ++i) {
+        const MicroOp &uop = inst.uops[i];
+        ++statUops;
+
+        if (uop.isMem()) {
+            const Addr vaddr = memEffAddr(uop, reg(uop.rs1));
+            TranslateResult dtr =
+                dtlbUnit.translate(vaddr, ctx.ptRoot, phys, nullptr, 0);
+            if (dtr.fault) {
+                dumpHistory();
+                svb_panic("data page fault at vaddr=", vaddr,
+                          " pc=", ctx.pc, " core=", coreId, " proc=",
+                          ctx.processId);
+            }
+            if (uop.isLoad()) {
+                ++statLoads;
+                if (warming)
+                    mem.warmData(dtr.paddr, uop.memSize, false);
+                const uint64_t raw = phys.read(dtr.paddr, uop.memSize);
+                if (uop.rd != invalidReg) {
+                    ctx.regs[uop.rd] =
+                        loadExtend(raw, uop.memSize, uop.memSigned);
+                }
+            } else {
+                ++statStores;
+                if (warming)
+                    mem.warmData(dtr.paddr, uop.memSize, true);
+                phys.write(dtr.paddr, reg(uop.rs2), uop.memSize);
+            }
+        } else if (uop.isControl()) {
+            ++statBranches;
+            BranchEval ev =
+                branchEval(uop, reg(uop.rs1), reg(uop.rs2), ctx.pc);
+            if (uop.rd != invalidReg)
+                ctx.regs[uop.rd] = next_pc; // link register
+            if (ev.taken) {
+                redirected = true;
+                redirect = ev.target;
+            }
+        } else if (uop.isSyscall()) {
+            ctx.pc = next_pc;
+            const Addr old_root = ctx.ptRoot;
+            pendingStall += trap.handleSyscall(coreId, ctx);
+            if (ctx.ptRoot != old_root) {
+                itlbUnit.flush();
+                dtlbUnit.flush();
+            }
+            return;
+        } else if (uop.isHalt()) {
+            ctx.pc = next_pc;
+            const Addr old_root = ctx.ptRoot;
+            pendingStall += trap.handleHalt(coreId, ctx);
+            if (ctx.ptRoot != old_root) {
+                itlbUnit.flush();
+                dtlbUnit.flush();
+            }
+            return;
+        } else if (uop.op == UopOp::Nop) {
+            // nothing
+        } else {
+            const uint64_t value =
+                aluCompute(uop, reg(uop.rs1), reg(uop.rs2), ctx.pc);
+            if (uop.rd != invalidReg)
+                ctx.regs[uop.rd] = value;
+        }
+    }
+
+    ctx.pc = redirected ? redirect : next_pc;
+}
+
+} // namespace svb

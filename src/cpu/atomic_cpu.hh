@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Atomic (functional) CPU model.
+ *
+ * One macro instruction per cycle, instantaneous memory. Used for
+ * system boot, functional cache warming between the measured requests
+ * (vSwarm-u "setup mode"), and QEMU-style emulation studies.
+ */
+
+#ifndef SVB_CPU_ATOMIC_CPU_HH
+#define SVB_CPU_ATOMIC_CPU_HH
+
+#include <array>
+
+#include "base_cpu.hh"
+
+namespace svb
+{
+
+/**
+ * The AtomicSimpleCPU-equivalent model.
+ */
+class AtomicCpu : public BaseCpu
+{
+  public:
+    AtomicCpu(int core_id, IsaId isa, PhysMemory &phys, CoreMemSystem &mem,
+              DecodeCache &decoder, TrapHandler &trap, StatGroup &stats);
+
+    void tick() override;
+
+    /** When false, skip cache/TLB warming entirely (fast boot). */
+    void setWarmingEnabled(bool enabled) { warming = enabled; }
+
+    uint64_t instCount() const { return statInsts.value(); }
+    uint64_t cycleCount() const { return statCycles.value(); }
+
+    /** Dump the recent pc history (fault diagnostics). */
+    void dumpHistory() const;
+
+  private:
+    bool warming = true;
+    Cycles pendingStall = 0; ///< trap-cost cycles still to burn
+    std::array<Addr, 64> pcHistory{};
+    size_t pcHistoryPos = 0;
+
+    Scalar &statCycles;
+    Scalar &statInsts;
+    Scalar &statUops;
+    Scalar &statBranches;
+    Scalar &statLoads;
+    Scalar &statStores;
+    Scalar &statIdleCycles;
+};
+
+} // namespace svb
+
+#endif // SVB_CPU_ATOMIC_CPU_HH

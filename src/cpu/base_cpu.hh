@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Common base of the CPU models.
+ */
+
+#ifndef SVB_CPU_BASE_CPU_HH
+#define SVB_CPU_BASE_CPU_HH
+
+#include <functional>
+
+#include "decode_cache.hh"
+#include "hw_context.hh"
+#include "isa/isa_info.hh"
+#include "mem/hierarchy.hh"
+#include "mem/phys_memory.hh"
+#include "sim/stats.hh"
+#include "tlb.hh"
+
+namespace svb
+{
+
+/**
+ * Base CPU: owns the architectural context, the TLBs and the ties to
+ * the memory system and the guest kernel.
+ */
+class BaseCpu
+{
+  public:
+    /**
+     * @param core_id core index in the system
+     * @param isa     guest ISA executed by this core
+     * @param phys    functional memory
+     * @param mem     this core's cache hierarchy
+     * @param decoder shared decode cache for this ISA
+     * @param trap    the guest kernel's trap interface
+     * @param stats   parent stat group
+     * @param name    stat subgroup name (e.g. "o3cpu0")
+     */
+    BaseCpu(int core_id, IsaId isa, PhysMemory &phys, CoreMemSystem &mem,
+            DecodeCache &decoder, TrapHandler &trap, StatGroup &stats,
+            const std::string &name)
+        : coreId(core_id), isa(isa), isaDesc(isaInfo(isa)), phys(phys),
+          mem(mem), decoder(decoder), trap(trap),
+          group(stats.childGroup(name)),
+          itlbUnit(TlbParams{"itlb", 64, 1024}, group),
+          dtlbUnit(TlbParams{"dtlb", 64, 1024}, group)
+    {}
+
+    virtual ~BaseCpu() = default;
+
+    /** Advance the core by one clock cycle. */
+    virtual void tick() = 0;
+
+    /** Import architectural state (mode switch / scheduler). */
+    virtual void setContext(const HwContext &new_ctx)
+    {
+        ctx = new_ctx;
+        itlbUnit.flush();
+        dtlbUnit.flush();
+    }
+
+    /** Export the committed architectural state. */
+    virtual HwContext getContext() const { return ctx; }
+
+    bool halted() const { return ctx.halted; }
+    int id() const { return coreId; }
+    Tlb &itlb() { return itlbUnit; }
+    Tlb &dtlb() { return dtlbUnit; }
+    StatGroup &statGroup() { return group; }
+
+    /**
+     * Committed-instruction trace callback (gem5's Exec trace
+     * equivalent): invoked once per retired macro instruction with its
+     * pc. Pass nullptr to disable. Tracing is expensive; leave off in
+     * measurement runs.
+     */
+    using TraceSink = std::function<void(Addr pc, const StaticInst &)>;
+    void setTraceSink(TraceSink sink) { traceSink = std::move(sink); }
+
+  protected:
+    int coreId;
+    IsaId isa;
+    const IsaInfo &isaDesc;
+    PhysMemory &phys;
+    CoreMemSystem &mem;
+    DecodeCache &decoder;
+    TrapHandler &trap;
+    StatGroup &group;
+    Tlb itlbUnit;
+    Tlb dtlbUnit;
+    HwContext ctx;
+    TraceSink traceSink;
+};
+
+} // namespace svb
+
+#endif // SVB_CPU_BASE_CPU_HH

@@ -1,0 +1,158 @@
+#include "branch_pred.hh"
+
+#include "sim/logging.hh"
+
+namespace svb
+{
+
+const char *
+bpKindName(BpKind kind)
+{
+    switch (kind) {
+      case BpKind::Bimodal: return "bimodal";
+      case BpKind::GShare: return "gshare";
+      case BpKind::Tournament: return "tournament";
+    }
+    return "?";
+}
+
+BranchPredictor::BranchPredictor(const BranchPredParams &params,
+                                 StatGroup &stats)
+    : p(params), bimodal(params.tableEntries, 1),
+      gshare(params.tableEntries, 1), chooser(params.tableEntries, 2),
+      btb(params.btbEntries), ras(params.rasEntries, 0),
+      statLookups(stats.childGroup("bp").addScalar("lookups",
+                                                   "prediction lookups")),
+      statBtbMisses(stats.childGroup("bp").addScalar(
+          "btbMisses", "indirect targets not in the BTB")),
+      statRasPushes(
+          stats.childGroup("bp").addScalar("rasPushes", "RAS pushes")),
+      statRasPops(stats.childGroup("bp").addScalar("rasPops", "RAS pops"))
+{
+    svb_assert((p.tableEntries & (p.tableEntries - 1)) == 0 &&
+               (p.btbEntries & (p.btbEntries - 1)) == 0,
+               "predictor tables must be powers of two");
+}
+
+size_t
+BranchPredictor::bimodalIndex(Addr pc) const
+{
+    return size_t((pc >> 1) & (p.tableEntries - 1));
+}
+
+size_t
+BranchPredictor::gshareIndex(Addr pc) const
+{
+    const uint64_t mask = (uint64_t(1) << p.historyBits) - 1;
+    return size_t(((pc >> 1) ^ (history & mask)) & (p.tableEntries - 1));
+}
+
+bool
+BranchPredictor::directionOf(Addr pc) const
+{
+    const bool bi = bimodal[bimodalIndex(pc)] >= 2;
+    const bool gs = gshare[gshareIndex(pc)] >= 2;
+    switch (p.kind) {
+      case BpKind::Bimodal: return bi;
+      case BpKind::GShare: return gs;
+      case BpKind::Tournament:
+        return chooser[bimodalIndex(pc)] >= 2 ? gs : bi;
+    }
+    return gs;
+}
+
+BranchPrediction
+BranchPredictor::predict(Addr pc, const StaticInst &inst, Addr fall_through)
+{
+    ++statLookups;
+    BranchPrediction pred;
+
+    if (inst.isReturn) {
+        ++statRasPops;
+        pred.taken = true;
+        pred.nextPc = ras[(rasTop + p.rasEntries - 1) % p.rasEntries];
+        rasTop = (rasTop + p.rasEntries - 1) % p.rasEntries;
+        if (pred.nextPc == 0) {
+            // Empty RAS: fall back on the BTB.
+            const BtbEntry &e = btb[btbIndex(pc)];
+            pred.nextPc = (e.valid && e.tag == pc) ? e.target : fall_through;
+        }
+        return pred;
+    }
+
+    if (inst.isCall) {
+        ++statRasPushes;
+        ras[rasTop] = fall_through;
+        rasTop = (rasTop + 1) % p.rasEntries;
+    }
+
+    if (!inst.isCondCtrl) {
+        // Unconditional: direction is known, only the target can miss.
+        pred.taken = true;
+        if (inst.isDirectCtrl) {
+            pred.nextPc = inst.directTarget(pc);
+        } else {
+            const BtbEntry &e = btb[btbIndex(pc)];
+            if (e.valid && e.tag == pc) {
+                pred.nextPc = e.target;
+            } else {
+                ++statBtbMisses;
+                pred.nextPc = fall_through; // will mispredict
+            }
+        }
+        return pred;
+    }
+
+    // Conditional: component-selected direction, decode-supplied target.
+    pred.taken = directionOf(pc);
+    pred.nextPc = pred.taken ? inst.directTarget(pc) : fall_through;
+    return pred;
+}
+
+void
+BranchPredictor::update(Addr pc, const StaticInst &inst, bool taken,
+                        Addr target)
+{
+    if (inst.isCondCtrl) {
+        const bool bi_correct = (bimodal[bimodalIndex(pc)] >= 2) == taken;
+        const bool gs_correct = (gshare[gshareIndex(pc)] >= 2) == taken;
+        auto bump = [taken](uint8_t &ctr) {
+            if (taken && ctr < 3)
+                ++ctr;
+            else if (!taken && ctr > 0)
+                --ctr;
+        };
+        bump(bimodal[bimodalIndex(pc)]);
+        bump(gshare[gshareIndex(pc)]);
+        // The chooser learns which component was right when they differ.
+        if (p.kind == BpKind::Tournament && bi_correct != gs_correct) {
+            uint8_t &ch = chooser[bimodalIndex(pc)];
+            if (gs_correct && ch < 3)
+                ++ch;
+            else if (bi_correct && ch > 0)
+                --ch;
+        }
+        history = (history << 1) | (taken ? 1 : 0);
+    }
+    if (taken && (!inst.isDirectCtrl || inst.isReturn)) {
+        BtbEntry &e = btb[btbIndex(pc)];
+        e.tag = pc;
+        e.target = target;
+        e.valid = true;
+    }
+}
+
+void
+BranchPredictor::reset()
+{
+    std::fill(bimodal.begin(), bimodal.end(), 1);
+    std::fill(gshare.begin(), gshare.end(), 1);
+    std::fill(chooser.begin(), chooser.end(), 2);
+    for (auto &e : btb)
+        e.valid = false;
+    std::fill(ras.begin(), ras.end(), 0);
+    rasTop = 0;
+    history = 0;
+}
+
+} // namespace svb

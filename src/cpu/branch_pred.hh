@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Front-end branch prediction: gshare direction predictor, a
+ * direct-mapped BTB for indirect targets, and a return-address stack.
+ */
+
+#ifndef SVB_CPU_BRANCH_PRED_HH
+#define SVB_CPU_BRANCH_PRED_HH
+
+#include <vector>
+
+#include "isa/static_inst.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace svb
+{
+
+/** Direction-predictor organisations (design-space axis). */
+enum class BpKind
+{
+    Bimodal,    ///< per-pc 2-bit counters, no history
+    GShare,     ///< pc xor global history
+    Tournament, ///< bimodal + gshare + chooser (Alpha 21264 style)
+};
+
+/** Branch predictor geometry. */
+struct BranchPredParams
+{
+    BpKind kind = BpKind::GShare;
+    uint32_t tableEntries = 4096; ///< 2-bit counters per component
+    uint32_t btbEntries = 4096;
+    uint32_t rasEntries = 16;
+    uint32_t historyBits = 12;
+};
+
+/** @return printable name of a predictor kind. */
+const char *bpKindName(BpKind kind);
+
+/** The front-end's prediction for one control instruction. */
+struct BranchPrediction
+{
+    bool taken = false;
+    Addr nextPc = 0; ///< predicted pc of the next instruction
+};
+
+/**
+ * Combined direction/target predictor.
+ */
+class BranchPredictor
+{
+  public:
+    BranchPredictor(const BranchPredParams &params, StatGroup &stats);
+
+    /**
+     * Predict the next pc after a control instruction.
+     *
+     * @param pc       pc of the control instruction
+     * @param inst     decoded instruction (supplies direct target)
+     * @param fall_through pc + inst.length
+     */
+    BranchPrediction predict(Addr pc, const StaticInst &inst,
+                             Addr fall_through);
+
+    /**
+     * Train the predictor with the committed outcome.
+     *
+     * @param pc     pc of the control instruction
+     * @param inst   decoded instruction
+     * @param taken  actual direction
+     * @param target actual next pc when taken
+     */
+    void update(Addr pc, const StaticInst &inst, bool taken, Addr target);
+
+    /** Clear all prediction state (cold start / context switch). */
+    void reset();
+
+  private:
+    size_t bimodalIndex(Addr pc) const;
+    size_t gshareIndex(Addr pc) const;
+    size_t btbIndex(Addr pc) const { return (pc >> 1) & (p.btbEntries - 1); }
+    bool directionOf(Addr pc) const;
+
+    BranchPredParams p;
+    std::vector<uint8_t> bimodal;  ///< 2-bit saturating, pc-indexed
+    std::vector<uint8_t> gshare;   ///< 2-bit saturating, history-hashed
+    std::vector<uint8_t> chooser;  ///< 2-bit: >=2 prefers gshare
+    struct BtbEntry
+    {
+        Addr tag = 0;
+        Addr target = 0;
+        bool valid = false;
+    };
+    std::vector<BtbEntry> btb;
+    std::vector<Addr> ras;
+    size_t rasTop = 0;
+    uint64_t history = 0;
+
+    Scalar &statLookups;
+    Scalar &statBtbMisses;
+    Scalar &statRasPushes;
+    Scalar &statRasPops;
+};
+
+} // namespace svb
+
+#endif // SVB_CPU_BRANCH_PRED_HH

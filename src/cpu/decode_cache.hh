@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Physical-address-indexed decoded-instruction cache.
+ *
+ * Guest code is decoded once per physical address and reused; the
+ * workloads never modify code, so no invalidation path is needed
+ * (asserted by the loader).
+ */
+
+#ifndef SVB_CPU_DECODE_CACHE_HH
+#define SVB_CPU_DECODE_CACHE_HH
+
+#include <unordered_map>
+
+#include "isa/cx86/decoder.hh"
+#include "isa/isa_info.hh"
+#include "isa/riscv/decoder.hh"
+#include "isa/static_inst.hh"
+#include "mem/phys_memory.hh"
+
+namespace svb
+{
+
+/**
+ * Shared decode service for one ISA over one physical memory.
+ */
+class DecodeCache
+{
+  public:
+    DecodeCache(IsaId isa, PhysMemory &phys) : isa(isa), phys(phys) {}
+
+    /**
+     * Decode the instruction whose first byte is at physical @p paddr.
+     * The returned reference stays valid for the cache's lifetime.
+     */
+    const StaticInst &
+    decodeAt(Addr paddr)
+    {
+        auto it = cache.find(paddr);
+        if (it != cache.end())
+            return it->second;
+
+        StaticInst inst;
+        if (isa == IsaId::Riscv) {
+            inst = riscv::decode(phys.read32(paddr));
+        } else {
+            uint8_t window[16];
+            const size_t avail =
+                std::min<size_t>(sizeof(window), phys.size() - paddr);
+            phys.readBytes(paddr, window, avail);
+            inst = cx86::decode(window, avail);
+        }
+        return cache.emplace(paddr, std::move(inst)).first->second;
+    }
+
+    size_t size() const { return cache.size(); }
+
+  private:
+    IsaId isa;
+    PhysMemory &phys;
+    std::unordered_map<Addr, StaticInst> cache;
+};
+
+} // namespace svb
+
+#endif // SVB_CPU_DECODE_CACHE_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Architectural hardware-thread state and the guest-kernel hooks.
+ */
+
+#ifndef SVB_CPU_HW_CONTEXT_HH
+#define SVB_CPU_HW_CONTEXT_HH
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace svb
+{
+
+/** Maximum architectural integer registers across ISAs. */
+constexpr unsigned maxArchRegs = 32;
+
+/**
+ * The architectural state of one hardware context: everything that is
+ * saved/restored on a context switch or mode switch.
+ */
+struct HwContext
+{
+    Addr pc = 0;
+    std::array<uint64_t, maxArchRegs> regs{};
+    Addr ptRoot = 0;     ///< page-table root of the current address space
+    int processId = -1;  ///< guest-kernel bookkeeping
+    bool halted = true;
+};
+
+/**
+ * Interface through which the CPUs deliver traps to the guest kernel.
+ *
+ * The handler mutates the context: a plain syscall advances nothing
+ * (the CPU already stepped pc past the trap instruction); a scheduler
+ * switch replaces the whole context. The returned cycle count is
+ * charged to the core as trap overhead.
+ */
+class TrapHandler
+{
+  public:
+    virtual ~TrapHandler() = default;
+
+    /** Handle an environment call on @p core_id. */
+    virtual Cycles handleSyscall(int core_id, HwContext &ctx) = 0;
+
+    /**
+     * Handle a halt instruction (process exit / core park).
+     * May switch in another runnable context.
+     */
+    virtual Cycles handleHalt(int core_id, HwContext &ctx) = 0;
+};
+
+} // namespace svb
+
+#endif // SVB_CPU_HW_CONTEXT_HH

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Detailed out-of-order CPU model (the DerivO3CPU equivalent).
+ *
+ * Pipeline: fetch (with branch prediction and timed I-cache/ITLB) ->
+ * decode/rename (explicit register renaming onto a physical register
+ * file with a free list) -> issue (issue queue, FU pool, LSQ with
+ * store-to-load forwarding) -> commit (in-order, trains the branch
+ * predictor, retires stores to memory, delivers traps).
+ *
+ * Configuration defaults mirror Table 4.1 of the paper: 192-entry
+ * ROB, 32+32 LSQ, 256 physical integer registers.
+ */
+
+#ifndef SVB_CPU_O3_CPU_HH
+#define SVB_CPU_O3_CPU_HH
+
+#include <deque>
+#include <vector>
+
+#include "base_cpu.hh"
+#include "branch_pred.hh"
+
+namespace svb
+{
+
+/** O3 pipeline geometry. */
+struct O3Params
+{
+    unsigned fetchWidth = 4;
+    unsigned renameWidth = 4;
+    unsigned issueWidth = 4;
+    unsigned commitWidth = 4;
+    unsigned robEntries = 192;
+    unsigned iqEntries = 64;
+    unsigned lqEntries = 32;
+    unsigned sqEntries = 32;
+    unsigned numPhysIntRegs = 256;
+    unsigned fetchBufferEntries = 16;
+    Cycles frontendDelay = 4;   ///< fetch-to-rename depth
+    unsigned intAluUnits = 3;
+    unsigned intMultUnits = 1;
+    unsigned intDivUnits = 1;
+    unsigned memPorts = 2;
+    Cycles intAluLat = 1;
+    Cycles intMultLat = 3;
+    Cycles intDivLat = 20;
+    Cycles forwardLat = 2;      ///< store-to-load forwarding latency
+    BranchPredParams bp;
+};
+
+/**
+ * The out-of-order core.
+ */
+class O3Cpu : public BaseCpu
+{
+  public:
+    O3Cpu(const O3Params &params, int core_id, IsaId isa, PhysMemory &phys,
+          CoreMemSystem &mem, DecodeCache &decoder, TrapHandler &trap,
+          StatGroup &stats);
+
+    void tick() override;
+
+    void setContext(const HwContext &new_ctx) override;
+    HwContext getContext() const override;
+
+    uint64_t cycleCount() const { return statCycles.value(); }
+    uint64_t instCount() const { return statInsts.value(); }
+    BranchPredictor &branchPredictor() { return bp; }
+
+  private:
+    /** One in-flight micro-op. */
+    struct DynInst
+    {
+        uint64_t seq = 0;
+        MicroOp uop;
+        const StaticInst *sinst = nullptr;
+        Addr pc = 0;
+        uint8_t instLen = 0;
+        bool lastUop = false;
+
+        // Rename.
+        int pdst = -1;
+        int psrc1 = -1;
+        int psrc2 = -1;
+        int oldPdst = -1;
+        int archDst = -1;
+
+        // Status.
+        bool executed = false;
+        bool inIq = false;
+        Cycles completeAt = 0;
+
+        // Memory.
+        bool faulted = false;
+        bool addrReady = false;
+        Addr effPaddr = 0;
+        uint64_t storeData = 0;
+
+        // Control.
+        bool hasPred = false;
+        Addr predNext = 0;
+        bool actualTaken = false;
+        Addr actualNext = 0;
+    };
+
+    struct FetchEntry
+    {
+        Addr pc = 0;
+        const StaticInst *inst = nullptr;
+        bool hasPred = false;
+        Addr predNext = 0;
+        Cycles readyAt = 0;
+    };
+
+    // --- pipeline stages (called youngest-last each tick) ---------------
+    void commitStage();
+    void issueStage();
+    void renameStage();
+    void fetchStage();
+
+    // --- helpers ---------------------------------------------------------
+    bool tryIssue(DynInst &d, unsigned &alu_used, unsigned &mult_used,
+                  unsigned &mem_used);
+    void executeUop(DynInst &d, Cycles lat);
+    bool issueLoad(DynInst &d);
+    void squashAfter(uint64_t seq);
+    void redirectFetch(Addr new_pc, Cycles delay);
+    void deliverTrap(DynInst &d);
+    uint64_t readPhys(int preg) const { return physRegs[size_t(preg)]; }
+    bool
+    srcReady(int preg) const
+    {
+        return preg < 0 || regReadyAt[size_t(preg)] <= cycle;
+    }
+
+    O3Params p;
+    BranchPredictor bp;
+
+    // Rename state.
+    std::vector<int> renameMap;
+    std::vector<int> committedMap;
+    std::vector<int> freeList;
+    std::vector<uint64_t> physRegs;
+    std::vector<Cycles> regReadyAt;
+
+    // Windows.
+    std::deque<DynInst> rob;
+    std::vector<DynInst *> iq;
+    std::deque<DynInst *> loadQueue;
+    std::deque<DynInst *> storeQueue;
+    std::deque<FetchEntry> fetchQueue;
+
+    // Fetch state.
+    Addr fetchPc = 0;
+    bool fetchEnabled = false;
+    Cycles fetchStallUntil = 0;
+    Addr lastFetchLine = ~Addr(0);
+
+    Cycles cycle = 0;
+    uint64_t nextSeq = 1;
+    Cycles divBusyUntil = 0;
+    Cycles commitStallUntil = 0;
+
+    // Statistics.
+    Scalar &statCycles;
+    Scalar &statIdleCycles;
+    Scalar &statInsts;
+    Scalar &statUops;
+    Scalar &statLoads;
+    Scalar &statStores;
+    Scalar &statBranches;
+    Scalar &statCondBranches;
+    Scalar &statMispredicts;
+    Scalar &statSquashedUops;
+    Scalar &statRobFullStalls;
+    Scalar &statIqFullStalls;
+    Scalar &statLsqFullStalls;
+    Scalar &statFwdLoads;
+};
+
+} // namespace svb
+
+#endif // SVB_CPU_O3_CPU_HH

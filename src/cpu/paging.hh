@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Guest page-table format.
+ *
+ * Both ISAs use the same two-level layout (an Sv39/x86-64-lite):
+ * 4 KiB pages, 10-bit level-1 and level-0 indices, 4 GiB virtual
+ * space. Each table is 1024 entries of 8 bytes. Entries hold a valid
+ * bit and a 4 KiB-aligned frame address.
+ */
+
+#ifndef SVB_CPU_PAGING_HH
+#define SVB_CPU_PAGING_HH
+
+#include "sim/types.hh"
+
+namespace svb::paging
+{
+
+constexpr unsigned pageBits = 12;
+constexpr Addr pageSize = 1u << pageBits;
+constexpr unsigned levelBits = 10;
+constexpr unsigned entriesPerTable = 1u << levelBits;
+constexpr Addr tableBytes = entriesPerTable * 8;
+
+constexpr uint64_t pteValid = 1;
+
+inline Addr vpn1(Addr va) { return (va >> 22) & 0x3ff; }
+inline Addr vpn0(Addr va) { return (va >> 12) & 0x3ff; }
+inline Addr pageOffset(Addr va) { return va & (pageSize - 1); }
+inline Addr pageBase(Addr va) { return va & ~(pageSize - 1); }
+
+inline bool pteIsValid(uint64_t pte) { return pte & pteValid; }
+inline Addr pteFrame(uint64_t pte) { return pte & ~Addr(pageSize - 1); }
+inline uint64_t makePte(Addr frame) { return frame | pteValid; }
+
+/** Round @p bytes up to whole pages. */
+inline Addr
+roundUpPage(Addr bytes)
+{
+    return (bytes + pageSize - 1) & ~Addr(pageSize - 1);
+}
+
+} // namespace svb::paging
+
+#endif // SVB_CPU_PAGING_HH

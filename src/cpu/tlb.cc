@@ -1,0 +1,80 @@
+#include "tlb.hh"
+
+#include "sim/logging.hh"
+
+namespace svb
+{
+
+Tlb::Tlb(const TlbParams &params, StatGroup &stats)
+    : p(params), entries(params.entries), walkCache(params.walkCacheEntries),
+      statHits(stats.childGroup(p.name).addScalar("hits", "TLB hits")),
+      statMisses(stats.childGroup(p.name).addScalar("misses", "TLB misses")),
+      statWalkCycles(stats.childGroup(p.name).addScalar(
+          "walkCycles", "cycles spent in page walks")),
+      statWalkCacheHits(stats.childGroup(p.name).addScalar(
+          "walkCacheHits", "level-1 reads skipped by the walk cache")),
+      statFlushes(stats.childGroup(p.name).addScalar(
+          "flushes", "full TLB flushes (context switches)"))
+{
+    svb_assert((p.entries & (p.entries - 1)) == 0,
+               "TLB entries must be a power of two");
+    svb_assert((p.walkCacheEntries & (p.walkCacheEntries - 1)) == 0,
+               "walk cache entries must be a power of two");
+}
+
+TranslateResult
+Tlb::translate(Addr vaddr, Addr pt_root, PhysMemory &phys,
+               CoreMemSystem *timing, Cycles now)
+{
+    const Addr vpn = vaddr >> paging::pageBits;
+    Entry &e = entries[vpn & (p.entries - 1)];
+    if (e.valid && e.vpn == vpn) {
+        ++statHits;
+        return {e.frame | paging::pageOffset(vaddr), 0, false};
+    }
+
+    ++statMisses;
+    Cycles latency = 0;
+
+    // Level-1 lookup, possibly served by the page-walk cache.
+    const Addr idx1 = paging::vpn1(vaddr);
+    WalkEntry &we = walkCache[idx1 & (p.walkCacheEntries - 1)];
+    Addr level0;
+    if (we.valid && we.key == idx1) {
+        ++statWalkCacheHits;
+        level0 = we.table;
+        latency += 1;
+    } else {
+        const Addr pte1Addr = pt_root + idx1 * 8;
+        if (timing)
+            latency += timing->dataAccess(pte1Addr, 8, false, now);
+        const uint64_t pte1 = phys.read64(pte1Addr);
+        if (!paging::pteIsValid(pte1))
+            return {0, latency, true};
+        level0 = paging::pteFrame(pte1);
+        we = {idx1, level0, true};
+    }
+
+    const Addr pte0Addr = level0 + paging::vpn0(vaddr) * 8;
+    if (timing)
+        latency += timing->dataAccess(pte0Addr, 8, false, now);
+    const uint64_t pte0 = phys.read64(pte0Addr);
+    if (!paging::pteIsValid(pte0))
+        return {0, latency, true};
+
+    e = {vpn, paging::pteFrame(pte0), true};
+    statWalkCycles += latency;
+    return {e.frame | paging::pageOffset(vaddr), latency, false};
+}
+
+void
+Tlb::flush()
+{
+    ++statFlushes;
+    for (auto &e : entries)
+        e.valid = false;
+    for (auto &we : walkCache)
+        we.valid = false;
+}
+
+} // namespace svb

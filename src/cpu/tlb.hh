@@ -1,0 +1,89 @@
+/**
+ * @file
+ * TLB with a hardware page-table walker and a page-walk cache.
+ */
+
+#ifndef SVB_CPU_TLB_HH
+#define SVB_CPU_TLB_HH
+
+#include <vector>
+
+#include "mem/hierarchy.hh"
+#include "mem/phys_memory.hh"
+#include "paging.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace svb
+{
+
+/** Result of an address translation. */
+struct TranslateResult
+{
+    Addr paddr = 0;
+    Cycles latency = 0; ///< extra cycles beyond a TLB hit
+    bool fault = false;
+};
+
+/** TLB geometry. */
+struct TlbParams
+{
+    std::string name = "tlb";
+    uint32_t entries = 64;          ///< direct-mapped translation entries
+    uint32_t walkCacheEntries = 1024; ///< 8 KiB of level-1 entries
+};
+
+/**
+ * A direct-mapped TLB. Misses trigger a two-level walk whose memory
+ * reads go through the core's data cache; the walk cache short-cuts
+ * the level-1 read.
+ */
+class Tlb
+{
+  public:
+    Tlb(const TlbParams &params, StatGroup &stats);
+
+    /**
+     * Translate @p vaddr under page table @p pt_root.
+     *
+     * @param timing the core's hierarchy for timed walks, or nullptr
+     *               for functional-warming translation
+     */
+    TranslateResult translate(Addr vaddr, Addr pt_root, PhysMemory &phys,
+                              CoreMemSystem *timing, Cycles now);
+
+    /** Drop all cached translations (context switch). */
+    void flush();
+
+    uint64_t hits() const { return statHits.value(); }
+    uint64_t misses() const { return statMisses.value(); }
+
+  private:
+    struct Entry
+    {
+        Addr vpn = 0;
+        Addr frame = 0;
+        bool valid = false;
+    };
+
+    struct WalkEntry
+    {
+        Addr key = 0;    ///< vpn1
+        Addr table = 0;  ///< level-0 table base
+        bool valid = false;
+    };
+
+    TlbParams p;
+    std::vector<Entry> entries;
+    std::vector<WalkEntry> walkCache;
+
+    Scalar &statHits;
+    Scalar &statMisses;
+    Scalar &statWalkCycles;
+    Scalar &statWalkCacheHits;
+    Scalar &statFlushes;
+};
+
+} // namespace svb
+
+#endif // SVB_CPU_TLB_HH

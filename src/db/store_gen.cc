@@ -1,0 +1,618 @@
+#include "store_gen.hh"
+
+#include "gen/guestlib.hh"
+#include "sim/logging.hh"
+#include "guest/syscall_abi.hh"
+#include "stack/kvproto.hh"
+
+namespace svb::db
+{
+
+using gen::BinOp;
+using gen::CondOp;
+
+namespace
+{
+
+/** Slot format shared by every store: [key u64][vlen u64][value 240]. */
+constexpr int64_t slotBytes = 256;
+constexpr int64_t slotValOff = 16;
+
+/** Heap offsets (from layout::heapBase). */
+namespace off
+{
+constexpr int64_t scratch = 64;
+constexpr int64_t arena = 0x1000;
+// Cassandra.
+constexpr int64_t cassMemtable = 13 * 1024 * 1024;
+constexpr int64_t cassLevel0 = 14 * 1024 * 1024;
+constexpr int64_t cassLevel1 = 16 * 1024 * 1024;
+constexpr int64_t cassLevel2 = 18 * 1024 * 1024;
+// Mongo.
+constexpr int64_t mongoIndex = 2 * 1024 * 1024 + 0x10000;
+constexpr int64_t mongoRecords = 3 * 1024 * 1024;
+// Maria.
+constexpr int64_t mariaTable = 6 * 1024 * 1024;
+// Memcached.
+constexpr int64_t mcTable = 2 * 1024 * 1024;
+} // namespace off
+
+constexpr int64_t mongoBuckets = 1024;
+constexpr int64_t mcSlots = 4096;
+
+/** Sorted-run layout: [count u64][pad..63][slots]. */
+constexpr int64_t runHeader = 64;
+
+struct Emitters
+{
+    gen::GuestLib lib;
+    int keyOf = -1;
+    int genValue = -1;
+    int insertSorted = -1;
+    int lookupSorted = -1;
+};
+
+/** genValue(key, dst, len): deterministic value bytes for a key. */
+void
+emitGenValue(gen::ProgramBuilder &pb)
+{
+    auto f = pb.beginFunction("db.genValue", 3);
+    const int key = f.arg(0), dst = f.arg(1), len = f.arg(2);
+    const int j = f.newVreg(), w = f.newVreg(), addr = f.newVreg(),
+              m = f.newVreg();
+    const int loop = f.newLabel(), done = f.newLabel();
+    f.movi(m, int64_t(0xff51afd7ed558ccdULL));
+    f.movi(j, 0);
+    f.label(loop);
+    f.brcond(CondOp::GeU, j, len, done);
+    f.bini(BinOp::Mul, w, j, 0x9e37);
+    f.bin(BinOp::Add, w, w, key);
+    f.bin(BinOp::Mul, w, w, m);
+    f.bin(BinOp::Add, addr, dst, j);
+    f.store(addr, 0, w, 8);
+    f.addi(j, j, 8);
+    f.br(loop);
+    f.label(done);
+    f.ret();
+}
+
+/**
+ * insertSorted(base, key) -> new slot address. base points at the
+ * run's count; slots follow at base+runHeader, sorted ascending.
+ * Shifts greater entries one slot to the right (real LSM/B-tree
+ * insertion traffic).
+ */
+void
+emitInsertSorted(gen::ProgramBuilder &pb, const gen::GuestLib &lib)
+{
+    auto f = pb.beginFunction("db.insertSorted", 2);
+    const int base = f.arg(0), key = f.arg(1);
+    const int count = f.newVreg(), idx = f.newVreg(),
+              slots = f.newVreg(), prev = f.newVreg(), t = f.newVreg(),
+              dst = f.newVreg(), src = f.newVreg(), sz = f.newVreg();
+    const int find = f.newLabel(), place = f.newLabel();
+
+    f.load(count, base, 0, 8, false);
+    f.bini(BinOp::Add, slots, base, runHeader);
+    f.mov(idx, count);
+    f.label(find);
+    f.brcondi(CondOp::Eq, idx, 0, place);
+    f.bini(BinOp::Sub, t, idx, 1);
+    f.bini(BinOp::Shl, t, t, 8); // * slotBytes
+    f.bin(BinOp::Add, src, slots, t);
+    f.load(prev, src, 0, 8, false);
+    f.brcond(CondOp::GeU, key, prev, place);
+    f.bini(BinOp::Add, dst, src, slotBytes);
+    f.movi(sz, slotBytes);
+    f.callVoid(lib.memCopy, {dst, src, sz});
+    f.bini(BinOp::Sub, idx, idx, 1);
+    f.br(find);
+
+    f.label(place);
+    f.bini(BinOp::Add, t, count, 1);
+    f.store(base, 0, t, 8);
+    f.bini(BinOp::Shl, t, idx, 8);
+    f.bin(BinOp::Add, dst, slots, t);
+    f.ret(dst);
+}
+
+/** lookupSorted(base, key) -> slot address or 0 (binary search). */
+void
+emitLookupSorted(gen::ProgramBuilder &pb)
+{
+    auto f = pb.beginFunction("db.lookupSorted", 2);
+    const int base = f.arg(0), key = f.arg(1);
+    const int lo = f.newVreg(), hi = f.newVreg(), mid = f.newVreg(),
+              slots = f.newVreg(), addr = f.newVreg(), k = f.newVreg(),
+              t = f.newVreg();
+    const int loop = f.newLabel(), miss = f.newLabel(),
+              below = f.newLabel();
+
+    f.load(hi, base, 0, 8, false);
+    f.bini(BinOp::Add, slots, base, runHeader);
+    f.movi(lo, 0);
+    f.label(loop);
+    f.brcond(CondOp::GeU, lo, hi, miss);
+    f.bin(BinOp::Add, mid, lo, hi);
+    f.bini(BinOp::Shr, mid, mid, 1);
+    f.bini(BinOp::Shl, t, mid, 8);
+    f.bin(BinOp::Add, addr, slots, t);
+    f.load(k, addr, 0, 8, false);
+    const int found = f.newLabel();
+    f.brcond(CondOp::Eq, k, key, found);
+    f.brcond(CondOp::LtU, k, key, below);
+    f.mov(hi, mid);
+    f.br(loop);
+    f.label(below);
+    f.bini(BinOp::Add, lo, mid, 1);
+    f.br(loop);
+    f.label(found);
+    f.ret(addr);
+    f.label(miss);
+    const int zero = f.imm(0);
+    f.ret(zero);
+}
+
+Addr
+topoResp(const DbParams &p)
+{
+    return p.reqRingVa + 0x1000;
+}
+
+/** Append a get/put serve loop. The handlers are kind-specific. */
+void
+emitServeLoop(gen::ProgramBuilder &pb, const Emitters &em,
+              const DbParams &p, int get_fn, int put_fn, int boot_fn)
+{
+    auto f = pb.beginFunction("db.main", 0);
+    const int64_t req_off = f.localBytes(256);
+    const int64_t resp_off = f.localBytes(256);
+
+    f.callVoid(boot_fn, {});
+    // Signal readiness to the harness.
+    {
+        const int m5op = f.imm(int64_t(sys::m5Event));
+        const int code = f.imm(int64_t(dbReadyEvent));
+        f.syscall(sys::sysM5, {m5op, code});
+    }
+
+    const int serve = f.newLabel(), is_put = f.newLabel(),
+              send = f.newLabel();
+    const int req = f.newVreg(), resp = f.newVreg(), ring = f.newVreg(),
+              len = f.newVreg(), op = f.newVreg(), key = f.newVreg(),
+              out_len = f.newVreg(), t = f.newVreg();
+
+    f.label(serve);
+    f.leaLocal(req, req_off);
+    f.leaLocal(resp, resp_off);
+    f.movi(ring, int64_t(p.reqRingVa));
+    {
+        const int got = f.call(em.lib.ringRecv, {ring, req});
+        f.mov(len, got);
+    }
+    f.load(op, req, 0, 8, false);
+    f.load(key, req, 8, 8, false);
+
+    f.brcondi(CondOp::Eq, op, int64_t(kv::opPut), is_put);
+    {
+        const int got = f.call(get_fn, {key, resp});
+        f.mov(out_len, got);
+    }
+    f.br(send);
+
+    f.label(is_put);
+    {
+        const int val = f.newVreg(), vlen = f.newVreg();
+        f.bini(BinOp::Add, val, req, kv::headerBytes);
+        f.bini(BinOp::Sub, vlen, len, kv::headerBytes);
+        const int st = f.call(put_fn, {key, val, vlen});
+        f.store(resp, 0, st, 8);
+        f.movi(out_len, 8);
+    }
+
+    f.label(send);
+    f.movi(t, int64_t(topoResp(p)));
+    f.callVoid(em.lib.ringSend, {t, resp, out_len});
+    f.br(serve);
+
+    pb.setEntry("db.main");
+}
+
+} // namespace
+
+const char *
+dbKindName(DbKind kind)
+{
+    switch (kind) {
+      case DbKind::Cassandra: return "cassandra";
+      case DbKind::Mongo: return "mongodb";
+      case DbKind::Maria: return "mariadb";
+      case DbKind::Memcached: return "memcached";
+    }
+    return "?";
+}
+
+LoadableImage
+buildDbProgram(const DbParams &p, IsaId isa)
+{
+    gen::ProgramBuilder pb;
+    pb.setHeapBytes(p.kind == DbKind::Cassandra
+                        ? calib::dbHeapBytes
+                        : (p.kind == DbKind::Memcached
+                               ? calib::memcachedHeapBytes
+                               : calib::dbHeapBytes / 2));
+
+    Emitters em;
+    em.lib = gen::GuestLib::addTo(pb);
+    em.keyOf = kv::emitKeyOf(pb);
+    emitGenValue(pb);
+    em.genValue = pb.functionIndex("db.genValue");
+    emitInsertSorted(pb, em.lib);
+    em.insertSorted = pb.functionIndex("db.insertSorted");
+    emitLookupSorted(pb);
+    em.lookupSorted = pb.functionIndex("db.lookupSorted");
+
+    const Addr H = layout::heapBase;
+    int get_fn = -1, put_fn = -1, boot_fn = -1;
+
+    switch (p.kind) {
+      case DbKind::Cassandra: {
+        // --- get: memtable scan, then levels with read amplification.
+        {
+            auto f = pb.beginFunction("cass.get", 2);
+            const int key = f.arg(0), out = f.arg(1);
+            const int mt = f.newVreg(), cnt = f.newVreg(),
+                      i = f.newVreg(), slot = f.newVreg(),
+                      k = f.newVreg(), vlen = f.newVreg(),
+                      t = f.newVreg(), lvl = f.newVreg();
+            const int scan = f.newLabel(), scan_done = f.newLabel(),
+                      hit = f.newLabel();
+
+            f.movi(mt, int64_t(H + off::cassMemtable));
+            f.load(cnt, mt, 0, 8, false);
+            f.movi(i, 0);
+            f.label(scan);
+            f.brcond(CondOp::GeU, i, cnt, scan_done);
+            f.bini(BinOp::Shl, t, i, 8);
+            f.bin(BinOp::Add, slot, mt, t);
+            f.bini(BinOp::Add, slot, slot, runHeader);
+            f.load(k, slot, 0, 8, false);
+            f.brcond(CondOp::Eq, k, key, hit);
+            f.addi(i, i, 1);
+            f.br(scan);
+            f.label(scan_done);
+
+            // Levels: bloom-ish probe traffic then binary search.
+            static constexpr int64_t levels[3] = {
+                off::cassLevel0, off::cassLevel1, off::cassLevel2};
+            for (int64_t lvl_off : levels) {
+                const int next = f.newLabel();
+                f.movi(lvl, int64_t(H + lvl_off));
+                const int probe_bytes =
+                    f.imm(int64_t(calib::cassProbeBytes));
+                const int stride = f.imm(64);
+                const int probe_base = f.newVreg();
+                f.bini(BinOp::Add, probe_base, lvl, runHeader);
+                f.callVoid(em.lib.touchRead,
+                           {probe_base, probe_bytes, stride});
+                const int s = f.call(em.lookupSorted, {lvl, key});
+                f.brcondi(CondOp::Eq, s, 0, next);
+                f.mov(slot, s);
+                f.br(hit);
+                f.label(next);
+            }
+            const int zero = f.imm(0);
+            f.ret(zero);
+
+            f.label(hit);
+            f.load(vlen, slot, 8, 8, false);
+            f.bini(BinOp::Add, t, slot, slotValOff);
+            f.callVoid(em.lib.memCopy, {out, t, vlen});
+            f.ret(vlen);
+        }
+        get_fn = pb.functionIndex("cass.get");
+
+        // --- put: append to the memtable; flush when full.
+        {
+            auto f = pb.beginFunction("cass.put", 3);
+            const int key = f.arg(0), val = f.arg(1), vlen = f.arg(2);
+            const int mt = f.newVreg(), cnt = f.newVreg(),
+                      slot = f.newVreg(), t = f.newVreg();
+            const int no_flush = f.newLabel();
+
+            f.movi(mt, int64_t(H + off::cassMemtable));
+            f.load(cnt, mt, 0, 8, false);
+            f.bini(BinOp::Shl, t, cnt, 8);
+            f.bin(BinOp::Add, slot, mt, t);
+            f.bini(BinOp::Add, slot, slot, runHeader);
+            f.store(slot, 0, key, 8);
+            f.store(slot, 8, vlen, 8);
+            f.bini(BinOp::Add, t, slot, slotValOff);
+            f.callVoid(em.lib.memCopy, {t, val, vlen});
+            f.bini(BinOp::Add, cnt, cnt, 1);
+            f.store(mt, 0, cnt, 8);
+
+            f.brcondi(CondOp::Lt, cnt,
+                      int64_t(calib::cassMemtableEntries), no_flush);
+            // Flush: merge every memtable entry into level 0.
+            {
+                const int i = f.newVreg(), src = f.newVreg(),
+                          k = f.newVreg(), dst = f.newVreg(),
+                          lvl = f.newVreg(), sz = f.newVreg();
+                const int loop = f.newLabel(), done = f.newLabel();
+                f.movi(lvl, int64_t(H + off::cassLevel0));
+                f.movi(i, 0);
+                f.label(loop);
+                f.brcond(CondOp::GeU, i, cnt, done);
+                f.bini(BinOp::Shl, t, i, 8);
+                f.bin(BinOp::Add, src, mt, t);
+                f.bini(BinOp::Add, src, src, runHeader);
+                f.load(k, src, 0, 8, false);
+                const int d = f.call(em.insertSorted, {lvl, k});
+                f.mov(dst, d);
+                f.movi(sz, slotBytes);
+                f.callVoid(em.lib.memCopy, {dst, src, sz});
+                f.addi(i, i, 1);
+                f.br(loop);
+                f.label(done);
+                const int zero = f.imm(0);
+                f.store(mt, 0, zero, 8);
+            }
+            f.label(no_flush);
+            const int one = f.imm(1);
+            f.ret(one);
+        }
+        put_fn = pb.functionIndex("cass.put");
+
+        // --- boot: JVM-style arena init + seeding the sorted runs.
+        {
+            auto f = pb.beginFunction("cass.boot", 0);
+            const int arena = f.newVreg();
+            f.movi(arena, int64_t(H + off::arena));
+            const int bytes = f.imm(int64_t(calib::cassBootTouchBytes));
+            const int stride = f.imm(64);
+            f.callVoid(em.lib.touchWrite, {arena, bytes, stride});
+            const int iters = f.imm(60000);
+            f.callVoid(em.lib.burnAlu, {iters});
+
+            const int id = f.newVreg(), key = f.newVreg(),
+                      lvl = f.newVreg(), slot = f.newVreg(),
+                      t = f.newVreg(), vlen = f.newVreg();
+            const int loop = f.newLabel(), done = f.newLabel();
+            f.movi(id, 0);
+            f.label(loop);
+            f.brcondi(CondOp::GeU, id, int64_t(p.seedRecords), done);
+            {
+                const int k = f.call(em.keyOf, {id});
+                f.mov(key, k);
+            }
+            // Round-robin across the three levels.
+            f.bini(BinOp::Urem, t, id, 3);
+            const int l1 = f.newLabel(), l2 = f.newLabel(),
+                      pick_done = f.newLabel();
+            f.brcondi(CondOp::Eq, t, 1, l1);
+            f.brcondi(CondOp::Eq, t, 2, l2);
+            f.movi(lvl, int64_t(H + off::cassLevel0));
+            f.br(pick_done);
+            f.label(l1);
+            f.movi(lvl, int64_t(H + off::cassLevel1));
+            f.br(pick_done);
+            f.label(l2);
+            f.movi(lvl, int64_t(H + off::cassLevel2));
+            f.label(pick_done);
+
+            {
+                const int s = f.call(em.insertSorted, {lvl, key});
+                f.mov(slot, s);
+            }
+            f.store(slot, 0, key, 8);
+            f.movi(vlen, int64_t(p.valueBytes));
+            f.store(slot, 8, vlen, 8);
+            f.bini(BinOp::Add, t, slot, slotValOff);
+            f.callVoid(em.genValue, {key, t, vlen});
+            f.addi(id, id, 1);
+            f.br(loop);
+            f.label(done);
+            f.ret();
+        }
+        boot_fn = pb.functionIndex("cass.boot");
+        break;
+      }
+
+      case DbKind::Mongo:
+      case DbKind::Memcached: {
+        // Both are open-addressing hash stores; Mongo adds a bucket
+        // indirection (index -> record) and a bigger boot.
+        const bool is_mongo = p.kind == DbKind::Mongo;
+        const int64_t table =
+            is_mongo ? off::mongoRecords : off::mcTable;
+        const int64_t nbuckets = is_mongo ? mongoBuckets : mcSlots;
+
+        // probe(key, for_insert) -> slot address (or 0 when absent).
+        {
+            auto f = pb.beginFunction("hash.probe", 2);
+            const int key = f.arg(0), for_insert = f.arg(1);
+            const int b = f.newVreg(), slot = f.newVreg(),
+                      k = f.newVreg(), t = f.newVreg(),
+                      base = f.newVreg();
+            const int loop = f.newLabel(), empty = f.newLabel();
+            f.movi(base, int64_t(H + table));
+            f.bini(BinOp::And, b, key, nbuckets - 1);
+            f.label(loop);
+            f.bini(BinOp::Shl, t, b, 8);
+            f.bin(BinOp::Add, slot, base, t);
+            f.load(k, slot, 0, 8, false);
+            f.brcondi(CondOp::Eq, k, 0, empty);
+            const int found = f.newLabel();
+            f.brcond(CondOp::Eq, k, key, found);
+            f.bini(BinOp::Add, b, b, 1);
+            f.bini(BinOp::And, b, b, nbuckets - 1);
+            f.br(loop);
+            f.label(found);
+            f.ret(slot);
+            f.label(empty);
+            // Empty slot: usable only when inserting.
+            const int miss = f.newLabel();
+            f.brcondi(CondOp::Eq, for_insert, 0, miss);
+            f.ret(slot);
+            f.label(miss);
+            const int zero = f.imm(0);
+            f.ret(zero);
+        }
+        const int probe = pb.functionIndex("hash.probe");
+
+        {
+            auto f = pb.beginFunction("hash.get", 2);
+            const int key = f.arg(0), out = f.arg(1);
+            const int t = f.newVreg(), vlen = f.newVreg();
+            const int zero_arg = f.imm(0);
+            const int slot = f.call(probe, {key, zero_arg});
+            const int miss = f.newLabel();
+            f.brcondi(CondOp::Eq, slot, 0, miss);
+            // Mongo pays index-node traffic (far lighter than the
+            // Cassandra LSM probes).
+            if (is_mongo) {
+                const int idx = f.newVreg();
+                f.movi(idx, int64_t(H + off::mongoIndex));
+                const int bytes = f.imm(int64_t(calib::mongoProbeBytes));
+                const int stride = f.imm(64);
+                f.callVoid(em.lib.touchRead, {idx, bytes, stride});
+            }
+            f.load(vlen, slot, 8, 8, false);
+            f.bini(BinOp::Add, t, slot, slotValOff);
+            f.callVoid(em.lib.memCopy, {out, t, vlen});
+            f.ret(vlen);
+            f.label(miss);
+            const int zero = f.imm(0);
+            f.ret(zero);
+        }
+        get_fn = pb.functionIndex("hash.get");
+
+        {
+            auto f = pb.beginFunction("hash.put", 3);
+            const int key = f.arg(0), val = f.arg(1), vlen = f.arg(2);
+            const int t = f.newVreg();
+            const int one_arg = f.imm(1);
+            const int slot = f.call(probe, {key, one_arg});
+            f.store(slot, 0, key, 8);
+            f.store(slot, 8, vlen, 8);
+            f.bini(BinOp::Add, t, slot, slotValOff);
+            f.callVoid(em.lib.memCopy, {t, val, vlen});
+            const int one = f.imm(1);
+            f.ret(one);
+        }
+        put_fn = pb.functionIndex("hash.put");
+
+        {
+            auto f = pb.beginFunction("hash.boot", 0);
+            const int arena = f.newVreg();
+            f.movi(arena, int64_t(H + off::arena));
+            const int bytes =
+                f.imm(int64_t(is_mongo ? calib::mongoBootTouchBytes
+                                       : calib::memcachedBootTouchBytes));
+            const int stride = f.imm(64);
+            f.callVoid(em.lib.touchWrite, {arena, bytes, stride});
+            const int iters = f.imm(is_mongo ? 8000 : 2000);
+            f.callVoid(em.lib.burnAlu, {iters});
+            // Zero the table.
+            const int tbl = f.newVreg(), tbytes = f.newVreg();
+            f.movi(tbl, int64_t(H + table));
+            f.movi(tbytes, nbuckets * slotBytes);
+            f.callVoid(em.lib.memZero, {tbl, tbytes});
+
+            if (is_mongo) {
+                // Seed the dataset.
+                const int id = f.newVreg(), vlen = f.newVreg();
+                const int64_t vbuf_off = f.localBytes(240);
+                const int vbuf = f.newVreg();
+                const int loop = f.newLabel(), done = f.newLabel();
+                f.movi(id, 0);
+                f.label(loop);
+                f.brcondi(CondOp::GeU, id, int64_t(p.seedRecords), done);
+                const int k = f.call(em.keyOf, {id});
+                f.movi(vlen, int64_t(p.valueBytes));
+                f.leaLocal(vbuf, vbuf_off);
+                f.callVoid(em.genValue, {k, vbuf, vlen});
+                f.callVoid(put_fn, {k, vbuf, vlen});
+                f.addi(id, id, 1);
+                f.br(loop);
+                f.label(done);
+            }
+            f.ret();
+        }
+        boot_fn = pb.functionIndex("hash.boot");
+        break;
+      }
+
+      case DbKind::Maria: {
+        {
+            auto f = pb.beginFunction("maria.get", 2);
+            const int key = f.arg(0), out = f.arg(1);
+            const int tbl = f.newVreg(), t = f.newVreg(),
+                      vlen = f.newVreg();
+            f.movi(tbl, int64_t(H + off::mariaTable));
+            const int slot = f.call(em.lookupSorted, {tbl, key});
+            const int miss = f.newLabel();
+            f.brcondi(CondOp::Eq, slot, 0, miss);
+            f.load(vlen, slot, 8, 8, false);
+            f.bini(BinOp::Add, t, slot, slotValOff);
+            f.callVoid(em.lib.memCopy, {out, t, vlen});
+            f.ret(vlen);
+            f.label(miss);
+            const int zero = f.imm(0);
+            f.ret(zero);
+        }
+        get_fn = pb.functionIndex("maria.get");
+
+        {
+            auto f = pb.beginFunction("maria.put", 3);
+            const int key = f.arg(0), val = f.arg(1), vlen = f.arg(2);
+            const int tbl = f.newVreg(), t = f.newVreg();
+            f.movi(tbl, int64_t(H + off::mariaTable));
+            const int slot = f.call(em.insertSorted, {tbl, key});
+            f.store(slot, 0, key, 8);
+            f.store(slot, 8, vlen, 8);
+            f.bini(BinOp::Add, t, slot, slotValOff);
+            f.callVoid(em.lib.memCopy, {t, val, vlen});
+            const int one = f.imm(1);
+            f.ret(one);
+        }
+        put_fn = pb.functionIndex("maria.put");
+
+        {
+            auto f = pb.beginFunction("maria.boot", 0);
+            const int arena = f.newVreg();
+            f.movi(arena, int64_t(H + off::arena));
+            const int bytes = f.imm(int64_t(calib::mariaBootTouchBytes));
+            const int stride = f.imm(64);
+            f.callVoid(em.lib.touchWrite, {arena, bytes, stride});
+            const int iters = f.imm(15000);
+            f.callVoid(em.lib.burnAlu, {iters});
+
+            const int id = f.newVreg(), vlen = f.newVreg();
+            const int64_t vbuf_off = f.localBytes(240);
+            const int vbuf = f.newVreg();
+            const int loop = f.newLabel(), done = f.newLabel();
+            f.movi(id, 0);
+            f.label(loop);
+            f.brcondi(CondOp::GeU, id, int64_t(p.seedRecords), done);
+            const int k = f.call(em.keyOf, {id});
+            f.movi(vlen, int64_t(p.valueBytes));
+            f.leaLocal(vbuf, vbuf_off);
+            f.callVoid(em.genValue, {k, vbuf, vlen});
+            f.callVoid(put_fn, {k, vbuf, vlen});
+            f.addi(id, id, 1);
+            f.br(loop);
+            f.label(done);
+            f.ret();
+        }
+        boot_fn = pb.functionIndex("maria.boot");
+        break;
+      }
+    }
+
+    emitServeLoop(pb, em, p, get_fn, put_fn, boot_fn);
+    return gen::compileProgram(pb.take(), isa);
+}
+
+} // namespace svb::db

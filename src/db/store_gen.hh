@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Database container generators.
+ *
+ * Each database kind is a complete guest program serving the KV
+ * protocol on a ring pair. The data-structure shapes reproduce the
+ * behavioural contrasts the paper observed:
+ *
+ *  - Cassandra-like: JVM-style boot arena + LSM (memtable scan, then
+ *    binary-searched sorted runs with read amplification); very
+ *    expensive bootstrap (the thesis' 17-minute QEMU boots, scaled).
+ *  - Mongo-like: hash-indexed document store; light boot, cheap gets.
+ *  - MariaDB-like: single sorted table with binary search (the
+ *    relational alternative the thesis evaluated and rejected).
+ *  - Memcached: open-addressing in-memory cache.
+ */
+
+#ifndef SVB_DB_STORE_GEN_HH
+#define SVB_DB_STORE_GEN_HH
+
+#include "gen/ir.hh"
+#include "stack/calibration.hh"
+
+namespace svb::db
+{
+
+/** The database flavours of Section 3.3.3. */
+enum class DbKind
+{
+    Cassandra,
+    Mongo,
+    Maria,
+    Memcached,
+};
+
+/** @return printable name. */
+const char *dbKindName(DbKind kind);
+
+/** m5Event payload announcing a booted store. */
+constexpr uint64_t dbReadyEvent = 0xD0;
+
+/** Parameters of a database container build. */
+struct DbParams
+{
+    DbKind kind = DbKind::Cassandra;
+    /** Ring-pair base VA the store serves on (resp = +0x1000). */
+    Addr reqRingVa = 0;
+    /** Records seeded at boot (hotel dataset). */
+    uint64_t seedRecords = calib::hotelDbRecords;
+    /** Value payload bytes per record. */
+    uint64_t valueBytes = calib::hotelValueBytes;
+};
+
+/** Build the database container program. */
+LoadableImage buildDbProgram(const DbParams &params, IsaId isa);
+
+} // namespace svb::db
+
+#endif // SVB_DB_STORE_GEN_HH

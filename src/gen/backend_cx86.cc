@@ -1,0 +1,365 @@
+/**
+ * @file
+ * CX86 backend: lowers the IR to the synthetic CISC encoding.
+ *
+ * Register pool: rbp, r10-r15 (only 7 vregs live in registers — the
+ * CISC stand-in spills earlier than RV64, as real x86-64 does
+ * relative to 31 GPR RISC-V). Scratch: r0/r7/r8. Arguments:
+ * r1/r2/r3/r6. Syscall number: r9.
+ */
+
+#include "ir.hh"
+#include "isa/cx86/assembler.hh"
+#include "sim/logging.hh"
+
+namespace svb::gen
+{
+
+namespace
+{
+
+using cx86::Assembler;
+using Reg = uint8_t;
+
+constexpr Reg pool[7] = {cx::rbp, cx::r10, cx::r11, cx::r12, cx::r13,
+                         cx::r14, cx::r15};
+constexpr unsigned poolSize = 7;
+constexpr Reg argRegs[4] = {cx::r1, cx::r2, cx::r3, cx::r6};
+constexpr Reg scratchA = cx::r7;
+constexpr Reg scratchB = cx::r8;
+constexpr Reg scratchC = cx::r0;
+
+class FuncLowering
+{
+  public:
+    FuncLowering(Assembler &as, const IrFunction &fn,
+                 const std::vector<AsmLabel> &func_labels, size_t fn_idx)
+        : as(as), fn(fn), funcLabels(func_labels), fnIdx(fn_idx)
+    {
+        spillCount =
+            fn.numVregs > int(poolSize) ? fn.numVregs - int(poolSize) : 0;
+        savedCount = std::min<unsigned>(unsigned(fn.numVregs), poolSize);
+        frameBytes = fn.localBytes + Addr(spillCount) * 8;
+        frameBytes = (frameBytes + 15) & ~Addr(15);
+        for (int i = 0; i < fn.numLabels; ++i)
+            labels.push_back(as.newLabel());
+        epilogue = as.newLabel();
+    }
+
+    void
+    lower()
+    {
+        prologue();
+        for (const IrInst &inst : fn.insts)
+            lowerInst(inst);
+        emitEpilogue();
+    }
+
+  private:
+    bool isPool(int v) const { return v < int(poolSize); }
+    Reg poolReg(int v) const { return pool[v]; }
+
+    int32_t
+    spillOff(int v) const
+    {
+        return int32_t(fn.localBytes) + int32_t(v - int(poolSize)) * 8;
+    }
+
+    Reg
+    useSrc(int v, Reg scratch)
+    {
+        svb_assert(v >= 0 && v < fn.numVregs, fn.name, ": bad vreg ", v);
+        if (isPool(v))
+            return poolReg(v);
+        as.load(scratch, cx::rsp, spillOff(v), 8, false);
+        return scratch;
+    }
+
+    Reg
+    defDst(int v, Reg scratch)
+    {
+        return isPool(v) ? poolReg(v) : scratch;
+    }
+
+    void
+    sealDst(int v, Reg r)
+    {
+        if (!isPool(v))
+            as.store(r, cx::rsp, spillOff(v), 8);
+    }
+
+    void
+    prologue()
+    {
+        as.bind(funcLabels[fnIdx]);
+        for (unsigned i = 0; i < savedCount; ++i)
+            as.push(pool[i]);
+        if (frameBytes > 0)
+            as.subImm(cx::rsp, int32_t(frameBytes));
+        for (unsigned i = 0; i < fn.numArgs && i < 4; ++i) {
+            if (isPool(int(i)))
+                as.mov(poolReg(int(i)), argRegs[i]);
+            else
+                as.store(argRegs[i], cx::rsp, spillOff(int(i)), 8);
+        }
+    }
+
+    void
+    emitEpilogue()
+    {
+        as.bind(epilogue);
+        if (frameBytes > 0)
+            as.addImm(cx::rsp, int32_t(frameBytes));
+        for (unsigned i = savedCount; i-- > 0;)
+            as.pop(pool[i]);
+        as.ret();
+    }
+
+    void
+    emitBinOp(BinOp op, Reg rd, Reg rb)
+    {
+        switch (op) {
+          case BinOp::Add: as.add(rd, rb); break;
+          case BinOp::Sub: as.sub(rd, rb); break;
+          case BinOp::Mul: as.imul(rd, rb); break;
+          case BinOp::Div: as.idiv(rd, rb); break;
+          case BinOp::Rem: as.irem(rd, rb); break;
+          case BinOp::Udiv: as.divu(rd, rb); break;
+          case BinOp::Urem: as.remu(rd, rb); break;
+          case BinOp::And: as.and_(rd, rb); break;
+          case BinOp::Or: as.or_(rd, rb); break;
+          case BinOp::Xor: as.xor_(rd, rb); break;
+          case BinOp::Shl: as.shlr(rd, rb); break;
+          case BinOp::Shr: as.shrr(rd, rb); break;
+          case BinOp::Sar: as.sarr(rd, rb); break;
+        }
+    }
+
+    static FlagCond
+    flagCondOf(CondOp cond)
+    {
+        switch (cond) {
+          case CondOp::Eq: return FlagCond::Eq;
+          case CondOp::Ne: return FlagCond::Ne;
+          case CondOp::Lt: return FlagCond::Lt;
+          case CondOp::Ge: return FlagCond::Ge;
+          case CondOp::Le: return FlagCond::Le;
+          case CondOp::Gt: return FlagCond::Gt;
+          case CondOp::LtU: return FlagCond::Ltu;
+          case CondOp::GeU: return FlagCond::Geu;
+        }
+        return FlagCond::Eq;
+    }
+
+    void
+    lowerInst(const IrInst &inst)
+    {
+        switch (inst.op) {
+          case IrOp::MovImm: {
+            Reg rd = defDst(inst.dst, scratchA);
+            as.movImm(rd, inst.imm);
+            sealDst(inst.dst, rd);
+            break;
+          }
+          case IrOp::Mov: {
+            Reg ra = useSrc(inst.a, scratchA);
+            Reg rd = defDst(inst.dst, scratchA);
+            if (rd != ra)
+                as.mov(rd, ra);
+            sealDst(inst.dst, rd);
+            break;
+          }
+          case IrOp::Bin: {
+            Reg ra = useSrc(inst.a, scratchA);
+            Reg rb = useSrc(inst.b, scratchB);
+            Reg rd = defDst(inst.dst, scratchA);
+            if (rd == ra) {
+                emitBinOp(inst.bop, rd, rb);
+            } else if (rd != rb) {
+                as.mov(rd, ra);
+                emitBinOp(inst.bop, rd, rb);
+            } else {
+                as.mov(scratchC, ra);
+                emitBinOp(inst.bop, scratchC, rb);
+                as.mov(rd, scratchC);
+            }
+            sealDst(inst.dst, rd);
+            break;
+          }
+          case IrOp::BinImm: {
+            Reg ra = useSrc(inst.a, scratchA);
+            Reg rd = defDst(inst.dst, scratchA);
+            if (rd != ra)
+                as.mov(rd, ra);
+            svb_assert(inst.imm >= INT32_MIN && inst.imm <= INT32_MAX,
+                       "cx86 BinImm out of imm32 range");
+            const auto imm = int32_t(inst.imm);
+            switch (inst.bop) {
+              case BinOp::Add: as.addImm(rd, imm); break;
+              case BinOp::Sub: as.subImm(rd, imm); break;
+              case BinOp::And: as.andImm(rd, imm); break;
+              case BinOp::Or: as.orImm(rd, imm); break;
+              case BinOp::Xor: as.xorImm(rd, imm); break;
+              case BinOp::Mul: as.imulImm(rd, imm); break;
+              case BinOp::Shl: as.shl(rd, uint8_t(imm & 63)); break;
+              case BinOp::Shr: as.shr(rd, uint8_t(imm & 63)); break;
+              case BinOp::Sar: as.sar(rd, uint8_t(imm & 63)); break;
+              default:
+                as.movImm(scratchB, inst.imm);
+                emitBinOp(inst.bop, rd, scratchB);
+                break;
+            }
+            sealDst(inst.dst, rd);
+            break;
+          }
+          case IrOp::Load: {
+            Reg base = useSrc(inst.a, scratchA);
+            Reg rd = defDst(inst.dst, scratchA);
+            as.load(rd, base, int32_t(inst.imm), inst.size, inst.sgn);
+            sealDst(inst.dst, rd);
+            break;
+          }
+          case IrOp::Store: {
+            Reg base = useSrc(inst.a, scratchA);
+            Reg src = useSrc(inst.b, scratchB);
+            as.store(src, base, int32_t(inst.imm), inst.size);
+            break;
+          }
+          case IrOp::Lea: {
+            Reg rd = defDst(inst.dst, scratchA);
+            as.movImm(rd, inst.imm);
+            sealDst(inst.dst, rd);
+            break;
+          }
+          case IrOp::LeaLocal: {
+            Reg rd = defDst(inst.dst, scratchA);
+            as.lea(rd, cx::rsp, int32_t(inst.imm));
+            sealDst(inst.dst, rd);
+            break;
+          }
+          case IrOp::Br:
+            as.jmp(labels[size_t(inst.label)]);
+            break;
+          case IrOp::BrCond: {
+            Reg ra = useSrc(inst.a, scratchA);
+            Reg rb = useSrc(inst.b, scratchB);
+            as.cmp(ra, rb);
+            as.jcc(flagCondOf(inst.cond), labels[size_t(inst.label)]);
+            break;
+          }
+          case IrOp::BrCondImm: {
+            Reg ra = useSrc(inst.a, scratchA);
+            svb_assert(inst.imm >= INT32_MIN && inst.imm <= INT32_MAX,
+                       "cx86 BrCondImm out of imm32 range");
+            as.cmpImm(ra, int32_t(inst.imm));
+            as.jcc(flagCondOf(inst.cond), labels[size_t(inst.label)]);
+            break;
+          }
+          case IrOp::Call: {
+            for (size_t i = 0; i < inst.args.size(); ++i) {
+                const int v = inst.args[i];
+                if (isPool(v))
+                    as.mov(argRegs[i], poolReg(v));
+                else
+                    as.load(argRegs[i], cx::rsp, spillOff(v), 8, false);
+            }
+            as.call(funcLabels[size_t(inst.callee)]);
+            if (inst.dst >= 0) {
+                if (isPool(inst.dst))
+                    as.mov(poolReg(inst.dst), cx::r0);
+                else
+                    as.store(cx::r0, cx::rsp, spillOff(inst.dst), 8);
+            }
+            break;
+          }
+          case IrOp::Ret:
+            if (inst.a >= 0) {
+                Reg ra = useSrc(inst.a, scratchA);
+                if (ra != cx::r0)
+                    as.mov(cx::r0, ra);
+            }
+            as.jmp(epilogue);
+            break;
+          case IrOp::Syscall: {
+            static constexpr Reg sysArgs[3] = {cx::r1, cx::r2, cx::r3};
+            for (size_t i = 0; i < inst.args.size(); ++i) {
+                const int v = inst.args[i];
+                if (isPool(v))
+                    as.mov(sysArgs[i], poolReg(v));
+                else
+                    as.load(sysArgs[i], cx::rsp, spillOff(v), 8, false);
+            }
+            as.movImm(cx::r9, inst.imm);
+            as.syscall();
+            if (inst.dst >= 0) {
+                if (isPool(inst.dst))
+                    as.mov(poolReg(inst.dst), cx::r0);
+                else
+                    as.store(cx::r0, cx::rsp, spillOff(inst.dst), 8);
+            }
+            break;
+          }
+          case IrOp::Halt:
+            as.hlt();
+            break;
+          case IrOp::Label:
+            as.bind(labels[size_t(inst.label)]);
+            break;
+        }
+    }
+
+    Assembler &as;
+    const IrFunction &fn;
+    const std::vector<AsmLabel> &funcLabels;
+    size_t fnIdx;
+    std::vector<AsmLabel> labels;
+    AsmLabel epilogue;
+    unsigned spillCount = 0;
+    unsigned savedCount = 0;
+    Addr frameBytes = 0;
+};
+
+} // namespace
+
+LoadableImage
+compileProgramCx86(const Program &program)
+{
+    Assembler as;
+
+    std::vector<AsmLabel> func_labels;
+    for (size_t i = 0; i < program.functions.size(); ++i)
+        func_labels.push_back(as.newLabel());
+
+    as.call(func_labels[size_t(program.entryFunction)]);
+    as.movImm(cx::r9, 0 /*sysExit*/);
+    as.syscall();
+    as.hlt(); // unreachable
+
+    std::vector<std::pair<std::string, Addr>> symbols;
+    symbols.emplace_back("_start", 0);
+    for (size_t i = 0; i < program.functions.size(); ++i) {
+        symbols.emplace_back(program.functions[i].name, as.here());
+        FuncLowering lowering(as, program.functions[i], func_labels, i);
+        lowering.lower();
+    }
+
+    LoadableImage image;
+    image.symbols = std::move(symbols);
+    image.code = as.finish();
+    image.rodata = program.data;
+    image.heapBytes = program.heapBytes;
+    image.stackBytes = program.stackBytes;
+    image.entryOffset = 0;
+    return image;
+}
+
+LoadableImage compileProgramRiscv(const Program &program);
+
+LoadableImage
+compileProgram(const Program &program, IsaId isa)
+{
+    return isa == IsaId::Riscv ? compileProgramRiscv(program)
+                               : compileProgramCx86(program);
+}
+
+} // namespace svb::gen

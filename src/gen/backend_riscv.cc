@@ -1,0 +1,532 @@
+/**
+ * @file
+ * RV64IM backend: lowers the IR to real RISC-V machine code.
+ *
+ * Register pool: s0-s11 plus t3-t6 (16 vregs live in registers, the
+ * rest spill to the frame). a4-a7 are deliberately NOT pooled: a7
+ * carries the syscall number and would be clobbered by any trap.
+ * Scratch: t0/t1/t2. Arguments: a0-a3.
+ */
+
+#include "ir.hh"
+#include "isa/riscv/assembler.hh"
+#include "sim/logging.hh"
+
+namespace svb::gen
+{
+
+namespace
+{
+
+using riscv::Assembler;
+using Reg = uint8_t;
+
+constexpr Reg pool[16] = {rv::s0, rv::s1, rv::s2, rv::s3, rv::s4,
+                          rv::s5, rv::s6, rv::s7, rv::s8, rv::s9,
+                          rv::s10, rv::s11, rv::t3, rv::t4, rv::t5,
+                          rv::t6};
+constexpr unsigned poolSize = 16;
+constexpr Reg argRegs[4] = {rv::a0, rv::a1, rv::a2, rv::a3};
+
+/** Per-function lowering state. */
+class FuncLowering
+{
+  public:
+    FuncLowering(Assembler &as, const IrFunction &fn,
+                 const std::vector<AsmLabel> &func_labels)
+        : as(as), fn(fn), funcLabels(func_labels)
+    {
+        // Record each label's IR position for branch-range estimation.
+        labelIrIndex.assign(size_t(fn.numLabels), 0);
+        for (size_t i = 0; i < fn.insts.size(); ++i) {
+            if (fn.insts[i].op == IrOp::Label)
+                labelIrIndex[size_t(fn.insts[i].label)] = i;
+        }
+        spillCount =
+            fn.numVregs > int(poolSize) ? fn.numVregs - int(poolSize) : 0;
+        savedCount = std::min<unsigned>(unsigned(fn.numVregs), poolSize);
+        frameTotal = fn.localBytes + Addr(spillCount) * 8 +
+                     Addr(savedCount) * 8 + 8 /*ra*/;
+        frameTotal = (frameTotal + 15) & ~Addr(15);
+        for (int i = 0; i < fn.numLabels; ++i)
+            labels.push_back(as.newLabel());
+        epilogue = as.newLabel();
+    }
+
+    void
+    lower()
+    {
+        prologue();
+        for (size_t i = 0; i < fn.insts.size(); ++i) {
+            curIrIndex = i;
+            lowerInst(fn.insts[i]);
+        }
+        // Fall off the end == return void.
+        emitEpilogue();
+    }
+
+  private:
+    bool isPool(int v) const { return v < int(poolSize); }
+    Reg poolReg(int v) const { return pool[v]; }
+
+    int64_t
+    spillOff(int v) const
+    {
+        return int64_t(fn.localBytes) + int64_t(v - int(poolSize)) * 8;
+    }
+
+    int64_t savedOff(unsigned i) const
+    {
+        return int64_t(fn.localBytes) + spillCount * 8 + int64_t(i) * 8;
+    }
+
+    /** sp-relative load/store that tolerates large offsets. */
+    void
+    ldSp(Reg rd, int64_t off)
+    {
+        if (off >= -2048 && off < 2048) {
+            as.ld(rd, rv::sp, int32_t(off));
+        } else {
+            as.li(rv::t2, off);
+            as.add(rv::t2, rv::sp, rv::t2);
+            as.ld(rd, rv::t2, 0);
+        }
+    }
+
+    void
+    sdSp(Reg rs, int64_t off)
+    {
+        if (off >= -2048 && off < 2048) {
+            as.sd(rs, rv::sp, int32_t(off));
+        } else {
+            as.li(rv::t2, off);
+            as.add(rv::t2, rv::sp, rv::t2);
+            as.sd(rs, rv::t2, 0);
+        }
+    }
+
+    /** Materialise a source vreg; spilled vregs land in @p scratch. */
+    Reg
+    useSrc(int v, Reg scratch)
+    {
+        svb_assert(v >= 0 && v < fn.numVregs, fn.name, ": bad vreg ", v);
+        if (isPool(v))
+            return poolReg(v);
+        ldSp(scratch, spillOff(v));
+        return scratch;
+    }
+
+    Reg
+    defDst(int v, Reg scratch)
+    {
+        return isPool(v) ? poolReg(v) : scratch;
+    }
+
+    void
+    sealDst(int v, Reg r)
+    {
+        if (!isPool(v))
+            sdSp(r, spillOff(v));
+    }
+
+    void
+    prologue()
+    {
+        as.bind(funcLabels[size_t(fnIndex())]);
+        if (frameTotal < 2048) {
+            as.addi(rv::sp, rv::sp, -int32_t(frameTotal));
+        } else {
+            as.li(rv::t2, -int64_t(frameTotal));
+            as.add(rv::sp, rv::sp, rv::t2);
+        }
+        sdSp(rv::ra, int64_t(frameTotal) - 8);
+        for (unsigned i = 0; i < savedCount; ++i)
+            sdSp(pool[i], savedOff(i));
+        for (unsigned i = 0; i < fn.numArgs && i < 4; ++i) {
+            if (isPool(int(i)))
+                as.mv(poolReg(int(i)), argRegs[i]);
+            else
+                sdSp(argRegs[i], spillOff(int(i)));
+        }
+    }
+
+    void
+    emitEpilogue()
+    {
+        as.bind(epilogue);
+        for (unsigned i = 0; i < savedCount; ++i)
+            ldSp(pool[i], savedOff(i));
+        ldSp(rv::ra, int64_t(frameTotal) - 8);
+        if (frameTotal < 2048) {
+            as.addi(rv::sp, rv::sp, int32_t(frameTotal));
+        } else {
+            as.li(rv::t2, int64_t(frameTotal));
+            as.add(rv::sp, rv::sp, rv::t2);
+        }
+        as.ret();
+    }
+
+    void
+    emitBin(BinOp op, Reg rd, Reg ra, Reg rb)
+    {
+        switch (op) {
+          case BinOp::Add: as.add(rd, ra, rb); break;
+          case BinOp::Sub: as.sub(rd, ra, rb); break;
+          case BinOp::Mul: as.mul(rd, ra, rb); break;
+          case BinOp::Div: as.div(rd, ra, rb); break;
+          case BinOp::Rem: as.rem(rd, ra, rb); break;
+          case BinOp::Udiv: as.divu(rd, ra, rb); break;
+          case BinOp::Urem: as.remu(rd, ra, rb); break;
+          case BinOp::And: as.and_(rd, ra, rb); break;
+          case BinOp::Or: as.or_(rd, ra, rb); break;
+          case BinOp::Xor: as.xor_(rd, ra, rb); break;
+          case BinOp::Shl: as.sll(rd, ra, rb); break;
+          case BinOp::Shr: as.srl(rd, ra, rb); break;
+          case BinOp::Sar: as.sra(rd, ra, rb); break;
+        }
+    }
+
+    void
+    emitLoad(Reg rd, Reg base, int64_t off, uint8_t size, bool sgn)
+    {
+        if (off < -2048 || off >= 2048) {
+            as.li(rv::t2, off);
+            as.add(rv::t2, base, rv::t2);
+            base = rv::t2;
+            off = 0;
+        }
+        const auto o = int32_t(off);
+        switch (size) {
+          case 1: sgn ? as.lb(rd, base, o) : as.lbu(rd, base, o); break;
+          case 2: sgn ? as.lh(rd, base, o) : as.lhu(rd, base, o); break;
+          case 4: sgn ? as.lw(rd, base, o) : as.lwu(rd, base, o); break;
+          case 8: as.ld(rd, base, o); break;
+          default: svb_panic("bad load size");
+        }
+    }
+
+    void
+    emitStore(Reg src, Reg base, int64_t off, uint8_t size)
+    {
+        if (off < -2048 || off >= 2048) {
+            as.li(rv::t2, off);
+            as.add(rv::t2, base, rv::t2);
+            base = rv::t2;
+            off = 0;
+        }
+        const auto o = int32_t(off);
+        switch (size) {
+          case 1: as.sb(src, base, o); break;
+          case 2: as.sh(src, base, o); break;
+          case 4: as.sw(src, base, o); break;
+          case 8: as.sd(src, base, o); break;
+          default: svb_panic("bad store size");
+        }
+    }
+
+    /**
+     * Conservative worst-case expansion of one IR instruction in
+     * bytes, used to decide whether a B-type branch provably reaches.
+     */
+    static constexpr int64_t maxBytesPerIrInst = 64;
+
+    bool
+    branchReaches(int label) const
+    {
+        const int64_t dist =
+            (int64_t(labelIrIndex[size_t(label)]) - int64_t(curIrIndex));
+        const int64_t bytes = (dist < 0 ? -dist : dist) *
+                              maxBytesPerIrInst;
+        return bytes < 3500; // B-type reaches +-4 KiB; keep margin
+    }
+
+    void
+    emitShortCondBranch(CondOp cond, Reg ra, Reg rb, AsmLabel l)
+    {
+        switch (cond) {
+          case CondOp::Eq: as.beq(ra, rb, l); break;
+          case CondOp::Ne: as.bne(ra, rb, l); break;
+          case CondOp::Lt: as.blt(ra, rb, l); break;
+          case CondOp::Ge: as.bge(ra, rb, l); break;
+          case CondOp::Le: as.bge(rb, ra, l); break;
+          case CondOp::Gt: as.blt(rb, ra, l); break;
+          case CondOp::LtU: as.bltu(ra, rb, l); break;
+          case CondOp::GeU: as.bgeu(ra, rb, l); break;
+        }
+    }
+
+    static CondOp
+    invertCond(CondOp cond)
+    {
+        switch (cond) {
+          case CondOp::Eq: return CondOp::Ne;
+          case CondOp::Ne: return CondOp::Eq;
+          case CondOp::Lt: return CondOp::Ge;
+          case CondOp::Ge: return CondOp::Lt;
+          case CondOp::Le: return CondOp::Gt;
+          case CondOp::Gt: return CondOp::Le;
+          case CondOp::LtU: return CondOp::GeU;
+          case CondOp::GeU: return CondOp::LtU;
+        }
+        return CondOp::Eq;
+    }
+
+    /** Relaxing form: branch-over-jump when the target may be far. */
+    void
+    emitCondBranch(CondOp cond, Reg ra, Reg rb, int ir_label)
+    {
+        AsmLabel l = labels[size_t(ir_label)];
+        if (branchReaches(ir_label)) {
+            emitShortCondBranch(cond, ra, rb, l);
+        } else {
+            AsmLabel skip = as.newLabel();
+            emitShortCondBranch(invertCond(cond), ra, rb, skip);
+            as.j(l);
+            as.bind(skip);
+        }
+    }
+
+    void
+    lowerInst(const IrInst &inst)
+    {
+        switch (inst.op) {
+          case IrOp::MovImm: {
+            Reg rd = defDst(inst.dst, rv::t0);
+            as.li(rd, inst.imm);
+            sealDst(inst.dst, rd);
+            break;
+          }
+          case IrOp::Mov: {
+            Reg ra = useSrc(inst.a, rv::t0);
+            Reg rd = defDst(inst.dst, rv::t0);
+            if (rd != ra)
+                as.mv(rd, ra);
+            sealDst(inst.dst, rd);
+            break;
+          }
+          case IrOp::Bin: {
+            Reg ra = useSrc(inst.a, rv::t0);
+            Reg rb = useSrc(inst.b, rv::t1);
+            Reg rd = defDst(inst.dst, rv::t0);
+            emitBin(inst.bop, rd, ra, rb);
+            sealDst(inst.dst, rd);
+            break;
+          }
+          case IrOp::BinImm: {
+            Reg ra = useSrc(inst.a, rv::t0);
+            Reg rd = defDst(inst.dst, rv::t0);
+            const int64_t imm = inst.imm;
+            const bool fits = imm >= -2048 && imm < 2048;
+            switch (inst.bop) {
+              case BinOp::Add:
+                if (fits) {
+                    as.addi(rd, ra, int32_t(imm));
+                } else {
+                    as.li(rv::t1, imm);
+                    as.add(rd, ra, rv::t1);
+                }
+                break;
+              case BinOp::Sub:
+                if (imm > -2048 && imm <= 2048) {
+                    as.addi(rd, ra, int32_t(-imm));
+                } else {
+                    as.li(rv::t1, imm);
+                    as.sub(rd, ra, rv::t1);
+                }
+                break;
+              case BinOp::And:
+                if (fits) {
+                    as.andi(rd, ra, int32_t(imm));
+                } else {
+                    as.li(rv::t1, imm);
+                    as.and_(rd, ra, rv::t1);
+                }
+                break;
+              case BinOp::Or:
+                if (fits) {
+                    as.ori(rd, ra, int32_t(imm));
+                } else {
+                    as.li(rv::t1, imm);
+                    as.or_(rd, ra, rv::t1);
+                }
+                break;
+              case BinOp::Xor:
+                if (fits) {
+                    as.xori(rd, ra, int32_t(imm));
+                } else {
+                    as.li(rv::t1, imm);
+                    as.xor_(rd, ra, rv::t1);
+                }
+                break;
+              case BinOp::Shl: as.slli(rd, ra, unsigned(imm) & 63); break;
+              case BinOp::Shr: as.srli(rd, ra, unsigned(imm) & 63); break;
+              case BinOp::Sar: as.srai(rd, ra, unsigned(imm) & 63); break;
+              default:
+                as.li(rv::t1, imm);
+                emitBin(inst.bop, rd, ra, rv::t1);
+                break;
+            }
+            sealDst(inst.dst, rd);
+            break;
+          }
+          case IrOp::Load: {
+            Reg base = useSrc(inst.a, rv::t0);
+            Reg rd = defDst(inst.dst, rv::t0);
+            emitLoad(rd, base, inst.imm, inst.size, inst.sgn);
+            sealDst(inst.dst, rd);
+            break;
+          }
+          case IrOp::Store: {
+            Reg base = useSrc(inst.a, rv::t0);
+            Reg src = useSrc(inst.b, rv::t1);
+            emitStore(src, base, inst.imm, inst.size);
+            break;
+          }
+          case IrOp::Lea: {
+            Reg rd = defDst(inst.dst, rv::t0);
+            as.li(rd, inst.imm);
+            sealDst(inst.dst, rd);
+            break;
+          }
+          case IrOp::LeaLocal: {
+            Reg rd = defDst(inst.dst, rv::t0);
+            if (inst.imm >= -2048 && inst.imm < 2048) {
+                as.addi(rd, rv::sp, int32_t(inst.imm));
+            } else {
+                as.li(rd, inst.imm);
+                as.add(rd, rv::sp, rd);
+            }
+            sealDst(inst.dst, rd);
+            break;
+          }
+          case IrOp::Br:
+            as.j(labels[size_t(inst.label)]);
+            break;
+          case IrOp::BrCond: {
+            Reg ra = useSrc(inst.a, rv::t0);
+            Reg rb = useSrc(inst.b, rv::t1);
+            emitCondBranch(inst.cond, ra, rb, inst.label);
+            break;
+          }
+          case IrOp::BrCondImm: {
+            Reg ra = useSrc(inst.a, rv::t0);
+            Reg rb = 0; // x0
+            if (inst.imm != 0) {
+                as.li(rv::t1, inst.imm);
+                rb = rv::t1;
+            }
+            emitCondBranch(inst.cond, ra, rb, inst.label);
+            break;
+          }
+          case IrOp::Call: {
+            for (size_t i = 0; i < inst.args.size(); ++i) {
+                const int v = inst.args[i];
+                if (isPool(v))
+                    as.mv(argRegs[i], poolReg(v));
+                else
+                    ldSp(argRegs[i], spillOff(v));
+            }
+            as.callFar(funcLabels[size_t(inst.callee)]);
+            if (inst.dst >= 0) {
+                if (isPool(inst.dst))
+                    as.mv(poolReg(inst.dst), rv::a0);
+                else
+                    sdSp(rv::a0, spillOff(inst.dst));
+            }
+            break;
+          }
+          case IrOp::Ret:
+            if (inst.a >= 0) {
+                Reg ra = useSrc(inst.a, rv::t0);
+                if (ra != rv::a0)
+                    as.mv(rv::a0, ra);
+            }
+            as.j(epilogue);
+            break;
+          case IrOp::Syscall: {
+            static constexpr Reg sysArgs[3] = {rv::a0, rv::a1, rv::a2};
+            for (size_t i = 0; i < inst.args.size(); ++i) {
+                const int v = inst.args[i];
+                if (isPool(v))
+                    as.mv(sysArgs[i], poolReg(v));
+                else
+                    ldSp(sysArgs[i], spillOff(v));
+            }
+            as.li(rv::a7, inst.imm);
+            as.ecall();
+            if (inst.dst >= 0) {
+                if (isPool(inst.dst))
+                    as.mv(poolReg(inst.dst), rv::a0);
+                else
+                    sdSp(rv::a0, spillOff(inst.dst));
+            }
+            break;
+          }
+          case IrOp::Halt:
+            as.ebreak();
+            break;
+          case IrOp::Label:
+            as.bind(labels[size_t(inst.label)]);
+            break;
+        }
+    }
+
+    size_t
+    fnIndex() const
+    {
+        return fnIdx;
+    }
+
+  public:
+    size_t fnIdx = 0;
+
+  private:
+    Assembler &as;
+    const IrFunction &fn;
+    const std::vector<AsmLabel> &funcLabels;
+    std::vector<size_t> labelIrIndex;
+    size_t curIrIndex = 0;
+    std::vector<AsmLabel> labels;
+    AsmLabel epilogue;
+    unsigned spillCount = 0;
+    unsigned savedCount = 0;
+    Addr frameTotal = 0;
+};
+
+} // namespace
+
+LoadableImage
+compileProgramRiscv(const Program &program)
+{
+    Assembler as;
+
+    std::vector<AsmLabel> func_labels;
+    for (size_t i = 0; i < program.functions.size(); ++i)
+        func_labels.push_back(as.newLabel());
+
+    // _start: call the entry function, then exit(0).
+    as.callFar(func_labels[size_t(program.entryFunction)]);
+    as.li(rv::a7, 0 /*sysExit*/);
+    as.ecall();
+    as.ebreak(); // unreachable
+
+    std::vector<std::pair<std::string, Addr>> symbols;
+    symbols.emplace_back("_start", 0);
+    for (size_t i = 0; i < program.functions.size(); ++i) {
+        symbols.emplace_back(program.functions[i].name, as.here());
+        FuncLowering lowering(as, program.functions[i], func_labels);
+        lowering.fnIdx = i;
+        lowering.lower();
+    }
+
+    LoadableImage image;
+    image.symbols = std::move(symbols);
+    image.code = as.finish();
+    image.rodata = program.data;
+    image.heapBytes = program.heapBytes;
+    image.stackBytes = program.stackBytes;
+    image.entryOffset = 0;
+    return image;
+}
+
+} // namespace svb::gen

@@ -1,0 +1,263 @@
+#include "guestlib.hh"
+
+#include "guest/ring.hh"
+#include "guest/syscall_abi.hh"
+
+namespace svb::gen
+{
+
+namespace
+{
+
+/** memCopy(dst, src, len): 8-byte chunks plus a byte tail. */
+void
+emitMemCopy(ProgramBuilder &pb)
+{
+    auto f = pb.beginFunction("lib.memCopy", 3);
+    const int dst = f.arg(0), src = f.arg(1), len = f.arg(2);
+    const int i = f.newVreg();
+    const int tmp = f.newVreg();
+    const int addr = f.newVreg();
+    const int rem = f.newVreg();
+    const int l8 = f.newLabel(), lbyte = f.newLabel(),
+              lbloop = f.newLabel(), lend = f.newLabel();
+
+    f.movi(i, 0);
+    f.label(l8);
+    f.bin(BinOp::Sub, rem, len, i);
+    f.brcondi(CondOp::Lt, rem, 8, lbyte);
+    f.bin(BinOp::Add, addr, src, i);
+    f.load(tmp, addr, 0, 8, false);
+    f.bin(BinOp::Add, addr, dst, i);
+    f.store(addr, 0, tmp, 8);
+    f.addi(i, i, 8);
+    f.br(l8);
+
+    f.label(lbyte);
+    f.label(lbloop);
+    f.brcond(CondOp::GeU, i, len, lend);
+    f.bin(BinOp::Add, addr, src, i);
+    f.load(tmp, addr, 0, 1, false);
+    f.bin(BinOp::Add, addr, dst, i);
+    f.store(addr, 0, tmp, 1);
+    f.addi(i, i, 1);
+    f.br(lbloop);
+
+    f.label(lend);
+    f.ret();
+}
+
+/** memZero(dst, len): 8-byte stores (len rounded up by the caller). */
+void
+emitMemZero(ProgramBuilder &pb)
+{
+    auto f = pb.beginFunction("lib.memZero", 2);
+    const int dst = f.arg(0), len = f.arg(1);
+    const int i = f.newVreg();
+    const int addr = f.newVreg();
+    const int zero = f.newVreg();
+    const int loop = f.newLabel(), lend = f.newLabel();
+
+    f.movi(i, 0);
+    f.movi(zero, 0);
+    f.label(loop);
+    f.brcond(CondOp::GeU, i, len, lend);
+    f.bin(BinOp::Add, addr, dst, i);
+    f.store(addr, 0, zero, 8);
+    f.addi(i, i, 8);
+    f.br(loop);
+    f.label(lend);
+    f.ret();
+}
+
+/** ringSend(ring, buf, len): blocking producer. */
+void
+emitRingSend(ProgramBuilder &pb, int mem_copy)
+{
+    auto f = pb.beginFunction("lib.ringSend", 3);
+    const int rg = f.arg(0), buf = f.arg(1), len = f.arg(2);
+    const int head = f.newVreg(), tail = f.newVreg(), used = f.newVreg();
+    const int slot = f.newVreg(), tmp = f.newVreg();
+    const int wait = f.newLabel(), ok = f.newLabel();
+
+    f.label(wait);
+    f.load(head, rg, 0, 8, false);
+    f.load(tail, rg, 8, 8, false);
+    f.bin(BinOp::Sub, used, tail, head);
+    f.brcondi(CondOp::Lt, used, ringSlots, ok);
+    f.syscall(sys::sysYield, {});
+    f.br(wait);
+
+    f.label(ok);
+    f.bini(BinOp::And, tmp, tail, ringSlots - 1);
+    f.bini(BinOp::Shl, tmp, tmp, 8); // * ring::slotSize (256)
+    f.bin(BinOp::Add, slot, rg, tmp);
+    f.store(slot, int64_t(ring::headerBytes), len, 8);
+    f.bini(BinOp::Add, tmp, slot, int64_t(ring::headerBytes) + 8);
+    f.callVoid(mem_copy, {tmp, buf, len});
+    f.bini(BinOp::Add, tail, tail, 1);
+    f.store(rg, 8, tail, 8);
+    f.ret();
+}
+
+/** ringRecv(ring, buf) -> len: blocking consumer. */
+void
+emitRingRecv(ProgramBuilder &pb, int mem_copy)
+{
+    auto f = pb.beginFunction("lib.ringRecv", 2);
+    const int rg = f.arg(0), buf = f.arg(1);
+    const int head = f.newVreg(), tail = f.newVreg();
+    const int slot = f.newVreg(), tmp = f.newVreg(), len = f.newVreg();
+    const int wait = f.newLabel(), ok = f.newLabel();
+
+    f.label(wait);
+    f.load(head, rg, 0, 8, false);
+    f.load(tail, rg, 8, 8, false);
+    f.brcond(CondOp::Ne, head, tail, ok);
+    f.syscall(sys::sysYield, {});
+    f.br(wait);
+
+    f.label(ok);
+    f.bini(BinOp::And, tmp, head, ringSlots - 1);
+    f.bini(BinOp::Shl, tmp, tmp, 8);
+    f.bin(BinOp::Add, slot, rg, tmp);
+    f.load(len, slot, int64_t(ring::headerBytes), 8, false);
+    f.bini(BinOp::Add, tmp, slot, int64_t(ring::headerBytes) + 8);
+    f.callVoid(mem_copy, {buf, tmp, len});
+    f.bini(BinOp::Add, head, head, 1);
+    f.store(rg, 0, head, 8);
+    f.ret(len);
+}
+
+/** ringPoll(ring) -> pending messages (non-blocking). */
+void
+emitRingPoll(ProgramBuilder &pb)
+{
+    auto f = pb.beginFunction("lib.ringPoll", 1);
+    const int rg = f.arg(0);
+    const int head = f.newVreg(), tail = f.newVreg(), n = f.newVreg();
+    f.load(head, rg, 0, 8, false);
+    f.load(tail, rg, 8, 8, false);
+    f.bin(BinOp::Sub, n, tail, head);
+    f.ret(n);
+}
+
+/** fnvHash(buf, len) -> 64-bit FNV-1a. */
+void
+emitFnvHash(ProgramBuilder &pb)
+{
+    auto f = pb.beginFunction("lib.fnvHash", 2);
+    const int buf = f.arg(0), len = f.arg(1);
+    const int h = f.newVreg(), i = f.newVreg(), c = f.newVreg(),
+              addr = f.newVreg(), prime = f.newVreg();
+    const int loop = f.newLabel(), lend = f.newLabel();
+
+    f.movi(h, int64_t(0xcbf29ce484222325ULL));
+    f.movi(prime, int64_t(0x100000001b3ULL));
+    f.movi(i, 0);
+    f.label(loop);
+    f.brcond(CondOp::GeU, i, len, lend);
+    f.bin(BinOp::Add, addr, buf, i);
+    f.load(c, addr, 0, 1, false);
+    f.bin(BinOp::Xor, h, h, c);
+    f.bin(BinOp::Mul, h, h, prime);
+    f.addi(i, i, 1);
+    f.br(loop);
+    f.label(lend);
+    f.ret(h);
+}
+
+/** touchRead(ptr, len, stride) -> sum of 8-byte loads. */
+void
+emitTouchRead(ProgramBuilder &pb)
+{
+    auto f = pb.beginFunction("lib.touchRead", 3);
+    const int ptr = f.arg(0), len = f.arg(1), stride = f.arg(2);
+    const int i = f.newVreg(), sum = f.newVreg(), addr = f.newVreg(),
+              v = f.newVreg();
+    const int loop = f.newLabel(), lend = f.newLabel();
+
+    f.movi(i, 0);
+    f.movi(sum, 0);
+    f.label(loop);
+    f.brcond(CondOp::GeU, i, len, lend);
+    f.bin(BinOp::Add, addr, ptr, i);
+    f.load(v, addr, 0, 8, false);
+    f.bin(BinOp::Add, sum, sum, v);
+    f.bin(BinOp::Add, i, i, stride);
+    f.br(loop);
+    f.label(lend);
+    f.ret(sum);
+}
+
+/** touchWrite(ptr, len, stride): 8-byte stores across a region. */
+void
+emitTouchWrite(ProgramBuilder &pb)
+{
+    auto f = pb.beginFunction("lib.touchWrite", 3);
+    const int ptr = f.arg(0), len = f.arg(1), stride = f.arg(2);
+    const int i = f.newVreg(), addr = f.newVreg();
+    const int loop = f.newLabel(), lend = f.newLabel();
+
+    f.movi(i, 0);
+    f.label(loop);
+    f.brcond(CondOp::GeU, i, len, lend);
+    f.bin(BinOp::Add, addr, ptr, i);
+    f.store(addr, 0, i, 8);
+    f.bin(BinOp::Add, i, i, stride);
+    f.br(loop);
+    f.label(lend);
+    f.ret();
+}
+
+/** burnAlu(iters) -> x: dependent integer work, no memory. */
+void
+emitBurnAlu(ProgramBuilder &pb)
+{
+    auto f = pb.beginFunction("lib.burnAlu", 1);
+    const int iters = f.arg(0);
+    const int i = f.newVreg(), x = f.newVreg(), m = f.newVreg();
+    const int loop = f.newLabel(), lend = f.newLabel();
+
+    f.movi(i, 0);
+    f.movi(x, 0x9e3779b9);
+    f.movi(m, 6364136223846793005LL);
+    f.label(loop);
+    f.brcond(CondOp::GeU, i, iters, lend);
+    f.bin(BinOp::Mul, x, x, m);
+    f.bini(BinOp::Add, x, x, 1442695040888963407LL & 0x7fffffff);
+    f.bini(BinOp::Xor, x, x, 0x5deece66);
+    f.addi(i, i, 1);
+    f.br(loop);
+    f.label(lend);
+    f.ret(x);
+}
+
+} // namespace
+
+GuestLib
+GuestLib::addTo(ProgramBuilder &pb)
+{
+    GuestLib lib;
+    emitMemCopy(pb);
+    lib.memCopy = pb.functionIndex("lib.memCopy");
+    emitMemZero(pb);
+    lib.memZero = pb.functionIndex("lib.memZero");
+    emitRingSend(pb, lib.memCopy);
+    lib.ringSend = pb.functionIndex("lib.ringSend");
+    emitRingRecv(pb, lib.memCopy);
+    lib.ringRecv = pb.functionIndex("lib.ringRecv");
+    emitRingPoll(pb);
+    lib.ringPoll = pb.functionIndex("lib.ringPoll");
+    emitFnvHash(pb);
+    lib.fnvHash = pb.functionIndex("lib.fnvHash");
+    emitTouchRead(pb);
+    lib.touchRead = pb.functionIndex("lib.touchRead");
+    emitTouchWrite(pb);
+    lib.touchWrite = pb.functionIndex("lib.touchWrite");
+    emitBurnAlu(pb);
+    lib.burnAlu = pb.functionIndex("lib.burnAlu");
+    return lib;
+}
+
+} // namespace svb::gen

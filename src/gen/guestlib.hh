@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The guest-side support library.
+ *
+ * A small set of IR functions linked into every guest program: memory
+ * copy/zero, the shared-ring RPC primitives (the gRPC-over-loopback
+ * substitute), FNV hashing, and working-set touch loops used by the
+ * runtime bootstrap models. All of this executes as real simulated
+ * guest code, so its loads/stores/branches show up in the cache and
+ * branch-predictor statistics.
+ */
+
+#ifndef SVB_GEN_GUESTLIB_HH
+#define SVB_GEN_GUESTLIB_HH
+
+#include "ir.hh"
+
+namespace svb::gen
+{
+
+/**
+ * Number of slots in every RPC ring. 8 slots of 256 bytes plus the
+ * 16-byte header keeps a whole ring within one 4 KiB page.
+ */
+constexpr int64_t ringSlots = 8;
+
+/** Function indices of the library routines within one program. */
+struct GuestLib
+{
+    int memCopy = -1;   ///< memCopy(dst, src, len)
+    int memZero = -1;   ///< memZero(dst, len)
+    int ringSend = -1;  ///< ringSend(ring, buf, len); blocks via yield
+    int ringRecv = -1;  ///< len = ringRecv(ring, buf); blocks via yield
+    int ringPoll = -1;  ///< pending = ringPoll(ring); non-blocking
+    int fnvHash = -1;   ///< h = fnvHash(buf, len)
+    int touchRead = -1; ///< sum = touchRead(ptr, len, stride)
+    int touchWrite = -1;///< touchWrite(ptr, len, stride)
+    int burnAlu = -1;   ///< x = burnAlu(iters) — pure compute loop
+
+    /** Emit the library into @p pb and return the indices. */
+    static GuestLib addTo(ProgramBuilder &pb);
+};
+
+} // namespace svb::gen
+
+#endif // SVB_GEN_GUESTLIB_HH

@@ -1,0 +1,277 @@
+#include "ir.hh"
+
+#include "sim/logging.hh"
+
+namespace svb::gen
+{
+
+int
+Program::findFunction(const std::string &name) const
+{
+    for (size_t i = 0; i < functions.size(); ++i) {
+        if (functions[i].name == name)
+            return int(i);
+    }
+    return -1;
+}
+
+// --------------------------------------------------------------------------
+// FunctionBuilder
+// --------------------------------------------------------------------------
+
+void
+FunctionBuilder::movi(int dst, int64_t imm_val)
+{
+    IrInst inst;
+    inst.op = IrOp::MovImm;
+    inst.dst = dst;
+    inst.imm = imm_val;
+    fn.insts.push_back(std::move(inst));
+}
+
+void
+FunctionBuilder::mov(int dst, int a)
+{
+    IrInst inst;
+    inst.op = IrOp::Mov;
+    inst.dst = dst;
+    inst.a = a;
+    fn.insts.push_back(std::move(inst));
+}
+
+void
+FunctionBuilder::bin(BinOp op, int dst, int a, int b)
+{
+    IrInst inst;
+    inst.op = IrOp::Bin;
+    inst.bop = op;
+    inst.dst = dst;
+    inst.a = a;
+    inst.b = b;
+    fn.insts.push_back(std::move(inst));
+}
+
+void
+FunctionBuilder::bini(BinOp op, int dst, int a, int64_t imm_val)
+{
+    IrInst inst;
+    inst.op = IrOp::BinImm;
+    inst.bop = op;
+    inst.dst = dst;
+    inst.a = a;
+    inst.imm = imm_val;
+    fn.insts.push_back(std::move(inst));
+}
+
+void
+FunctionBuilder::load(int dst, int base, int64_t off, uint8_t size,
+                      bool sgn)
+{
+    IrInst inst;
+    inst.op = IrOp::Load;
+    inst.dst = dst;
+    inst.a = base;
+    inst.imm = off;
+    inst.size = size;
+    inst.sgn = sgn;
+    fn.insts.push_back(std::move(inst));
+}
+
+void
+FunctionBuilder::store(int base, int64_t off, int src, uint8_t size)
+{
+    IrInst inst;
+    inst.op = IrOp::Store;
+    inst.a = base;
+    inst.b = src;
+    inst.imm = off;
+    inst.size = size;
+    fn.insts.push_back(std::move(inst));
+}
+
+void
+FunctionBuilder::lea(int dst, Addr absolute)
+{
+    IrInst inst;
+    inst.op = IrOp::Lea;
+    inst.dst = dst;
+    inst.imm = int64_t(absolute);
+    fn.insts.push_back(std::move(inst));
+}
+
+void
+FunctionBuilder::leaLocal(int dst, int64_t frame_off)
+{
+    IrInst inst;
+    inst.op = IrOp::LeaLocal;
+    inst.dst = dst;
+    inst.imm = frame_off;
+    fn.insts.push_back(std::move(inst));
+}
+
+void
+FunctionBuilder::br(int label_id)
+{
+    IrInst inst;
+    inst.op = IrOp::Br;
+    inst.label = label_id;
+    fn.insts.push_back(std::move(inst));
+}
+
+void
+FunctionBuilder::brcond(CondOp cond, int a, int b, int label_id)
+{
+    IrInst inst;
+    inst.op = IrOp::BrCond;
+    inst.cond = cond;
+    inst.a = a;
+    inst.b = b;
+    inst.label = label_id;
+    fn.insts.push_back(std::move(inst));
+}
+
+void
+FunctionBuilder::brcondi(CondOp cond, int a, int64_t imm_val, int label_id)
+{
+    IrInst inst;
+    inst.op = IrOp::BrCondImm;
+    inst.cond = cond;
+    inst.a = a;
+    inst.imm = imm_val;
+    inst.label = label_id;
+    fn.insts.push_back(std::move(inst));
+}
+
+int
+FunctionBuilder::call(int callee, std::initializer_list<int> args)
+{
+    svb_assert(args.size() <= 4, "too many call arguments");
+    IrInst inst;
+    inst.op = IrOp::Call;
+    inst.callee = callee;
+    inst.dst = newVreg();
+    inst.args.assign(args.begin(), args.end());
+    const int dst = inst.dst;
+    fn.insts.push_back(std::move(inst));
+    return dst;
+}
+
+void
+FunctionBuilder::callVoid(int callee, std::initializer_list<int> args)
+{
+    svb_assert(args.size() <= 4, "too many call arguments");
+    IrInst inst;
+    inst.op = IrOp::Call;
+    inst.callee = callee;
+    inst.args.assign(args.begin(), args.end());
+    fn.insts.push_back(std::move(inst));
+}
+
+void
+FunctionBuilder::ret(int a)
+{
+    IrInst inst;
+    inst.op = IrOp::Ret;
+    inst.a = a;
+    fn.insts.push_back(std::move(inst));
+}
+
+int
+FunctionBuilder::syscall(uint64_t number, std::initializer_list<int> args)
+{
+    svb_assert(args.size() <= 3, "too many syscall arguments");
+    IrInst inst;
+    inst.op = IrOp::Syscall;
+    inst.imm = int64_t(number);
+    inst.dst = newVreg();
+    inst.args.assign(args.begin(), args.end());
+    const int dst = inst.dst;
+    fn.insts.push_back(std::move(inst));
+    return dst;
+}
+
+void
+FunctionBuilder::halt()
+{
+    IrInst inst;
+    inst.op = IrOp::Halt;
+    fn.insts.push_back(std::move(inst));
+}
+
+void
+FunctionBuilder::label(int l)
+{
+    IrInst inst;
+    inst.op = IrOp::Label;
+    inst.label = l;
+    fn.insts.push_back(std::move(inst));
+}
+
+int
+FunctionBuilder::imm(int64_t value)
+{
+    const int v = newVreg();
+    movi(v, value);
+    return v;
+}
+
+// --------------------------------------------------------------------------
+// ProgramBuilder
+// --------------------------------------------------------------------------
+
+Addr
+ProgramBuilder::addData(const void *bytes, size_t len)
+{
+    while (prog.data.size() % 8 != 0)
+        prog.data.push_back(0);
+    const Addr addr = layout::dataBase + prog.data.size();
+    const auto *p = static_cast<const uint8_t *>(bytes);
+    prog.data.insert(prog.data.end(), p, p + len);
+    return addr;
+}
+
+Addr
+ProgramBuilder::addZeroData(size_t len)
+{
+    while (prog.data.size() % 8 != 0)
+        prog.data.push_back(0);
+    const Addr addr = layout::dataBase + prog.data.size();
+    prog.data.insert(prog.data.end(), len, 0);
+    return addr;
+}
+
+FunctionBuilder
+ProgramBuilder::beginFunction(const std::string &name, unsigned num_args)
+{
+    svb_assert(prog.findFunction(name) < 0, "duplicate function '", name,
+               "'");
+    prog.functions.emplace_back();
+    IrFunction &fn = prog.functions.back();
+    fn.name = name;
+    fn.numArgs = num_args;
+    fn.numVregs = int(num_args);
+    return FunctionBuilder(fn);
+}
+
+int
+ProgramBuilder::functionIndex(const std::string &name) const
+{
+    const int idx = prog.findFunction(name);
+    svb_assert(idx >= 0, "unknown function '", name, "'");
+    return idx;
+}
+
+void
+ProgramBuilder::setEntry(const std::string &name)
+{
+    prog.entryFunction = functionIndex(name);
+}
+
+Program
+ProgramBuilder::take()
+{
+    svb_assert(prog.entryFunction >= 0, "program has no entry function");
+    return std::move(prog);
+}
+
+} // namespace svb::gen

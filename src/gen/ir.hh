@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The portable guest-code intermediate representation.
+ *
+ * Every guest program (serverless runtimes, workloads, databases) is
+ * authored against this IR and lowered to real machine code by the
+ * RV64 and CX86 backends (backend_*.cc). Virtual registers are
+ * unlimited; each backend maps the first N onto its register pool and
+ * spills the rest to the stack frame, so ISAs with fewer registers
+ * naturally generate more memory traffic.
+ */
+
+#ifndef SVB_GEN_IR_HH
+#define SVB_GEN_IR_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "guest/loader.hh"
+#include "isa/isa_info.hh"
+#include "sim/types.hh"
+
+namespace svb::gen
+{
+
+/** IR opcodes. */
+enum class IrOp : uint8_t
+{
+    MovImm,   ///< dst = imm64
+    Mov,      ///< dst = a
+    Bin,      ///< dst = a <bop> b
+    BinImm,   ///< dst = a <bop> imm
+    Load,     ///< dst = mem[a + imm] (size/sgn)
+    Store,    ///< mem[a + imm] = b (size)
+    Lea,      ///< dst = absolute address imm (data symbol)
+    LeaLocal, ///< dst = sp-relative local at frame offset imm
+    Br,       ///< goto label
+    BrCond,   ///< if (a <cond> b) goto label
+    BrCondImm,///< if (a <cond> imm) goto label
+    Call,     ///< dst = callee(args...)
+    Ret,      ///< return a (or nothing when a < 0)
+    Syscall,  ///< dst = syscall(imm, args...)
+    Halt,     ///< stop the core
+    Label,    ///< bind label
+};
+
+/** Binary ALU operations. */
+enum class BinOp : uint8_t
+{
+    Add, Sub, Mul, Div, Rem, Udiv, Urem,
+    And, Or, Xor, Shl, Shr, Sar,
+};
+
+/** Branch conditions (signed unless suffixed U). */
+enum class CondOp : uint8_t
+{
+    Eq, Ne, Lt, Ge, Le, Gt, LtU, GeU,
+};
+
+/** One IR instruction. */
+struct IrInst
+{
+    IrOp op;
+    BinOp bop = BinOp::Add;
+    CondOp cond = CondOp::Eq;
+    int dst = -1;
+    int a = -1;
+    int b = -1;
+    int64_t imm = 0;
+    uint8_t size = 8;
+    bool sgn = false;
+    int label = -1;
+    int callee = -1;
+    std::vector<int> args;
+};
+
+/** One IR function. */
+struct IrFunction
+{
+    std::string name;
+    unsigned numArgs = 0;
+    int numVregs = 0;
+    int numLabels = 0;
+    Addr localBytes = 0; ///< reserved sp-relative scratch area
+    std::vector<IrInst> insts;
+};
+
+/** A whole program: data segment + functions + entry. */
+struct Program
+{
+    std::deque<IrFunction> functions; // deque: stable refs for builders
+    std::vector<uint8_t> data;
+    Addr heapBytes = 64 * 1024;
+    Addr stackBytes = 64 * 1024;
+    int entryFunction = -1;
+
+    /** Find a function index by name; -1 when absent. */
+    int findFunction(const std::string &name) const;
+};
+
+class ProgramBuilder;
+
+/**
+ * Fluent emitter for one function's body.
+ */
+class FunctionBuilder
+{
+  public:
+    /** Allocate a fresh virtual register. */
+    int newVreg() { return fn.numVregs++; }
+
+    /** @return the vreg holding argument @p i. */
+    int
+    arg(unsigned i) const
+    {
+        return int(i); // arguments occupy v0..v(numArgs-1)
+    }
+
+    /** Allocate a fresh label id. */
+    int newLabel() { return fn.numLabels++; }
+
+    /**
+     * Reserve @p bytes of per-call stack scratch; @return the frame
+     * offset to pass to leaLocal.
+     */
+    int64_t
+    localBytes(Addr bytes)
+    {
+        const int64_t off = int64_t(fn.localBytes);
+        fn.localBytes += (bytes + 7) & ~Addr(7);
+        return off;
+    }
+
+    // --- emission helpers ------------------------------------------------
+    void movi(int dst, int64_t imm);
+    void mov(int dst, int a);
+    void bin(BinOp op, int dst, int a, int b);
+    void bini(BinOp op, int dst, int a, int64_t imm);
+    void load(int dst, int base, int64_t off, uint8_t size, bool sgn);
+    void store(int base, int64_t off, int src, uint8_t size);
+    void lea(int dst, Addr absolute);
+    void leaLocal(int dst, int64_t frame_off);
+    void br(int label);
+    void brcond(CondOp cond, int a, int b, int label);
+    void brcondi(CondOp cond, int a, int64_t imm, int label);
+    int call(int callee, std::initializer_list<int> args); ///< returns vreg
+    void callVoid(int callee, std::initializer_list<int> args);
+    void ret(int a = -1);
+    int syscall(uint64_t number, std::initializer_list<int> args);
+    void halt();
+    void label(int l);
+
+    // Common shorthands.
+    void addi(int dst, int a, int64_t imm) { bini(BinOp::Add, dst, a, imm); }
+    int imm(int64_t value); ///< fresh vreg holding a constant
+
+    IrFunction &fn;
+
+  private:
+    friend class ProgramBuilder;
+    explicit FunctionBuilder(IrFunction &f) : fn(f) {}
+};
+
+/**
+ * Builds a Program: data symbols, functions and the entry point.
+ */
+class ProgramBuilder
+{
+  public:
+    /**
+     * Append a data blob; @return its absolute virtual address.
+     */
+    Addr addData(const void *bytes, size_t len);
+
+    /** Append @p len zero bytes (aligned to 8). */
+    Addr addZeroData(size_t len);
+
+    /**
+     * Begin a function; the returned builder stays valid until the
+     * next beginFunction call.
+     */
+    FunctionBuilder beginFunction(const std::string &name,
+                                  unsigned num_args);
+
+    /** @return the index of a previously created function. */
+    int functionIndex(const std::string &name) const;
+
+    /** Designate the program entry (a 0-argument function). */
+    void setEntry(const std::string &name);
+
+    void setHeapBytes(Addr bytes) { prog.heapBytes = bytes; }
+    void setStackBytes(Addr bytes) { prog.stackBytes = bytes; }
+
+    /** Finish and take the program. */
+    Program take();
+
+    Program &program() { return prog; }
+
+  private:
+    Program prog;
+};
+
+/**
+ * Lower @p program to machine code for @p isa.
+ */
+LoadableImage compileProgram(const Program &program, IsaId isa);
+
+} // namespace svb::gen
+
+#endif // SVB_GEN_IR_HH

@@ -1,0 +1,153 @@
+#include "address_space.hh"
+
+#include "sim/logging.hh"
+
+namespace svb
+{
+
+Addr
+FrameAllocator::allocFrames(size_t count)
+{
+    const Addr addr = next;
+    next += Addr(count) * paging::pageSize;
+    if (next > limit)
+        svb_fatal("guest physical memory exhausted (", next, " > ", limit,
+                  ")");
+    return addr;
+}
+
+void
+FrameAllocator::serializeState(const std::string &prefix,
+                               Checkpoint &cp) const
+{
+    cp.setScalar(prefix + "next", next);
+    cp.setScalar(prefix + "limit", limit);
+}
+
+void
+FrameAllocator::unserializeState(const std::string &prefix,
+                                 const Checkpoint &cp)
+{
+    next = cp.getScalar(prefix + "next");
+    svb_assert(cp.getScalar(prefix + "limit") == limit,
+               "frame allocator limit mismatch");
+}
+
+AddressSpace::AddressSpace(PhysMemory &phys_mem, FrameAllocator &frame_alloc)
+    : phys(phys_mem), frames(frame_alloc)
+{
+    rootTable = frames.allocFrames(paging::tableBytes / paging::pageSize);
+    phys.clearRange(rootTable, paging::tableBytes);
+}
+
+void
+AddressSpace::mapPage(Addr vaddr, Addr paddr)
+{
+    svb_assert(paging::pageOffset(vaddr) == 0 &&
+               paging::pageOffset(paddr) == 0, "unaligned mapping");
+    const Addr pte1Addr = rootTable + paging::vpn1(vaddr) * 8;
+    uint64_t pte1 = phys.read64(pte1Addr);
+    Addr level0;
+    if (!paging::pteIsValid(pte1)) {
+        level0 = frames.allocFrames(paging::tableBytes / paging::pageSize);
+        phys.clearRange(level0, paging::tableBytes);
+        phys.write64(pte1Addr, paging::makePte(level0));
+    } else {
+        level0 = paging::pteFrame(pte1);
+    }
+    phys.write64(level0 + paging::vpn0(vaddr) * 8, paging::makePte(paddr));
+}
+
+Addr
+AddressSpace::allocRegion(Addr vaddr, Addr bytes)
+{
+    const Addr pages = paging::roundUpPage(bytes) / paging::pageSize;
+    const Addr base = frames.allocFrames(pages);
+    for (Addr i = 0; i < pages; ++i) {
+        mapPage(vaddr + i * paging::pageSize,
+                base + i * paging::pageSize);
+    }
+    phys.clearRange(base, pages * paging::pageSize);
+    return base;
+}
+
+void
+AddressSpace::mapShared(Addr vaddr, Addr paddr, Addr bytes)
+{
+    const Addr pages = paging::roundUpPage(bytes) / paging::pageSize;
+    for (Addr i = 0; i < pages; ++i) {
+        mapPage(vaddr + i * paging::pageSize,
+                paddr + i * paging::pageSize);
+    }
+}
+
+Addr
+AddressSpace::translate(Addr vaddr) const
+{
+    const uint64_t pte1 =
+        phys.read64(rootTable + paging::vpn1(vaddr) * 8);
+    svb_assert(paging::pteIsValid(pte1), "unmapped vaddr ", vaddr,
+               " (level 1)");
+    const uint64_t pte0 = phys.read64(paging::pteFrame(pte1) +
+                                      paging::vpn0(vaddr) * 8);
+    svb_assert(paging::pteIsValid(pte0), "unmapped vaddr ", vaddr,
+               " (level 0)");
+    return paging::pteFrame(pte0) | paging::pageOffset(vaddr);
+}
+
+bool
+AddressSpace::isMapped(Addr vaddr) const
+{
+    const uint64_t pte1 =
+        phys.read64(rootTable + paging::vpn1(vaddr) * 8);
+    if (!paging::pteIsValid(pte1))
+        return false;
+    const uint64_t pte0 = phys.read64(paging::pteFrame(pte1) +
+                                      paging::vpn0(vaddr) * 8);
+    return paging::pteIsValid(pte0);
+}
+
+uint64_t
+AddressSpace::read(Addr vaddr, unsigned len) const
+{
+    return phys.read(translate(vaddr), len);
+}
+
+void
+AddressSpace::write(Addr vaddr, uint64_t value, unsigned len)
+{
+    phys.write(translate(vaddr), value, len);
+}
+
+void
+AddressSpace::writeBytes(Addr vaddr, const void *src, size_t len)
+{
+    // Page-by-page: virtual contiguity does not imply physical.
+    const auto *p = static_cast<const uint8_t *>(src);
+    while (len > 0) {
+        const size_t in_page =
+            std::min<size_t>(len, paging::pageSize -
+                                      paging::pageOffset(vaddr));
+        phys.writeBytes(translate(vaddr), p, in_page);
+        vaddr += in_page;
+        p += in_page;
+        len -= in_page;
+    }
+}
+
+void
+AddressSpace::readBytes(Addr vaddr, void *dst, size_t len) const
+{
+    auto *p = static_cast<uint8_t *>(dst);
+    while (len > 0) {
+        const size_t in_page =
+            std::min<size_t>(len, paging::pageSize -
+                                      paging::pageOffset(vaddr));
+        phys.readBytes(translate(vaddr), p, in_page);
+        vaddr += in_page;
+        p += in_page;
+        len -= in_page;
+    }
+}
+
+} // namespace svb

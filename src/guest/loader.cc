@@ -1,0 +1,60 @@
+#include "loader.hh"
+
+#include "sim/logging.hh"
+
+namespace svb
+{
+
+std::string
+LoadableImage::symbolAt(Addr off) const
+{
+    std::string best = "?";
+    for (const auto &[name, sym_off] : symbols) {
+        if (sym_off <= off)
+            best = name;
+        else
+            break;
+    }
+    return best;
+}
+
+
+LoadedProgram
+loadProcess(GuestKernel &kernel, const LoadableImage &image,
+            const std::string &name, int core)
+{
+    Process &proc = kernel.createProcess(name, core);
+    AddressSpace &as = *proc.space;
+
+    svb_assert(!image.code.empty(), "loading empty image '", name, "'");
+
+    as.allocRegion(layout::codeBase, image.code.size());
+    as.writeBytes(layout::codeBase, image.code.data(), image.code.size());
+
+    if (!image.rodata.empty()) {
+        as.allocRegion(layout::dataBase, image.rodata.size());
+        as.writeBytes(layout::dataBase, image.rodata.data(),
+                      image.rodata.size());
+    }
+
+    if (image.heapBytes > 0)
+        as.allocRegion(layout::heapBase, image.heapBytes);
+
+    as.allocRegion(layout::stackTop - image.stackBytes, image.stackBytes);
+
+    LoadedProgram out;
+    out.pid = proc.pid;
+    out.entry = layout::codeBase + image.entryOffset;
+    out.stackTop = layout::stackTop - 64; // small red zone
+    kernel.startProcess(proc.pid, out.entry, out.stackTop);
+    return out;
+}
+
+void
+mapSharedInto(GuestKernel &kernel, int pid, Addr vaddr, Addr paddr,
+              Addr bytes)
+{
+    kernel.process(pid).space->mapShared(vaddr, paddr, bytes);
+}
+
+} // namespace svb

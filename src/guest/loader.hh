@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Program image layout and the process loader.
+ */
+
+#ifndef SVB_GUEST_LOADER_HH
+#define SVB_GUEST_LOADER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel.hh"
+
+namespace svb
+{
+
+/** Standard virtual-memory layout of every guest process. */
+namespace layout
+{
+constexpr Addr codeBase = 0x00010000;
+constexpr Addr dataBase = 0x10000000;
+constexpr Addr heapBase = 0x20000000;
+constexpr Addr stackTop = 0x30000000;
+constexpr Addr sharedBase = 0x70000000; ///< shared rings region
+} // namespace layout
+
+/**
+ * A linked guest program ready to load: machine code, initialised
+ * data, a zeroed heap request and the entry offset.
+ */
+struct LoadableImage
+{
+    std::vector<uint8_t> code;
+    std::vector<uint8_t> rodata;
+    Addr heapBytes = 64 * 1024;
+    Addr entryOffset = 0;
+    Addr stackBytes = 64 * 1024;
+    /** (function name, code offset) pairs, in layout order. */
+    std::vector<std::pair<std::string, Addr>> symbols;
+
+    /** @return the symbol covering code offset @p off, or "?". */
+    std::string symbolAt(Addr off) const;
+};
+
+/** Result of loading an image into a new process. */
+struct LoadedProgram
+{
+    int pid = -1;
+    Addr entry = 0;
+    Addr stackTop = 0;
+};
+
+/**
+ * Create a process from @p image, pinned to @p core, and mark it
+ * runnable.
+ */
+LoadedProgram loadProcess(GuestKernel &kernel, const LoadableImage &image,
+                          const std::string &name, int core);
+
+/**
+ * Map a shared physical range into an existing process at the given
+ * virtual address (used for the RPC rings).
+ */
+void mapSharedInto(GuestKernel &kernel, int pid, Addr vaddr, Addr paddr,
+                   Addr bytes);
+
+} // namespace svb
+
+#endif // SVB_GUEST_LOADER_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Guest process model.
+ */
+
+#ifndef SVB_GUEST_PROCESS_HH
+#define SVB_GUEST_PROCESS_HH
+
+#include <memory>
+#include <string>
+
+#include "address_space.hh"
+#include "cpu/hw_context.hh"
+
+namespace svb
+{
+
+/** Lifecycle states of a guest process. */
+enum class ProcState
+{
+    Ready,   ///< runnable, waiting for its core
+    Running, ///< currently on a core
+    Exited,  ///< finished
+};
+
+/**
+ * One guest process: an address space plus a saved hardware context.
+ */
+struct Process
+{
+    int pid = -1;
+    std::string name;
+    int core = 0;                    ///< core this process is pinned to
+    ProcState state = ProcState::Ready;
+    std::unique_ptr<AddressSpace> space;
+    HwContext saved;                 ///< context while not running
+};
+
+} // namespace svb
+
+#endif // SVB_GUEST_PROCESS_HH

@@ -1,0 +1,50 @@
+#include "ring.hh"
+
+#include "sim/logging.hh"
+
+namespace svb::ring
+{
+
+uint64_t
+pending(const PhysMemory &mem, const Ring &ring)
+{
+    const uint64_t head = mem.read64(ring.phys + 0);
+    const uint64_t tail = mem.read64(ring.phys + 8);
+    return tail - head;
+}
+
+bool
+tryPush(PhysMemory &mem, const Ring &ring, const void *payload,
+        uint64_t len)
+{
+    svb_assert(len <= maxPayload, "ring payload too large: ", len);
+    const uint64_t head = mem.read64(ring.phys + 0);
+    const uint64_t tail = mem.read64(ring.phys + 8);
+    if (tail - head >= ring.numSlots)
+        return false;
+    const Addr slot = ring.phys + headerBytes +
+                      Addr(tail % ring.numSlots) * slotSize;
+    mem.write64(slot, len);
+    mem.writeBytes(slot + 8, payload, len);
+    mem.write64(ring.phys + 8, tail + 1);
+    return true;
+}
+
+bool
+tryPop(PhysMemory &mem, const Ring &ring, std::vector<uint8_t> &payload_out)
+{
+    const uint64_t head = mem.read64(ring.phys + 0);
+    const uint64_t tail = mem.read64(ring.phys + 8);
+    if (head == tail)
+        return false;
+    const Addr slot = ring.phys + headerBytes +
+                      Addr(head % ring.numSlots) * slotSize;
+    const uint64_t len = mem.read64(slot);
+    svb_assert(len <= maxPayload, "corrupt ring slot length ", len);
+    payload_out.resize(len);
+    mem.readBytes(slot + 8, payload_out.data(), len);
+    mem.write64(ring.phys + 0, head + 1);
+    return true;
+}
+
+} // namespace svb::ring

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared-memory ring channels (the RPC transport).
+ *
+ * Layout in guest memory, physically contiguous:
+ *   +0   head (u64)  — consumer cursor (slot sequence number)
+ *   +8   tail (u64)  — producer cursor
+ *   +16  slots[numSlots] of slotSize bytes; each slot starts with a
+ *        u64 payload length followed by the payload bytes.
+ *
+ * Guest code implements send/recv directly with loads and stores (see
+ * gen/runtime_lib); the helpers here are the host-side functional view
+ * used by tests and the experiment harness.
+ */
+
+#ifndef SVB_GUEST_RING_HH
+#define SVB_GUEST_RING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/phys_memory.hh"
+
+namespace svb::ring
+{
+
+constexpr uint32_t slotSize = 256;
+constexpr uint32_t headerBytes = 16;
+constexpr uint32_t maxPayload = slotSize - 8;
+
+/** @return the byte footprint of a ring with @p num_slots slots. */
+inline Addr
+byteSize(uint32_t num_slots)
+{
+    return headerBytes + Addr(num_slots) * slotSize;
+}
+
+/** Host-side descriptor of one ring. */
+struct Ring
+{
+    Addr phys = 0;       ///< physical base
+    Addr vaddr = 0;      ///< virtual base (same in all mapping processes)
+    uint32_t numSlots = 16;
+};
+
+/** @return number of queued messages. */
+uint64_t pending(const PhysMemory &mem, const Ring &ring);
+
+/**
+ * Host-side push (used by tests/harness).
+ * @return false when the ring is full
+ */
+bool tryPush(PhysMemory &mem, const Ring &ring, const void *payload,
+             uint64_t len);
+
+/**
+ * Host-side pop.
+ * @return false when the ring is empty
+ */
+bool tryPop(PhysMemory &mem, const Ring &ring,
+            std::vector<uint8_t> &payload_out);
+
+} // namespace svb::ring
+
+#endif // SVB_GUEST_RING_HH

@@ -1,0 +1,59 @@
+#include "assembler.hh"
+
+namespace svb::cx86
+{
+
+void
+Assembler::movImm(Reg rd, int64_t imm)
+{
+    if (imm >= INT32_MIN && imm <= INT32_MAX) {
+        ri32(opMovRI32, rd, int32_t(imm));
+    } else {
+        emit8(opMovRI64);
+        emit8(rd);
+        emit64(uint64_t(imm));
+    }
+}
+
+void
+Assembler::load(Reg rd, Reg base, int32_t disp, unsigned size, bool sgn)
+{
+    static constexpr uint8_t unsOps[9] = {0, opLd8, opLd16, 0, opLd32,
+                                          0, 0, 0, opLd64};
+    static constexpr uint8_t sgnOps[9] = {0, opLd8s, opLd16s, 0, opLd32s,
+                                          0, 0, 0, opLd64};
+    uint8_t op = sgn ? sgnOps[size] : unsOps[size];
+    svb_assert(op != 0, "bad load size ", size);
+    if (disp >= -128 && disp < 128) {
+        memD8(uint8_t(op + 0x80), rd, base, int8_t(disp));
+    } else {
+        mem(op, rd, base, disp);
+    }
+}
+
+void
+Assembler::store(Reg src, Reg base, int32_t disp, unsigned size)
+{
+    static constexpr uint8_t ops[9] = {0, opSt8, opSt16, 0, opSt32,
+                                       0, 0, 0, opSt64};
+    uint8_t op = ops[size];
+    svb_assert(op != 0, "bad store size ", size);
+    // Store modrm: base in the high nibble, data source in the low.
+    if (disp >= -128 && disp < 128) {
+        memD8(uint8_t(op + 0x80), base, src, int8_t(disp));
+    } else {
+        mem(op, base, src, disp);
+    }
+}
+
+void
+Assembler::applyFixup(size_t inst_offset, size_t patch_offset, int kind,
+                      int64_t delta)
+{
+    svb_assert(kind == relocRel32, "bad cx86 reloc kind");
+    svb_assert(delta >= INT32_MIN && delta <= INT32_MAX,
+               "rel32 out of range at ", inst_offset);
+    patch32(patch_offset, uint32_t(int32_t(delta)));
+}
+
+} // namespace svb::cx86

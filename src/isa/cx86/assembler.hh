@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Programmatic CX86 assembler.
+ */
+
+#ifndef SVB_ISA_CX86_ASSEMBLER_HH
+#define SVB_ISA_CX86_ASSEMBLER_HH
+
+#include "encoding.hh"
+#include "isa/assembler.hh"
+#include "isa/isa_info.hh"
+#include "isa/microop.hh"
+
+namespace svb::cx86
+{
+
+/** Relocation kind: rel32 displacement measured from instruction start. */
+enum RelocKind { relocRel32 };
+
+/**
+ * CX86 assembler.
+ */
+class Assembler : public AssemblerBase
+{
+  public:
+    using Reg = uint8_t;
+
+    // --- Moves ----------------------------------------------------------
+    void mov(Reg rd, Reg rs) { rr(opMovRR, rd, rs); }
+    void movImm(Reg rd, int64_t imm);
+    void lea(Reg rd, Reg base, int32_t disp) { mem(opLea, rd, base, disp); }
+
+    // --- ALU ------------------------------------------------------------
+    void add(Reg rd, Reg rs) { rr(opAddRR, rd, rs); }
+    void sub(Reg rd, Reg rs) { rr(opSubRR, rd, rs); }
+    void and_(Reg rd, Reg rs) { rr(opAndRR, rd, rs); }
+    void or_(Reg rd, Reg rs) { rr(opOrRR, rd, rs); }
+    void xor_(Reg rd, Reg rs) { rr(opXorRR, rd, rs); }
+    void cmp(Reg ra, Reg rb) { rr(opCmpRR, ra, rb); }
+    void test(Reg ra, Reg rb) { rr(opTestRR, ra, rb); }
+    void imul(Reg rd, Reg rs) { rr(opImulRR, rd, rs); }
+    void idiv(Reg rd, Reg rs) { rr(opIdivRR, rd, rs); }
+    void irem(Reg rd, Reg rs) { rr(opIremRR, rd, rs); }
+    void divu(Reg rd, Reg rs) { rr(opDivuRR, rd, rs); }
+    void remu(Reg rd, Reg rs) { rr(opRemuRR, rd, rs); }
+
+    void addImm(Reg rd, int32_t imm) { ri32(opAddRI, rd, imm); }
+    void subImm(Reg rd, int32_t imm) { ri32(opSubRI, rd, imm); }
+    void andImm(Reg rd, int32_t imm) { ri32(opAndRI, rd, imm); }
+    void orImm(Reg rd, int32_t imm) { ri32(opOrRI, rd, imm); }
+    void xorImm(Reg rd, int32_t imm) { ri32(opXorRI, rd, imm); }
+    void cmpImm(Reg rd, int32_t imm) { ri32(opCmpRI, rd, imm); }
+    void imulImm(Reg rd, int32_t imm) { ri32(opImulRI, rd, imm); }
+
+    void shl(Reg rd, uint8_t sh) { ri8(opShlRI, rd, sh); }
+    void shr(Reg rd, uint8_t sh) { ri8(opShrRI, rd, sh); }
+    void sar(Reg rd, uint8_t sh) { ri8(opSarRI, rd, sh); }
+    void shlr(Reg rd, Reg rs) { rr(opShlRR, rd, rs); }
+    void shrr(Reg rd, Reg rs) { rr(opShrRR, rd, rs); }
+    void sarr(Reg rd, Reg rs) { rr(opSarRR, rd, rs); }
+
+    // --- Memory -----------------------------------------------------------
+    /** Load with size/sign selection; uses the disp8 form when possible. */
+    void load(Reg rd, Reg base, int32_t disp, unsigned size, bool sgn);
+    /** Store with size selection; uses the disp8 form when possible. */
+    void store(Reg src, Reg base, int32_t disp, unsigned size);
+    void addMem(Reg rd, Reg base, int32_t disp) { mem(opAddM, rd, base, disp); }
+    void cmpMem(Reg rd, Reg base, int32_t disp) { mem(opCmpM, rd, base, disp); }
+    void addStore(Reg src, Reg base, int32_t disp)
+    {
+        mem(opAddS, base, src, disp);
+    }
+    void push(Reg r) { emit8(opPush); emit8(r); }
+    void pop(Reg r) { emit8(opPop); emit8(r); }
+
+    // --- Control ----------------------------------------------------------
+    void jmp(AsmLabel l) { rel(opJmp, l); }
+    void call(AsmLabel l) { rel(opCall, l); }
+    void jmpReg(Reg r) { emit8(opJmpR); emit8(r); }
+    void callReg(Reg r) { emit8(opCallR); emit8(r); }
+    void ret() { emit8(opRet); }
+
+    void
+    jcc(FlagCond cond, AsmLabel l)
+    {
+        rel(uint8_t(opJcc + uint8_t(cond)), l);
+    }
+
+    // --- System -----------------------------------------------------------
+    void syscall() { emit8(opSyscall); }
+    void hlt() { emit8(opHlt); }
+    void nop() { emit8(opNop); }
+
+  protected:
+    void applyFixup(size_t inst_offset, size_t patch_offset, int kind,
+                    int64_t delta) override;
+
+  private:
+    void
+    rr(uint8_t op, Reg rd, Reg rs)
+    {
+        svb_assert(rd < cx::numGprs && rs < cx::numGprs, "bad cx86 reg");
+        emit8(op);
+        emit8(uint8_t(rd << 4 | rs));
+    }
+
+    void
+    ri32(uint8_t op, Reg rd, int32_t imm)
+    {
+        emit8(op);
+        emit8(rd);
+        emit32(uint32_t(imm));
+    }
+
+    void
+    ri8(uint8_t op, Reg rd, uint8_t imm)
+    {
+        emit8(op);
+        emit8(rd);
+        emit8(imm);
+    }
+
+    void
+    mem(uint8_t op, Reg a, Reg b, int32_t disp)
+    {
+        emit8(op);
+        emit8(uint8_t(a << 4 | b));
+        emit32(uint32_t(disp));
+    }
+
+    void
+    memD8(uint8_t op, Reg a, Reg b, int8_t disp)
+    {
+        emit8(op);
+        emit8(uint8_t(a << 4 | b));
+        emit8(uint8_t(disp));
+    }
+
+    void
+    rel(uint8_t op, AsmLabel l)
+    {
+        size_t inst = here();
+        emit8(op);
+        recordFixup(inst, here(), l, relocRel32);
+        emit32(0);
+    }
+};
+
+} // namespace svb::cx86
+
+#endif // SVB_ISA_CX86_ASSEMBLER_HH

@@ -1,0 +1,482 @@
+#include "decoder.hh"
+
+#include "encoding.hh"
+#include "isa/isa_info.hh"
+
+namespace svb::cx86
+{
+
+namespace
+{
+
+int32_t
+readI32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= uint32_t(p[i]) << (8 * i);
+    return int32_t(v);
+}
+
+int64_t
+readI64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= uint64_t(p[i]) << (8 * i);
+    return int64_t(v);
+}
+
+MicroOp
+aluUop(UopOp op, uint8_t rd, uint8_t rs1, uint8_t rs2, OpClass cls)
+{
+    MicroOp uop;
+    uop.op = op;
+    uop.rd = rd;
+    uop.rs1 = rs1;
+    uop.rs2 = rs2;
+    uop.cls = cls;
+    return uop;
+}
+
+MicroOp
+aluImmUop(UopOp op, uint8_t rd, uint8_t rs1, int64_t imm, OpClass cls)
+{
+    MicroOp uop;
+    uop.op = op;
+    uop.rd = rd;
+    uop.rs1 = rs1;
+    uop.imm = imm;
+    uop.useImm = true;
+    uop.cls = cls;
+    return uop;
+}
+
+MicroOp
+loadUop(uint8_t rd, uint8_t base, int64_t disp, uint8_t size, bool sgn)
+{
+    MicroOp uop;
+    uop.op = UopOp::Load;
+    uop.rd = rd;
+    uop.rs1 = base;
+    uop.imm = disp;
+    uop.memSize = size;
+    uop.memSigned = sgn;
+    uop.cls = OpClass::MemRead;
+    return uop;
+}
+
+MicroOp
+storeUop(uint8_t src, uint8_t base, int64_t disp, uint8_t size)
+{
+    MicroOp uop;
+    uop.op = UopOp::Store;
+    uop.rs1 = base;
+    uop.rs2 = src;
+    uop.imm = disp;
+    uop.memSize = size;
+    uop.cls = OpClass::MemWrite;
+    return uop;
+}
+
+/** Append the push-link micro-ops of a call (link = pc + inst length). */
+void
+addCallLinkUops(StaticInst &inst, uint8_t length)
+{
+    MicroOp link;
+    link.op = UopOp::Auipc;
+    link.rd = cx::ut0;
+    link.imm = length;
+    link.useImm = true;
+    link.cls = OpClass::IntAlu;
+    inst.addUop(link);
+    inst.addUop(aluImmUop(UopOp::Sub, cx::rsp, cx::rsp, 8,
+                          OpClass::IntAlu));
+    inst.addUop(storeUop(cx::ut0, cx::rsp, 0, 8));
+}
+
+} // namespace
+
+StaticInst
+decode(const uint8_t *bytes, size_t avail)
+{
+    StaticInst inst;
+    inst.valid = false;
+    inst.length = 1;
+    if (avail == 0)
+        return inst;
+
+    const uint8_t op = bytes[0];
+
+    auto need = [&](size_t n) { return avail >= n; };
+    auto modrmHi = [&]() { return uint8_t(bytes[1] >> 4); };
+    auto modrmLo = [&]() { return uint8_t(bytes[1] & 0xf); };
+
+    // --- Jcc family (0x80 .. 0x89) --------------------------------------
+    if (op >= opJcc && op < opJcc + 10) {
+        if (!need(5))
+            return inst;
+        inst.valid = true;
+        inst.length = 5;
+        inst.mnemonic = "jcc";
+        inst.isControl = true;
+        inst.isCondCtrl = true;
+        inst.isDirectCtrl = true;
+        inst.directOffset = readI32(bytes + 1);
+        MicroOp uop;
+        uop.op = UopOp::BranchFlags;
+        uop.rs1 = cx::rflags;
+        uop.cond = FlagCond(op - opJcc);
+        uop.imm = inst.directOffset;
+        uop.cls = OpClass::Branch;
+        inst.addUop(uop);
+        return inst;
+    }
+
+    // --- Memory short forms (disp8) --------------------------------------
+    if (op >= opLd8d8 && op <= opSt64d8 && op != 0xc7) {
+        if (!need(3))
+            return inst;
+        const int64_t disp = int64_t(int8_t(bytes[2]));
+        inst.valid = true;
+        inst.length = 3;
+        if (op <= opLd32sd8) {
+            static constexpr uint8_t sizes[7] = {1, 2, 4, 8, 1, 2, 4};
+            const unsigned idx = op - opLd8d8;
+            inst.mnemonic = "ld.d8";
+            inst.addUop(loadUop(modrmHi(), modrmLo(), disp, sizes[idx],
+                                idx >= 4));
+        } else {
+            static constexpr uint8_t sizes[4] = {1, 2, 4, 8};
+            inst.mnemonic = "st.d8";
+            inst.addUop(storeUop(modrmLo(), modrmHi(), disp,
+                                 sizes[op - opSt8d8]));
+        }
+        return inst;
+    }
+
+    switch (op) {
+      case opNop:
+        inst.valid = true;
+        inst.length = 1;
+        inst.mnemonic = "nop";
+        inst.addUop(aluUop(UopOp::Nop, invalidReg, invalidReg, invalidReg,
+                           OpClass::No_OpClass));
+        return inst;
+      case opHlt:
+        inst.valid = true;
+        inst.length = 1;
+        inst.mnemonic = "hlt";
+        inst.isHalt = true;
+        {
+            MicroOp uop;
+            uop.op = UopOp::Halt;
+            uop.cls = OpClass::No_OpClass;
+            inst.addUop(uop);
+        }
+        return inst;
+      case opSyscall:
+        inst.valid = true;
+        inst.length = 1;
+        inst.mnemonic = "syscall";
+        inst.isSyscall = true;
+        {
+            MicroOp uop;
+            uop.op = UopOp::Syscall;
+            uop.cls = OpClass::No_OpClass;
+            inst.addUop(uop);
+        }
+        return inst;
+      case opRet: {
+        inst.valid = true;
+        inst.length = 1;
+        inst.mnemonic = "ret";
+        inst.isControl = true;
+        inst.isReturn = true;
+        inst.addUop(loadUop(cx::ut0, cx::rsp, 0, 8, false));
+        inst.addUop(aluImmUop(UopOp::Add, cx::rsp, cx::rsp, 8,
+                              OpClass::IntAlu));
+        MicroOp uop;
+        uop.op = UopOp::JumpReg;
+        uop.rs1 = cx::ut0;
+        uop.cls = OpClass::Branch;
+        inst.addUop(uop);
+        return inst;
+      }
+      case opMovRR:
+        if (!need(2))
+            return inst;
+        inst.valid = true;
+        inst.length = 2;
+        inst.mnemonic = "mov";
+        inst.addUop(aluImmUop(UopOp::Add, modrmHi(), modrmLo(), 0,
+                              OpClass::IntAlu));
+        return inst;
+      case opMovRI32:
+        if (!need(6))
+            return inst;
+        inst.valid = true;
+        inst.length = 6;
+        inst.mnemonic = "movi";
+        inst.addUop(aluImmUop(UopOp::MovImm, bytes[1] & 0xf, invalidReg,
+                              readI32(bytes + 2), OpClass::IntAlu));
+        return inst;
+      case opMovRI64:
+        if (!need(10))
+            return inst;
+        inst.valid = true;
+        inst.length = 10;
+        inst.mnemonic = "movabs";
+        inst.addUop(aluImmUop(UopOp::MovImm, bytes[1] & 0xf, invalidReg,
+                              readI64(bytes + 2), OpClass::IntAlu));
+        return inst;
+      case opLea:
+        if (!need(6))
+            return inst;
+        inst.valid = true;
+        inst.length = 6;
+        inst.mnemonic = "lea";
+        inst.addUop(aluImmUop(UopOp::Add, modrmHi(), modrmLo(),
+                              readI32(bytes + 2), OpClass::IntAlu));
+        return inst;
+      case opAddRR: case opSubRR: case opAndRR: case opOrRR:
+      case opXorRR: case opImulRR: case opIdivRR: case opIremRR:
+      case opDivuRR: case opRemuRR: {
+        if (!need(2))
+            return inst;
+        static constexpr UopOp ops[] = {
+            UopOp::Add, UopOp::Sub, UopOp::And, UopOp::Or, UopOp::Xor,
+            UopOp::Nop /*cmp handled below*/, UopOp::Nop /*test*/,
+            UopOp::Mul, UopOp::Div, UopOp::Rem, UopOp::Divu, UopOp::Remu};
+        const UopOp uopOp = ops[op - opAddRR];
+        OpClass cls = OpClass::IntAlu;
+        if (uopOp == UopOp::Mul)
+            cls = OpClass::IntMult;
+        else if (uopOp == UopOp::Div || uopOp == UopOp::Rem ||
+                 uopOp == UopOp::Divu || uopOp == UopOp::Remu)
+            cls = OpClass::IntDiv;
+        inst.valid = true;
+        inst.length = 2;
+        inst.mnemonic = "alu.rr";
+        inst.addUop(aluUop(uopOp, modrmHi(), modrmHi(), modrmLo(), cls));
+        return inst;
+      }
+      case opCmpRR:
+        if (!need(2))
+            return inst;
+        inst.valid = true;
+        inst.length = 2;
+        inst.mnemonic = "cmp";
+        inst.addUop(aluUop(UopOp::CmpFlags, cx::rflags, modrmHi(),
+                           modrmLo(), OpClass::IntAlu));
+        return inst;
+      case opTestRR:
+        if (!need(2))
+            return inst;
+        inst.valid = true;
+        inst.length = 2;
+        inst.mnemonic = "test";
+        inst.addUop(aluUop(UopOp::TestFlags, cx::rflags, modrmHi(),
+                           modrmLo(), OpClass::IntAlu));
+        return inst;
+      case opAddRI: case opSubRI: case opAndRI: case opOrRI:
+      case opXorRI: case opImulRI: {
+        if (!need(6))
+            return inst;
+        static constexpr UopOp ops[] = {UopOp::Add, UopOp::Sub, UopOp::And,
+                                        UopOp::Or, UopOp::Xor, UopOp::Nop,
+                                        UopOp::Mul};
+        const UopOp uopOp = ops[op - opAddRI];
+        inst.valid = true;
+        inst.length = 6;
+        inst.mnemonic = "alu.ri";
+        inst.addUop(aluImmUop(uopOp, bytes[1] & 0xf, bytes[1] & 0xf,
+                              readI32(bytes + 2),
+                              uopOp == UopOp::Mul ? OpClass::IntMult
+                                                  : OpClass::IntAlu));
+        return inst;
+      }
+      case opCmpRI:
+        if (!need(6))
+            return inst;
+        inst.valid = true;
+        inst.length = 6;
+        inst.mnemonic = "cmpi";
+        inst.addUop(aluImmUop(UopOp::CmpFlags, cx::rflags, bytes[1] & 0xf,
+                              readI32(bytes + 2), OpClass::IntAlu));
+        return inst;
+      case opShlRI: case opShrRI: case opSarRI: {
+        if (!need(3))
+            return inst;
+        static constexpr UopOp ops[] = {UopOp::Sll, UopOp::Srl, UopOp::Sra};
+        inst.valid = true;
+        inst.length = 3;
+        inst.mnemonic = "shift.ri";
+        inst.addUop(aluImmUop(ops[op - opShlRI], bytes[1] & 0xf,
+                              bytes[1] & 0xf, bytes[2] & 63,
+                              OpClass::IntAlu));
+        return inst;
+      }
+      case opShlRR: case opShrRR: case opSarRR: {
+        if (!need(2))
+            return inst;
+        static constexpr UopOp ops[] = {UopOp::Sll, UopOp::Srl, UopOp::Sra};
+        inst.valid = true;
+        inst.length = 2;
+        inst.mnemonic = "shift.rr";
+        inst.addUop(aluUop(ops[op - opShlRR], modrmHi(), modrmHi(),
+                           modrmLo(), OpClass::IntAlu));
+        return inst;
+      }
+      case opLd8: case opLd16: case opLd32: case opLd64:
+      case opLd8s: case opLd16s: case opLd32s: {
+        if (!need(6))
+            return inst;
+        static constexpr uint8_t sizes[7] = {1, 2, 4, 8, 1, 2, 4};
+        const unsigned idx = op - opLd8;
+        inst.valid = true;
+        inst.length = 6;
+        inst.mnemonic = "ld";
+        inst.addUop(loadUop(modrmHi(), modrmLo(), readI32(bytes + 2),
+                            sizes[idx], idx >= 4));
+        return inst;
+      }
+      case opSt8: case opSt16: case opSt32: case opSt64: {
+        if (!need(6))
+            return inst;
+        static constexpr uint8_t sizes[4] = {1, 2, 4, 8};
+        inst.valid = true;
+        inst.length = 6;
+        inst.mnemonic = "st";
+        inst.addUop(storeUop(modrmLo(), modrmHi(), readI32(bytes + 2),
+                             sizes[op - opSt8]));
+        return inst;
+      }
+      case opAddM:
+        if (!need(6))
+            return inst;
+        inst.valid = true;
+        inst.length = 6;
+        inst.mnemonic = "add.m";
+        inst.addUop(loadUop(cx::ut0, modrmLo(), readI32(bytes + 2), 8,
+                            false));
+        inst.addUop(aluUop(UopOp::Add, modrmHi(), modrmHi(), cx::ut0,
+                           OpClass::IntAlu));
+        return inst;
+      case opCmpM:
+        if (!need(6))
+            return inst;
+        inst.valid = true;
+        inst.length = 6;
+        inst.mnemonic = "cmp.m";
+        inst.addUop(loadUop(cx::ut0, modrmLo(), readI32(bytes + 2), 8,
+                            false));
+        inst.addUop(aluUop(UopOp::CmpFlags, cx::rflags, modrmHi(), cx::ut0,
+                           OpClass::IntAlu));
+        return inst;
+      case opAddS: {
+        if (!need(6))
+            return inst;
+        const int32_t disp = readI32(bytes + 2);
+        inst.valid = true;
+        inst.length = 6;
+        inst.mnemonic = "add.s";
+        inst.addUop(loadUop(cx::ut0, modrmHi(), disp, 8, false));
+        inst.addUop(aluUop(UopOp::Add, cx::ut0, cx::ut0, modrmLo(),
+                           OpClass::IntAlu));
+        inst.addUop(storeUop(cx::ut0, modrmHi(), disp, 8));
+        return inst;
+      }
+      case opPush:
+        if (!need(2))
+            return inst;
+        inst.valid = true;
+        inst.length = 2;
+        inst.mnemonic = "push";
+        inst.addUop(aluImmUop(UopOp::Sub, cx::rsp, cx::rsp, 8,
+                              OpClass::IntAlu));
+        inst.addUop(storeUop(bytes[1] & 0xf, cx::rsp, 0, 8));
+        return inst;
+      case opPop:
+        if (!need(2))
+            return inst;
+        inst.valid = true;
+        inst.length = 2;
+        inst.mnemonic = "pop";
+        inst.addUop(loadUop(bytes[1] & 0xf, cx::rsp, 0, 8, false));
+        inst.addUop(aluImmUop(UopOp::Add, cx::rsp, cx::rsp, 8,
+                              OpClass::IntAlu));
+        return inst;
+      case opJmp: {
+        if (!need(5))
+            return inst;
+        inst.valid = true;
+        inst.length = 5;
+        inst.mnemonic = "jmp";
+        inst.isControl = true;
+        inst.isDirectCtrl = true;
+        inst.directOffset = readI32(bytes + 1);
+        MicroOp uop;
+        uop.op = UopOp::Jump;
+        uop.imm = inst.directOffset;
+        uop.cls = OpClass::Branch;
+        inst.addUop(uop);
+        return inst;
+      }
+      case opCall: {
+        if (!need(5))
+            return inst;
+        inst.valid = true;
+        inst.length = 5;
+        inst.mnemonic = "call";
+        inst.isControl = true;
+        inst.isCall = true;
+        inst.isDirectCtrl = true;
+        inst.directOffset = readI32(bytes + 1);
+        addCallLinkUops(inst, 5);
+        MicroOp uop;
+        uop.op = UopOp::Jump;
+        uop.imm = inst.directOffset;
+        uop.cls = OpClass::Branch;
+        inst.addUop(uop);
+        return inst;
+      }
+      case opJmpR: {
+        if (!need(2))
+            return inst;
+        inst.valid = true;
+        inst.length = 2;
+        inst.mnemonic = "jmpr";
+        inst.isControl = true;
+        MicroOp uop;
+        uop.op = UopOp::JumpReg;
+        uop.rs1 = bytes[1] & 0xf;
+        uop.cls = OpClass::Branch;
+        inst.addUop(uop);
+        return inst;
+      }
+      case opCallR: {
+        if (!need(2))
+            return inst;
+        inst.valid = true;
+        inst.length = 2;
+        inst.mnemonic = "callr";
+        inst.isControl = true;
+        inst.isCall = true;
+        addCallLinkUops(inst, 2);
+        MicroOp uop;
+        uop.op = UopOp::JumpReg;
+        uop.rs1 = bytes[1] & 0xf;
+        uop.cls = OpClass::Branch;
+        inst.addUop(uop);
+        return inst;
+      }
+      default:
+        break;
+    }
+
+    inst.mnemonic = "<invalid>";
+    return inst;
+}
+
+} // namespace svb::cx86

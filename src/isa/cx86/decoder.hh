@@ -1,0 +1,29 @@
+/**
+ * @file
+ * CX86 variable-length decoder with micro-op cracking.
+ */
+
+#ifndef SVB_ISA_CX86_DECODER_HH
+#define SVB_ISA_CX86_DECODER_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "isa/static_inst.hh"
+
+namespace svb::cx86
+{
+
+/**
+ * Decode one CX86 instruction from a byte window.
+ *
+ * @param bytes pointer to the first instruction byte
+ * @param avail number of valid bytes at @p bytes (>= 1)
+ * @return the decoded macro instruction; valid == false when the
+ *         opcode is unknown or the window is too short
+ */
+StaticInst decode(const uint8_t *bytes, size_t avail);
+
+} // namespace svb::cx86
+
+#endif // SVB_ISA_CX86_DECODER_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * CX86 instruction encoding definition.
+ *
+ * CX86 is the synthetic variable-length CISC ISA that stands in for
+ * x86-64 (see DESIGN.md). Encodings:
+ *
+ *   [opcode:1]                          bare ops (NOP/HLT/SYSCALL/RET)
+ *   [opcode:1][modrm:1]                 reg-reg ops; modrm = dst<<4|src
+ *   [opcode:1][reg:1][imm32]            reg-imm ALU / MOV
+ *   [opcode:1][reg:1][imm64]            MOVABS
+ *   [opcode:1][reg:1][imm8]             shifts
+ *   [opcode:1][modrm:1][disp32|disp8]   memory forms (load/store/load-op)
+ *   [opcode:1][rel32]                   JMP/CALL/Jcc
+ *
+ * Memory-operand instructions crack into multiple micro-ops using the
+ * hidden temporaries cx::ut0/ut1, like real x86 decoders do.
+ */
+
+#ifndef SVB_ISA_CX86_ENCODING_HH
+#define SVB_ISA_CX86_ENCODING_HH
+
+#include <cstdint>
+
+namespace svb::cx86
+{
+
+enum Op : uint8_t
+{
+    opNop = 0x00,
+    opHlt = 0x01,
+    opSyscall = 0x02,
+    opRet = 0x03,
+
+    opMovRR = 0x10,
+    opMovRI32 = 0x11,  ///< sign-extended imm32
+    opMovRI64 = 0x12,
+    opLea = 0x13,      ///< rd = rs + disp32
+
+    opAddRR = 0x20,
+    opSubRR = 0x21,
+    opAndRR = 0x22,
+    opOrRR = 0x23,
+    opXorRR = 0x24,
+    opCmpRR = 0x25,    ///< sets FLAGS
+    opTestRR = 0x26,   ///< sets FLAGS
+    opImulRR = 0x27,
+    opIdivRR = 0x28,
+    opIremRR = 0x29,
+    opDivuRR = 0x2a,
+    opRemuRR = 0x2b,
+
+    opAddRI = 0x30,
+    opSubRI = 0x31,
+    opAndRI = 0x32,
+    opOrRI = 0x33,
+    opXorRI = 0x34,
+    opCmpRI = 0x35,    ///< sets FLAGS
+    opImulRI = 0x36,
+
+    opShlRI = 0x38,
+    opShrRI = 0x39,
+    opSarRI = 0x3a,
+    opShlRR = 0x3b,
+    opShrRR = 0x3c,
+    opSarRR = 0x3d,
+
+    // Loads, disp32 forms. Unsigned then signed.
+    opLd8 = 0x40, opLd16 = 0x41, opLd32 = 0x42, opLd64 = 0x43,
+    opLd8s = 0x44, opLd16s = 0x45, opLd32s = 0x46,
+    // Stores, disp32 forms.
+    opSt8 = 0x48, opSt16 = 0x49, opSt32 = 0x4a, opSt64 = 0x4b,
+
+    // Read-modify forms (the CISC-y ones).
+    opAddM = 0x50,     ///< rd += mem64[base+disp32]      (2 uops)
+    opCmpM = 0x51,     ///< FLAGS = cmp(rd, mem64[...])   (2 uops)
+    opAddS = 0x58,     ///< mem64[base+disp32] += src     (3 uops)
+
+    opPush = 0x60,     ///< (2 uops)
+    opPop = 0x61,      ///< (2 uops)
+
+    opJmp = 0x70,
+    opCall = 0x71,     ///< (4 uops)
+    opJmpR = 0x72,
+    opCallR = 0x73,
+
+    opJcc = 0x80,      ///< opJcc + FlagCond (10 variants, 0x80..0x89)
+
+    // Short-displacement (disp8) memory forms.
+    opLd8d8 = 0xc0, opLd16d8 = 0xc1, opLd32d8 = 0xc2, opLd64d8 = 0xc3,
+    opLd8sd8 = 0xc4, opLd16sd8 = 0xc5, opLd32sd8 = 0xc6,
+    opSt8d8 = 0xc8, opSt16d8 = 0xc9, opSt32d8 = 0xca, opSt64d8 = 0xcb,
+};
+
+} // namespace svb::cx86
+
+#endif // SVB_ISA_CX86_ENCODING_HH

@@ -1,0 +1,181 @@
+#include "disasm.hh"
+
+#include <sstream>
+
+#include "cx86/decoder.hh"
+#include "riscv/decoder.hh"
+#include "sim/logging.hh"
+
+namespace svb
+{
+
+namespace
+{
+
+const char *riscvRegNames[32] = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3",
+    "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6"};
+
+const char *cx86RegNames[cx::numRegs] = {
+    "r0", "r1", "r2", "r3", "rsp", "rbp", "r6", "r7", "r8", "r9",
+    "r10", "r11", "r12", "r13", "r14", "r15", "rflags", "ut0", "ut1"};
+
+std::string
+regName(uint8_t reg, IsaId isa)
+{
+    if (reg == invalidReg)
+        return "-";
+    if (isa == IsaId::Riscv)
+        return reg < 32 ? riscvRegNames[reg] : "?";
+    return reg < cx::numRegs ? cx86RegNames[reg] : "?";
+}
+
+const char *
+condName(FlagCond cond)
+{
+    switch (cond) {
+      case FlagCond::Eq: return "e";
+      case FlagCond::Ne: return "ne";
+      case FlagCond::Lt: return "l";
+      case FlagCond::Ge: return "ge";
+      case FlagCond::Le: return "le";
+      case FlagCond::Gt: return "g";
+      case FlagCond::Ltu: return "b";
+      case FlagCond::Geu: return "ae";
+      case FlagCond::Leu: return "be";
+      case FlagCond::Gtu: return "a";
+    }
+    return "?";
+}
+
+/** Render one micro-op (used for multi-uop CX86 instructions). */
+std::string
+renderUop(const MicroOp &u, IsaId isa, Addr pc)
+{
+    std::ostringstream os;
+    if (u.isLoad()) {
+        os << "ld" << int(u.memSize) * 8 << (u.memSigned ? "s " : " ")
+           << regName(u.rd, isa) << ", [" << regName(u.rs1, isa);
+        if (u.imm != 0)
+            os << (u.imm > 0 ? "+" : "") << u.imm;
+        os << "]";
+    } else if (u.isStore()) {
+        os << "st" << int(u.memSize) * 8 << " [" << regName(u.rs1, isa);
+        if (u.imm != 0)
+            os << (u.imm > 0 ? "+" : "") << u.imm;
+        os << "], " << regName(u.rs2, isa);
+    } else if (u.op == UopOp::BranchFlags) {
+        os << "j" << condName(u.cond) << " 0x" << std::hex
+           << pc + uint64_t(u.imm);
+    } else if (u.isCondCtrl()) {
+        os << "b? " << regName(u.rs1, isa) << ", " << regName(u.rs2, isa)
+           << ", 0x" << std::hex << pc + uint64_t(u.imm);
+    } else if (u.op == UopOp::Jump) {
+        os << "jmp 0x" << std::hex << pc + uint64_t(u.imm);
+    } else if (u.op == UopOp::JumpReg) {
+        os << "jmpr " << regName(u.rs1, isa);
+    } else if (u.op == UopOp::MovImm) {
+        os << "mov " << regName(u.rd, isa) << ", " << u.imm;
+    } else if (u.op == UopOp::Syscall) {
+        os << "syscall";
+    } else if (u.op == UopOp::Halt) {
+        os << "halt";
+    } else if (u.op == UopOp::Nop) {
+        os << "nop";
+    } else {
+        os << "op" << int(u.op) << " " << regName(u.rd, isa) << ", "
+           << regName(u.rs1, isa) << ", ";
+        if (u.useImm)
+            os << u.imm;
+        else
+            os << regName(u.rs2, isa);
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::string
+disassemble(const StaticInst &inst, IsaId isa, Addr pc)
+{
+    if (!inst.valid)
+        return "<invalid>";
+
+    std::ostringstream os;
+    os << inst.mnemonic;
+
+    if (inst.numUops == 1) {
+        const MicroOp &u = inst.uops[0];
+        if (inst.isControl && inst.isDirectCtrl) {
+            os << " ";
+            if (u.rs1 != invalidReg) {
+                os << regName(u.rs1, isa) << ", ";
+                if (u.rs2 != invalidReg)
+                    os << regName(u.rs2, isa) << ", ";
+            }
+            os << "0x" << std::hex << inst.directTarget(pc);
+        } else if (u.isMem() || u.isControl()) {
+            os << " " << renderUop(u, isa, pc).substr(
+                             renderUop(u, isa, pc).find(' ') + 1);
+        } else if (u.rd != invalidReg || u.rs1 != invalidReg) {
+            if (u.rd != invalidReg)
+                os << " " << regName(u.rd, isa);
+            if (u.rs1 != invalidReg)
+                os << ", " << regName(u.rs1, isa);
+            if (u.useImm)
+                os << ", " << u.imm;
+            else if (u.rs2 != invalidReg)
+                os << ", " << regName(u.rs2, isa);
+        }
+        return os.str();
+    }
+
+    // Multi-uop (CX86 cracked): show the expansion.
+    os << "  {";
+    for (unsigned i = 0; i < inst.numUops; ++i) {
+        if (i > 0)
+            os << "; ";
+        os << renderUop(inst.uops[i], isa, pc);
+    }
+    os << "}";
+    return os.str();
+}
+
+std::vector<DisasmLine>
+disassembleBuffer(const std::vector<uint8_t> &code, IsaId isa,
+                  const std::vector<std::pair<std::string, Addr>> &symbols,
+                  Addr base)
+{
+    std::vector<DisasmLine> lines;
+    size_t sym_idx = 0;
+    Addr off = 0;
+    while (off < code.size()) {
+        DisasmLine line;
+        line.offset = off;
+        while (sym_idx < symbols.size() && symbols[sym_idx].second <= off) {
+            line.symbol = symbols[sym_idx].first;
+            ++sym_idx;
+        }
+
+        StaticInst inst;
+        if (isa == IsaId::Riscv) {
+            if (off + 4 > code.size())
+                break;
+            uint32_t w = 0;
+            for (int i = 0; i < 4; ++i)
+                w |= uint32_t(code[off + Addr(i)]) << (8 * i);
+            inst = riscv::decode(w);
+        } else {
+            inst = cx86::decode(code.data() + off, code.size() - off);
+        }
+        line.length = inst.valid ? inst.length : 1;
+        line.text = disassemble(inst, isa, base + off);
+        lines.push_back(std::move(line));
+        off += lines.back().length;
+    }
+    return lines;
+}
+
+} // namespace svb

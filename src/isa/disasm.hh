@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Disassembly of decoded instructions to readable text, for both
+ * guest ISAs.
+ */
+
+#ifndef SVB_ISA_DISASM_HH
+#define SVB_ISA_DISASM_HH
+
+#include <string>
+#include <vector>
+
+#include "isa_info.hh"
+#include "static_inst.hh"
+
+namespace svb
+{
+
+/**
+ * Render one decoded instruction.
+ *
+ * @param inst decoded macro instruction
+ * @param isa  the ISA it was decoded from (register naming)
+ * @param pc   its address (resolves direct targets); 0 keeps targets
+ *             relative
+ */
+std::string disassemble(const StaticInst &inst, IsaId isa, Addr pc = 0);
+
+/** One line of a disassembly listing. */
+struct DisasmLine
+{
+    Addr offset = 0;       ///< code offset of the instruction
+    unsigned length = 0;   ///< encoded bytes
+    std::string text;      ///< rendered instruction
+    std::string symbol;    ///< non-empty when a symbol starts here
+};
+
+/**
+ * Disassemble a whole code buffer sequentially.
+ *
+ * @param code    machine code bytes
+ * @param isa     guest ISA
+ * @param symbols optional (name, offset) pairs to annotate
+ * @param base    address of code[0] (for target resolution)
+ */
+std::vector<DisasmLine>
+disassembleBuffer(const std::vector<uint8_t> &code, IsaId isa,
+                  const std::vector<std::pair<std::string, Addr>> &symbols =
+                      {},
+                  Addr base = 0);
+
+} // namespace svb
+
+#endif // SVB_ISA_DISASM_HH

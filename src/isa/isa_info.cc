@@ -1,0 +1,33 @@
+#include "isa_info.hh"
+
+#include "sim/logging.hh"
+
+namespace svb
+{
+
+namespace
+{
+
+const IsaInfo riscvInfo{
+    IsaId::Riscv, "riscv64", 32, /*zeroReg=*/0, /*flagReg=*/-1,
+    /*minInstLength=*/4, /*maxInstLength=*/4,
+};
+
+const IsaInfo cx86Info{
+    IsaId::Cx86, "cx86-64", cx::numRegs, /*zeroReg=*/-1,
+    /*flagReg=*/int(cx::rflags), /*minInstLength=*/1, /*maxInstLength=*/12,
+};
+
+} // namespace
+
+const IsaInfo &
+isaInfo(IsaId id)
+{
+    switch (id) {
+      case IsaId::Riscv: return riscvInfo;
+      case IsaId::Cx86: return cx86Info;
+    }
+    svb_panic("unknown ISA id ", int(id));
+}
+
+} // namespace svb

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Per-ISA descriptors.
+ */
+
+#ifndef SVB_ISA_ISA_INFO_HH
+#define SVB_ISA_ISA_INFO_HH
+
+#include <cstdint>
+
+namespace svb
+{
+
+/** The two guest instruction sets supported by the simulator. */
+enum class IsaId : uint8_t
+{
+    Riscv, ///< RV64IM, real RISC-V encodings
+    Cx86,  ///< synthetic variable-length CISC (the x86 stand-in)
+};
+
+/**
+ * Static properties of a guest ISA that the machine-independent CPU
+ * models need to know.
+ */
+struct IsaInfo
+{
+    IsaId id;
+    const char *name;
+    /** Number of renameable integer architectural registers. */
+    unsigned numIntRegs;
+    /** Index of the hardwired zero register, or -1 if none. */
+    int zeroReg;
+    /** Index of the condition-flag register, or -1 if none. */
+    int flagReg;
+    /** Smallest encoded instruction length in bytes. */
+    unsigned minInstLength;
+    /** Largest encoded instruction length in bytes. */
+    unsigned maxInstLength;
+};
+
+/** @return the descriptor for @p id. */
+const IsaInfo &isaInfo(IsaId id);
+
+/** @return the printable name of @p id. */
+inline const char *isaName(IsaId id) { return isaInfo(id).name; }
+
+namespace rv
+{
+/** RISC-V ABI register aliases (x-register indices). */
+constexpr uint8_t zero = 0, ra = 1, sp = 2, gp = 3, tp = 4;
+constexpr uint8_t t0 = 5, t1 = 6, t2 = 7;
+constexpr uint8_t s0 = 8, s1 = 9;
+constexpr uint8_t a0 = 10, a1 = 11, a2 = 12, a3 = 13, a4 = 14, a5 = 15,
+                  a6 = 16, a7 = 17;
+constexpr uint8_t s2 = 18, s3 = 19, s4 = 20, s5 = 21, s6 = 22, s7 = 23,
+                  s8 = 24, s9 = 25, s10 = 26, s11 = 27;
+constexpr uint8_t t3 = 28, t4 = 29, t5 = 30, t6 = 31;
+} // namespace rv
+
+namespace cx
+{
+/**
+ * CX86 register file: 16 GPRs, a FLAGS register, and two hidden
+ * micro-op temporaries used by the decoder's uop cracking.
+ */
+constexpr uint8_t r0 = 0;   ///< return value / first argument ("rax")
+constexpr uint8_t r1 = 1, r2 = 2, r3 = 3;
+constexpr uint8_t rsp = 4;  ///< stack pointer
+constexpr uint8_t rbp = 5;
+constexpr uint8_t r6 = 6, r7 = 7, r8 = 8, r9 = 9, r10 = 10, r11 = 11,
+                  r12 = 12, r13 = 13, r14 = 14, r15 = 15;
+constexpr uint8_t rflags = 16;
+constexpr uint8_t ut0 = 17; ///< hidden cracking temporary 0
+constexpr uint8_t ut1 = 18; ///< hidden cracking temporary 1
+constexpr unsigned numRegs = 19;
+constexpr unsigned numGprs = 16;
+} // namespace cx
+
+} // namespace svb
+
+#endif // SVB_ISA_ISA_INFO_HH

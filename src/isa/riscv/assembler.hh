@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Programmatic RV64IM assembler.
+ *
+ * Emits genuine RISC-V machine code (RV64I base + M extension) into a
+ * byte buffer. Pseudo-instructions (li/mv/j/ret/call) expand to the
+ * standard sequences.
+ */
+
+#ifndef SVB_ISA_RISCV_ASSEMBLER_HH
+#define SVB_ISA_RISCV_ASSEMBLER_HH
+
+#include "isa/assembler.hh"
+#include "isa/isa_info.hh"
+
+namespace svb::riscv
+{
+
+/** Relocation kinds used by the assembler's fixups. */
+enum RelocKind { relocBType, relocJType, relocCallAuipc };
+
+/**
+ * RV64IM assembler.
+ */
+class Assembler : public AssemblerBase
+{
+  public:
+    using Reg = uint8_t;
+
+    // --- R-type ALU -----------------------------------------------------
+    void add(Reg rd, Reg rs1, Reg rs2) { rtype(0x33, 0, 0x00, rd, rs1, rs2); }
+    void sub(Reg rd, Reg rs1, Reg rs2) { rtype(0x33, 0, 0x20, rd, rs1, rs2); }
+    void sll(Reg rd, Reg rs1, Reg rs2) { rtype(0x33, 1, 0x00, rd, rs1, rs2); }
+    void slt(Reg rd, Reg rs1, Reg rs2) { rtype(0x33, 2, 0x00, rd, rs1, rs2); }
+    void sltu(Reg rd, Reg rs1, Reg rs2) { rtype(0x33, 3, 0x00, rd, rs1, rs2); }
+    void xor_(Reg rd, Reg rs1, Reg rs2) { rtype(0x33, 4, 0x00, rd, rs1, rs2); }
+    void srl(Reg rd, Reg rs1, Reg rs2) { rtype(0x33, 5, 0x00, rd, rs1, rs2); }
+    void sra(Reg rd, Reg rs1, Reg rs2) { rtype(0x33, 5, 0x20, rd, rs1, rs2); }
+    void or_(Reg rd, Reg rs1, Reg rs2) { rtype(0x33, 6, 0x00, rd, rs1, rs2); }
+    void and_(Reg rd, Reg rs1, Reg rs2) { rtype(0x33, 7, 0x00, rd, rs1, rs2); }
+    void addw(Reg rd, Reg rs1, Reg rs2) { rtype(0x3b, 0, 0x00, rd, rs1, rs2); }
+    void subw(Reg rd, Reg rs1, Reg rs2) { rtype(0x3b, 0, 0x20, rd, rs1, rs2); }
+    void sllw(Reg rd, Reg rs1, Reg rs2) { rtype(0x3b, 1, 0x00, rd, rs1, rs2); }
+    void srlw(Reg rd, Reg rs1, Reg rs2) { rtype(0x3b, 5, 0x00, rd, rs1, rs2); }
+    void sraw(Reg rd, Reg rs1, Reg rs2) { rtype(0x3b, 5, 0x20, rd, rs1, rs2); }
+
+    // --- M extension ----------------------------------------------------
+    void mul(Reg rd, Reg rs1, Reg rs2) { rtype(0x33, 0, 0x01, rd, rs1, rs2); }
+    void mulh(Reg rd, Reg rs1, Reg rs2) { rtype(0x33, 1, 0x01, rd, rs1, rs2); }
+    void mulhu(Reg rd, Reg rs1, Reg rs2) { rtype(0x33, 3, 0x01, rd, rs1, rs2); }
+    void div(Reg rd, Reg rs1, Reg rs2) { rtype(0x33, 4, 0x01, rd, rs1, rs2); }
+    void divu(Reg rd, Reg rs1, Reg rs2) { rtype(0x33, 5, 0x01, rd, rs1, rs2); }
+    void rem(Reg rd, Reg rs1, Reg rs2) { rtype(0x33, 6, 0x01, rd, rs1, rs2); }
+    void remu(Reg rd, Reg rs1, Reg rs2) { rtype(0x33, 7, 0x01, rd, rs1, rs2); }
+    void mulw(Reg rd, Reg rs1, Reg rs2) { rtype(0x3b, 0, 0x01, rd, rs1, rs2); }
+    void divw(Reg rd, Reg rs1, Reg rs2) { rtype(0x3b, 4, 0x01, rd, rs1, rs2); }
+    void divuw(Reg rd, Reg rs1, Reg rs2) { rtype(0x3b, 5, 0x01, rd, rs1, rs2); }
+    void remw(Reg rd, Reg rs1, Reg rs2) { rtype(0x3b, 6, 0x01, rd, rs1, rs2); }
+    void remuw(Reg rd, Reg rs1, Reg rs2) { rtype(0x3b, 7, 0x01, rd, rs1, rs2); }
+
+    // --- I-type ALU -----------------------------------------------------
+    void addi(Reg rd, Reg rs1, int32_t imm) { itype(0x13, 0, rd, rs1, imm); }
+    void slti(Reg rd, Reg rs1, int32_t imm) { itype(0x13, 2, rd, rs1, imm); }
+    void sltiu(Reg rd, Reg rs1, int32_t imm) { itype(0x13, 3, rd, rs1, imm); }
+    void xori(Reg rd, Reg rs1, int32_t imm) { itype(0x13, 4, rd, rs1, imm); }
+    void ori(Reg rd, Reg rs1, int32_t imm) { itype(0x13, 6, rd, rs1, imm); }
+    void andi(Reg rd, Reg rs1, int32_t imm) { itype(0x13, 7, rd, rs1, imm); }
+    void addiw(Reg rd, Reg rs1, int32_t imm) { itype(0x1b, 0, rd, rs1, imm); }
+
+    void
+    slli(Reg rd, Reg rs1, unsigned shamt)
+    {
+        itype(0x13, 1, rd, rs1, int32_t(shamt & 63));
+    }
+
+    void
+    srli(Reg rd, Reg rs1, unsigned shamt)
+    {
+        itype(0x13, 5, rd, rs1, int32_t(shamt & 63));
+    }
+
+    void
+    srai(Reg rd, Reg rs1, unsigned shamt)
+    {
+        itype(0x13, 5, rd, rs1, int32_t(0x400 | (shamt & 63)));
+    }
+
+    // --- Upper immediates -------------------------------------------------
+    void
+    lui(Reg rd, int32_t imm20)
+    {
+        emit32(uint32_t(imm20) << 12 | uint32_t(rd) << 7 | 0x37);
+    }
+
+    void
+    auipc(Reg rd, int32_t imm20)
+    {
+        emit32(uint32_t(imm20) << 12 | uint32_t(rd) << 7 | 0x17);
+    }
+
+    // --- Loads / stores ---------------------------------------------------
+    void lb(Reg rd, Reg rs1, int32_t off) { itype(0x03, 0, rd, rs1, off); }
+    void lh(Reg rd, Reg rs1, int32_t off) { itype(0x03, 1, rd, rs1, off); }
+    void lw(Reg rd, Reg rs1, int32_t off) { itype(0x03, 2, rd, rs1, off); }
+    void ld(Reg rd, Reg rs1, int32_t off) { itype(0x03, 3, rd, rs1, off); }
+    void lbu(Reg rd, Reg rs1, int32_t off) { itype(0x03, 4, rd, rs1, off); }
+    void lhu(Reg rd, Reg rs1, int32_t off) { itype(0x03, 5, rd, rs1, off); }
+    void lwu(Reg rd, Reg rs1, int32_t off) { itype(0x03, 6, rd, rs1, off); }
+    void sb(Reg rs2, Reg rs1, int32_t off) { stype(0, rs1, rs2, off); }
+    void sh(Reg rs2, Reg rs1, int32_t off) { stype(1, rs1, rs2, off); }
+    void sw(Reg rs2, Reg rs1, int32_t off) { stype(2, rs1, rs2, off); }
+    void sd(Reg rs2, Reg rs1, int32_t off) { stype(3, rs1, rs2, off); }
+
+    // --- Control ----------------------------------------------------------
+    void beq(Reg rs1, Reg rs2, AsmLabel l) { btype(0, rs1, rs2, l); }
+    void bne(Reg rs1, Reg rs2, AsmLabel l) { btype(1, rs1, rs2, l); }
+    void blt(Reg rs1, Reg rs2, AsmLabel l) { btype(4, rs1, rs2, l); }
+    void bge(Reg rs1, Reg rs2, AsmLabel l) { btype(5, rs1, rs2, l); }
+    void bltu(Reg rs1, Reg rs2, AsmLabel l) { btype(6, rs1, rs2, l); }
+    void bgeu(Reg rs1, Reg rs2, AsmLabel l) { btype(7, rs1, rs2, l); }
+
+    void
+    jal(Reg rd, AsmLabel l)
+    {
+        recordFixup(here(), here(), l, relocJType);
+        emit32(uint32_t(rd) << 7 | 0x6f);
+    }
+
+    void
+    jalr(Reg rd, Reg rs1, int32_t off)
+    {
+        itype(0x67, 0, rd, rs1, off);
+    }
+
+    // --- System -----------------------------------------------------------
+    void ecall() { emit32(0x00000073); }
+    void ebreak() { emit32(0x00100073); }
+    void fence() { emit32(0x0000000f); }
+    void nop() { addi(0, 0, 0); }
+
+    // --- Pseudo-instructions ------------------------------------------------
+    /** Load an arbitrary 64-bit constant (expands as needed). */
+    void li(Reg rd, int64_t value);
+    void mv(Reg rd, Reg rs) { addi(rd, rs, 0); }
+    void j(AsmLabel l) { jal(0, l); }
+    void ret() { jalr(0, rv::ra, 0); }
+    void call(AsmLabel l) { jal(rv::ra, l); }
+
+    /**
+     * Far call: auipc ra, %hi + jalr ra, ra, %lo — the standard
+     * medany-model call sequence, reaching +-2 GiB.
+     */
+    void
+    callFar(AsmLabel l)
+    {
+        recordFixup(here(), here(), l, relocCallAuipc);
+        auipc(rv::ra, 0);
+        jalr(rv::ra, rv::ra, 0);
+    }
+    /** Two's-complement negate. */
+    void neg(Reg rd, Reg rs) { sub(rd, 0, rs); }
+
+  protected:
+    void applyFixup(size_t inst_offset, size_t patch_offset, int kind,
+                    int64_t delta) override;
+
+  private:
+    void
+    rtype(uint8_t opcode, uint8_t funct3, uint8_t funct7, Reg rd, Reg rs1,
+          Reg rs2)
+    {
+        emit32(uint32_t(funct7) << 25 | uint32_t(rs2) << 20 |
+               uint32_t(rs1) << 15 | uint32_t(funct3) << 12 |
+               uint32_t(rd) << 7 | opcode);
+    }
+
+    void
+    itype(uint8_t opcode, uint8_t funct3, Reg rd, Reg rs1, int32_t imm)
+    {
+        svb_assert(imm >= -2048 && imm < 2048, "I-type imm out of range: ",
+                   imm);
+        emit32(uint32_t(imm & 0xfff) << 20 | uint32_t(rs1) << 15 |
+               uint32_t(funct3) << 12 | uint32_t(rd) << 7 | opcode);
+    }
+
+    void
+    stype(uint8_t funct3, Reg rs1, Reg rs2, int32_t imm)
+    {
+        svb_assert(imm >= -2048 && imm < 2048, "S-type imm out of range");
+        uint32_t u = uint32_t(imm & 0xfff);
+        emit32((u >> 5) << 25 | uint32_t(rs2) << 20 | uint32_t(rs1) << 15 |
+               uint32_t(funct3) << 12 | (u & 0x1f) << 7 | 0x23);
+    }
+
+    void
+    btype(uint8_t funct3, Reg rs1, Reg rs2, AsmLabel l)
+    {
+        recordFixup(here(), here(), l, relocBType);
+        emit32(uint32_t(rs2) << 20 | uint32_t(rs1) << 15 |
+               uint32_t(funct3) << 12 | 0x63);
+    }
+};
+
+} // namespace svb::riscv
+
+#endif // SVB_ISA_RISCV_ASSEMBLER_HH

@@ -1,0 +1,362 @@
+#include "decoder.hh"
+
+#include "isa/isa_info.hh"
+
+namespace svb::riscv
+{
+
+namespace
+{
+
+int64_t
+immI(uint32_t w)
+{
+    return int64_t(int32_t(w)) >> 20;
+}
+
+int64_t
+immS(uint32_t w)
+{
+    return ((int64_t(int32_t(w)) >> 25) << 5) | int64_t((w >> 7) & 0x1f);
+}
+
+int64_t
+immB(uint32_t w)
+{
+    int64_t imm = 0;
+    imm |= int64_t((w >> 8) & 0xf) << 1;
+    imm |= int64_t((w >> 25) & 0x3f) << 5;
+    imm |= int64_t((w >> 7) & 0x1) << 11;
+    imm |= (int64_t(int32_t(w)) >> 31) << 12;
+    return imm;
+}
+
+int64_t
+immU(uint32_t w)
+{
+    return int64_t(int32_t(w & 0xfffff000));
+}
+
+int64_t
+immJ(uint32_t w)
+{
+    int64_t imm = 0;
+    imm |= int64_t((w >> 21) & 0x3ff) << 1;
+    imm |= int64_t((w >> 20) & 0x1) << 11;
+    imm |= int64_t((w >> 12) & 0xff) << 12;
+    imm |= (int64_t(int32_t(w)) >> 31) << 20;
+    return imm;
+}
+
+/** Build a single-uop ALU instruction. */
+StaticInst
+aluInst(UopOp op, uint8_t rd, uint8_t rs1, uint8_t rs2, int64_t imm,
+        bool use_imm, OpClass cls, const char *mnem)
+{
+    StaticInst inst;
+    inst.valid = true;
+    inst.length = 4;
+    inst.mnemonic = mnem;
+    MicroOp uop;
+    uop.op = op;
+    uop.rd = (rd == 0) ? invalidReg : rd; // writes to x0 are discarded
+    uop.rs1 = rs1;
+    uop.rs2 = use_imm ? invalidReg : rs2;
+    uop.imm = imm;
+    uop.useImm = use_imm;
+    uop.cls = cls;
+    inst.addUop(uop);
+    return inst;
+}
+
+} // namespace
+
+StaticInst
+decode(uint32_t w)
+{
+    const uint8_t opcode = w & 0x7f;
+    const uint8_t rd = (w >> 7) & 0x1f;
+    const uint8_t funct3 = (w >> 12) & 0x7;
+    const uint8_t rs1 = (w >> 15) & 0x1f;
+    const uint8_t rs2 = (w >> 20) & 0x1f;
+    const uint8_t funct7 = (w >> 25) & 0x7f;
+
+    StaticInst inst;
+
+    switch (opcode) {
+      case 0x37: // LUI
+        return aluInst(UopOp::MovImm, rd, invalidReg, invalidReg, immU(w),
+                       true, OpClass::IntAlu, "lui");
+      case 0x17: // AUIPC
+        return aluInst(UopOp::Auipc, rd, invalidReg, invalidReg, immU(w),
+                       true, OpClass::IntAlu, "auipc");
+      case 0x13: { // OP-IMM
+        switch (funct3) {
+          case 0:
+            return aluInst(UopOp::Add, rd, rs1, 0, immI(w), true,
+                           OpClass::IntAlu, "addi");
+          case 1:
+            return aluInst(UopOp::Sll, rd, rs1, 0, immI(w) & 63, true,
+                           OpClass::IntAlu, "slli");
+          case 2:
+            return aluInst(UopOp::Slt, rd, rs1, 0, immI(w), true,
+                           OpClass::IntAlu, "slti");
+          case 3:
+            return aluInst(UopOp::Sltu, rd, rs1, 0, immI(w), true,
+                           OpClass::IntAlu, "sltiu");
+          case 4:
+            return aluInst(UopOp::Xor, rd, rs1, 0, immI(w), true,
+                           OpClass::IntAlu, "xori");
+          case 5:
+            if ((immI(w) >> 10) & 1) {
+                return aluInst(UopOp::Sra, rd, rs1, 0, immI(w) & 63, true,
+                               OpClass::IntAlu, "srai");
+            }
+            return aluInst(UopOp::Srl, rd, rs1, 0, immI(w) & 63, true,
+                           OpClass::IntAlu, "srli");
+          case 6:
+            return aluInst(UopOp::Or, rd, rs1, 0, immI(w), true,
+                           OpClass::IntAlu, "ori");
+          case 7:
+            return aluInst(UopOp::And, rd, rs1, 0, immI(w), true,
+                           OpClass::IntAlu, "andi");
+        }
+        break;
+      }
+      case 0x1b: { // OP-IMM-32
+        switch (funct3) {
+          case 0:
+            return aluInst(UopOp::AddW, rd, rs1, 0, immI(w), true,
+                           OpClass::IntAlu, "addiw");
+          case 1:
+            return aluInst(UopOp::SllW, rd, rs1, 0, immI(w) & 31, true,
+                           OpClass::IntAlu, "slliw");
+          case 5:
+            if ((immI(w) >> 10) & 1) {
+                return aluInst(UopOp::SraW, rd, rs1, 0, immI(w) & 31, true,
+                               OpClass::IntAlu, "sraiw");
+            }
+            return aluInst(UopOp::SrlW, rd, rs1, 0, immI(w) & 31, true,
+                           OpClass::IntAlu, "srliw");
+        }
+        break;
+      }
+      case 0x33: { // OP
+        if (funct7 == 0x01) { // M extension
+            static constexpr UopOp mulOps[8] = {
+                UopOp::Mul, UopOp::Mulh, UopOp::Mulh, UopOp::Mulhu,
+                UopOp::Div, UopOp::Divu, UopOp::Rem, UopOp::Remu};
+            static constexpr const char *mulNames[8] = {
+                "mul", "mulh", "mulhsu", "mulhu",
+                "div", "divu", "rem", "remu"};
+            OpClass cls = funct3 < 4 ? OpClass::IntMult : OpClass::IntDiv;
+            return aluInst(mulOps[funct3], rd, rs1, rs2, 0, false, cls,
+                           mulNames[funct3]);
+        }
+        const bool alt = funct7 == 0x20;
+        switch (funct3) {
+          case 0:
+            return aluInst(alt ? UopOp::Sub : UopOp::Add, rd, rs1, rs2, 0,
+                           false, OpClass::IntAlu, alt ? "sub" : "add");
+          case 1:
+            return aluInst(UopOp::Sll, rd, rs1, rs2, 0, false,
+                           OpClass::IntAlu, "sll");
+          case 2:
+            return aluInst(UopOp::Slt, rd, rs1, rs2, 0, false,
+                           OpClass::IntAlu, "slt");
+          case 3:
+            return aluInst(UopOp::Sltu, rd, rs1, rs2, 0, false,
+                           OpClass::IntAlu, "sltu");
+          case 4:
+            return aluInst(UopOp::Xor, rd, rs1, rs2, 0, false,
+                           OpClass::IntAlu, "xor");
+          case 5:
+            return aluInst(alt ? UopOp::Sra : UopOp::Srl, rd, rs1, rs2, 0,
+                           false, OpClass::IntAlu, alt ? "sra" : "srl");
+          case 6:
+            return aluInst(UopOp::Or, rd, rs1, rs2, 0, false,
+                           OpClass::IntAlu, "or");
+          case 7:
+            return aluInst(UopOp::And, rd, rs1, rs2, 0, false,
+                           OpClass::IntAlu, "and");
+        }
+        break;
+      }
+      case 0x3b: { // OP-32
+        if (funct7 == 0x01) {
+            switch (funct3) {
+              case 0:
+                return aluInst(UopOp::MulW, rd, rs1, rs2, 0, false,
+                               OpClass::IntMult, "mulw");
+              case 4:
+                return aluInst(UopOp::DivW, rd, rs1, rs2, 0, false,
+                               OpClass::IntDiv, "divw");
+              case 5:
+                return aluInst(UopOp::DivuW, rd, rs1, rs2, 0, false,
+                               OpClass::IntDiv, "divuw");
+              case 6:
+                return aluInst(UopOp::RemW, rd, rs1, rs2, 0, false,
+                               OpClass::IntDiv, "remw");
+              case 7:
+                return aluInst(UopOp::RemuW, rd, rs1, rs2, 0, false,
+                               OpClass::IntDiv, "remuw");
+            }
+            break;
+        }
+        const bool alt = funct7 == 0x20;
+        switch (funct3) {
+          case 0:
+            return aluInst(alt ? UopOp::SubW : UopOp::AddW, rd, rs1, rs2, 0,
+                           false, OpClass::IntAlu, alt ? "subw" : "addw");
+          case 1:
+            return aluInst(UopOp::SllW, rd, rs1, rs2, 0, false,
+                           OpClass::IntAlu, "sllw");
+          case 5:
+            return aluInst(alt ? UopOp::SraW : UopOp::SrlW, rd, rs1, rs2, 0,
+                           false, OpClass::IntAlu, alt ? "sraw" : "srlw");
+        }
+        break;
+      }
+      case 0x03: { // LOAD
+        static constexpr uint8_t sizes[8] = {1, 2, 4, 8, 1, 2, 4, 0};
+        static constexpr bool sgn[8] = {true, true, true, true,
+                                        false, false, false, false};
+        static constexpr const char *names[8] = {"lb", "lh", "lw", "ld",
+                                                 "lbu", "lhu", "lwu", "?"};
+        if (sizes[funct3] == 0)
+            break;
+        inst.valid = true;
+        inst.length = 4;
+        inst.mnemonic = names[funct3];
+        MicroOp uop;
+        uop.op = UopOp::Load;
+        uop.rd = (rd == 0) ? invalidReg : rd;
+        uop.rs1 = rs1;
+        uop.imm = immI(w);
+        uop.memSize = sizes[funct3];
+        uop.memSigned = sgn[funct3];
+        uop.cls = OpClass::MemRead;
+        inst.addUop(uop);
+        return inst;
+      }
+      case 0x23: { // STORE
+        static constexpr uint8_t sizes[4] = {1, 2, 4, 8};
+        static constexpr const char *names[4] = {"sb", "sh", "sw", "sd"};
+        if (funct3 > 3)
+            break;
+        inst.valid = true;
+        inst.length = 4;
+        inst.mnemonic = names[funct3];
+        MicroOp uop;
+        uop.op = UopOp::Store;
+        uop.rs1 = rs1;
+        uop.rs2 = rs2;
+        uop.imm = immS(w);
+        uop.memSize = sizes[funct3];
+        uop.cls = OpClass::MemWrite;
+        inst.addUop(uop);
+        return inst;
+      }
+      case 0x63: { // BRANCH
+        static constexpr UopOp ops[8] = {
+            UopOp::BranchEq, UopOp::BranchNe, UopOp::Nop, UopOp::Nop,
+            UopOp::BranchLt, UopOp::BranchGe, UopOp::BranchLtu,
+            UopOp::BranchGeu};
+        static constexpr const char *names[8] = {
+            "beq", "bne", "?", "?", "blt", "bge", "bltu", "bgeu"};
+        if (funct3 == 2 || funct3 == 3)
+            break;
+        inst.valid = true;
+        inst.length = 4;
+        inst.mnemonic = names[funct3];
+        inst.isControl = true;
+        inst.isCondCtrl = true;
+        inst.isDirectCtrl = true;
+        inst.directOffset = immB(w);
+        MicroOp uop;
+        uop.op = ops[funct3];
+        uop.rs1 = rs1;
+        uop.rs2 = rs2;
+        uop.imm = immB(w);
+        uop.cls = OpClass::Branch;
+        inst.addUop(uop);
+        return inst;
+      }
+      case 0x6f: { // JAL
+        inst.valid = true;
+        inst.length = 4;
+        inst.mnemonic = "jal";
+        inst.isControl = true;
+        inst.isDirectCtrl = true;
+        inst.directOffset = immJ(w);
+        inst.isCall = (rd == rv::ra);
+        MicroOp uop;
+        uop.op = UopOp::Jump;
+        uop.rd = (rd == 0) ? invalidReg : rd;
+        uop.imm = immJ(w);
+        uop.cls = OpClass::Branch;
+        inst.addUop(uop);
+        return inst;
+      }
+      case 0x67: { // JALR
+        if (funct3 != 0)
+            break;
+        inst.valid = true;
+        inst.length = 4;
+        inst.mnemonic = "jalr";
+        inst.isControl = true;
+        inst.isCall = (rd == rv::ra);
+        inst.isReturn = (rd == 0 && rs1 == rv::ra);
+        MicroOp uop;
+        uop.op = UopOp::JumpReg;
+        uop.rd = (rd == 0) ? invalidReg : rd;
+        uop.rs1 = rs1;
+        uop.imm = immI(w);
+        uop.cls = OpClass::Branch;
+        inst.addUop(uop);
+        return inst;
+      }
+      case 0x73: { // SYSTEM
+        if (w == 0x00000073) { // ECALL
+            inst.valid = true;
+            inst.length = 4;
+            inst.mnemonic = "ecall";
+            inst.isSyscall = true;
+            MicroOp uop;
+            uop.op = UopOp::Syscall;
+            uop.cls = OpClass::No_OpClass;
+            inst.addUop(uop);
+            return inst;
+        }
+        if (w == 0x00100073) { // EBREAK (used as halt)
+            inst.valid = true;
+            inst.length = 4;
+            inst.mnemonic = "ebreak";
+            inst.isHalt = true;
+            MicroOp uop;
+            uop.op = UopOp::Halt;
+            uop.cls = OpClass::No_OpClass;
+            inst.addUop(uop);
+            return inst;
+        }
+        break;
+      }
+      case 0x0f: { // FENCE -> nop
+        inst.valid = true;
+        inst.length = 4;
+        inst.mnemonic = "fence";
+        MicroOp uop;
+        uop.op = UopOp::Nop;
+        uop.cls = OpClass::No_OpClass;
+        inst.addUop(uop);
+        return inst;
+      }
+    }
+
+    inst.valid = false;
+    inst.length = 4;
+    inst.mnemonic = "<invalid>";
+    return inst;
+}
+
+} // namespace svb::riscv

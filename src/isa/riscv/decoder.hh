@@ -1,0 +1,27 @@
+/**
+ * @file
+ * RV64IM instruction decoder.
+ */
+
+#ifndef SVB_ISA_RISCV_DECODER_HH
+#define SVB_ISA_RISCV_DECODER_HH
+
+#include <cstdint>
+
+#include "isa/static_inst.hh"
+
+namespace svb::riscv
+{
+
+/**
+ * Decode one 32-bit RV64IM instruction word.
+ *
+ * @param word the instruction encoding
+ * @return the decoded macro instruction; inst.valid == false for
+ *         undecodable encodings
+ */
+StaticInst decode(uint32_t word);
+
+} // namespace svb::riscv
+
+#endif // SVB_ISA_RISCV_DECODER_HH

@@ -1,0 +1,171 @@
+#include "cache.hh"
+
+#include "sim/logging.hh"
+
+namespace svb
+{
+
+Cache::Cache(const CacheParams &params, MemLevel &next_level,
+             StatGroup &stats)
+    : p(params), next(next_level),
+      numSets(params.sizeBytes / (params.lineSize * params.assoc)),
+      statHits(stats.childGroup(p.name).addScalar("hits", "cache hits")),
+      statMisses(
+          stats.childGroup(p.name).addScalar("misses", "cache misses")),
+      statEvictions(
+          stats.childGroup(p.name).addScalar("evictions", "lines evicted")),
+      statWritebacks(stats.childGroup(p.name).addScalar(
+          "writebacks", "dirty lines written back")),
+      statInvalidations(stats.childGroup(p.name).addScalar(
+          "invalidations", "lines invalidated by snoops")),
+      statPrefetches(stats.childGroup(p.name).addScalar(
+          "prefetches", "next-line prefetch fills"))
+{
+    svb_assert(numSets > 0 && (numSets & (numSets - 1)) == 0,
+               p.name, ": number of sets must be a power of two");
+    lines.resize(numSets * p.assoc);
+    StatGroup &g = stats.childGroup(p.name);
+    g.addFormula("missRate", "misses / (hits+misses)", [this]() {
+        uint64_t total = statHits.value() + statMisses.value();
+        return total ? double(statMisses.value()) / double(total) : 0.0;
+    });
+}
+
+size_t
+Cache::setIndex(Addr line_addr) const
+{
+    return size_t(line_addr / p.lineSize) & (numSets - 1);
+}
+
+Cache::Line *
+Cache::findLine(Addr line_addr)
+{
+    Line *base = &lines[setIndex(line_addr) * p.assoc];
+    for (uint32_t w = 0; w < p.assoc; ++w) {
+        if (base[w].valid && base[w].tag == line_addr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+Cache::Line &
+Cache::victimLine(Addr line_addr)
+{
+    Line *base = &lines[setIndex(line_addr) * p.assoc];
+    Line *victim = base;
+    for (uint32_t w = 0; w < p.assoc; ++w) {
+        if (!base[w].valid)
+            return base[w];
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    return *victim;
+}
+
+Cycles
+Cache::access(Addr addr, bool is_write, Cycles now)
+{
+    const Addr la = lineAddr(addr);
+    if (Line *line = findLine(la)) {
+        ++statHits;
+        line->lastUse = ++useCounter;
+        line->dirty |= is_write;
+        return p.hitLatency;
+    }
+
+    ++statMisses;
+    Cycles latency = p.hitLatency;
+
+    Line &victim = victimLine(la);
+    if (victim.valid) {
+        ++statEvictions;
+        if (victim.dirty) {
+            ++statWritebacks;
+            // Writeback happens off the critical path; charge the next
+            // level's occupancy but not this access's latency.
+            next.access(victim.tag, true, now + latency);
+        }
+    }
+    latency += next.access(la, false, now + latency);
+
+    victim.tag = la;
+    victim.valid = true;
+    victim.dirty = is_write;
+    victim.lastUse = ++useCounter;
+
+    if (p.nextLinePrefetch) {
+        const Addr next_line = la + p.lineSize;
+        if (findLine(next_line) == nullptr) {
+            ++statPrefetches;
+            Line &pf_victim = victimLine(next_line);
+            if (pf_victim.valid) {
+                ++statEvictions;
+                if (pf_victim.dirty) {
+                    ++statWritebacks;
+                    next.access(pf_victim.tag, true, now + latency);
+                }
+            }
+            next.access(next_line, false, now + latency);
+            pf_victim.tag = next_line;
+            pf_victim.valid = true;
+            pf_victim.dirty = false;
+            // Inserted below MRU so useless prefetches evict first.
+            pf_victim.lastUse = useCounter;
+        }
+    }
+    return latency;
+}
+
+void
+Cache::warm(Addr addr, bool is_write)
+{
+    const Addr la = lineAddr(addr);
+    if (Line *line = findLine(la)) {
+        ++statHits;
+        line->lastUse = ++useCounter;
+        line->dirty |= is_write;
+        return;
+    }
+    ++statMisses;
+    Line &victim = victimLine(la);
+    if (victim.valid) {
+        ++statEvictions;
+        if (victim.dirty) {
+            ++statWritebacks;
+            next.warm(victim.tag, true);
+        }
+    }
+    next.warm(la, false);
+    victim.tag = la;
+    victim.valid = true;
+    victim.dirty = is_write;
+    victim.lastUse = ++useCounter;
+}
+
+bool
+Cache::invalidate(Addr line_addr)
+{
+    if (Line *line = findLine(lineAddr(line_addr))) {
+        line->valid = false;
+        line->dirty = false;
+        ++statInvalidations;
+        return true;
+    }
+    return false;
+}
+
+void
+Cache::flushAll()
+{
+    for (auto &line : lines)
+        line = Line{};
+}
+
+bool
+Cache::contains(Addr line_addr) const
+{
+    return const_cast<Cache *>(this)->findLine(
+               line_addr & ~Addr(p.lineSize - 1)) != nullptr;
+}
+
+} // namespace svb

@@ -1,0 +1,85 @@
+#include "dram.hh"
+
+namespace svb
+{
+
+DramCtrl::DramCtrl(const DramParams &params, StatGroup &stats)
+    : p(params), openRow(params.numBanks, 0),
+      rowValid(params.numBanks, false),
+      statReads(stats.childGroup(p.name).addScalar("reads",
+                                                   "read bursts serviced")),
+      statWrites(stats.childGroup(p.name).addScalar(
+          "writes", "write bursts serviced")),
+      statRowHits(stats.childGroup(p.name).addScalar("rowHits",
+                                                     "row-buffer hits")),
+      statRowMisses(stats.childGroup(p.name).addScalar(
+          "rowMisses", "row-buffer conflicts")),
+      statQueueCycles(stats.childGroup(p.name).addScalar(
+          "queueCycles", "cycles spent queued on the channel"))
+{
+}
+
+uint32_t
+DramCtrl::bankOf(Addr line_addr) const
+{
+    // Bank interleaving on row-buffer-sized chunks.
+    return uint32_t(line_addr / p.rowBytes) % p.numBanks;
+}
+
+uint64_t
+DramCtrl::rowOf(Addr line_addr) const
+{
+    return line_addr / (uint64_t(p.rowBytes) * p.numBanks);
+}
+
+Cycles
+DramCtrl::access(Addr line_addr, bool is_write, Cycles now)
+{
+    if (is_write)
+        ++statWrites;
+    else
+        ++statReads;
+
+    // Channel queueing.
+    Cycles queue = 0;
+    if (channelFreeAt > now) {
+        queue = channelFreeAt - now;
+        statQueueCycles += queue;
+    }
+
+    const uint32_t bank = bankOf(line_addr);
+    const uint64_t row = rowOf(line_addr);
+    Cycles device;
+    if (rowValid[bank] && openRow[bank] == row) {
+        ++statRowHits;
+        device = p.rowHitLatency;
+    } else {
+        ++statRowMisses;
+        device = p.rowMissLatency;
+        openRow[bank] = row;
+        rowValid[bank] = true;
+    }
+
+    channelFreeAt = now + queue + device + p.burstCycles;
+    return p.frontendLatency + queue + device + p.burstCycles;
+}
+
+void
+DramCtrl::warm(Addr line_addr, bool is_write)
+{
+    if (is_write)
+        ++statWrites;
+    else
+        ++statReads;
+    const uint32_t bank = bankOf(line_addr);
+    const uint64_t row = rowOf(line_addr);
+    if (rowValid[bank] && openRow[bank] == row) {
+        ++statRowHits;
+    } else {
+        ++statRowMisses;
+        openRow[bank] = row;
+        rowValid[bank] = true;
+    }
+}
+
+} // namespace svb

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * DRAM controller timing model.
+ *
+ * Models a single-channel DDR3-1600-style device (Table 4.1): per-bank
+ * open-row tracking (row hits are cheap, row conflicts pay
+ * precharge+activate) plus a channel busy window for queueing delay.
+ */
+
+#ifndef SVB_MEM_DRAM_HH
+#define SVB_MEM_DRAM_HH
+
+#include "cache.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace svb
+{
+
+/** DRAM timing parameters, in CPU cycles (1 GHz: 1 cycle == 1 ns). */
+struct DramParams
+{
+    std::string name = "dram";
+    uint32_t numBanks = 8;
+    uint32_t rowBytes = 2048;      ///< row-buffer size per bank
+    Cycles frontendLatency = 20;   ///< controller + bus hop
+    Cycles rowHitLatency = 28;     ///< CAS only
+    Cycles rowMissLatency = 76;    ///< precharge + activate + CAS
+    Cycles burstCycles = 8;        ///< channel occupancy per 64B burst
+};
+
+/**
+ * The memory controller at the bottom of the hierarchy.
+ */
+class DramCtrl : public MemLevel
+{
+  public:
+    DramCtrl(const DramParams &params, StatGroup &stats);
+
+    Cycles access(Addr line_addr, bool is_write, Cycles now) override;
+    void warm(Addr line_addr, bool is_write) override;
+
+    uint64_t reads() const { return statReads.value(); }
+    uint64_t writes() const { return statWrites.value(); }
+
+  private:
+    uint32_t bankOf(Addr line_addr) const;
+    uint64_t rowOf(Addr line_addr) const;
+
+    DramParams p;
+    std::vector<uint64_t> openRow;
+    std::vector<bool> rowValid;
+    Cycles channelFreeAt = 0;
+
+    Scalar &statReads;
+    Scalar &statWrites;
+    Scalar &statRowHits;
+    Scalar &statRowMisses;
+    Scalar &statQueueCycles;
+};
+
+} // namespace svb
+
+#endif // SVB_MEM_DRAM_HH

@@ -1,0 +1,94 @@
+#include "hierarchy.hh"
+
+namespace svb
+{
+
+void
+CoherenceBus::writeSnoop(int writer_id, Addr line_addr)
+{
+    for (CoreMemSystem *core : cores) {
+        if (core->coreId() != writer_id)
+            core->snoopInvalidate(line_addr);
+    }
+}
+
+CoreMemSystem::CoreMemSystem(int core_id, const CoreMemParams &params,
+                             DramCtrl &dram, CoherenceBus &bus_,
+                             StatGroup &stats)
+    : id(core_id), bus(bus_), lineSize(params.l1d.lineSize)
+{
+    StatGroup &g = stats.childGroup("core" + std::to_string(core_id));
+    l2Cache = std::make_unique<Cache>(params.l2, dram, g);
+    l1iCache = std::make_unique<Cache>(params.l1i, *l2Cache, g);
+    l1dCache = std::make_unique<Cache>(params.l1d, *l2Cache, g);
+    bus.registerCore(this);
+}
+
+template <typename Fn>
+void
+CoreMemSystem::forEachLine(Addr addr, unsigned len, Fn &&fn)
+{
+    Addr first = addr & ~Addr(lineSize - 1);
+    Addr last = (addr + (len ? len - 1 : 0)) & ~Addr(lineSize - 1);
+    for (Addr line = first; line <= last; line += lineSize)
+        fn(line);
+}
+
+Cycles
+CoreMemSystem::fetchAccess(Addr paddr, unsigned len, Cycles now)
+{
+    Cycles worst = 0;
+    forEachLine(paddr, len, [&](Addr line) {
+        worst = std::max(worst, l1iCache->access(line, false, now));
+    });
+    return worst;
+}
+
+Cycles
+CoreMemSystem::dataAccess(Addr paddr, unsigned len, bool is_write,
+                          Cycles now)
+{
+    Cycles worst = 0;
+    forEachLine(paddr, len, [&](Addr line) {
+        worst = std::max(worst, l1dCache->access(line, is_write, now));
+        if (is_write)
+            bus.writeSnoop(id, line);
+    });
+    return worst;
+}
+
+void
+CoreMemSystem::warmFetch(Addr paddr, unsigned len)
+{
+    forEachLine(paddr, len, [&](Addr line) {
+        l1iCache->warm(line, false);
+    });
+}
+
+void
+CoreMemSystem::warmData(Addr paddr, unsigned len, bool is_write)
+{
+    forEachLine(paddr, len, [&](Addr line) {
+        l1dCache->warm(line, is_write);
+        if (is_write)
+            bus.writeSnoop(id, line);
+    });
+}
+
+void
+CoreMemSystem::snoopInvalidate(Addr line_addr)
+{
+    l1iCache->invalidate(line_addr);
+    l1dCache->invalidate(line_addr);
+    l2Cache->invalidate(line_addr);
+}
+
+void
+CoreMemSystem::flushAll()
+{
+    l1iCache->flushAll();
+    l1dCache->flushAll();
+    l2Cache->flushAll();
+}
+
+} // namespace svb

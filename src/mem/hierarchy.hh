@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Per-core cache hierarchy plus the write-invalidate coherence bus.
+ *
+ * Topology (Figure 4.3 of the paper): each core has private L1I, L1D
+ * and a private L2; both L2s share one DRAM controller. Cross-core
+ * shared data (the RPC rings) stays functionally consistent because
+ * data lives in PhysMemory; the bus provides write-invalidate snoops
+ * so the timing model sees coherence misses.
+ */
+
+#ifndef SVB_MEM_HIERARCHY_HH
+#define SVB_MEM_HIERARCHY_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache.hh"
+#include "dram.hh"
+
+namespace svb
+{
+
+class CoreMemSystem;
+
+/**
+ * Broadcast medium connecting the per-core hierarchies.
+ */
+class CoherenceBus
+{
+  public:
+    /** Attach a core's hierarchy (called by CoreMemSystem). */
+    void registerCore(CoreMemSystem *core) { cores.push_back(core); }
+
+    /**
+     * Invalidate @p line_addr in every core except @p writer_id.
+     */
+    void writeSnoop(int writer_id, Addr line_addr);
+
+  private:
+    std::vector<CoreMemSystem *> cores;
+};
+
+/** Geometry for one core's private hierarchy. */
+struct CoreMemParams
+{
+    CacheParams l1i{"l1i", 32 * 1024, 8, 64, 2};
+    CacheParams l1d{"l1d", 32 * 1024, 8, 64, 2};
+    CacheParams l2{"l2", 512 * 1024, 4, 64, 20};
+};
+
+/**
+ * One core's private L1I/L1D/L2 stack.
+ */
+class CoreMemSystem
+{
+  public:
+    /**
+     * @param core_id  index used for snoop filtering
+     * @param params   cache geometry
+     * @param dram     the shared memory controller
+     * @param bus      the coherence bus (this core self-registers)
+     * @param stats    parent stat group (a "coreN" child is created)
+     */
+    CoreMemSystem(int core_id, const CoreMemParams &params, DramCtrl &dram,
+                  CoherenceBus &bus, StatGroup &stats);
+
+    /** Timed instruction fetch of @p len bytes at @p paddr. */
+    Cycles fetchAccess(Addr paddr, unsigned len, Cycles now);
+
+    /** Timed data access of @p len bytes at @p paddr. */
+    Cycles dataAccess(Addr paddr, unsigned len, bool is_write, Cycles now);
+
+    /** Untimed warming variants used by the Atomic CPU. */
+    void warmFetch(Addr paddr, unsigned len);
+    void warmData(Addr paddr, unsigned len, bool is_write);
+
+    /** Invalidate a line everywhere in this core (snoop target). */
+    void snoopInvalidate(Addr line_addr);
+
+    /** Drop all cached state in this core. */
+    void flushAll();
+
+    Cache &l1i() { return *l1iCache; }
+    Cache &l1d() { return *l1dCache; }
+    Cache &l2() { return *l2Cache; }
+    int coreId() const { return id; }
+
+  private:
+    /** Split an access that may straddle a line boundary. */
+    template <typename Fn>
+    void forEachLine(Addr addr, unsigned len, Fn &&fn);
+
+    int id;
+    CoherenceBus &bus;
+    std::unique_ptr<Cache> l2Cache;
+    std::unique_ptr<Cache> l1iCache;
+    std::unique_ptr<Cache> l1dCache;
+    uint32_t lineSize;
+};
+
+} // namespace svb
+
+#endif // SVB_MEM_HIERARCHY_HH

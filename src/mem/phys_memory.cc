@@ -1,0 +1,72 @@
+#include "phys_memory.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace svb
+{
+
+PhysMemory::PhysMemory(size_t size_bytes) : mem(size_bytes, 0)
+{
+}
+
+void
+PhysMemory::readBytes(Addr addr, void *dst, size_t len) const
+{
+    svb_assert(addr + len <= mem.size(), "phys read OOB: addr=", addr,
+               " len=", len);
+    std::memcpy(dst, mem.data() + addr, len);
+}
+
+void
+PhysMemory::writeBytes(Addr addr, const void *src, size_t len)
+{
+    svb_assert(addr + len <= mem.size(), "phys write OOB: addr=", addr,
+               " len=", len);
+    std::memcpy(mem.data() + addr, src, len);
+}
+
+uint64_t
+PhysMemory::read(Addr addr, unsigned len) const
+{
+    svb_assert(addr + len <= mem.size(), "phys read OOB: addr=", addr);
+    uint64_t v = 0;
+    for (unsigned i = 0; i < len; ++i)
+        v |= uint64_t(mem[addr + i]) << (8 * i);
+    return v;
+}
+
+void
+PhysMemory::write(Addr addr, uint64_t value, unsigned len)
+{
+    svb_assert(addr + len <= mem.size(), "phys write OOB: addr=", addr);
+    for (unsigned i = 0; i < len; ++i)
+        mem[addr + i] = uint8_t(value >> (8 * i));
+}
+
+void
+PhysMemory::clearRange(Addr addr, size_t len)
+{
+    svb_assert(addr + len <= mem.size(), "phys clear OOB");
+    std::memset(mem.data() + addr, 0, len);
+}
+
+void
+PhysMemory::serializeState(const std::string &prefix, Checkpoint &cp) const
+{
+    cp.setScalar(prefix + "size", mem.size());
+    cp.setBlob(prefix + "contents", mem);
+}
+
+void
+PhysMemory::unserializeState(const std::string &prefix,
+                             const Checkpoint &cp)
+{
+    svb_assert(cp.getScalar(prefix + "size") == mem.size(),
+               "checkpoint memory size mismatch");
+    const auto &blob = cp.getBlob(prefix + "contents");
+    mem.assign(blob.begin(), blob.end());
+}
+
+} // namespace svb

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Guest physical memory.
+ *
+ * A flat little-endian byte array. Functional data always lives here;
+ * the cache models are tag-only timing structures (see cache.hh), so
+ * correctness never depends on cache state.
+ */
+
+#ifndef SVB_MEM_PHYS_MEMORY_HH
+#define SVB_MEM_PHYS_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/serialize.hh"
+#include "sim/types.hh"
+
+namespace svb
+{
+
+/**
+ * The guest's physical DRAM contents.
+ */
+class PhysMemory : public Serializable
+{
+  public:
+    /** @param size_bytes capacity; accesses beyond it are a bug */
+    explicit PhysMemory(size_t size_bytes);
+
+    size_t size() const { return mem.size(); }
+
+    /** Read @p len bytes at @p addr into @p dst. */
+    void readBytes(Addr addr, void *dst, size_t len) const;
+
+    /** Write @p len bytes from @p src at @p addr. */
+    void writeBytes(Addr addr, const void *src, size_t len);
+
+    /** Read a little-endian integer of @p len (1/2/4/8) bytes. */
+    uint64_t read(Addr addr, unsigned len) const;
+
+    /** Write the low @p len bytes of @p value at @p addr. */
+    void write(Addr addr, uint64_t value, unsigned len);
+
+    uint8_t read8(Addr a) const { return uint8_t(read(a, 1)); }
+    uint16_t read16(Addr a) const { return uint16_t(read(a, 2)); }
+    uint32_t read32(Addr a) const { return uint32_t(read(a, 4)); }
+    uint64_t read64(Addr a) const { return read(a, 8); }
+    void write8(Addr a, uint8_t v) { write(a, v, 1); }
+    void write16(Addr a, uint16_t v) { write(a, v, 2); }
+    void write32(Addr a, uint32_t v) { write(a, v, 4); }
+    void write64(Addr a, uint64_t v) { write(a, v, 8); }
+
+    /** Zero-fill a range. */
+    void clearRange(Addr addr, size_t len);
+
+    /** Direct pointer for bulk loading (loader use only). */
+    uint8_t *data() { return mem.data(); }
+    const uint8_t *data() const { return mem.data(); }
+
+    void serializeState(const std::string &prefix,
+                        Checkpoint &cp) const override;
+    void unserializeState(const std::string &prefix,
+                          const Checkpoint &cp) override;
+
+  private:
+    std::vector<uint8_t> mem;
+};
+
+} // namespace svb
+
+#endif // SVB_MEM_PHYS_MEMORY_HH

@@ -1,0 +1,68 @@
+#include "logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace svb
+{
+
+namespace
+{
+bool informOn = true;
+}
+
+void
+setInformEnabled(bool enabled)
+{
+    informOn = enabled;
+}
+
+bool
+informEnabled()
+{
+    return informOn;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    switch (level) {
+      case LogLevel::Inform:
+        std::cout << "info: " << msg << "\n";
+        break;
+      case LogLevel::Warn:
+        std::cerr << "warn: " << msg << "\n";
+        break;
+      case LogLevel::Fatal:
+        std::cerr << "fatal: " << msg << "\n";
+        break;
+      case LogLevel::Panic:
+        std::cerr << "panic: " << msg << "\n";
+        break;
+    }
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << msg << " @ " << file << ":" << line;
+    logMessage(LogLevel::Panic, os.str());
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << msg << " @ " << file << ":" << line;
+    logMessage(LogLevel::Fatal, os.str());
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace svb

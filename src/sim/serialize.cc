@@ -1,0 +1,163 @@
+#include "serialize.hh"
+
+#include <fstream>
+
+#include "logging.hh"
+
+namespace svb
+{
+
+namespace
+{
+
+void
+writeU64(std::ostream &os, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        os.put(char((v >> (8 * i)) & 0xff));
+}
+
+uint64_t
+readU64(std::istream &is)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+        int c = is.get();
+        svb_assert(c != EOF, "truncated checkpoint");
+        v |= uint64_t(uint8_t(c)) << (8 * i);
+    }
+    return v;
+}
+
+void
+writeStr(std::ostream &os, const std::string &s)
+{
+    writeU64(os, s.size());
+    os.write(s.data(), std::streamsize(s.size()));
+}
+
+std::string
+readStr(std::istream &is)
+{
+    uint64_t n = readU64(is);
+    std::string s(n, '\0');
+    is.read(s.data(), std::streamsize(n));
+    svb_assert(is.good(), "truncated checkpoint string");
+    return s;
+}
+
+} // namespace
+
+void
+Checkpoint::setScalar(const std::string &key, uint64_t value)
+{
+    scalars[key] = value;
+}
+
+void
+Checkpoint::setString(const std::string &key, const std::string &value)
+{
+    strings[key] = value;
+}
+
+void
+Checkpoint::setBlob(const std::string &key, std::vector<uint8_t> data)
+{
+    blobs[key] = std::move(data);
+}
+
+uint64_t
+Checkpoint::getScalar(const std::string &key) const
+{
+    auto it = scalars.find(key);
+    if (it == scalars.end())
+        svb_fatal("checkpoint missing scalar '", key, "'");
+    return it->second;
+}
+
+const std::string &
+Checkpoint::getString(const std::string &key) const
+{
+    auto it = strings.find(key);
+    if (it == strings.end())
+        svb_fatal("checkpoint missing string '", key, "'");
+    return it->second;
+}
+
+const std::vector<uint8_t> &
+Checkpoint::getBlob(const std::string &key) const
+{
+    auto it = blobs.find(key);
+    if (it == blobs.end())
+        svb_fatal("checkpoint missing blob '", key, "'");
+    return it->second;
+}
+
+bool
+Checkpoint::hasScalar(const std::string &key) const
+{
+    return scalars.count(key) != 0;
+}
+
+void
+Checkpoint::saveToFile(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        svb_fatal("cannot open checkpoint file '", path, "' for writing");
+    os.write("SVBCKPT1", 8);
+    writeU64(os, scalars.size());
+    for (const auto &[k, v] : scalars) {
+        writeStr(os, k);
+        writeU64(os, v);
+    }
+    writeU64(os, strings.size());
+    for (const auto &[k, v] : strings) {
+        writeStr(os, k);
+        writeStr(os, v);
+    }
+    writeU64(os, blobs.size());
+    for (const auto &[k, v] : blobs) {
+        writeStr(os, k);
+        writeU64(os, v.size());
+        os.write(reinterpret_cast<const char *>(v.data()),
+                 std::streamsize(v.size()));
+    }
+}
+
+Checkpoint
+Checkpoint::loadFromFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        svb_fatal("cannot open checkpoint file '", path, "'");
+    char magic[8];
+    is.read(magic, 8);
+    if (!is.good() || std::string(magic, 8) != "SVBCKPT1")
+        svb_fatal("'", path, "' is not an svbench checkpoint");
+
+    Checkpoint cp;
+    uint64_t n = readU64(is);
+    for (uint64_t i = 0; i < n; ++i) {
+        std::string k = readStr(is);
+        cp.scalars[k] = readU64(is);
+    }
+    n = readU64(is);
+    for (uint64_t i = 0; i < n; ++i) {
+        std::string k = readStr(is);
+        cp.strings[k] = readStr(is);
+    }
+    n = readU64(is);
+    for (uint64_t i = 0; i < n; ++i) {
+        std::string k = readStr(is);
+        uint64_t len = readU64(is);
+        std::vector<uint8_t> data(len);
+        is.read(reinterpret_cast<char *>(data.data()),
+                std::streamsize(len));
+        svb_assert(is.good(), "truncated checkpoint blob");
+        cp.blobs[k] = std::move(data);
+    }
+    return cp;
+}
+
+} // namespace svb

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Checkpoint support.
+ *
+ * A Checkpoint is a named collection of scalar key/value entries plus
+ * binary blobs (e.g. guest physical memory). It mirrors gem5's
+ * checkpointing workflow: the harness boots the system in setup mode,
+ * serialises the full state, and each experiment restores from that
+ * snapshot before switching to the detailed CPU.
+ */
+
+#ifndef SVB_SIM_SERIALIZE_HH
+#define SVB_SIM_SERIALIZE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace svb
+{
+
+/**
+ * A serialised system snapshot.
+ */
+class Checkpoint
+{
+  public:
+    /** Store a scalar value under a dotted key. */
+    void setScalar(const std::string &key, uint64_t value);
+
+    /** Store a string value under a dotted key. */
+    void setString(const std::string &key, const std::string &value);
+
+    /** Store a binary blob under a dotted key. */
+    void setBlob(const std::string &key, std::vector<uint8_t> data);
+
+    /** @return the scalar stored under @p key; fatal if missing. */
+    uint64_t getScalar(const std::string &key) const;
+
+    /** @return the string stored under @p key; fatal if missing. */
+    const std::string &getString(const std::string &key) const;
+
+    /** @return the blob stored under @p key; fatal if missing. */
+    const std::vector<uint8_t> &getBlob(const std::string &key) const;
+
+    /** @return true when a scalar exists under @p key. */
+    bool hasScalar(const std::string &key) const;
+
+    /** Write the checkpoint to a file (simple tagged binary format). */
+    void saveToFile(const std::string &path) const;
+
+    /** Read a checkpoint previously written by saveToFile(). */
+    static Checkpoint loadFromFile(const std::string &path);
+
+    size_t numScalars() const { return scalars.size(); }
+    size_t numBlobs() const { return blobs.size(); }
+
+  private:
+    std::map<std::string, uint64_t> scalars;
+    std::map<std::string, std::string> strings;
+    std::map<std::string, std::vector<uint8_t>> blobs;
+};
+
+/** Interface for objects that participate in checkpointing. */
+class Serializable
+{
+  public:
+    virtual ~Serializable() = default;
+
+    /** Record this object's state into @p cp under @p prefix. */
+    virtual void serializeState(const std::string &prefix,
+                                Checkpoint &cp) const = 0;
+
+    /** Restore this object's state from @p cp under @p prefix. */
+    virtual void unserializeState(const std::string &prefix,
+                                  const Checkpoint &cp) = 0;
+};
+
+} // namespace svb
+
+#endif // SVB_SIM_SERIALIZE_HH

@@ -1,0 +1,169 @@
+#include "stats.hh"
+
+#include <iomanip>
+
+#include "logging.hh"
+
+namespace svb
+{
+
+void
+Scalar::snapshot(const std::string &prefix,
+                 std::map<std::string, double> &out) const
+{
+    out[prefix + name()] = double(val);
+}
+
+void
+Scalar::print(const std::string &prefix, std::ostream &os) const
+{
+    os << std::left << std::setw(48) << (prefix + name())
+       << std::right << std::setw(16) << val << "  # " << desc() << "\n";
+}
+
+void
+Formula::snapshot(const std::string &prefix,
+                  std::map<std::string, double> &out) const
+{
+    out[prefix + name()] = value();
+}
+
+void
+Formula::print(const std::string &prefix, std::ostream &os) const
+{
+    os << std::left << std::setw(48) << (prefix + name())
+       << std::right << std::setw(16) << std::fixed
+       << std::setprecision(4) << value() << "  # " << desc() << "\n";
+    os.unsetf(std::ios::fixed);
+}
+
+Distribution::Distribution(std::string name, std::string desc,
+                           uint64_t min, uint64_t max, uint64_t bucket_size)
+    : Stat(std::move(name), std::move(desc)), min(min), max(max),
+      bucketSize(bucket_size)
+{
+    svb_assert(max > min && bucket_size > 0, "bad distribution params");
+    buckets.assign((max - min + bucket_size - 1) / bucket_size, 0);
+}
+
+void
+Distribution::sample(uint64_t value)
+{
+    ++count;
+    sum += value;
+    if (value < min) {
+        ++underflow;
+    } else if (value >= max) {
+        ++overflow;
+    } else {
+        ++buckets[(value - min) / bucketSize];
+    }
+}
+
+void
+Distribution::reset()
+{
+    underflow = overflow = sum = count = 0;
+    std::fill(buckets.begin(), buckets.end(), 0);
+}
+
+void
+Distribution::snapshot(const std::string &prefix,
+                       std::map<std::string, double> &out) const
+{
+    out[prefix + name() + ".samples"] = double(count);
+    out[prefix + name() + ".mean"] = mean();
+}
+
+void
+Distribution::print(const std::string &prefix, std::ostream &os) const
+{
+    os << std::left << std::setw(48) << (prefix + name())
+       << "  samples=" << count << " mean=" << mean()
+       << "  # " << desc() << "\n";
+}
+
+Scalar &
+StatGroup::addScalar(const std::string &name, const std::string &desc)
+{
+    auto stat = std::make_unique<Scalar>(name, desc);
+    Scalar &ref = *stat;
+    stats.push_back(std::move(stat));
+    return ref;
+}
+
+Formula &
+StatGroup::addFormula(const std::string &name, const std::string &desc,
+                      std::function<double()> fn)
+{
+    auto stat = std::make_unique<Formula>(name, desc, std::move(fn));
+    Formula &ref = *stat;
+    stats.push_back(std::move(stat));
+    return ref;
+}
+
+Distribution &
+StatGroup::addDistribution(const std::string &name, const std::string &desc,
+                           uint64_t min, uint64_t max, uint64_t bucket_size)
+{
+    auto stat =
+        std::make_unique<Distribution>(name, desc, min, max, bucket_size);
+    Distribution &ref = *stat;
+    stats.push_back(std::move(stat));
+    return ref;
+}
+
+StatGroup &
+StatGroup::childGroup(const std::string &name)
+{
+    for (auto &child : children) {
+        if (child->name() == name)
+            return *child;
+    }
+    children.push_back(std::make_unique<StatGroup>(name));
+    return *children.back();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &stat : stats)
+        stat->reset();
+    for (auto &child : children)
+        child->resetAll();
+}
+
+std::map<std::string, double>
+StatGroup::snapshotAll() const
+{
+    std::map<std::string, double> out;
+    snapshotInto(_name.empty() ? "" : _name + ".", out);
+    return out;
+}
+
+void
+StatGroup::snapshotInto(const std::string &prefix,
+                        std::map<std::string, double> &out) const
+{
+    for (const auto &stat : stats)
+        stat->snapshot(prefix, out);
+    for (const auto &child : children)
+        child->snapshotInto(prefix + child->name() + ".", out);
+}
+
+void
+StatGroup::printAll(std::ostream &os) const
+{
+    printInto(_name.empty() ? "" : _name + ".", os);
+}
+
+void
+StatGroup::printInto(const std::string &prefix, std::ostream &os) const
+{
+    for (const auto &stat : stats)
+        stat->print(prefix, os);
+    for (const auto &child : children)
+        child->printInto(prefix + child->name() + ".", os);
+}
+
+} // namespace svb

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator component.
+ */
+
+#ifndef SVB_SIM_TYPES_HH
+#define SVB_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace svb
+{
+
+/** Absolute simulated time, in ticks. One tick == one picosecond. */
+using Tick = uint64_t;
+
+/** A relative cycle count (clock-domain local). */
+using Cycles = uint64_t;
+
+/** A guest memory address (virtual or physical depending on context). */
+using Addr = uint64_t;
+
+/** Largest representable tick; used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Ticks per second: 1 THz tick rate, i.e. 1 tick == 1 ps. */
+constexpr Tick ticksPerSecond = 1'000'000'000'000ULL;
+
+/**
+ * A clock period helper: converts a frequency in MHz to the tick period
+ * of one cycle.
+ */
+constexpr Tick
+clockPeriodFromMHz(uint64_t mhz)
+{
+    return ticksPerSecond / (mhz * 1'000'000ULL);
+}
+
+} // namespace svb
+
+#endif // SVB_SIM_TYPES_HH

@@ -1,0 +1,116 @@
+#include "calibration.hh"
+
+#include "sim/logging.hh"
+
+namespace svb
+{
+
+const char *
+tierName(RuntimeTier tier)
+{
+    switch (tier) {
+      case RuntimeTier::Go: return "go";
+      case RuntimeTier::Node: return "nodejs";
+      case RuntimeTier::Python: return "python";
+    }
+    return "?";
+}
+
+TierParams
+tierParams(RuntimeTier tier, IsaId isa)
+{
+    TierParams p{};
+    p.layerUnroll = 200;
+    p.jitThreshold = 1 << 30;
+
+    if (isa == IsaId::Riscv) {
+        // The lean, hand-ported RISC-V images (Section 3.3).
+        switch (tier) {
+          case RuntimeTier::Go:
+            p.preMainTouchBytes = 64 * 1024;
+            p.preMainAluIters = 3000;
+            p.wrapperLayers = 192;       // 768 KiB steady-state data
+            p.wrapperSlabBytes = 1024;
+            p.initLayers = 64;           // 384 KiB one-time import
+            p.initSlabBytes = 6144;
+            p.profilingLayers = 0;
+            p.wrapperAluIters = 2000;
+            p.lazyInitAluIters = 4000;
+            p.jitThreshold = 0;
+            break;
+          case RuntimeTier::Node:
+            p.preMainTouchBytes = 128 * 1024;
+            p.preMainAluIters = 6000;
+            p.wrapperLayers = 208;
+            p.wrapperSlabBytes = 1024;
+            p.initLayers = 96;
+            p.initSlabBytes = 8192;
+            p.profilingLayers = 96;      // V8-style interpreter profiling
+            p.wrapperAluIters = 2600;
+            p.lazyInitAluIters = 8000;
+            p.jitThreshold = 4;
+            break;
+          case RuntimeTier::Python:
+            p.preMainTouchBytes = 96 * 1024;
+            p.preMainAluIters = 4000;
+            p.wrapperLayers = 144;       // lean steady-state call path
+            p.wrapperSlabBytes = 1024;
+            p.initLayers = 320;          // the huge module import
+            p.initSlabBytes = 12288;
+            p.profilingLayers = 0;
+            p.wrapperAluIters = 3200;
+            p.lazyInitAluIters = 24000;
+            break;
+        }
+        return p;
+    }
+
+    // CX86 ("x86"): the stock Ubuntu base images the thesis used are
+    // much heavier than its hand-built RISC-V ones; the layer counts
+    // below reproduce the measured instruction-count gap (Fig 4.16)
+    // and the extreme x86 Python cold starts (Fig 4.12). The larger
+    // unroll keeps the x86 code footprint above the RISC-V one even
+    // though CX86 encodes straight-line arithmetic more densely
+    // (Fig 4.17: x86 suffers more L1I misses).
+    p.layerUnroll = 256;
+    switch (tier) {
+      case RuntimeTier::Go:
+        p.preMainTouchBytes = 128 * 1024;
+        p.preMainAluIters = 6000;
+        p.wrapperLayers = 480;
+        p.wrapperSlabBytes = 1024;
+        p.initLayers = 128;
+        p.initSlabBytes = 8192;
+        p.profilingLayers = 0;
+        p.wrapperAluIters = 3600;
+        p.lazyInitAluIters = 9000;
+        p.jitThreshold = 0;
+        break;
+      case RuntimeTier::Node:
+        p.preMainTouchBytes = 256 * 1024;
+        p.preMainAluIters = 12000;
+        p.wrapperLayers = 1000;
+        p.wrapperSlabBytes = 1024;
+        p.initLayers = 192;
+        p.initSlabBytes = 10240;
+        p.profilingLayers = 160;
+        p.wrapperAluIters = 5000;
+        p.lazyInitAluIters = 18000;
+        p.jitThreshold = 4;
+        break;
+      case RuntimeTier::Python:
+        p.preMainTouchBytes = 224 * 1024;
+        p.preMainAluIters = 10000;
+        p.wrapperLayers = 440;
+        p.wrapperSlabBytes = 1024;
+        p.initLayers = 640;
+        p.initSlabBytes = 12288;
+        p.profilingLayers = 0;
+        p.wrapperAluIters = 7000;
+        p.lazyInitAluIters = 80000;
+        break;
+    }
+    return p;
+}
+
+} // namespace svb

@@ -1,0 +1,150 @@
+#include "image.hh"
+
+#include <map>
+
+#include "sim/logging.hh"
+
+namespace svb
+{
+
+namespace
+{
+
+/** Calibrated total compressed sizes, MB: {x86, riscv}. */
+struct Totals
+{
+    double x86;
+    double riscv;
+};
+
+const std::map<std::string, Totals> &
+gpourTotals()
+{
+    static const std::map<std::string, Totals> totals = {
+        {"fibonacci-go", {8.39, 7.76}},
+        {"fibonacci-python", {99.40, 132.62}},
+        {"fibonacci-nodejs", {58.43, 35.16}},
+        {"aes-go", {8.67, 8.04}},
+        {"aes-python", {99.45, 132.67}},
+        {"aes-nodejs", {57.11, 35.42}},
+        {"auth-go", {8.67, 8.04}},
+        {"auth-python", {99.40, 132.62}},
+        {"auth-nodejs", {70.50, 48.81}},
+        {"productcatalog-go", {10.81, 10.33}},
+        {"shipping-go", {10.80, 10.30}},
+        {"rec/service-P&G", {108.09, 114.68}},
+        {"emailservice-P", {107.70, 114.46}},
+        {"currency-nodejs", {60.12, 38.44}},
+        {"payment-nodejs", {59.04, 80.64}},
+        {"geo", {8.17, 7.76}},
+        {"recommendation", {8.14, 7.74}},
+        {"user", {8.12, 7.73}},
+        {"reservation", {8.18, 7.79}},
+        {"rate", {8.18, 7.79}},
+        {"profile", {8.19, 7.79}},
+    };
+    return totals;
+}
+
+/** Natheesan publishes RISC-V images only (Table 4.5). */
+const std::map<std::string, double> &
+natheesanTotals()
+{
+    static const std::map<std::string, double> totals = {
+        {"fibonacci-go", 6.72},
+        {"fibonacci-python", 299.56},
+        {"fibonacci-nodejs", 107.74},
+        {"aes-go", 6.95},
+        {"aes-python", 299.62},
+        {"aes-nodejs", 107.81},
+        {"auth-go", 6.95},
+        {"auth-python", 299.57},
+        {"auth-nodejs", 121.21},
+        {"productcatalog-go", 26.15},
+        {"shipping-go", 26.14},
+        {"rec/service-P&G", 401.46},
+        {"emailservice-P", 313.06},
+        {"currency-nodejs", 58.16},
+        {"payment-nodejs", 57.07},
+    };
+    return totals;
+}
+
+/** Nominal layer sizes below the app layer, per tier and ISA. */
+ImageBreakdown
+nominalLayers(RuntimeTier tier, IsaId isa, RegistryProfile profile)
+{
+    ImageBreakdown b;
+    const bool riscv = isa == IsaId::Riscv;
+    if (profile == RegistryProfile::Natheesan) {
+        // Stock full-fat base images.
+        b.baseOsMb = 5.0;
+        switch (tier) {
+          case RuntimeTier::Go: b.runtimeMb = 1.2; b.libsMb = 0.4; break;
+          case RuntimeTier::Node: b.runtimeMb = 78.0; b.libsMb = 20.0; break;
+          case RuntimeTier::Python: b.runtimeMb = 210.0; b.libsMb = 80.0; break;
+        }
+        return b;
+    }
+    b.baseOsMb = riscv ? 2.30 : 2.50;
+    switch (tier) {
+      case RuntimeTier::Go:
+        b.runtimeMb = riscv ? 4.50 : 4.80;
+        b.libsMb = 0.60;
+        break;
+      case RuntimeTier::Node:
+        b.runtimeMb = riscv ? 25.0 : 44.0;
+        b.libsMb = riscv ? 5.0 : 8.0;
+        break;
+      case RuntimeTier::Python:
+        b.runtimeMb = riscv ? 95.0 : 72.0;
+        b.libsMb = riscv ? 30.0 : 24.0;
+        break;
+    }
+    return b;
+}
+
+/** Fit the app layer so the stack sums to the calibrated total. */
+ImageBreakdown
+fitBreakdown(double total, RuntimeTier tier, IsaId isa,
+             RegistryProfile profile)
+{
+    ImageBreakdown b = nominalLayers(tier, isa, profile);
+    double app = total - b.totalMb();
+    if (app < 0.05) {
+        // Slimmer-than-nominal runtime build: shrink the runtime/libs
+        // layers proportionally and keep a token app layer.
+        const double scale = (total - b.baseOsMb - 0.05) /
+                             (b.runtimeMb + b.libsMb);
+        b.runtimeMb *= scale;
+        b.libsMb *= scale;
+        app = 0.05;
+    }
+    b.appMb = app;
+    return b;
+}
+
+} // namespace
+
+std::optional<ImageBreakdown>
+containerImage(const FunctionSpec &spec, IsaId isa,
+               RegistryProfile profile)
+{
+    if (profile == RegistryProfile::Natheesan) {
+        if (isa != IsaId::Riscv)
+            return std::nullopt; // RISC-V-only registry
+        auto it = natheesanTotals().find(spec.name);
+        if (it == natheesanTotals().end())
+            return std::nullopt; // no runnable hotel images (MongoDB)
+        return fitBreakdown(it->second, spec.tier, isa, profile);
+    }
+
+    auto it = gpourTotals().find(spec.name);
+    if (it == gpourTotals().end())
+        return std::nullopt;
+    const double total =
+        isa == IsaId::Riscv ? it->second.riscv : it->second.x86;
+    return fitBreakdown(total, spec.tier, isa, profile);
+}
+
+} // namespace svb

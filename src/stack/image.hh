@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Container image registry model (Tables 4.4 and 4.5).
+ *
+ * Image sizes are static registry artifacts, not simulation outputs:
+ * this module models each image as a stack of layers (base OS,
+ * language runtime, dependency libraries, application) whose sizes
+ * were calibrated against the compressed sizes the thesis measured on
+ * Docker Hub for its own images ("GPour") and for the independently
+ * ported "Natheesan" images it compares against.
+ */
+
+#ifndef SVB_STACK_IMAGE_HH
+#define SVB_STACK_IMAGE_HH
+
+#include <optional>
+#include <string>
+
+#include "runtime.hh"
+
+namespace svb
+{
+
+/** Whose registry the image comes from (Section 4.2.6). */
+enum class RegistryProfile
+{
+    GPour,     ///< the thesis' own ported images
+    Natheesan, ///< the independently published RISC-V port
+};
+
+/** Layered decomposition of one container image (compressed MB). */
+struct ImageBreakdown
+{
+    double baseOsMb = 0;
+    double runtimeMb = 0;  ///< language runtime layer
+    double libsMb = 0;     ///< gRPC and friends
+    double appMb = 0;      ///< the function itself
+
+    double
+    totalMb() const
+    {
+        return baseOsMb + runtimeMb + libsMb + appMb;
+    }
+};
+
+/**
+ * Look up the image for @p spec on @p isa in @p profile.
+ *
+ * @return nullopt when the profile does not publish that image (the
+ *         Natheesan registry has no runnable hotel images — they
+ *         require MongoDB, which has no RISC-V port; Section 4.2.6)
+ */
+std::optional<ImageBreakdown> containerImage(const FunctionSpec &spec,
+                                             IsaId isa,
+                                             RegistryProfile profile);
+
+} // namespace svb
+
+#endif // SVB_STACK_IMAGE_HH

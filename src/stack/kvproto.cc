@@ -1,0 +1,82 @@
+#include "kvproto.hh"
+
+namespace svb::kv
+{
+
+using gen::BinOp;
+using gen::CondOp;
+
+int
+emitKeyOf(gen::ProgramBuilder &pb)
+{
+    // key = ((id + 1) * 0x9e3779b97f4a7c15) ^ (that >> 29), never zero.
+    auto f = pb.beginFunction("kv.keyOf", 1);
+    const int id = f.arg(0);
+    const int k = f.newVreg(), m = f.newVreg(), t = f.newVreg();
+    f.bini(BinOp::Add, k, id, 1);
+    f.movi(m, int64_t(0x9e3779b97f4a7c15ULL));
+    f.bin(BinOp::Mul, k, k, m);
+    f.bini(BinOp::Shr, t, k, 29);
+    f.bin(BinOp::Xor, k, k, t);
+    f.bini(BinOp::Or, k, k, 1); // keys are never zero
+    f.ret(k);
+    return pb.functionIndex("kv.keyOf");
+}
+
+KvClient
+emitKvClient(gen::ProgramBuilder &pb, const gen::GuestLib &lib)
+{
+    KvClient kvc;
+    kvc.keyOf = emitKeyOf(pb);
+
+    {
+        // kvGet(reqRing, key, outBuf) -> valueLen
+        auto f = pb.beginFunction("kv.get", 3);
+        const int rg = f.arg(0), key = f.arg(1), out = f.arg(2);
+        const int64_t req_off = f.localBytes(24);
+        const int req = f.newVreg(), resp_ring = f.newVreg(),
+                  op = f.newVreg(), len = f.newVreg();
+        f.leaLocal(req, req_off);
+        f.movi(op, int64_t(opGet));
+        f.store(req, 0, op, 8);
+        f.store(req, 8, key, 8);
+        f.movi(len, headerBytes);
+        f.callVoid(lib.ringSend, {rg, req, len});
+        f.bini(BinOp::Add, resp_ring, rg, 0x1000);
+        const int got = f.call(lib.ringRecv, {resp_ring, out});
+        f.ret(got);
+    }
+
+    {
+        // kvPut(reqRing, key, valBuf, valLen) -> status
+        auto f = pb.beginFunction("kv.put", 4);
+        const int rg = f.arg(0), key = f.arg(1), val = f.arg(2),
+                  vlen = f.arg(3);
+        const int64_t req_off = f.localBytes(232);
+        const int req = f.newVreg(), resp_ring = f.newVreg(),
+                  op = f.newVreg(), body = f.newVreg(),
+                  total = f.newVreg();
+        f.leaLocal(req, req_off);
+        f.movi(op, int64_t(opPut));
+        f.store(req, 0, op, 8);
+        f.store(req, 8, key, 8);
+        f.bini(BinOp::Add, body, req, headerBytes);
+        f.callVoid(lib.memCopy, {body, val, vlen});
+        f.bini(BinOp::Add, total, vlen, headerBytes);
+        f.callVoid(lib.ringSend, {rg, req, total});
+        f.bini(BinOp::Add, resp_ring, rg, 0x1000);
+        const int64_t resp_off = f.localBytes(16);
+        const int resp = f.newVreg();
+        f.leaLocal(resp, resp_off);
+        f.callVoid(lib.ringRecv, {resp_ring, resp});
+        const int status = f.newVreg();
+        f.load(status, resp, 0, 8, false);
+        f.ret(status);
+    }
+
+    kvc.get = pb.functionIndex("kv.get");
+    kvc.put = pb.functionIndex("kv.put");
+    return kvc;
+}
+
+} // namespace svb::kv

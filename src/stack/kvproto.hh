@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The key-value wire protocol spoken between the hotel functions and
+ * the database/memcached containers, plus the guest-side client
+ * helpers.
+ *
+ * Request:  [0]=op (1 get, 2 put), [8]=key, [16..]=value (put only)
+ * Reply:    get  -> value bytes (empty on miss)
+ *           put  -> 8 bytes of status
+ */
+
+#ifndef SVB_STACK_KVPROTO_HH
+#define SVB_STACK_KVPROTO_HH
+
+#include "gen/guestlib.hh"
+#include "gen/ir.hh"
+
+namespace svb::kv
+{
+
+constexpr uint64_t opGet = 1;
+constexpr uint64_t opPut = 2;
+constexpr int64_t headerBytes = 16;
+
+/** Guest-side KV client helper function indices. */
+struct KvClient
+{
+    /** len = kvGet(reqRingVa, key, outBuf) */
+    int get = -1;
+    /** status = kvPut(reqRingVa, key, valBuf, valLen) */
+    int put = -1;
+    /** key = keyOf(id) — the record-id to key mix shared with the DBs */
+    int keyOf = -1;
+};
+
+/**
+ * Emit the KV client helpers into @p pb. The response ring is derived
+ * from the request ring via the +0x1000 layout invariant.
+ */
+KvClient emitKvClient(gen::ProgramBuilder &pb, const gen::GuestLib &lib);
+
+/** Emit only the keyOf(id) mixer (used by the DB programs too). */
+int emitKeyOf(gen::ProgramBuilder &pb);
+
+} // namespace svb::kv
+
+#endif // SVB_STACK_KVPROTO_HH

@@ -1,0 +1,369 @@
+#include "runtime.hh"
+
+#include "guest/syscall_abi.hh"
+#include "sim/logging.hh"
+
+namespace svb
+{
+
+using gen::BinOp;
+using gen::CondOp;
+
+namespace
+{
+
+/**
+ * Emit one runtime layer: a distinct function with a private data
+ * slab. The unrolled arithmetic gives each layer a real code
+ * footprint; the slab walk gives it a real data footprint. Every
+ * fourth layer also writes its slab, so warm executions produce
+ * dirty-line writebacks.
+ */
+int
+emitLayer(gen::ProgramBuilder &pb, const std::string &name, Addr slab_va,
+          uint64_t slab_bytes, uint64_t unroll, uint64_t seed)
+{
+    auto f = pb.beginFunction(name, 1);
+    const int x = f.arg(0);
+    const int sum = f.newVreg(), ptr = f.newVreg(), end = f.newVreg(),
+              v = f.newVreg();
+    const int loop = f.newLabel(), done = f.newLabel();
+
+    f.mov(sum, x);
+    // Distinct straight-line arithmetic per layer (code footprint).
+    uint64_t c = seed * 0x9e3779b97f4a7c15ULL + 12345;
+    for (uint64_t u = 0; u < unroll; ++u) {
+        c = c * 6364136223846793005ULL + 1442695040888963407ULL;
+        const auto k = int64_t(c >> 33);
+        switch (u % 3) {
+          case 0: f.bini(BinOp::Xor, sum, sum, k); break;
+          case 1: f.bini(BinOp::Add, sum, sum, k); break;
+          default: f.bini(BinOp::Mul, sum, sum, (k | 1) & 0xffff); break;
+        }
+    }
+
+    // Slab walk (data footprint), one access per cache line.
+    f.movi(ptr, int64_t(slab_va));
+    f.movi(end, int64_t(slab_va + slab_bytes));
+    f.label(loop);
+    f.brcond(CondOp::GeU, ptr, end, done);
+    f.load(v, ptr, 0, 8, false);
+    f.bin(BinOp::Add, sum, sum, v);
+    if (seed % 4 == 0)
+        f.store(ptr, 8, sum, 8);
+    f.addi(ptr, ptr, 64);
+    f.br(loop);
+    f.label(done);
+    f.ret(sum);
+    return pb.functionIndex(name);
+}
+
+/** Emit a chain of layers; returns their function indices. */
+std::vector<int>
+emitLayerChain(gen::ProgramBuilder &pb, const std::string &prefix,
+               Addr slabs_base, uint64_t count, uint64_t slab_bytes,
+               uint64_t unroll)
+{
+    std::vector<int> fns;
+    fns.reserve(count);
+    const uint64_t stride = slab_bytes + calib::slabStagger;
+    for (uint64_t i = 0; i < count; ++i) {
+        fns.push_back(emitLayer(pb, prefix + std::to_string(i),
+                                slabs_base + i * stride, slab_bytes,
+                                unroll, i));
+    }
+    return fns;
+}
+
+/** Call every layer in a chain, threading a value through. */
+void
+callChain(gen::FunctionBuilder &f, const std::vector<int> &chain, int x)
+{
+    for (int fn : chain) {
+        const int r = f.call(fn, {x});
+        f.mov(x, r);
+    }
+}
+
+} // namespace
+
+LoadableImage
+buildServerProgram(const FunctionSpec &spec, const WorkloadImpl &impl,
+                   IsaId isa, unsigned ring_slot)
+{
+    const Addr req_ring_va = topo::clientRingOfSlot(ring_slot);
+    const Addr resp_ring_va = topo::respRingOf(req_ring_va);
+    TierParams tp = tierParams(spec.tier, isa);
+    tp.initLayers = uint64_t(double(tp.initLayers) * impl.initScale);
+    if (tp.initLayers == 0)
+        tp.initLayers = 1;
+
+    gen::ProgramBuilder pb;
+
+    // ---- heap layout -----------------------------------------------------
+    const uint64_t wrap_stride =
+        tp.wrapperSlabBytes + calib::slabStagger;
+    const uint64_t init_stride = tp.initSlabBytes + calib::slabStagger;
+    const Addr wrap_base = layout::heapBase + serverheap::slabsStart;
+    const Addr prof_base =
+        wrap_base + tp.wrapperLayers * wrap_stride;
+    const Addr init_base =
+        prof_base + tp.profilingLayers * wrap_stride;
+    const uint64_t conn_layers =
+        (spec.usesDb ? calib::dbConnectLayers : 0) +
+        (spec.usesMemcached ? calib::mcConnectLayers : 0);
+    const uint64_t conn_slab =
+        spec.usesDb ? calib::dbConnectSlabBytes
+                    : calib::mcConnectSlabBytes;
+    const uint64_t conn_stride = conn_slab + calib::slabStagger;
+    const Addr conn_base = init_base + tp.initLayers * init_stride;
+    const Addr vm_heap = conn_base + conn_layers * conn_stride;
+    const Addr heap_end =
+        vm_heap + serverheap::vmHeapBytes + 64 * 1024;
+    pb.setHeapBytes(heap_end - layout::heapBase);
+
+    // Embed the bytecode for the interpreted tiers.
+    std::vector<uint8_t> bytecode;
+    Addr bytecode_addr = 0;
+    const bool wants_interp = spec.tier != RuntimeTier::Go;
+    if (wants_interp) {
+        svb_assert(bool(impl.makeBytecode),
+                   spec.name, ": interpreted tier without bytecode");
+        bytecode = impl.makeBytecode();
+        bytecode_addr = pb.addData(bytecode.data(), bytecode.size());
+    }
+
+    ServerEnv env;
+    env.lib = gen::GuestLib::addTo(pb);
+    env.kvc = kv::emitKvClient(pb, env.lib);
+    env.moduleArenaVa = wrap_base;
+    env.vmHeapVa = vm_heap;
+
+    int vm_run = -1;
+    if (wants_interp)
+        vm_run = vm::emitVmInterpreter(pb, env.lib);
+
+    // Compiled handler: Go always, Node for its JIT tier; Python never
+    // compiles (CPython-style).
+    int compiled = -1;
+    if (spec.tier != RuntimeTier::Python) {
+        svb_assert(bool(impl.emitCompiled),
+                   spec.name, ": missing compiled handler");
+        compiled = impl.emitCompiled(pb, env);
+    }
+
+    // ---- the runtime layer chains -----------------------------------------
+    const std::vector<int> wrapper_chain =
+        emitLayerChain(pb, "rt.wrap", wrap_base, tp.wrapperLayers,
+                       tp.wrapperSlabBytes, tp.layerUnroll);
+    const std::vector<int> profiling_chain =
+        emitLayerChain(pb, "rt.prof", prof_base, tp.profilingLayers,
+                       tp.wrapperSlabBytes, tp.layerUnroll);
+    const std::vector<int> init_chain =
+        emitLayerChain(pb, "rt.init", init_base, tp.initLayers,
+                       tp.initSlabBytes, tp.layerUnroll);
+    // Store-client connection setup (hotel functions): driver init,
+    // handshakes, connection pools. One-time, on the first request.
+    const std::vector<int> connect_chain =
+        emitLayerChain(pb, "rt.conn", conn_base, conn_layers, conn_slab,
+                       tp.layerUnroll);
+
+    // ---- the serve loop -------------------------------------------------
+    auto f = pb.beginFunction("server.main", 0);
+    const int64_t req_off = f.localBytes(256);
+    const int64_t resp_off = f.localBytes(256);
+
+    const int heap = f.newVreg(), arena = f.newVreg(), t = f.newVreg();
+    f.movi(heap, int64_t(layout::heapBase));
+    f.movi(arena, int64_t(env.moduleArenaVa));
+
+    // Eager runtime init (container boot).
+    {
+        const int bytes = f.imm(int64_t(tp.preMainTouchBytes));
+        const int stride = f.imm(64);
+        f.callVoid(env.lib.touchWrite, {arena, bytes, stride});
+        const int iters = f.imm(int64_t(tp.preMainAluIters));
+        f.callVoid(env.lib.burnAlu, {iters});
+    }
+    // Report container readiness to the harness (vSwarm's readiness
+    // probe equivalent).
+    {
+        const int m5op = f.imm(int64_t(sys::m5Event));
+        const int code = f.imm(int64_t(containerReadyEvent));
+        f.syscall(sys::sysM5, {m5op, code});
+    }
+
+    const int serve = f.newLabel();
+    const int inited = f.newLabel();
+    const int req_buf = f.newVreg(), resp_buf = f.newVreg();
+    const int len = f.newVreg(), resp_len = f.newVreg();
+    const int ring = f.newVreg(), x = f.newVreg();
+
+    f.label(serve);
+    f.leaLocal(req_buf, req_off);
+    f.leaLocal(resp_buf, resp_off);
+    f.movi(ring, int64_t(req_ring_va));
+    {
+        const int got = f.call(env.lib.ringRecv, {ring, req_buf});
+        f.mov(len, got);
+    }
+
+    // Lazy first-request initialisation: the module import.
+    f.load(t, heap, serverheap::initFlag, 8, false);
+    f.brcondi(CondOp::Ne, t, 0, inited);
+    {
+        f.mov(x, len);
+        callChain(f, init_chain, x);
+        callChain(f, connect_chain, x);
+        const int iters = f.imm(int64_t(tp.lazyInitAluIters));
+        f.callVoid(env.lib.burnAlu, {iters});
+        const int one = f.imm(1);
+        f.store(heap, serverheap::initFlag, one, 8);
+    }
+    f.label(inited);
+
+    // Inbound wrapper: transport + middleware layer chain.
+    f.mov(x, len);
+    callChain(f, wrapper_chain, x);
+    {
+        const int iters = f.imm(int64_t(tp.wrapperAluIters / 2));
+        f.callVoid(env.lib.burnAlu, {iters});
+        f.callVoid(env.lib.fnvHash, {req_buf, len});
+    }
+
+    // Dispatch (tier-specific).
+    const int cnt = f.newVreg();
+    f.load(cnt, heap, serverheap::requestCounter, 8, false);
+    f.bini(BinOp::Add, t, cnt, 1);
+    f.store(heap, serverheap::requestCounter, t, 8);
+
+    auto emitInterpCall = [&]() {
+        const int ctx = f.newVreg(), v = f.newVreg();
+        f.bini(BinOp::Add, ctx, heap, serverheap::vmCtx);
+        f.store(ctx, vm::ctxoff::reqBuf, req_buf, 8);
+        f.store(ctx, vm::ctxoff::reqLen, len, 8);
+        f.store(ctx, vm::ctxoff::respBuf, resp_buf, 8);
+        f.movi(v, int64_t(env.vmHeapVa));
+        f.store(ctx, vm::ctxoff::heap, v, 8);
+        const int codep = f.newVreg(), ninsts = f.newVreg();
+        f.lea(codep, bytecode_addr);
+        f.movi(ninsts, int64_t(bytecode.size() / vm::instBytes));
+        const int r = f.call(vm_run, {codep, ninsts, ctx});
+        f.mov(resp_len, r);
+    };
+    auto emitCompiledCall = [&]() {
+        const int r = f.call(compiled, {req_buf, len, resp_buf});
+        f.mov(resp_len, r);
+    };
+
+    switch (spec.tier) {
+      case RuntimeTier::Go:
+        emitCompiledCall();
+        break;
+      case RuntimeTier::Python:
+        emitInterpCall();
+        break;
+      case RuntimeTier::Node: {
+        // Tiered execution: while interpreting, V8-style profiling
+        // layers run too; once hot, the compiled handler takes over.
+        const int use_jit = f.newLabel(), dispatched = f.newLabel();
+        f.brcondi(CondOp::Ge, cnt, tp.jitThreshold, use_jit);
+        f.mov(x, len);
+        callChain(f, profiling_chain, x);
+        emitInterpCall();
+        f.br(dispatched);
+        f.label(use_jit);
+        emitCompiledCall();
+        f.label(dispatched);
+        break;
+      }
+    }
+
+    // Outbound wrapper: serialisation + transport.
+    {
+        const int iters = f.imm(int64_t(tp.wrapperAluIters / 2));
+        f.callVoid(env.lib.burnAlu, {iters});
+        f.callVoid(env.lib.fnvHash, {resp_buf, resp_len});
+    }
+    f.movi(ring, int64_t(resp_ring_va));
+    f.callVoid(env.lib.ringSend, {ring, resp_buf, resp_len});
+    f.br(serve);
+
+    pb.setEntry("server.main");
+    return gen::compileProgram(pb.take(), isa);
+}
+
+LoadableImage
+buildClientProgram(const FunctionSpec &spec, const WorkloadImpl &impl,
+                   IsaId isa, unsigned ring_slot)
+{
+    (void)spec;
+    const Addr req_ring_va = topo::clientRingOfSlot(ring_slot);
+    const Addr resp_ring_va = topo::respRingOf(req_ring_va);
+    gen::ProgramBuilder pb;
+    const gen::GuestLib lib = gen::GuestLib::addTo(pb);
+
+    svb_assert(!impl.requestTemplate.empty(), "empty request template");
+    svb_assert(impl.requestTemplate.size() <= 248,
+               "request template exceeds one ring slot");
+    const Addr tmpl = pb.addData(impl.requestTemplate.data(),
+                                 impl.requestTemplate.size());
+
+    auto f = pb.beginFunction("client.main", 0);
+    const int64_t buf_off = f.localBytes(256);
+
+    const int buf = f.newVreg(), i = f.newVreg(), ring = f.newVreg();
+    const int tp = f.newVreg(), tl = f.newVreg();
+    const int m5op = f.newVreg(), m5arg = f.newVreg();
+    const int loop = f.newLabel();
+
+    // Gate: wait for the harness to open the experiment (it pokes the
+    // flag at the bottom of this process's heap).
+    {
+        const int gate = f.newLabel(), go = f.newLabel();
+        const int flag_addr = f.newVreg(), v = f.newVreg();
+        f.movi(flag_addr, int64_t(layout::heapBase));
+        f.label(gate);
+        f.load(v, flag_addr, 0, 8, false);
+        f.brcondi(CondOp::Ne, v, 0, go);
+        f.syscall(sys::sysYield, {});
+        f.br(gate);
+        f.label(go);
+    }
+
+    f.movi(i, 0);
+    f.label(loop);
+
+    // Pacing gap between invocations.
+    {
+        const int gap = f.imm(int64_t(impl.clientGapIters));
+        f.callVoid(lib.burnAlu, {gap});
+    }
+
+    f.movi(m5op, int64_t(sys::m5WorkBegin));
+    f.bini(BinOp::Or, m5arg, i, int64_t(uint64_t(ring_slot) << 32));
+    f.syscall(sys::sysM5, {m5op, m5arg});
+
+    f.leaLocal(buf, buf_off);
+    f.lea(tp, tmpl);
+    f.movi(tl, int64_t(impl.requestTemplate.size()));
+    f.callVoid(lib.memCopy, {buf, tp, tl});
+    f.store(buf, requestSeqOffset, i, 8);
+
+    f.movi(ring, int64_t(req_ring_va));
+    f.callVoid(lib.ringSend, {ring, buf, tl});
+    f.movi(ring, int64_t(resp_ring_va));
+    f.callVoid(lib.ringRecv, {ring, buf});
+
+    f.movi(m5op, int64_t(sys::m5WorkEnd));
+    f.bini(BinOp::Or, m5arg, i, int64_t(uint64_t(ring_slot) << 32));
+    f.syscall(sys::sysM5, {m5op, m5arg});
+
+    f.addi(i, i, 1);
+    f.br(loop);
+
+    pb.setEntry("client.main");
+    return gen::compileProgram(pb.take(), isa);
+}
+
+} // namespace svb

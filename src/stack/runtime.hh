@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Serverless function runtime tiers: assembles complete server and
+ * client guest programs from a workload implementation.
+ *
+ * A server program is the container's payload: eager runtime init,
+ * then an RPC serve loop with lazy first-request initialisation,
+ * marshalling wrappers, and a tier-specific dispatch (compiled
+ * handler, interpreted bytecode, or tiered Node-style JIT).
+ */
+
+#ifndef SVB_STACK_RUNTIME_HH
+#define SVB_STACK_RUNTIME_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "calibration.hh"
+#include "gen/guestlib.hh"
+#include "gen/ir.hh"
+#include "kvproto.hh"
+#include "topology.hh"
+#include "vm.hh"
+
+namespace svb
+{
+
+/** One deployable serverless function (Table 3.2/3.3/3.4 rows). */
+struct FunctionSpec
+{
+    std::string name;     ///< e.g. "fibonacci-go"
+    std::string workload; ///< registry key, e.g. "fibonacci"
+    RuntimeTier tier = RuntimeTier::Go;
+    bool usesDb = false;
+    bool usesMemcached = false;
+};
+
+/** Everything a compiled-handler emitter may use. */
+struct ServerEnv
+{
+    gen::GuestLib lib;
+    kv::KvClient kvc;
+    Addr moduleArenaVa = 0; ///< big runtime arena (read/write freely)
+    Addr vmHeapVa = 0;      ///< bytecode VM arena
+};
+
+/**
+ * A workload implementation: the compiled handler emitter, the
+ * bytecode form for interpreted tiers, and the client request shape.
+ *
+ * Compiled handler guest ABI: respLen = handler(reqBuf, reqLen, respBuf).
+ */
+struct WorkloadImpl
+{
+    /** Emit the compiled handler; returns its function index. */
+    std::function<int(gen::ProgramBuilder &, const ServerEnv &)>
+        emitCompiled;
+    /** Produce the bytecode form (empty when Go-only). */
+    std::function<std::vector<uint8_t>()> makeBytecode;
+    /** Initial request payload; byte 40 carries the request sequence. */
+    std::vector<uint8_t> requestTemplate;
+    /** Client pacing between requests (ALU iterations). */
+    uint64_t clientGapIters = 300;
+    /**
+     * Scale on the tier's module-import size. The email service ships
+     * far fewer dependencies than its Python siblings — the paper's
+     * "emailservice exception" with its low L2 miss count (Fig 4.13).
+     */
+    double initScale = 1.0;
+};
+
+/** Byte offset in every request where the client writes the sequence. */
+constexpr int64_t requestSeqOffset = 40;
+
+/** m5Event payload announcing a booted container. */
+constexpr uint64_t containerReadyEvent = 0xC0;
+
+/** Function-container heap layout (offsets from layout::heapBase). */
+namespace serverheap
+{
+constexpr int64_t initFlag = 0;
+constexpr int64_t requestCounter = 8;
+constexpr int64_t vmCtx = 64;
+/** Layer slabs begin here; the exact layout is computed per tier. */
+constexpr int64_t slabsStart = 4096;
+constexpr int64_t vmHeapBytes = 512 * 1024;
+} // namespace serverheap
+
+/**
+ * Build the container's server program.
+ *
+ * @param ring_slot which client ring pair to serve (0 default; 1 for
+ *                  the second function of interleaving studies)
+ */
+LoadableImage buildServerProgram(const FunctionSpec &spec,
+                                 const WorkloadImpl &impl, IsaId isa,
+                                 unsigned ring_slot = 0);
+
+/** Build the matching load-generator (client) program. */
+LoadableImage buildClientProgram(const FunctionSpec &spec,
+                                 const WorkloadImpl &impl, IsaId isa,
+                                 unsigned ring_slot = 0);
+
+} // namespace svb
+
+#endif // SVB_STACK_RUNTIME_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Cluster topology constants.
+ *
+ * Figure 4.3: core 0 hosts the client (and the database/memcached
+ * containers, time-shared by the cooperative scheduler); core 1 hosts
+ * the serverless function container under measurement. All RPC rings
+ * live in one shared physical region mapped at identical virtual
+ * addresses in every participating process.
+ */
+
+#ifndef SVB_STACK_TOPOLOGY_HH
+#define SVB_STACK_TOPOLOGY_HH
+
+#include "guest/loader.hh"
+#include "guest/ring.hh"
+
+namespace svb::topo
+{
+
+/** Core pinning (Figure 4.3). */
+constexpr int clientCore = 0;
+constexpr int serverCore = 1;
+
+/** Virtual addresses of the rings (identical in every process). */
+constexpr Addr clientReqRingVa = layout::sharedBase + 0x0000;
+constexpr Addr clientRespRingVa = layout::sharedBase + 0x1000;
+constexpr Addr dbReqRingVa = layout::sharedBase + 0x2000;
+constexpr Addr dbRespRingVa = layout::sharedBase + 0x3000;
+constexpr Addr mcReqRingVa = layout::sharedBase + 0x4000;
+constexpr Addr mcRespRingVa = layout::sharedBase + 0x5000;
+/** Second function slot (lukewarm/interleaving studies). */
+constexpr Addr client2ReqRingVa = layout::sharedBase + 0x6000;
+constexpr Addr client2RespRingVa = layout::sharedBase + 0x7000;
+
+/** Number of rings in the shared region. */
+constexpr unsigned numRings = 8;
+
+/** Client ring-pair base of deployment slot 0 or 1. */
+constexpr Addr
+clientRingOfSlot(unsigned slot)
+{
+    return slot == 0 ? clientReqRingVa : client2ReqRingVa;
+}
+
+/** Bytes of shared region backing all rings (page granular). */
+constexpr Addr sharedRegionBytes = numRings * 0x1000;
+
+/** Response ring of a request ring (fixed +0x1000 layout invariant). */
+constexpr Addr
+respRingOf(Addr req_ring_va)
+{
+    return req_ring_va + 0x1000;
+}
+
+} // namespace svb::topo
+
+#endif // SVB_STACK_TOPOLOGY_HH

@@ -1,0 +1,313 @@
+#include "vm.hh"
+
+#include "sim/logging.hh"
+
+namespace svb::vm
+{
+
+using gen::BinOp;
+using gen::CondOp;
+
+int
+VmAsm::newLabel()
+{
+    labels.push_back(-1);
+    return int(labels.size()) - 1;
+}
+
+void
+VmAsm::bind(int label)
+{
+    svb_assert(label >= 0 && size_t(label) < labels.size(), "bad vm label");
+    labels[size_t(label)] = int64_t(code.size() / instBytes);
+}
+
+void
+VmAsm::emit(VmOp op, uint8_t a, uint8_t b, uint8_t c, int32_t imm)
+{
+    code.push_back(uint8_t(op));
+    code.push_back(a);
+    code.push_back(b);
+    code.push_back(c);
+    for (int i = 0; i < 4; ++i)
+        code.push_back(uint8_t(uint32_t(imm) >> (8 * i)));
+}
+
+void
+VmAsm::emitBranch(VmOp op, uint8_t a, uint8_t b, uint8_t c, int label)
+{
+    fixups.push_back({code.size() / instBytes, label});
+    emit(op, a, b, c, 0);
+}
+
+std::vector<uint8_t>
+VmAsm::finish()
+{
+    for (const Fixup &fix : fixups) {
+        const int64_t target = labels.at(size_t(fix.label));
+        svb_assert(target >= 0, "unbound vm label ", fix.label);
+        // Displacement relative to the next instruction.
+        const int64_t disp = target - int64_t(fix.instIndex) - 1;
+        const auto imm = int32_t(disp);
+        for (int i = 0; i < 4; ++i) {
+            code[fix.instIndex * instBytes + 4 + size_t(i)] =
+                uint8_t(uint32_t(imm) >> (8 * i));
+        }
+    }
+    fixups.clear();
+    return std::move(code);
+}
+
+int
+emitVmInterpreter(gen::ProgramBuilder &pb, const gen::GuestLib &lib)
+{
+    (void)lib;
+    auto f = pb.beginFunction("vm.run", 3);
+    const int code = f.arg(0);
+    const int code_len = f.arg(1); // in instructions (bounds guard)
+    const int ctx = f.arg(2);
+
+    const int req_buf = f.newVreg(), req_len = f.newVreg(),
+              resp_buf = f.newVreg(), heap = f.newVreg(),
+              regs = f.newVreg();
+    const int pc = f.newVreg(), inst = f.newVreg(), op = f.newVreg();
+    const int ra = f.newVreg(), rb = f.newVreg(), rc = f.newVreg(),
+              imm = f.newVreg();
+    const int va = f.newVreg(), vb = f.newVreg(), vc = f.newVreg();
+    const int t0 = f.newVreg(), t1 = f.newVreg();
+    const int end_pc = f.newVreg();
+
+    const int loop = f.newLabel();
+
+    f.load(req_buf, ctx, ctxoff::reqBuf, 8, false);
+    f.load(req_len, ctx, ctxoff::reqLen, 8, false);
+    f.load(resp_buf, ctx, ctxoff::respBuf, 8, false);
+    f.load(heap, ctx, ctxoff::heap, 8, false);
+    f.bini(BinOp::Add, regs, ctx, ctxoff::regs);
+    f.mov(pc, code);
+    f.bini(BinOp::Shl, end_pc, code_len, 3);
+    f.bin(BinOp::Add, end_pc, code, end_pc);
+
+    // Per-op labels.
+    std::vector<int> opLabels(33);
+    for (int i = 0; i < 33; ++i)
+        opLabels[size_t(i)] = f.newLabel();
+    const int bad = f.newLabel();
+
+    f.label(loop);
+    f.brcond(CondOp::GeU, pc, end_pc, bad); // ran off the end
+
+    // Fetch and crack one 8-byte instruction.
+    f.load(inst, pc, 0, 8, false);
+    f.addi(pc, pc, int64_t(instBytes));
+    f.bini(BinOp::And, op, inst, 0xff);
+    f.bini(BinOp::Shr, ra, inst, 8);
+    f.bini(BinOp::And, ra, ra, 0xff);
+    f.bini(BinOp::Shr, rb, inst, 16);
+    f.bini(BinOp::And, rb, rb, 0xff);
+    f.bini(BinOp::Shr, rc, inst, 24);
+    f.bini(BinOp::And, rc, rc, 0xff);
+    f.bini(BinOp::Sar, imm, inst, 32);
+
+    // Register-file addressing helpers (memory traffic on purpose).
+    auto loadReg = [&](int dst, int idx_vreg) {
+        f.bini(BinOp::Shl, t0, idx_vreg, 3);
+        f.bin(BinOp::Add, t0, regs, t0);
+        f.load(dst, t0, 0, 8, false);
+    };
+    auto storeReg = [&](int idx_vreg, int src) {
+        f.bini(BinOp::Shl, t0, idx_vreg, 3);
+        f.bin(BinOp::Add, t0, regs, t0);
+        f.store(t0, 0, src, 8);
+    };
+
+    // Dispatch: a cascade of compares, hottest ops first. This models
+    // the switch-style dispatch of a real interpreter loop.
+    static constexpr VmOp dispatchOrder[] = {
+        vmAddi, vmJlt, vmLd8, vmAdd, vmHashStep, vmJnz, vmMul, vmSt8,
+        vmJge, vmMov, vmLdi, vmXor, vmAnd, vmInB, vmOutB, vmJmp,
+        vmSub, vmJeq, vmJne, vmJz, vmShri, vmShli, vmAndi, vmMuli,
+        vmLd1, vmSt1, vmIn8, vmOut8, vmInLen, vmOr, vmShl, vmShr,
+        vmHalt,
+    };
+    for (VmOp dop : dispatchOrder)
+        f.brcondi(CondOp::Eq, op, int64_t(dop), opLabels[size_t(dop)]);
+    f.br(bad);
+
+    auto nextInst = [&]() { f.br(loop); };
+
+    // --- ALU three-register ops ----------------------------------------
+    auto bin3 = [&](VmOp vop, BinOp bop) {
+        f.label(opLabels[size_t(vop)]);
+        loadReg(vb, rb);
+        loadReg(vc, rc);
+        f.bin(bop, va, vb, vc);
+        storeReg(ra, va);
+        nextInst();
+    };
+    bin3(vmAdd, BinOp::Add);
+    bin3(vmSub, BinOp::Sub);
+    bin3(vmMul, BinOp::Mul);
+    bin3(vmAnd, BinOp::And);
+    bin3(vmOr, BinOp::Or);
+    bin3(vmXor, BinOp::Xor);
+    bin3(vmShl, BinOp::Shl);
+    bin3(vmShr, BinOp::Shr);
+
+    // --- immediates -------------------------------------------------------
+    f.label(opLabels[vmLdi]);
+    storeReg(ra, imm);
+    nextInst();
+
+    f.label(opLabels[vmMov]);
+    loadReg(vb, rb);
+    storeReg(ra, vb);
+    nextInst();
+
+    auto binImm = [&](VmOp vop, BinOp bop) {
+        f.label(opLabels[size_t(vop)]);
+        loadReg(vb, rb);
+        f.bin(bop, va, vb, imm);
+        storeReg(ra, va);
+        nextInst();
+    };
+    binImm(vmAddi, BinOp::Add);
+    binImm(vmMuli, BinOp::Mul);
+    binImm(vmAndi, BinOp::And);
+    binImm(vmShri, BinOp::Shr);
+    binImm(vmShli, BinOp::Shl);
+
+    // --- VM heap accesses ----------------------------------------------
+    f.label(opLabels[vmLd8]);
+    loadReg(vb, rb);
+    f.bin(BinOp::Add, t1, heap, vb);
+    f.bin(BinOp::Add, t1, t1, imm);
+    f.load(va, t1, 0, 8, false);
+    storeReg(ra, va);
+    nextInst();
+
+    f.label(opLabels[vmSt8]);
+    loadReg(vb, rb);
+    loadReg(va, ra);
+    f.bin(BinOp::Add, t1, heap, vb);
+    f.bin(BinOp::Add, t1, t1, imm);
+    f.store(t1, 0, va, 8);
+    nextInst();
+
+    f.label(opLabels[vmLd1]);
+    loadReg(vb, rb);
+    f.bin(BinOp::Add, t1, heap, vb);
+    f.bin(BinOp::Add, t1, t1, imm);
+    f.load(va, t1, 0, 1, false);
+    storeReg(ra, va);
+    nextInst();
+
+    f.label(opLabels[vmSt1]);
+    loadReg(vb, rb);
+    loadReg(va, ra);
+    f.bin(BinOp::Add, t1, heap, vb);
+    f.bin(BinOp::Add, t1, t1, imm);
+    f.store(t1, 0, va, 1);
+    nextInst();
+
+    // --- request / response buffers ----------------------------------------
+    f.label(opLabels[vmInB]);
+    loadReg(vb, rb);
+    f.bin(BinOp::Add, t1, req_buf, vb);
+    f.load(va, t1, 0, 1, false);
+    storeReg(ra, va);
+    nextInst();
+
+    f.label(opLabels[vmIn8]);
+    loadReg(vb, rb);
+    f.bin(BinOp::Add, t1, req_buf, vb);
+    f.load(va, t1, 0, 8, false);
+    storeReg(ra, va);
+    nextInst();
+
+    f.label(opLabels[vmOutB]);
+    loadReg(va, ra);
+    loadReg(vb, rb);
+    f.bin(BinOp::Add, t1, resp_buf, va);
+    f.store(t1, 0, vb, 1);
+    nextInst();
+
+    f.label(opLabels[vmOut8]);
+    loadReg(va, ra);
+    loadReg(vb, rb);
+    f.bin(BinOp::Add, t1, resp_buf, va);
+    f.store(t1, 0, vb, 8);
+    nextInst();
+
+    f.label(opLabels[vmInLen]);
+    storeReg(ra, req_len);
+    nextInst();
+
+    // --- control -------------------------------------------------------------
+    auto pcAdd = [&]() {
+        // pc += imm * 8 (imm is relative to the already-advanced pc).
+        f.bini(BinOp::Shl, t1, imm, 3);
+        f.bin(BinOp::Add, pc, pc, t1);
+    };
+
+    f.label(opLabels[vmJmp]);
+    pcAdd();
+    nextInst();
+
+    f.label(opLabels[vmJnz]);
+    loadReg(va, ra);
+    {
+        const int skip = f.newLabel();
+        f.brcondi(CondOp::Eq, va, 0, skip);
+        pcAdd();
+        f.label(skip);
+    }
+    nextInst();
+
+    f.label(opLabels[vmJz]);
+    loadReg(va, ra);
+    {
+        const int skip = f.newLabel();
+        f.brcondi(CondOp::Ne, va, 0, skip);
+        pcAdd();
+        f.label(skip);
+    }
+    nextInst();
+
+    auto condJump = [&](VmOp vop, CondOp inverse) {
+        f.label(opLabels[size_t(vop)]);
+        loadReg(vb, rb);
+        loadReg(vc, rc);
+        const int skip = f.newLabel();
+        f.brcond(inverse, vb, vc, skip);
+        pcAdd();
+        f.label(skip);
+        nextInst();
+    };
+    condJump(vmJlt, CondOp::Ge);
+    condJump(vmJge, CondOp::Lt);
+    condJump(vmJeq, CondOp::Ne);
+    condJump(vmJne, CondOp::Eq);
+
+    // --- misc --------------------------------------------------------------
+    f.label(opLabels[vmHashStep]);
+    loadReg(va, ra);
+    loadReg(vb, rb);
+    f.bin(BinOp::Xor, va, va, vb);
+    f.bini(BinOp::Mul, va, va, 0x01000193); // 32-bit FNV prime
+    storeReg(ra, va);
+    nextInst();
+
+    f.label(opLabels[vmHalt]);
+    loadReg(va, ra);
+    f.ret(va);
+
+    f.label(bad);
+    // Undecodable bytecode or runaway pc: return length 0.
+    f.movi(va, 0);
+    f.ret(va);
+
+    return pb.functionIndex("vm.run");
+}
+
+} // namespace svb::vm

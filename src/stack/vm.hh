@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The guest bytecode VM used by the interpreted runtime tiers.
+ *
+ * Handlers for the Node- and Python-tier functions are expressed in
+ * this bytecode and executed by an interpreter that itself runs as
+ * guest machine code (emitted by emitVmInterpreter). Every bytecode
+ * step costs tens of real guest instructions — loads for fetch,
+ * register-file traffic, a branchy dispatch — which is precisely the
+ * interpreter overhead the paper's Python results exhibit.
+ *
+ * Instruction format: 8 bytes, little endian:
+ *   [op:1][a:1][b:1][c:1][imm:4 signed]
+ * 32 virtual registers live in a memory-resident register file.
+ */
+
+#ifndef SVB_STACK_VM_HH
+#define SVB_STACK_VM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/guestlib.hh"
+#include "gen/ir.hh"
+
+namespace svb::vm
+{
+
+/** Bytecode operations. */
+enum VmOp : uint8_t
+{
+    vmHalt = 0,  ///< return r[a] as the response length
+    vmLdi = 1,   ///< r[a] = imm
+    vmMov = 2,   ///< r[a] = r[b]
+    vmAdd = 3,   ///< r[a] = r[b] + r[c]
+    vmSub = 4,
+    vmMul = 5,
+    vmAnd = 6,
+    vmOr = 7,
+    vmXor = 8,
+    vmShl = 9,
+    vmShr = 10,
+    vmAddi = 11, ///< r[a] = r[b] + imm
+    vmMuli = 12,
+    vmAndi = 13,
+    vmShri = 14,
+    vmShli = 15,
+    vmLd8 = 16,  ///< r[a] = heap64[r[b] + imm]
+    vmSt8 = 17,  ///< heap64[r[b] + imm] = r[a]
+    vmLd1 = 18,  ///< r[a] = heap8[r[b] + imm]
+    vmSt1 = 19,
+    vmInB = 20,  ///< r[a] = request byte at r[b]
+    vmIn8 = 21,  ///< r[a] = request u64 at r[b]
+    vmOutB = 22, ///< response byte at r[a] = r[b]
+    vmOut8 = 23, ///< response u64 at r[a] = r[b]
+    vmInLen = 24,///< r[a] = request length
+    vmJmp = 25,  ///< pc += imm (instructions, relative to next)
+    vmJnz = 26,  ///< if (r[a] != 0) pc += imm
+    vmJz = 27,
+    vmJlt = 28,  ///< if (r[b] < r[c]) signed
+    vmJge = 29,
+    vmJeq = 30,
+    vmJne = 31,
+    vmHashStep = 32, ///< r[a] = (r[a] ^ r[b]) * FNV_PRIME
+};
+
+constexpr unsigned numVmRegs = 32;
+constexpr uint64_t instBytes = 8;
+
+/** Offsets within the interpreter context block (see emitter). */
+namespace ctxoff
+{
+constexpr int64_t reqBuf = 0;
+constexpr int64_t reqLen = 8;
+constexpr int64_t respBuf = 16;
+constexpr int64_t heap = 24;
+constexpr int64_t regs = 32; ///< 32 * 8 bytes follow
+constexpr int64_t totalBytes = 32 + int64_t(numVmRegs) * 8;
+} // namespace ctxoff
+
+/**
+ * Host-side bytecode assembler with label support.
+ */
+class VmAsm
+{
+  public:
+    /** A label in instruction units. */
+    int newLabel();
+    void bind(int label);
+
+    void emit(VmOp op, uint8_t a = 0, uint8_t b = 0, uint8_t c = 0,
+              int32_t imm = 0);
+    /** Branch forms take a label instead of a raw displacement. */
+    void emitBranch(VmOp op, uint8_t a, uint8_t b, uint8_t c, int label);
+
+    // Convenience wrappers.
+    void ldi(uint8_t a, int32_t imm) { emit(vmLdi, a, 0, 0, imm); }
+    void mov(uint8_t a, uint8_t b) { emit(vmMov, a, b); }
+    void add(uint8_t a, uint8_t b, uint8_t c) { emit(vmAdd, a, b, c); }
+    void sub(uint8_t a, uint8_t b, uint8_t c) { emit(vmSub, a, b, c); }
+    void mul(uint8_t a, uint8_t b, uint8_t c) { emit(vmMul, a, b, c); }
+    void xor_(uint8_t a, uint8_t b, uint8_t c) { emit(vmXor, a, b, c); }
+    void and_(uint8_t a, uint8_t b, uint8_t c) { emit(vmAnd, a, b, c); }
+    void or_(uint8_t a, uint8_t b, uint8_t c) { emit(vmOr, a, b, c); }
+    void addi(uint8_t a, uint8_t b, int32_t i) { emit(vmAddi, a, b, 0, i); }
+    void muli(uint8_t a, uint8_t b, int32_t i) { emit(vmMuli, a, b, 0, i); }
+    void andi(uint8_t a, uint8_t b, int32_t i) { emit(vmAndi, a, b, 0, i); }
+    void shri(uint8_t a, uint8_t b, int32_t i) { emit(vmShri, a, b, 0, i); }
+    void shli(uint8_t a, uint8_t b, int32_t i) { emit(vmShli, a, b, 0, i); }
+    void jmp(int l) { emitBranch(vmJmp, 0, 0, 0, l); }
+    void jnz(uint8_t a, int l) { emitBranch(vmJnz, a, 0, 0, l); }
+    void jz(uint8_t a, int l) { emitBranch(vmJz, a, 0, 0, l); }
+    void jlt(uint8_t b, uint8_t c, int l) { emitBranch(vmJlt, 0, b, c, l); }
+    void jge(uint8_t b, uint8_t c, int l) { emitBranch(vmJge, 0, b, c, l); }
+    void jeq(uint8_t b, uint8_t c, int l) { emitBranch(vmJeq, 0, b, c, l); }
+    void jne(uint8_t b, uint8_t c, int l) { emitBranch(vmJne, 0, b, c, l); }
+    void halt(uint8_t len_reg) { emit(vmHalt, len_reg); }
+
+    /** Resolve labels and return the finished bytecode. */
+    std::vector<uint8_t> finish();
+
+  private:
+    struct Fixup
+    {
+        size_t instIndex;
+        int label;
+    };
+    std::vector<uint8_t> code;
+    std::vector<int64_t> labels;
+    std::vector<Fixup> fixups;
+};
+
+/**
+ * Emit the interpreter into @p pb.
+ *
+ * Guest signature: respLen = vmRun(codePtr, codeLenInsts, ctxPtr)
+ * where ctxPtr points at a ctxoff-formatted block.
+ *
+ * @return the function index of vmRun
+ */
+int emitVmInterpreter(gen::ProgramBuilder &pb, const gen::GuestLib &lib);
+
+} // namespace svb::vm
+
+#endif // SVB_STACK_VM_HH

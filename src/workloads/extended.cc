@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Extended suite: the thesis' first stated future work is porting the
+ * rest of the vSwarm applications. Two more of its standalone
+ * workloads are provided here in the same dual (compiled + bytecode)
+ * form as the core suite:
+ *
+ *  - compression: run-length encoding of a 160-byte payload,
+ *  - jsonserdes: scan a key:value text, extract integer fields,
+ *    checksum them and re-emit a compact form.
+ *
+ * Request layout: [0]=param0, [8]=param1, [40]=sequence, 48+ payload.
+ */
+
+#include <cstring>
+
+#include "registry_impl.hh"
+#include "stack/vm.hh"
+
+namespace svb::workloads::detail
+{
+
+using gen::BinOp;
+using gen::CondOp;
+
+namespace
+{
+
+// --------------------------------------------------------------------------
+// compression: run-length encode payload[48..48+len) into the response.
+// Output: [0]=encoded length, bytes follow as (count,value) pairs.
+// --------------------------------------------------------------------------
+
+constexpr int64_t compressInputBytes = 160;
+
+int
+emitCompressionCompiled(gen::ProgramBuilder &pb, const ServerEnv &env)
+{
+    (void)env;
+    auto f = pb.beginFunction("wl.compress", 3);
+    const int req = f.arg(0), resp = f.arg(2);
+    const int i = f.newVreg(), out = f.newVreg(), cur = f.newVreg(),
+              run = f.newVreg(), b = f.newVreg(), addr = f.newVreg(),
+              rl = f.newVreg();
+    const int loop = f.newLabel(), flush = f.newLabel(),
+              same = f.newLabel(), done = f.newLabel();
+
+    // cur = payload[0], run = 1, i = 1, out = 8 (length header first).
+    f.load(cur, req, 48, 1, false);
+    f.movi(run, 1);
+    f.movi(i, 1);
+    f.movi(out, 8);
+
+    f.label(loop);
+    f.brcondi(CondOp::GeU, i, compressInputBytes, done);
+    f.bin(BinOp::Add, addr, req, i);
+    f.load(b, addr, 48, 1, false);
+    f.brcond(CondOp::Eq, b, cur, same);
+
+    f.label(flush); // emit (run, cur)
+    f.bin(BinOp::Add, addr, resp, out);
+    f.store(addr, 0, run, 1);
+    f.store(addr, 1, cur, 1);
+    f.bini(BinOp::Add, out, out, 2);
+    f.mov(cur, b);
+    f.movi(run, 0);
+
+    f.label(same);
+    f.bini(BinOp::Add, run, run, 1);
+    f.addi(i, i, 1);
+    f.br(loop);
+
+    f.label(done);
+    // Final run.
+    f.bin(BinOp::Add, addr, resp, out);
+    f.store(addr, 0, run, 1);
+    f.store(addr, 1, cur, 1);
+    f.bini(BinOp::Add, out, out, 2);
+    f.store(resp, 0, out, 8);
+    f.mov(rl, out);
+    f.ret(rl);
+    return pb.functionIndex("wl.compress");
+}
+
+std::vector<uint8_t>
+makeCompressionBytecode()
+{
+    vm::VmAsm a;
+    const uint8_t rI = 1, rOut = 2, rCur = 3, rRun = 4, rB = 5, rT = 6,
+                  rC = 7;
+    const int loop = a.newLabel(), same = a.newLabel(),
+              done = a.newLabel();
+
+    a.ldi(rT, 48);
+    a.emit(vm::vmInB, rCur, rT);
+    a.ldi(rRun, 1);
+    a.ldi(rI, 1);
+    a.ldi(rOut, 8);
+
+    a.bind(loop);
+    a.ldi(rC, int32_t(compressInputBytes));
+    a.jge(rI, rC, done);
+    a.addi(rT, rI, 48);
+    a.emit(vm::vmInB, rB, rT);
+    a.jeq(rB, rCur, same);
+    // flush (run, cur)
+    a.emit(vm::vmOutB, rOut, rRun);
+    a.addi(rOut, rOut, 1);
+    a.emit(vm::vmOutB, rOut, rCur);
+    a.addi(rOut, rOut, 1);
+    a.mov(rCur, rB);
+    a.ldi(rRun, 0);
+    a.bind(same);
+    a.addi(rRun, rRun, 1);
+    a.addi(rI, rI, 1);
+    a.jmp(loop);
+
+    a.bind(done);
+    a.emit(vm::vmOutB, rOut, rRun);
+    a.addi(rOut, rOut, 1);
+    a.emit(vm::vmOutB, rOut, rCur);
+    a.addi(rOut, rOut, 1);
+    a.ldi(rT, 0);
+    a.emit(vm::vmOut8, rT, rOut);
+    a.halt(rOut);
+    return a.finish();
+}
+
+// --------------------------------------------------------------------------
+// jsonserdes: scan "k=vvv;" records, sum the integer values, count the
+// fields, and emit [count][sum][hash of the text].
+// --------------------------------------------------------------------------
+
+constexpr int64_t jsonTextBytes = 128;
+
+int
+emitJsonCompiled(gen::ProgramBuilder &pb, const ServerEnv &env)
+{
+    auto f = pb.beginFunction("wl.json", 3);
+    const int req = f.arg(0), resp = f.arg(2);
+    const int i = f.newVreg(), b = f.newVreg(), addr = f.newVreg(),
+              sum = f.newVreg(), val = f.newVreg(), fields = f.newVreg(),
+              t = f.newVreg(), rl = f.newVreg();
+    const int loop = f.newLabel(), digit = f.newLabel(),
+              sep = f.newLabel(), next = f.newLabel(),
+              done = f.newLabel();
+
+    f.movi(i, 0);
+    f.movi(sum, 0);
+    f.movi(val, 0);
+    f.movi(fields, 0);
+
+    f.label(loop);
+    f.brcondi(CondOp::GeU, i, jsonTextBytes, done);
+    f.bin(BinOp::Add, addr, req, i);
+    f.load(b, addr, 48, 1, false);
+    // ';' terminates a field.
+    f.brcondi(CondOp::Eq, b, ';', sep);
+    // digits accumulate into val.
+    f.brcondi(CondOp::Lt, b, '0', next);
+    f.brcondi(CondOp::Gt, b, '9', next);
+    f.br(digit);
+
+    f.label(digit);
+    f.bini(BinOp::Mul, val, val, 10);
+    f.bini(BinOp::Sub, t, b, '0');
+    f.bin(BinOp::Add, val, val, t);
+    f.br(next);
+
+    f.label(sep);
+    f.bin(BinOp::Add, sum, sum, val);
+    f.movi(val, 0);
+    f.bini(BinOp::Add, fields, fields, 1);
+
+    f.label(next);
+    f.addi(i, i, 1);
+    f.br(loop);
+
+    f.label(done);
+    f.store(resp, 0, fields, 8);
+    f.store(resp, 8, sum, 8);
+    f.bini(BinOp::Add, addr, req, 48);
+    const int len = f.imm(jsonTextBytes);
+    const int h = f.call(env.lib.fnvHash, {addr, len});
+    f.store(resp, 16, h, 8);
+    f.movi(rl, 24);
+    f.ret(rl);
+    return pb.functionIndex("wl.json");
+}
+
+std::vector<uint8_t>
+makeJsonBytecode()
+{
+    vm::VmAsm a;
+    const uint8_t rI = 1, rB = 2, rT = 3, rSum = 4, rVal = 5,
+                  rFields = 6, rC = 7, rH = 8;
+    const int loop = a.newLabel(), digit = a.newLabel(),
+              sep = a.newLabel(), next = a.newLabel(),
+              done = a.newLabel();
+
+    a.ldi(rI, 0);
+    a.ldi(rSum, 0);
+    a.ldi(rVal, 0);
+    a.ldi(rFields, 0);
+    a.ldi(rH, 0x811c9dc5);
+
+    a.bind(loop);
+    a.ldi(rC, int32_t(jsonTextBytes));
+    a.jge(rI, rC, done);
+    a.addi(rT, rI, 48);
+    a.emit(vm::vmInB, rB, rT);
+    a.emit(vm::vmHashStep, rH, rB);
+    a.ldi(rC, ';');
+    a.jeq(rB, rC, sep);
+    a.ldi(rC, '0');
+    a.jlt(rB, rC, next);
+    a.ldi(rC, '9' + 1);
+    a.jlt(rB, rC, digit);
+    a.jmp(next);
+
+    a.bind(digit);
+    a.muli(rVal, rVal, 10);
+    a.addi(rT, rB, -'0');
+    a.add(rVal, rVal, rT);
+    a.jmp(next);
+
+    a.bind(sep);
+    a.add(rSum, rSum, rVal);
+    a.ldi(rVal, 0);
+    a.addi(rFields, rFields, 1);
+
+    a.bind(next);
+    a.addi(rI, rI, 1);
+    a.jmp(loop);
+
+    a.bind(done);
+    a.ldi(rT, 0);
+    a.emit(vm::vmOut8, rT, rFields);
+    a.ldi(rT, 8);
+    a.emit(vm::vmOut8, rT, rSum);
+    a.ldi(rT, 16);
+    a.emit(vm::vmOut8, rT, rH);
+    a.ldi(rT, 24);
+    a.halt(rT);
+    return a.finish();
+}
+
+} // namespace
+
+void
+registerExtended(std::map<std::string, WorkloadImpl> &reg)
+{
+    {
+        WorkloadImpl impl;
+        impl.emitCompiled = emitCompressionCompiled;
+        impl.makeBytecode = makeCompressionBytecode;
+        std::vector<uint8_t> req = requestHeader(0);
+        std::vector<uint8_t> payload(static_cast<size_t>(compressInputBytes));
+        // Runs of 1-8 repeated bytes: compressible but not trivial.
+        uint64_t x = 0x1234;
+        size_t pos = 0;
+        while (pos < payload.size()) {
+            x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+            const size_t run = 1 + size_t((x >> 33) % 8);
+            const auto value = uint8_t(x >> 17);
+            for (size_t k = 0; k < run && pos < payload.size(); ++k)
+                payload[pos++] = value;
+        }
+        appendBytes(req, payload.data(), payload.size());
+        impl.requestTemplate = std::move(req);
+        reg["compression"] = std::move(impl);
+    }
+    {
+        WorkloadImpl impl;
+        impl.emitCompiled = emitJsonCompiled;
+        impl.makeBytecode = makeJsonBytecode;
+        std::vector<uint8_t> req = requestHeader(0);
+        std::string text;
+        for (int k = 0; text.size() + 8 < size_t(jsonTextBytes); ++k)
+            text += std::string(1, char('a' + k % 26)) + "=" +
+                    std::to_string(100 + k * 7) + ";";
+        text.resize(size_t(jsonTextBytes), ' ');
+        appendBytes(req, text.data(), text.size());
+        impl.requestTemplate = std::move(req);
+        reg["jsonserdes"] = std::move(impl);
+    }
+}
+
+} // namespace svb::workloads::detail

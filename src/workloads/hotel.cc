@@ -1,0 +1,392 @@
+/**
+ * @file
+ * The Hotel application (Table 3.4), after DeathStarBench's Hotel
+ * Reservation. All six functions are Go-tier and talk to the database
+ * container; reservation/rate/profile consult memcached first and
+ * populate it on a miss — the "back and forth" the paper identifies
+ * as the cause of their cold-execution slowdown (Sections 4.2.1.2,
+ * 4.2.3.2).
+ */
+
+#include "registry_impl.hh"
+#include "stack/topology.hh"
+
+namespace svb::workloads::detail
+{
+
+using gen::BinOp;
+using gen::CondOp;
+
+namespace
+{
+
+constexpr int64_t records = int64_t(calib::hotelDbRecords);
+
+/** Emit: key = kv.keyOf(id % records). */
+int
+emitKeyForId(gen::FunctionBuilder &f, const ServerEnv &env, int id_vreg)
+{
+    const int m = f.newVreg();
+    f.bini(BinOp::Urem, m, id_vreg, records);
+    return f.call(env.kvc.keyOf, {m});
+}
+
+/**
+ * Emit the memcached-or-db fetch idiom shared by reservation/rate/
+ * profile: look in memcached under key^ns; on miss fetch from the
+ * database and populate memcached.
+ *
+ * @return vreg holding the value length fetched into @p vbuf
+ */
+int
+emitCachedGet(gen::FunctionBuilder &f, const ServerEnv &env, int key,
+              int64_t ns, int vbuf)
+{
+    const int mc_ring = f.newVreg(), db_ring = f.newVreg(),
+              mckey = f.newVreg(), vlen = f.newVreg();
+    const int have = f.newLabel();
+    f.movi(mc_ring, int64_t(topo::mcReqRingVa));
+    f.movi(db_ring, int64_t(topo::dbReqRingVa));
+    f.bini(BinOp::Xor, mckey, key, ns);
+    {
+        const int got = f.call(env.kvc.get, {mc_ring, mckey, vbuf});
+        f.mov(vlen, got);
+    }
+    f.brcondi(CondOp::Ne, vlen, 0, have);
+    {
+        const int got = f.call(env.kvc.get, {db_ring, key, vbuf});
+        f.mov(vlen, got);
+        // Populate the middle base for later usage (paper 4.2.1.2).
+        f.callVoid(env.kvc.put, {mc_ring, mckey, vbuf, vlen});
+    }
+    f.label(have);
+    return vlen;
+}
+
+// --------------------------------------------------------------------------
+// geo: fetch 3 geo cells, compute Manhattan-ish distances.
+// --------------------------------------------------------------------------
+
+int
+emitGeo(gen::ProgramBuilder &pb, const ServerEnv &env)
+{
+    auto f = pb.beginFunction("wl.hotelgeo", 3);
+    const int req = f.arg(0), resp = f.arg(2);
+    const int64_t vbuf_off = f.localBytes(240);
+
+    const int base = f.newVreg(), target = f.newVreg(), q = f.newVreg(),
+              vbuf = f.newVreg(), db_ring = f.newVreg(),
+              vlen = f.newVreg(), j = f.newVreg(), w = f.newVreg(),
+              d = f.newVreg(), acc = f.newVreg(), best = f.newVreg(),
+              besti = f.newVreg(), t = f.newVreg(), id = f.newVreg(),
+              rl = f.newVreg();
+    const int qloop = f.newLabel(), qdone = f.newLabel();
+
+    f.load(base, req, 0, 8, false);
+    f.load(target, req, 8, 8, false);
+    f.movi(db_ring, int64_t(topo::dbReqRingVa));
+    f.movi(best, int64_t(INT64_MAX));
+    f.movi(besti, 0);
+    f.movi(q, 0);
+
+    f.label(qloop);
+    f.brcondi(CondOp::Ge, q, 3, qdone);
+    f.bin(BinOp::Add, id, base, q);
+    const int key = emitKeyForId(f, env, id);
+    f.leaLocal(vbuf, vbuf_off);
+    {
+        const int got = f.call(env.kvc.get, {db_ring, key, vbuf});
+        f.mov(vlen, got);
+    }
+    // Distance over the value words.
+    f.movi(acc, 0);
+    f.movi(j, 0);
+    {
+        const int jloop = f.newLabel(), jdone = f.newLabel(),
+                  positive = f.newLabel();
+        f.label(jloop);
+        f.brcond(CondOp::GeU, j, vlen, jdone);
+        f.bin(BinOp::Add, t, vbuf, j);
+        f.load(w, t, 0, 8, false);
+        f.bini(BinOp::And, w, w, 0xffff); // coordinate field
+        f.bin(BinOp::Sub, d, w, target);
+        f.brcondi(CondOp::Ge, d, 0, positive);
+        f.bin(BinOp::Sub, d, target, w);
+        f.label(positive);
+        f.bin(BinOp::Add, acc, acc, d);
+        f.addi(j, j, 8);
+        f.br(jloop);
+        f.label(jdone);
+    }
+    {
+        const int keep = f.newLabel();
+        f.brcond(CondOp::Ge, acc, best, keep);
+        f.mov(best, acc);
+        f.mov(besti, q);
+        f.label(keep);
+    }
+    f.addi(q, q, 1);
+    f.br(qloop);
+    f.label(qdone);
+
+    f.store(resp, 0, besti, 8);
+    f.store(resp, 8, best, 8);
+    f.movi(rl, 16);
+    f.ret(rl);
+    return pb.functionIndex("wl.hotelgeo");
+}
+
+// --------------------------------------------------------------------------
+// recommendation: 2 fetches + a scoring pass.
+// --------------------------------------------------------------------------
+
+int
+emitHotelRec(gen::ProgramBuilder &pb, const ServerEnv &env)
+{
+    auto f = pb.beginFunction("wl.hotelrec", 3);
+    const int req = f.arg(0), resp = f.arg(2);
+    const int64_t vbuf_off = f.localBytes(240);
+
+    const int base = f.newVreg(), q = f.newVreg(), vbuf = f.newVreg(),
+              db_ring = f.newVreg(), vlen = f.newVreg(),
+              score = f.newVreg(), id = f.newVreg(), rl = f.newVreg();
+    const int qloop = f.newLabel(), qdone = f.newLabel();
+
+    f.load(base, req, 0, 8, false);
+    f.movi(db_ring, int64_t(topo::dbReqRingVa));
+    f.movi(score, 0);
+    f.movi(q, 0);
+    f.label(qloop);
+    f.brcondi(CondOp::Ge, q, 2, qdone);
+    f.bin(BinOp::Add, id, base, q);
+    const int key = emitKeyForId(f, env, id);
+    f.leaLocal(vbuf, vbuf_off);
+    {
+        const int got = f.call(env.kvc.get, {db_ring, key, vbuf});
+        f.mov(vlen, got);
+    }
+    {
+        const int h = f.call(env.lib.fnvHash, {vbuf, vlen});
+        f.bin(BinOp::Xor, score, score, h);
+    }
+    f.addi(q, q, 1);
+    f.br(qloop);
+    f.label(qdone);
+
+    f.store(resp, 0, score, 8);
+    f.movi(rl, 8);
+    f.ret(rl);
+    return pb.functionIndex("wl.hotelrec");
+}
+
+// --------------------------------------------------------------------------
+// user: credential check against the stored user record.
+// --------------------------------------------------------------------------
+
+int
+emitHotelUser(gen::ProgramBuilder &pb, const ServerEnv &env)
+{
+    auto f = pb.beginFunction("wl.hoteluser", 3);
+    const int req = f.arg(0), resp = f.arg(2);
+    const int64_t vbuf_off = f.localBytes(240);
+
+    const int uid = f.newVreg(), vbuf = f.newVreg(),
+              db_ring = f.newVreg(), vlen = f.newVreg(),
+              pw = f.newVreg(), t = f.newVreg(), ok = f.newVreg(),
+              rl = f.newVreg();
+
+    f.load(uid, req, 0, 8, false);
+    f.movi(db_ring, int64_t(topo::dbReqRingVa));
+    const int key = emitKeyForId(f, env, uid);
+    f.leaLocal(vbuf, vbuf_off);
+    {
+        const int got = f.call(env.kvc.get, {db_ring, key, vbuf});
+        f.mov(vlen, got);
+    }
+    // Hash the supplied password and the stored record.
+    f.bini(BinOp::Add, pw, req, 48);
+    const int pwlen = f.imm(32);
+    const int h1 = f.call(env.lib.fnvHash, {pw, pwlen});
+    const int h2 = f.call(env.lib.fnvHash, {vbuf, vlen});
+    f.bin(BinOp::Xor, t, h1, h2);
+    f.bini(BinOp::And, ok, t, 1);
+    f.store(resp, 0, ok, 8);
+    f.store(resp, 8, t, 8);
+    f.movi(rl, 16);
+    f.ret(rl);
+    return pb.functionIndex("wl.hoteluser");
+}
+
+// --------------------------------------------------------------------------
+// reservation: cached availability check + booking write.
+// --------------------------------------------------------------------------
+
+int
+emitReservation(gen::ProgramBuilder &pb, const ServerEnv &env)
+{
+    auto f = pb.beginFunction("wl.hotelresv", 3);
+    const int req = f.arg(0), resp = f.arg(2);
+    const int64_t vbuf_off = f.localBytes(240);
+    const int64_t book_off = f.localBytes(64);
+
+    const int id = f.newVreg(), vbuf = f.newVreg(),
+              db_ring = f.newVreg(), book = f.newVreg(),
+              bkey = f.newVreg(), t = f.newVreg(), rl = f.newVreg();
+
+    f.load(id, req, 0, 8, false);
+    f.movi(db_ring, int64_t(topo::dbReqRingVa));
+
+    // Availability check across the stay's days (cached).
+    const int day = f.newVreg(), did = f.newVreg(), vlen = f.newVreg();
+    const int dloop = f.newLabel(), ddone = f.newLabel();
+    f.movi(vlen, 0);
+    f.movi(day, 0);
+    f.label(dloop);
+    f.brcondi(CondOp::Ge, day, int64_t(calib::reservationChecks), ddone);
+    f.bin(BinOp::Add, did, id, day);
+    {
+        const int k = f.call(env.kvc.keyOf, {did});
+        f.leaLocal(vbuf, vbuf_off);
+        const int got = emitCachedGet(f, env, k, 0x5555, vbuf);
+        f.bin(BinOp::Add, vlen, vlen, got);
+    }
+    f.addi(day, day, 1);
+    f.br(dloop);
+    f.label(ddone);
+    const int key = emitKeyForId(f, env, id);
+
+    // Build the booking record and write it through to the database.
+    f.leaLocal(book, book_off);
+    {
+        const int sz = f.imm(48);
+        f.callVoid(env.lib.memCopy, {book, req, sz});
+    }
+    f.store(book, 48, vlen, 8);
+    f.bini(BinOp::Xor, bkey, key, 0x9999);
+    {
+        const int blen = f.imm(56);
+        f.callVoid(env.kvc.put, {db_ring, bkey, book, blen});
+    }
+
+    f.movi(t, 1);
+    f.store(resp, 0, t, 8);
+    f.store(resp, 8, vlen, 8);
+    f.movi(rl, 16);
+    f.ret(rl);
+    return pb.functionIndex("wl.hotelresv");
+}
+
+// --------------------------------------------------------------------------
+// rate: cached rate-plan lookup (3 plans on a miss).
+// --------------------------------------------------------------------------
+
+int
+emitRate(gen::ProgramBuilder &pb, const ServerEnv &env)
+{
+    auto f = pb.beginFunction("wl.hotelrate", 3);
+    const int req = f.arg(0), resp = f.arg(2);
+    const int64_t vbuf_off = f.localBytes(240);
+
+    const int id = f.newVreg(), vbuf = f.newVreg(), acc = f.newVreg(),
+              q = f.newVreg(), tid = f.newVreg(), rl = f.newVreg();
+    const int qloop = f.newLabel(), qdone = f.newLabel();
+
+    f.load(id, req, 0, 8, false);
+    f.movi(acc, 0);
+    f.movi(q, 0);
+    f.label(qloop);
+    f.brcondi(CondOp::Ge, q, int64_t(calib::rateChecks), qdone);
+    f.bin(BinOp::Add, tid, id, q);
+    const int key = emitKeyForId(f, env, tid);
+    f.leaLocal(vbuf, vbuf_off);
+    const int vlen = emitCachedGet(f, env, key, 0x3333, vbuf);
+    {
+        const int h = f.call(env.lib.fnvHash, {vbuf, vlen});
+        f.bin(BinOp::Add, acc, acc, h);
+    }
+    f.addi(q, q, 1);
+    f.br(qloop);
+    f.label(qdone);
+
+    f.store(resp, 0, acc, 8);
+    f.movi(rl, 8);
+    f.ret(rl);
+    return pb.functionIndex("wl.hotelrate");
+}
+
+// --------------------------------------------------------------------------
+// profile: fan-out of cached profile fetches (the heaviest function).
+// --------------------------------------------------------------------------
+
+int
+emitProfile(gen::ProgramBuilder &pb, const ServerEnv &env)
+{
+    auto f = pb.beginFunction("wl.hotelprofile", 3);
+    const int req = f.arg(0), resp = f.arg(2);
+    const int64_t vbuf_off = f.localBytes(240);
+
+    const int base = f.newVreg(), vbuf = f.newVreg(), acc = f.newVreg(),
+              i = f.newVreg(), pid = f.newVreg(), rl = f.newVreg();
+    const int loop = f.newLabel(), done = f.newLabel();
+
+    f.load(base, req, 0, 8, false);
+    f.movi(acc, 0);
+    f.movi(i, 0);
+    f.label(loop);
+    f.brcondi(CondOp::Ge, i, int64_t(calib::profileFanout), done);
+    f.bin(BinOp::Add, pid, base, i);
+    const int key = emitKeyForId(f, env, pid);
+    f.leaLocal(vbuf, vbuf_off);
+    const int vlen = emitCachedGet(f, env, key, 0x7777, vbuf);
+    {
+        const int h = f.call(env.lib.fnvHash, {vbuf, vlen});
+        f.bin(BinOp::Xor, acc, acc, h);
+    }
+    f.addi(i, i, 1);
+    f.br(loop);
+    f.label(done);
+
+    f.store(resp, 0, acc, 8);
+    f.movi(rl, 8);
+    f.ret(rl);
+    return pb.functionIndex("wl.hotelprofile");
+}
+
+} // namespace
+
+void
+registerHotel(std::map<std::string, WorkloadImpl> &reg)
+{
+    auto add = [&](const char *wl, int (*emit)(gen::ProgramBuilder &,
+                                               const ServerEnv &),
+                   uint64_t param0, uint64_t param1) {
+        WorkloadImpl impl;
+        impl.emitCompiled = emit;
+        impl.requestTemplate = requestHeader(param0, param1);
+        reg[wl] = std::move(impl);
+    };
+    add("hotelgeo", emitGeo, /*baseCell=*/11, /*target=*/7777);
+    add("hotelrecommendation", emitHotelRec, 23, 0);
+    add("hotelrate", emitRate, 15, 0);
+    add("hotelprofile", emitProfile, 3, 0);
+
+    {
+        WorkloadImpl impl;
+        impl.emitCompiled = emitHotelUser;
+        std::vector<uint8_t> req = requestHeader(/*uid=*/5);
+        std::vector<uint8_t> pw(32);
+        for (size_t i = 0; i < pw.size(); ++i)
+            pw[i] = uint8_t(0x30 + (i % 10));
+        appendBytes(req, pw.data(), pw.size());
+        impl.requestTemplate = std::move(req);
+        reg["hoteluser"] = std::move(impl);
+    }
+    {
+        WorkloadImpl impl;
+        impl.emitCompiled = emitReservation;
+        impl.requestTemplate = requestHeader(/*hotel=*/9, /*user=*/5);
+        reg["hotelreservation"] = std::move(impl);
+    }
+}
+
+} // namespace svb::workloads::detail

@@ -1,0 +1,170 @@
+#include "registry_impl.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace svb::workloads
+{
+
+namespace detail
+{
+
+std::map<std::string, WorkloadImpl> &
+registry()
+{
+    static std::map<std::string, WorkloadImpl> reg = [] {
+        std::map<std::string, WorkloadImpl> r;
+        registerStandalone(r);
+        registerShop(r);
+        registerHotel(r);
+        registerExtended(r);
+        return r;
+    }();
+    return reg;
+}
+
+std::vector<uint8_t>
+requestHeader(uint64_t param0, uint64_t param1)
+{
+    std::vector<uint8_t> req(48, 0);
+    std::memcpy(req.data(), &param0, 8);
+    std::memcpy(req.data() + 8, &param1, 8);
+    return req;
+}
+
+void
+appendBytes(std::vector<uint8_t> &req, const void *data, size_t len)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    req.insert(req.end(), p, p + len);
+}
+
+} // namespace detail
+
+const WorkloadImpl &
+workloadImpl(const std::string &name)
+{
+    auto &reg = detail::registry();
+    auto it = reg.find(name);
+    if (it == reg.end())
+        svb_fatal("unknown workload '", name, "'");
+    return it->second;
+}
+
+bool
+hasWorkload(const std::string &name)
+{
+    return detail::registry().count(name) != 0;
+}
+
+std::vector<FunctionSpec>
+standaloneSuite()
+{
+    std::vector<FunctionSpec> out;
+    for (const char *wl : {"fibonacci", "aes", "auth"}) {
+        for (RuntimeTier tier :
+             {RuntimeTier::Go, RuntimeTier::Python, RuntimeTier::Node}) {
+            FunctionSpec spec;
+            spec.name = std::string(wl) + "-" + tierName(tier);
+            spec.workload = wl;
+            spec.tier = tier;
+            out.push_back(spec);
+        }
+    }
+    return out;
+}
+
+std::vector<FunctionSpec>
+onlineShopSuite()
+{
+    auto mk = [](const char *name, const char *wl, RuntimeTier tier) {
+        FunctionSpec spec;
+        spec.name = name;
+        spec.workload = wl;
+        spec.tier = tier;
+        return spec;
+    };
+    return {
+        mk("productcatalog-go", "productcatalog", RuntimeTier::Go),
+        mk("shipping-go", "shipping", RuntimeTier::Go),
+        mk("rec/service-P&G", "shoprecommendation", RuntimeTier::Python),
+        mk("emailservice-P", "email", RuntimeTier::Python),
+        mk("currency-nodejs", "currency", RuntimeTier::Node),
+        mk("payment-nodejs", "payment", RuntimeTier::Node),
+    };
+}
+
+std::vector<FunctionSpec>
+hotelSuite()
+{
+    auto mk = [](const char *name, const char *wl, bool memcached) {
+        FunctionSpec spec;
+        spec.name = name;
+        spec.workload = wl;
+        spec.tier = RuntimeTier::Go;
+        spec.usesDb = true;
+        spec.usesMemcached = memcached;
+        return spec;
+    };
+    return {
+        mk("geo", "hotelgeo", false),
+        mk("recommendation", "hotelrecommendation", false),
+        mk("user", "hoteluser", false),
+        mk("reservation", "hotelreservation", true),
+        mk("rate", "hotelrate", true),
+        mk("profile", "hotelprofile", true),
+    };
+}
+
+std::vector<FunctionSpec>
+extendedSuite()
+{
+    std::vector<FunctionSpec> out;
+    for (const char *wl : {"compression", "jsonserdes"}) {
+        for (RuntimeTier tier :
+             {RuntimeTier::Go, RuntimeTier::Python, RuntimeTier::Node}) {
+            FunctionSpec spec;
+            spec.name = std::string(wl) + "-" + tierName(tier);
+            spec.workload = wl;
+            spec.tier = tier;
+            out.push_back(spec);
+        }
+    }
+    return out;
+}
+
+std::vector<FunctionSpec>
+allFunctions()
+{
+    std::vector<FunctionSpec> out = standaloneSuite();
+    for (const FunctionSpec &spec : onlineShopSuite())
+        out.push_back(spec);
+    for (const FunctionSpec &spec : hotelSuite())
+        out.push_back(spec);
+    return out;
+}
+
+std::vector<FunctionSpec>
+goFunctions()
+{
+    std::vector<FunctionSpec> out;
+    for (const FunctionSpec &spec : allFunctions()) {
+        if (spec.tier == RuntimeTier::Go)
+            out.push_back(spec);
+    }
+    return out;
+}
+
+std::vector<FunctionSpec>
+pythonFunctions()
+{
+    std::vector<FunctionSpec> out;
+    for (const FunctionSpec &spec : allFunctions()) {
+        if (spec.tier == RuntimeTier::Python)
+            out.push_back(spec);
+    }
+    return out;
+}
+
+} // namespace svb::workloads

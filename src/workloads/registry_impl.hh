@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Internal registration interface shared by the workload translation
+ * units.
+ */
+
+#ifndef SVB_WORKLOADS_REGISTRY_IMPL_HH
+#define SVB_WORKLOADS_REGISTRY_IMPL_HH
+
+#include <map>
+#include <string>
+
+#include "workloads.hh"
+
+namespace svb::workloads::detail
+{
+
+/** The mutable registry (populated once, lazily). */
+std::map<std::string, WorkloadImpl> &registry();
+
+void registerStandalone(std::map<std::string, WorkloadImpl> &reg);
+void registerShop(std::map<std::string, WorkloadImpl> &reg);
+void registerHotel(std::map<std::string, WorkloadImpl> &reg);
+void registerExtended(std::map<std::string, WorkloadImpl> &reg);
+
+/** Build a 48-byte request header [param0][param1][..][seq@40]. */
+std::vector<uint8_t> requestHeader(uint64_t param0, uint64_t param1 = 0);
+
+/** Append raw bytes to a request. */
+void appendBytes(std::vector<uint8_t> &req, const void *data, size_t len);
+
+} // namespace svb::workloads::detail
+
+#endif // SVB_WORKLOADS_REGISTRY_IMPL_HH

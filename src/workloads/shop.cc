@@ -1,0 +1,528 @@
+/**
+ * @file
+ * The Online-Shop services (Table 3.3), derived from the paper's
+ * Google Online Boutique port: product catalog, shipping quotes,
+ * recommendations, email rendering, currency conversion and payment
+ * validation.
+ */
+
+#include <cstring>
+
+#include "registry_impl.hh"
+#include "stack/vm.hh"
+
+namespace svb::workloads::detail
+{
+
+using gen::BinOp;
+using gen::CondOp;
+
+namespace
+{
+
+// --------------------------------------------------------------------------
+// productcatalog (Go): linear catalog scan + record copy.
+// --------------------------------------------------------------------------
+
+constexpr uint64_t catalogProducts = 128;
+constexpr int64_t productBytes = 64;
+
+std::vector<uint8_t>
+makeCatalogBlob()
+{
+    std::vector<uint8_t> blob(catalogProducts * productBytes);
+    for (uint64_t i = 0; i < catalogProducts; ++i) {
+        uint64_t *rec =
+            reinterpret_cast<uint64_t *>(blob.data() + i * productBytes);
+        rec[0] = i;                       // product id
+        rec[1] = 990 + i * 37;            // price (cents)
+        for (int w = 2; w < 8; ++w)
+            rec[w] = (i * 2654435761ULL) ^ uint64_t(w); // description
+    }
+    return blob;
+}
+
+int
+emitCatalogCompiled(gen::ProgramBuilder &pb, const ServerEnv &env)
+{
+    const std::vector<uint8_t> blob = makeCatalogBlob();
+    const Addr cat = pb.addData(blob.data(), blob.size());
+
+    auto f = pb.beginFunction("wl.catalog", 3);
+    const int req = f.arg(0), resp = f.arg(2);
+    const int id = f.newVreg(), base = f.newVreg(), i = f.newVreg(),
+              rec = f.newVreg(), k = f.newVreg(), t = f.newVreg(),
+              rl = f.newVreg();
+    const int scan = f.newLabel(), found = f.newLabel(),
+              miss = f.newLabel();
+
+    f.load(id, req, 0, 8, false);
+    f.lea(base, cat);
+    f.movi(i, 0);
+    f.label(scan);
+    f.brcondi(CondOp::GeU, i, int64_t(catalogProducts), miss);
+    f.bini(BinOp::Shl, t, i, 6); // * productBytes
+    f.bin(BinOp::Add, rec, base, t);
+    f.load(k, rec, 0, 8, false);
+    f.brcond(CondOp::Eq, k, id, found);
+    f.addi(i, i, 1);
+    f.br(scan);
+
+    f.label(found);
+    {
+        const int sz = f.imm(productBytes);
+        f.callVoid(env.lib.memCopy, {resp, rec, sz});
+    }
+    f.movi(rl, productBytes);
+    f.ret(rl);
+
+    f.label(miss);
+    f.movi(t, 0);
+    f.store(resp, 0, t, 8);
+    f.movi(rl, 8);
+    f.ret(rl);
+    return pb.functionIndex("wl.catalog");
+}
+
+// --------------------------------------------------------------------------
+// shipping (Go): quote = f(weights in the request).
+// --------------------------------------------------------------------------
+
+int
+emitShippingCompiled(gen::ProgramBuilder &pb, const ServerEnv &env)
+{
+    (void)env;
+    auto f = pb.beginFunction("wl.shipping", 3);
+    const int req = f.arg(0), resp = f.arg(2);
+    const int n = f.newVreg(), i = f.newVreg(), w = f.newVreg(),
+              addr = f.newVreg(), cost = f.newVreg(), t = f.newVreg(),
+              rl = f.newVreg();
+    const int loop = f.newLabel(), done = f.newLabel();
+
+    f.load(n, req, 0, 8, false);
+    f.movi(cost, 499); // base fee (cents)
+    f.movi(i, 0);
+    f.label(loop);
+    f.brcond(CondOp::GeU, i, n, done);
+    f.bini(BinOp::Shl, t, i, 3);
+    f.bin(BinOp::Add, addr, req, t);
+    f.load(w, addr, 48, 8, false);
+    // cost += weight * 3 + (weight >> 4)
+    f.bini(BinOp::Mul, t, w, 3);
+    f.bin(BinOp::Add, cost, cost, t);
+    f.bini(BinOp::Shr, t, w, 4);
+    f.bin(BinOp::Add, cost, cost, t);
+    f.addi(i, i, 1);
+    f.br(loop);
+    f.label(done);
+    f.store(resp, 0, cost, 8);
+    f.movi(rl, 8);
+    f.ret(rl);
+    return pb.functionIndex("wl.shipping");
+}
+
+// --------------------------------------------------------------------------
+// shoprecommendation (Python): score the catalog, pick the best.
+// --------------------------------------------------------------------------
+
+std::vector<uint8_t>
+makeShopRecBytecode()
+{
+    vm::VmAsm a;
+    // VM heap: product features at [4096 + i*8]; flag at [0].
+    const uint8_t rZ = 1, rFlag = 2, rI = 3, rV = 4, rC = 5, rT = 6,
+                  rTarget = 7, rScore = 8, rBest = 9, rBestI = 10,
+                  rLen = 11;
+
+    const int gen_done = a.newLabel(), gen_loop = a.newLabel();
+    a.ldi(rZ, 0);
+    a.emit(vm::vmLd8, rFlag, rZ, 0, 0);
+    a.jnz(rFlag, gen_done);
+    a.ldi(rI, 0);
+    a.bind(gen_loop);
+    a.muli(rV, rI, 2654435761);
+    a.addi(rV, rV, 12345);
+    a.shli(rT, rI, 3);
+    a.emit(vm::vmSt8, rV, rT, 0, 4096);
+    a.addi(rI, rI, 1);
+    a.ldi(rC, int32_t(catalogProducts));
+    a.jlt(rI, rC, gen_loop);
+    a.ldi(rFlag, 1);
+    a.emit(vm::vmSt8, rFlag, rZ, 0, 0);
+    a.bind(gen_done);
+
+    const int loop = a.newLabel(), done = a.newLabel(),
+              no_better = a.newLabel();
+    a.ldi(rZ, 0);
+    a.emit(vm::vmIn8, rTarget, rZ);
+    a.ldi(rBest, -1);
+    a.ldi(rBestI, 0);
+    a.ldi(rI, 0);
+    a.bind(loop);
+    a.ldi(rC, int32_t(catalogProducts));
+    a.jge(rI, rC, done);
+    a.shli(rT, rI, 3);
+    a.emit(vm::vmLd8, rScore, rT, 0, 4096);
+    a.emit(vm::vmHashStep, rScore, rTarget);
+    a.andi(rScore, rScore, 0x7fffffff);
+    a.jge(rBest, rScore, no_better);
+    a.mov(rBest, rScore);
+    a.mov(rBestI, rI);
+    a.bind(no_better);
+    a.addi(rI, rI, 1);
+    a.jmp(loop);
+    a.bind(done);
+    a.ldi(rT, 0);
+    a.emit(vm::vmOut8, rT, rBestI);
+    a.ldi(rT, 8);
+    a.emit(vm::vmOut8, rT, rBest);
+    a.ldi(rLen, 16);
+    a.halt(rLen);
+    return a.finish();
+}
+
+// --------------------------------------------------------------------------
+// email (Python): render a ~192-byte template with substitutions.
+// --------------------------------------------------------------------------
+
+constexpr int32_t emailTemplateBytes = 192;
+
+std::vector<uint8_t>
+makeEmailBytecode()
+{
+    vm::VmAsm a;
+    // VM heap: template at [8192..]; flag at [8].
+    const uint8_t rZ = 1, rFlag = 2, rI = 3, rV = 4, rC = 5, rT = 6,
+                  rLen = 7;
+
+    const int gen_done = a.newLabel(), gen_loop = a.newLabel();
+    a.ldi(rZ, 0);
+    a.emit(vm::vmLd8, rFlag, rZ, 0, 8);
+    a.jnz(rFlag, gen_done);
+    a.ldi(rI, 0);
+    a.bind(gen_loop);
+    // template[i] = 'a' + (i % 26), via i - (i/26)*26 using shifts:
+    // cheap approximation: v = (i * 5 + 11) & 0x1f then clamp.
+    a.muli(rV, rI, 5);
+    a.addi(rV, rV, 11);
+    a.andi(rV, rV, 0x1f);
+    a.addi(rV, rV, 97);
+    a.emit(vm::vmSt1, rV, rI, 0, 8192);
+    a.addi(rI, rI, 1);
+    a.ldi(rC, emailTemplateBytes);
+    a.jlt(rI, rC, gen_loop);
+    a.ldi(rFlag, 1);
+    a.emit(vm::vmSt8, rFlag, rZ, 0, 8);
+    a.bind(gen_done);
+
+    // Render: copy template to the response byte by byte; splice the
+    // 8-byte customer name from req[48..] at position 10.
+    const int copy = a.newLabel(), copy_done = a.newLabel(),
+              plain = a.newLabel(), next = a.newLabel();
+    a.ldi(rI, 0);
+    a.bind(copy);
+    a.ldi(rC, emailTemplateBytes);
+    a.jge(rI, rC, copy_done);
+    a.ldi(rT, 10);
+    a.jlt(rI, rT, plain);
+    a.ldi(rT, 18);
+    a.jge(rI, rT, plain);
+    // name byte
+    a.addi(rT, rI, 48 - 10);
+    a.emit(vm::vmInB, rV, rT);
+    a.jmp(next);
+    a.bind(plain);
+    a.emit(vm::vmLd1, rV, rI, 0, 8192);
+    a.bind(next);
+    a.emit(vm::vmOutB, rI, rV);
+    a.addi(rI, rI, 1);
+    a.jmp(copy);
+    a.bind(copy_done);
+    a.ldi(rLen, emailTemplateBytes);
+    a.halt(rLen);
+    return a.finish();
+}
+
+// --------------------------------------------------------------------------
+// currency (Node): fixed-point conversion via a 32-entry rate table.
+// --------------------------------------------------------------------------
+
+constexpr uint64_t numCurrencies = 32;
+
+uint64_t
+rateOf(uint64_t c)
+{
+    return 900000 + c * 3571;
+}
+
+int
+emitCurrencyCompiled(gen::ProgramBuilder &pb, const ServerEnv &env)
+{
+    (void)env;
+    std::vector<uint8_t> table(numCurrencies * 8);
+    for (uint64_t c = 0; c < numCurrencies; ++c) {
+        const uint64_t r = rateOf(c);
+        std::memcpy(table.data() + c * 8, &r, 8);
+    }
+    const Addr rates = pb.addData(table.data(), table.size());
+
+    auto f = pb.beginFunction("wl.currency", 3);
+    const int req = f.arg(0), resp = f.arg(2);
+    const int amount = f.newVreg(), from = f.newVreg(), to = f.newVreg(),
+              tbl = f.newVreg(), r1 = f.newVreg(), r2 = f.newVreg(),
+              t = f.newVreg(), out = f.newVreg(), rl = f.newVreg();
+
+    f.load(amount, req, 0, 8, false);
+    f.load(from, req, 8, 8, false);
+    f.bini(BinOp::And, from, from, int64_t(numCurrencies - 1));
+    f.bini(BinOp::Add, to, from, 7);
+    f.bini(BinOp::And, to, to, int64_t(numCurrencies - 1));
+    f.lea(tbl, rates);
+    f.bini(BinOp::Shl, t, from, 3);
+    f.bin(BinOp::Add, t, tbl, t);
+    f.load(r1, t, 0, 8, false);
+    f.bini(BinOp::Shl, t, to, 3);
+    f.bin(BinOp::Add, t, tbl, t);
+    f.load(r2, t, 0, 8, false);
+    // out = ((amount * r1) >> 20) * r2 >> 20 (fixed point).
+    f.bin(BinOp::Mul, out, amount, r1);
+    f.bini(BinOp::Shr, out, out, 20);
+    f.bin(BinOp::Mul, out, out, r2);
+    f.bini(BinOp::Shr, out, out, 20);
+    f.store(resp, 0, out, 8);
+    f.store(resp, 8, to, 8);
+    f.movi(rl, 16);
+    f.ret(rl);
+    return pb.functionIndex("wl.currency");
+}
+
+std::vector<uint8_t>
+makeCurrencyBytecode()
+{
+    vm::VmAsm a;
+    // VM heap: rate table at [2048 + c*8]; flag at [16].
+    const uint8_t rZ = 1, rFlag = 2, rI = 3, rV = 4, rC = 5, rT = 6,
+                  rAmt = 7, rFrom = 8, rTo = 9, rOut = 10, rLen = 11;
+
+    const int gen_done = a.newLabel(), gen_loop = a.newLabel();
+    a.ldi(rZ, 0);
+    a.emit(vm::vmLd8, rFlag, rZ, 0, 16);
+    a.jnz(rFlag, gen_done);
+    a.ldi(rI, 0);
+    a.bind(gen_loop);
+    a.muli(rV, rI, 3571);
+    a.addi(rV, rV, 900000);
+    a.shli(rT, rI, 3);
+    a.emit(vm::vmSt8, rV, rT, 0, 2048);
+    a.addi(rI, rI, 1);
+    a.ldi(rC, int32_t(numCurrencies));
+    a.jlt(rI, rC, gen_loop);
+    a.ldi(rFlag, 1);
+    a.emit(vm::vmSt8, rFlag, rZ, 0, 16);
+    a.bind(gen_done);
+
+    a.ldi(rZ, 0);
+    a.emit(vm::vmIn8, rAmt, rZ);
+    a.ldi(rZ, 8);
+    a.emit(vm::vmIn8, rFrom, rZ);
+    a.andi(rFrom, rFrom, int32_t(numCurrencies - 1));
+    a.addi(rTo, rFrom, 7);
+    a.andi(rTo, rTo, int32_t(numCurrencies - 1));
+    a.shli(rT, rFrom, 3);
+    a.emit(vm::vmLd8, rV, rT, 0, 2048);
+    a.mul(rOut, rAmt, rV);
+    a.shri(rOut, rOut, 20);
+    a.shli(rT, rTo, 3);
+    a.emit(vm::vmLd8, rV, rT, 0, 2048);
+    a.mul(rOut, rOut, rV);
+    a.shri(rOut, rOut, 20);
+    a.ldi(rT, 0);
+    a.emit(vm::vmOut8, rT, rOut);
+    a.ldi(rT, 8);
+    a.emit(vm::vmOut8, rT, rTo);
+    a.ldi(rLen, 16);
+    a.halt(rLen);
+    return a.finish();
+}
+
+// --------------------------------------------------------------------------
+// payment (Node): Luhn checksum over a 16-digit card + txid hash.
+// --------------------------------------------------------------------------
+
+constexpr int64_t cardDigits = 16;
+
+int
+emitPaymentCompiled(gen::ProgramBuilder &pb, const ServerEnv &env)
+{
+    auto f = pb.beginFunction("wl.payment", 3);
+    const int req = f.arg(0), resp = f.arg(2);
+    const int i = f.newVreg(), d = f.newVreg(), sum = f.newVreg(),
+              addr = f.newVreg(), t = f.newVreg(), ok = f.newVreg(),
+              rl = f.newVreg();
+    const int loop = f.newLabel(), no_double = f.newLabel(),
+              no_adjust = f.newLabel(), done = f.newLabel();
+
+    f.movi(sum, 0);
+    f.movi(i, 0);
+    f.label(loop);
+    f.brcondi(CondOp::GeU, i, cardDigits, done);
+    f.bin(BinOp::Add, addr, req, i);
+    f.load(d, addr, 48, 1, false);
+    // Double every second digit (from the right: even i here).
+    f.bini(BinOp::And, t, i, 1);
+    f.brcondi(CondOp::Ne, t, 0, no_double);
+    f.bini(BinOp::Mul, d, d, 2);
+    f.brcondi(CondOp::Le, d, 9, no_adjust);
+    f.bini(BinOp::Sub, d, d, 9);
+    f.label(no_adjust);
+    f.label(no_double);
+    f.bin(BinOp::Add, sum, sum, d);
+    f.addi(i, i, 1);
+    f.br(loop);
+    f.label(done);
+
+    f.bini(BinOp::Urem, t, sum, 10);
+    f.movi(ok, 0);
+    const int invalid = f.newLabel();
+    f.brcondi(CondOp::Ne, t, 0, invalid);
+    f.movi(ok, 1);
+    f.label(invalid);
+
+    // Transaction id: hash the card bytes.
+    f.bini(BinOp::Add, addr, req, 48);
+    const int clen = f.imm(cardDigits);
+    const int txid = f.call(env.lib.fnvHash, {addr, clen});
+    f.store(resp, 0, ok, 8);
+    f.store(resp, 8, txid, 8);
+    f.movi(rl, 16);
+    f.ret(rl);
+    return pb.functionIndex("wl.payment");
+}
+
+std::vector<uint8_t>
+makePaymentBytecode()
+{
+    vm::VmAsm a;
+    const uint8_t rI = 1, rD = 2, rSum = 3, rT = 4, rC = 5, rOk = 6,
+                  rH = 7, rLen = 8;
+    const int loop = a.newLabel(), no_double = a.newLabel(),
+              no_adjust = a.newLabel(), done = a.newLabel();
+
+    a.ldi(rSum, 0);
+    a.ldi(rI, 0);
+    a.bind(loop);
+    a.ldi(rC, int32_t(cardDigits));
+    a.jge(rI, rC, done);
+    a.addi(rT, rI, 48);
+    a.emit(vm::vmInB, rD, rT);
+    a.andi(rT, rI, 1);
+    a.jnz(rT, no_double);
+    a.muli(rD, rD, 2);
+    a.ldi(rC, 10);
+    a.jlt(rD, rC, no_adjust);
+    a.addi(rD, rD, -9);
+    a.bind(no_adjust);
+    a.bind(no_double);
+    a.add(rSum, rSum, rD);
+    a.addi(rI, rI, 1);
+    a.jmp(loop);
+    a.bind(done);
+
+    // ok = (sum % 10 == 0) — via repeated subtraction (no div op).
+    const int mod_loop = a.newLabel(), mod_done = a.newLabel();
+    a.bind(mod_loop);
+    a.ldi(rC, 10);
+    a.jlt(rSum, rC, mod_done);
+    a.addi(rSum, rSum, -10);
+    a.jmp(mod_loop);
+    a.bind(mod_done);
+    a.ldi(rOk, 0);
+    const int invalid = a.newLabel();
+    a.jnz(rSum, invalid);
+    a.ldi(rOk, 1);
+    a.bind(invalid);
+
+    // txid hash over the card bytes.
+    const int hloop = a.newLabel(), hdone = a.newLabel();
+    a.ldi(rH, 0x811c9dc5);
+    a.ldi(rI, 0);
+    a.bind(hloop);
+    a.ldi(rC, int32_t(cardDigits));
+    a.jge(rI, rC, hdone);
+    a.addi(rT, rI, 48);
+    a.emit(vm::vmInB, rD, rT);
+    a.emit(vm::vmHashStep, rH, rD);
+    a.addi(rI, rI, 1);
+    a.jmp(hloop);
+    a.bind(hdone);
+
+    a.ldi(rT, 0);
+    a.emit(vm::vmOut8, rT, rOk);
+    a.ldi(rT, 8);
+    a.emit(vm::vmOut8, rT, rH);
+    a.ldi(rLen, 16);
+    a.halt(rLen);
+    return a.finish();
+}
+
+} // namespace
+
+void
+registerShop(std::map<std::string, WorkloadImpl> &reg)
+{
+    {
+        WorkloadImpl impl;
+        impl.emitCompiled = emitCatalogCompiled;
+        impl.requestTemplate = requestHeader(/*productId=*/37);
+        reg["productcatalog"] = std::move(impl);
+    }
+    {
+        WorkloadImpl impl;
+        impl.emitCompiled = emitShippingCompiled;
+        std::vector<uint8_t> req = requestHeader(/*items=*/5);
+        for (uint64_t w : {120ULL, 340ULL, 55ULL, 900ULL, 210ULL})
+            appendBytes(req, &w, 8);
+        impl.requestTemplate = std::move(req);
+        reg["shipping"] = std::move(impl);
+    }
+    {
+        WorkloadImpl impl;
+        impl.makeBytecode = makeShopRecBytecode;
+        impl.requestTemplate = requestHeader(/*productId=*/37);
+        reg["shoprecommendation"] = std::move(impl);
+    }
+    {
+        WorkloadImpl impl;
+        impl.makeBytecode = makeEmailBytecode;
+        // The email service ships a fraction of its siblings'
+        // dependencies: the paper's low-L2-miss exception (Fig 4.13).
+        impl.initScale = 0.18;
+        std::vector<uint8_t> req = requestHeader(/*orderId=*/3);
+        const char name[8] = {'C', 'U', 'S', 'T', 'O', 'M', 'E', 'R'};
+        appendBytes(req, name, sizeof(name));
+        impl.requestTemplate = std::move(req);
+        reg["email"] = std::move(impl);
+    }
+    {
+        WorkloadImpl impl;
+        impl.emitCompiled = emitCurrencyCompiled;
+        impl.makeBytecode = makeCurrencyBytecode;
+        impl.requestTemplate = requestHeader(/*amount=*/123456789,
+                                             /*from=*/12);
+        reg["currency"] = std::move(impl);
+    }
+    {
+        WorkloadImpl impl;
+        impl.emitCompiled = emitPaymentCompiled;
+        impl.makeBytecode = makePaymentBytecode;
+        std::vector<uint8_t> req = requestHeader(0);
+        // A Luhn-valid 16-digit number: 4539 1488 0343 6467.
+        const uint8_t card[16] = {4, 5, 3, 9, 1, 4, 8, 8,
+                                  0, 3, 4, 3, 6, 4, 6, 7};
+        appendBytes(req, card, sizeof(card));
+        impl.requestTemplate = std::move(req);
+        reg["payment"] = std::move(impl);
+    }
+}
+
+} // namespace svb::workloads::detail

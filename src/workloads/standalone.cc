@@ -1,0 +1,381 @@
+/**
+ * @file
+ * The vSwarm standalone functions: fibonacci, aes, auth (Table 3.2).
+ *
+ * Each exists in a compiled (Go/Node-JIT) form emitted as IR and a
+ * bytecode form for the interpreted tiers. Both forms implement the
+ * same algorithm over the same request layout.
+ *
+ * Request layout: [0]=param0, [8]=param1, [40]=sequence, 48+ payload.
+ */
+
+#include <cstring>
+
+#include "registry_impl.hh"
+#include "stack/vm.hh"
+
+namespace svb::workloads::detail
+{
+
+using gen::BinOp;
+using gen::CondOp;
+
+namespace
+{
+
+// --------------------------------------------------------------------------
+// fibonacci
+// --------------------------------------------------------------------------
+
+int
+emitFibCompiled(gen::ProgramBuilder &pb, const ServerEnv &env)
+{
+    (void)env;
+    auto f = pb.beginFunction("wl.fib", 3);
+    const int req = f.arg(0), resp = f.arg(2);
+    const int n = f.newVreg(), a = f.newVreg(), b = f.newVreg(),
+              t = f.newVreg(), i = f.newVreg(), rl = f.newVreg();
+    const int loop = f.newLabel(), done = f.newLabel();
+
+    f.load(n, req, 0, 8, false);
+    f.movi(a, 0);
+    f.movi(b, 1);
+    f.movi(i, 0);
+    f.label(loop);
+    f.brcond(CondOp::GeU, i, n, done);
+    f.bin(BinOp::Add, t, a, b);
+    f.mov(a, b);
+    f.mov(b, t);
+    f.addi(i, i, 1);
+    f.br(loop);
+    f.label(done);
+    f.store(resp, 0, a, 8);
+    f.movi(rl, 8);
+    f.ret(rl);
+    return pb.functionIndex("wl.fib");
+}
+
+std::vector<uint8_t>
+makeFibBytecode()
+{
+    vm::VmAsm a;
+    const uint8_t rOff = 1, rN = 2, rA = 3, rB = 4, rT = 5, rI = 6,
+                  rLen = 7;
+    const int loop = a.newLabel(), done = a.newLabel();
+    a.ldi(rOff, 0);
+    a.emit(vm::vmIn8, rN, rOff);
+    a.ldi(rA, 0);
+    a.ldi(rB, 1);
+    a.ldi(rI, 0);
+    a.bind(loop);
+    a.jge(rI, rN, done);
+    a.add(rT, rA, rB);
+    a.mov(rA, rB);
+    a.mov(rB, rT);
+    a.addi(rI, rI, 1);
+    a.jmp(loop);
+    a.bind(done);
+    a.ldi(rOff, 0);
+    a.emit(vm::vmOut8, rOff, rA);
+    a.ldi(rLen, 8);
+    a.halt(rLen);
+    return a.finish();
+}
+
+// --------------------------------------------------------------------------
+// aes: a 10-round sbox cipher over a 64-byte payload at req+48.
+// --------------------------------------------------------------------------
+
+constexpr int64_t aesBlockBytes = 64;
+constexpr int aesRounds = 10;
+
+/** sbox[i] = (i * 167 + 13) & 0xff — identical in both forms. */
+std::vector<uint8_t>
+makeSbox()
+{
+    std::vector<uint8_t> sbox(256);
+    for (int i = 0; i < 256; ++i)
+        sbox[size_t(i)] = uint8_t((i * 167 + 13) & 0xff);
+    return sbox;
+}
+
+int
+emitAesCompiled(gen::ProgramBuilder &pb, const ServerEnv &env)
+{
+    (void)env;
+    const std::vector<uint8_t> sbox = makeSbox();
+    const Addr sbox_addr = pb.addData(sbox.data(), sbox.size());
+
+    auto f = pb.beginFunction("wl.aes", 3);
+    const int req = f.arg(0), resp = f.arg(2);
+    const int sb = f.newVreg(), j = f.newVreg(), r = f.newVreg(),
+              s = f.newVreg(), t = f.newVreg(), addr = f.newVreg(),
+              rl = f.newVreg();
+    const int jloop = f.newLabel(), jdone = f.newLabel();
+    const int rloop = f.newLabel(), rdone = f.newLabel();
+
+    f.lea(sb, sbox_addr);
+    f.movi(j, 0);
+    f.label(jloop);
+    f.brcondi(CondOp::GeU, j, aesBlockBytes, jdone);
+    f.bin(BinOp::Add, addr, req, j);
+    f.load(s, addr, 48, 1, false);
+    f.movi(r, 0);
+    f.label(rloop);
+    f.brcondi(CondOp::GeU, r, aesRounds, rdone);
+    f.bin(BinOp::Xor, t, s, r);
+    f.bin(BinOp::Xor, t, t, j);
+    f.bini(BinOp::And, t, t, 0xff);
+    f.bin(BinOp::Add, addr, sb, t);
+    f.load(s, addr, 0, 1, false);
+    f.addi(r, r, 1);
+    f.br(rloop);
+    f.label(rdone);
+    f.bin(BinOp::Add, addr, resp, j);
+    f.store(addr, 0, s, 1);
+    f.addi(j, j, 1);
+    f.br(jloop);
+    f.label(jdone);
+    f.movi(rl, aesBlockBytes);
+    f.ret(rl);
+    return pb.functionIndex("wl.aes");
+}
+
+std::vector<uint8_t>
+makeAesBytecode()
+{
+    vm::VmAsm a;
+    // VM heap layout: sbox at [0..255], init flag at [256].
+    const uint8_t rZ = 1, rFlag = 2, rI = 3, rV = 4, rJ = 5, rS = 6,
+                  rR = 7, rT = 8, rLen = 9, rC = 10;
+
+    const int gen_done = a.newLabel(), gen_loop = a.newLabel();
+    a.ldi(rZ, 0);
+    a.emit(vm::vmLd8, rFlag, rZ, 0, 256);
+    a.jnz(rFlag, gen_done);
+    a.ldi(rI, 0);
+    a.bind(gen_loop);
+    a.muli(rV, rI, 167);
+    a.addi(rV, rV, 13);
+    a.andi(rV, rV, 0xff);
+    a.emit(vm::vmSt1, rV, rI, 0, 0); // heap8[rI] = rV
+    a.addi(rI, rI, 1);
+    a.ldi(rC, 256);
+    a.jlt(rI, rC, gen_loop);
+    a.ldi(rFlag, 1);
+    a.emit(vm::vmSt8, rFlag, rZ, 0, 256);
+    a.bind(gen_done);
+
+    const int jloop = a.newLabel(), jdone = a.newLabel();
+    const int rloop = a.newLabel(), rdone = a.newLabel();
+    a.ldi(rJ, 0);
+    a.bind(jloop);
+    a.ldi(rC, int32_t(aesBlockBytes));
+    a.jge(rJ, rC, jdone);
+    a.addi(rT, rJ, 48);
+    a.emit(vm::vmInB, rS, rT);
+    a.ldi(rR, 0);
+    a.bind(rloop);
+    a.ldi(rC, aesRounds);
+    a.jge(rR, rC, rdone);
+    a.xor_(rT, rS, rR);
+    a.xor_(rT, rT, rJ);
+    a.andi(rT, rT, 0xff);
+    a.emit(vm::vmLd1, rS, rT, 0, 0); // rS = sbox[rT]
+    a.addi(rR, rR, 1);
+    a.jmp(rloop);
+    a.bind(rdone);
+    a.emit(vm::vmOutB, rJ, rS);
+    a.addi(rJ, rJ, 1);
+    a.jmp(jloop);
+    a.bind(jdone);
+    a.ldi(rLen, int32_t(aesBlockBytes));
+    a.halt(rLen);
+    return a.finish();
+}
+
+// --------------------------------------------------------------------------
+// auth: FNV over a 32-byte token + scan of a 64-entry credential table.
+// --------------------------------------------------------------------------
+
+constexpr uint64_t authUsers = 64;
+constexpr int64_t tokenBytes = 32;
+
+/** Credential hash for uid, identical host/guest: 32-bit FNV step. */
+uint64_t
+credentialOf(uint64_t uid)
+{
+    return ((0xabcULL ^ uid) * 0x01000193ULL) & 0xffffffffULL;
+}
+
+int
+emitAuthCompiled(gen::ProgramBuilder &pb, const ServerEnv &env)
+{
+    std::vector<uint8_t> table(authUsers * 8);
+    for (uint64_t u = 0; u < authUsers; ++u) {
+        const uint64_t h = credentialOf(u);
+        std::memcpy(table.data() + u * 8, &h, 8);
+    }
+    const Addr table_addr = pb.addData(table.data(), table.size());
+
+    auto f = pb.beginFunction("wl.auth", 3);
+    const int req = f.arg(0), resp = f.arg(2);
+    const int uid = f.newVreg(), expect = f.newVreg(), tok = f.newVreg(),
+              h = f.newVreg(), tbl = f.newVreg(), i = f.newVreg(),
+              v = f.newVreg(), t = f.newVreg(), ok = f.newVreg(),
+              rl = f.newVreg();
+    const int scan = f.newLabel(), hit = f.newLabel(),
+              done = f.newLabel();
+
+    f.load(uid, req, 0, 8, false);
+    // expect = ((0xabc ^ uid) * fnv32prime) & 0xffffffff
+    f.bini(BinOp::Xor, expect, uid, 0xabc);
+    f.bini(BinOp::Mul, expect, expect, 0x01000193);
+    f.movi(t, int64_t(0xffffffffULL));
+    f.bin(BinOp::And, expect, expect, t);
+
+    // Hash the token (work the real function does).
+    f.bini(BinOp::Add, tok, req, 48);
+    const int tlen = f.imm(tokenBytes);
+    {
+        const int th = f.call(env.lib.fnvHash, {tok, tlen});
+        f.mov(h, th);
+    }
+
+    f.lea(tbl, table_addr);
+    f.movi(i, 0);
+    f.movi(ok, 0);
+    f.label(scan);
+    f.brcondi(CondOp::GeU, i, int64_t(authUsers), done);
+    f.bini(BinOp::Shl, t, i, 3);
+    f.bin(BinOp::Add, t, tbl, t);
+    f.load(v, t, 0, 8, false);
+    f.brcond(CondOp::Eq, v, expect, hit);
+    f.addi(i, i, 1);
+    f.br(scan);
+    f.label(hit);
+    f.movi(ok, 1);
+    f.label(done);
+    f.store(resp, 0, ok, 8);
+    f.store(resp, 8, h, 8);
+    f.movi(rl, 16);
+    f.ret(rl);
+    return pb.functionIndex("wl.auth");
+}
+
+std::vector<uint8_t>
+makeAuthBytecode()
+{
+    vm::VmAsm a;
+    // VM heap: credential table at [1024 + u*8], init flag at [512].
+    const uint8_t rZ = 1, rFlag = 2, rU = 3, rH = 4, rT = 5, rC = 6,
+                  rUid = 7, rExp = 8, rI = 9, rV = 10, rOk = 11,
+                  rLen = 12, rOff = 13;
+
+    const int gen_done = a.newLabel(), gen_loop = a.newLabel();
+    a.ldi(rZ, 0);
+    a.emit(vm::vmLd8, rFlag, rZ, 0, 512);
+    a.jnz(rFlag, gen_done);
+    a.ldi(rU, 0);
+    a.bind(gen_loop);
+    // h = ((0xabc ^ u) * fnv32prime) & 0xffffffff — via HashStep then mask.
+    a.ldi(rH, 0xabc);
+    a.emit(vm::vmHashStep, rH, rU); // rH = (rH ^ rU) * prime
+    a.ldi(rT, -1);                  // 0xffffffff via shr
+    a.shri(rT, rT, 32);
+    a.and_(rH, rH, rT);
+    a.shli(rT, rU, 3);
+    a.emit(vm::vmSt8, rH, rT, 0, 1024);
+    a.addi(rU, rU, 1);
+    a.ldi(rC, int32_t(authUsers));
+    a.jlt(rU, rC, gen_loop);
+    a.ldi(rFlag, 1);
+    a.emit(vm::vmSt8, rFlag, rZ, 0, 512);
+    a.bind(gen_done);
+
+    // expect = credentialOf(uid).
+    a.ldi(rOff, 0);
+    a.emit(vm::vmIn8, rUid, rOff);
+    a.ldi(rExp, 0xabc);
+    a.emit(vm::vmHashStep, rExp, rUid);
+    a.ldi(rT, -1);
+    a.shri(rT, rT, 32);
+    a.and_(rExp, rExp, rT);
+
+    // Token hash work (byte loop over req[48..79]).
+    const int tok_loop = a.newLabel(), tok_done = a.newLabel();
+    a.ldi(rH, 0x811c9dc5);
+    a.ldi(rI, 0);
+    a.bind(tok_loop);
+    a.ldi(rC, int32_t(tokenBytes));
+    a.jge(rI, rC, tok_done);
+    a.addi(rT, rI, 48);
+    a.emit(vm::vmInB, rV, rT);
+    a.emit(vm::vmHashStep, rH, rV);
+    a.addi(rI, rI, 1);
+    a.jmp(tok_loop);
+    a.bind(tok_done);
+
+    // Scan the table.
+    const int scan = a.newLabel(), hit = a.newLabel(), done = a.newLabel();
+    a.ldi(rI, 0);
+    a.ldi(rOk, 0);
+    a.bind(scan);
+    a.ldi(rC, int32_t(authUsers));
+    a.jge(rI, rC, done);
+    a.shli(rT, rI, 3);
+    a.emit(vm::vmLd8, rV, rT, 0, 1024);
+    a.jeq(rV, rExp, hit);
+    a.addi(rI, rI, 1);
+    a.jmp(scan);
+    a.bind(hit);
+    a.ldi(rOk, 1);
+    a.bind(done);
+    a.ldi(rT, 0);
+    a.emit(vm::vmOut8, rT, rOk);
+    a.ldi(rT, 8);
+    a.emit(vm::vmOut8, rT, rH);
+    a.ldi(rLen, 16);
+    a.halt(rLen);
+    return a.finish();
+}
+
+} // namespace
+
+void
+registerStandalone(std::map<std::string, WorkloadImpl> &reg)
+{
+    {
+        WorkloadImpl impl;
+        impl.emitCompiled = emitFibCompiled;
+        impl.makeBytecode = makeFibBytecode;
+        impl.requestTemplate = requestHeader(/*n=*/24);
+        reg["fibonacci"] = std::move(impl);
+    }
+    {
+        WorkloadImpl impl;
+        impl.emitCompiled = emitAesCompiled;
+        impl.makeBytecode = makeAesBytecode;
+        std::vector<uint8_t> req = requestHeader(0);
+        std::vector<uint8_t> payload(aesBlockBytes);
+        for (size_t i = 0; i < payload.size(); ++i)
+            payload[i] = uint8_t(i * 31 + 7);
+        appendBytes(req, payload.data(), payload.size());
+        impl.requestTemplate = std::move(req);
+        reg["aes"] = std::move(impl);
+    }
+    {
+        WorkloadImpl impl;
+        impl.emitCompiled = emitAuthCompiled;
+        impl.makeBytecode = makeAuthBytecode;
+        std::vector<uint8_t> req = requestHeader(/*uid=*/7);
+        std::vector<uint8_t> token(tokenBytes);
+        for (size_t i = 0; i < token.size(); ++i)
+            token[i] = uint8_t(0x41 + (i % 23));
+        appendBytes(req, token.data(), token.size());
+        impl.requestTemplate = std::move(req);
+        reg["auth"] = std::move(impl);
+    }
+}
+
+} // namespace svb::workloads::detail

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The ported benchmark suite (Tables 3.2, 3.3, 3.4).
+ *
+ * Standalone functions (fibonacci / aes / auth, in Go-, NodeJS- and
+ * Python-tier variants), the Online-Shop services, and the Hotel
+ * application backed by the database and memcached containers.
+ */
+
+#ifndef SVB_WORKLOADS_WORKLOADS_HH
+#define SVB_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "stack/runtime.hh"
+
+namespace svb::workloads
+{
+
+/** @return the implementation registered under @p name. */
+const WorkloadImpl &workloadImpl(const std::string &name);
+
+/** @return true when a workload named @p name exists. */
+bool hasWorkload(const std::string &name);
+
+/** Standalone functions x all runtimes (Table 3.2): 9 functions. */
+std::vector<FunctionSpec> standaloneSuite();
+
+/** Online-Shop services (Table 3.3): 6 functions. */
+std::vector<FunctionSpec> onlineShopSuite();
+
+/** Hotel application (Table 3.4): 6 Go functions with DB deps. */
+std::vector<FunctionSpec> hotelSuite();
+
+/** The full evaluation set in the paper's figure order. */
+std::vector<FunctionSpec> allFunctions();
+
+/**
+ * Extra ported workloads beyond the paper's evaluation set (its first
+ * stated future work): compression and jsonserdes, in all runtimes.
+ */
+std::vector<FunctionSpec> extendedSuite();
+
+/** Every Go-tier function (Figs 4.10/4.11). */
+std::vector<FunctionSpec> goFunctions();
+
+/** Every Python-tier function (Fig 4.13). */
+std::vector<FunctionSpec> pythonFunctions();
+
+} // namespace svb::workloads
+
+#endif // SVB_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Disassembler and tracing tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/system.hh"
+#include "guest/syscall_abi.hh"
+#include "gen/ir.hh"
+#include "guest/loader.hh"
+#include "isa/cx86/assembler.hh"
+#include "isa/disasm.hh"
+#include "isa/riscv/assembler.hh"
+
+using namespace svb;
+
+TEST(Disasm, RiscvRegisterNamesAndTargets)
+{
+    riscv::Assembler as;
+    AsmLabel l = as.newLabel();
+    as.add(rv::a0, rv::a1, rv::s3);
+    as.beq(rv::t0, rv::zero, l);
+    as.ld(rv::s0, rv::sp, 24);
+    as.bind(l);
+    as.ecall();
+    const auto lines = disassembleBuffer(as.finish(), IsaId::Riscv, {},
+                                         0x1000);
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_EQ(lines[0].text, "add a0, a1, s3");
+    EXPECT_NE(lines[1].text.find("beq"), std::string::npos);
+    EXPECT_NE(lines[1].text.find("0x100c"), std::string::npos);
+    EXPECT_NE(lines[2].text.find("s0"), std::string::npos);
+    EXPECT_NE(lines[2].text.find("sp"), std::string::npos);
+    EXPECT_EQ(lines[3].text, "ecall");
+}
+
+TEST(Disasm, Cx86ShowsUopExpansion)
+{
+    cx86::Assembler as;
+    as.push(cx::rbp);
+    as.ret();
+    const auto lines = disassembleBuffer(as.finish(), IsaId::Cx86);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines[0].text.find("push"), std::string::npos);
+    EXPECT_NE(lines[0].text.find("{"), std::string::npos); // cracked
+    EXPECT_NE(lines[1].text.find("ret"), std::string::npos);
+    EXPECT_NE(lines[1].text.find("jmpr ut0"), std::string::npos);
+}
+
+TEST(Disasm, SymbolsAnnotateLines)
+{
+    riscv::Assembler as;
+    as.nop();
+    as.nop();
+    const auto lines = disassembleBuffer(
+        as.finish(), IsaId::Riscv, {{"f0", 0}, {"f1", 4}});
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0].symbol, "f0");
+    EXPECT_EQ(lines[1].symbol, "f1");
+}
+
+TEST(Disasm, InvalidBytesDoNotDerail)
+{
+    const std::vector<uint8_t> junk = {0xff, 0xff, 0xee, 0x00, 0x00};
+    const auto lines = disassembleBuffer(junk, IsaId::Cx86);
+    EXPECT_GE(lines.size(), 1u);
+    EXPECT_EQ(lines[0].text, "<invalid>");
+}
+
+TEST(Trace, SinkSeesCommittedInstructions)
+{
+    gen::ProgramBuilder pb;
+    auto f = pb.beginFunction("main", 0);
+    const int a = f.imm(1), b = f.imm(2), c = f.newVreg();
+    f.bin(gen::BinOp::Add, c, a, b);
+    f.ret();
+    pb.setEntry("main");
+
+    for (CpuModel model : {CpuModel::Atomic, CpuModel::O3}) {
+        SystemConfig cfg = SystemConfig::paperConfig(IsaId::Riscv);
+        cfg.numCores = 1;
+        System sys(cfg);
+        LoadableImage image =
+            gen::compileProgram(pb.program(), IsaId::Riscv);
+        loadProcess(sys.kernel(), image, "t", 0);
+        sys.scheduleIdleCores();
+        sys.switchCpu(0, model);
+
+        std::vector<Addr> pcs;
+        sys.cpu(0).setTraceSink([&](Addr pc, const StaticInst &inst) {
+            EXPECT_TRUE(inst.valid);
+            pcs.push_back(pc);
+        });
+        sys.run(1'000'000);
+        ASSERT_GT(pcs.size(), 5u);
+        EXPECT_EQ(pcs.front(), layout::codeBase); // _start's first inst
+        // pcs are committed in program order: strictly forward through
+        // the straight-line _start prologue.
+        EXPECT_GT(pcs[1], pcs[0]);
+    }
+}
+
+TEST(Trace, StatsDumpStreamReceivesM5Dump)
+{
+    SystemConfig cfg = SystemConfig::paperConfig(IsaId::Riscv);
+    cfg.numCores = 1;
+    System machine(cfg);
+    std::ostringstream dump;
+    machine.setStatsDumpStream(&dump);
+
+    gen::ProgramBuilder pb;
+    auto f = pb.beginFunction("main", 0);
+    const int op = f.imm(int64_t(sys::m5DumpStats));
+    const int arg = f.imm(0);
+    f.syscall(sys::sysM5, {op, arg});
+    f.ret();
+    pb.setEntry("main");
+    loadProcess(machine.kernel(),
+                gen::compileProgram(pb.take(), IsaId::Riscv), "t", 0);
+    machine.scheduleIdleCores();
+    machine.run(1'000'000);
+
+    EXPECT_NE(dump.str().find("Begin Simulation Statistics"),
+              std::string::npos);
+    EXPECT_NE(dump.str().find("system.cpu0.atomic.numInsts"),
+              std::string::npos);
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Integration tests of the full experiment pipeline: cluster boot,
+ * checkpoint restore, container deployment, cold/warm measurement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "workloads/workloads.hh"
+
+using namespace svb;
+
+namespace
+{
+
+ClusterConfig
+smallConfig(IsaId isa, bool with_stores)
+{
+    ClusterConfig cfg;
+    cfg.system = SystemConfig::paperConfig(isa);
+    cfg.startDb = with_stores;
+    cfg.startMemcached = with_stores;
+    return cfg;
+}
+
+FunctionSpec
+specFor(const std::string &name)
+{
+    for (const FunctionSpec &spec : workloads::allFunctions()) {
+        if (spec.name == name)
+            return spec;
+    }
+    ADD_FAILURE() << "unknown function " << name;
+    return {};
+}
+
+} // namespace
+
+TEST(Experiment, FibonacciGoRiscvColdWarm)
+{
+    ExperimentRunner runner(smallConfig(IsaId::Riscv, false));
+    const FunctionSpec spec = specFor("fibonacci-go");
+    FunctionResult res =
+        runner.runFunction(spec, workloads::workloadImpl(spec.workload));
+    ASSERT_TRUE(res.ok);
+    EXPECT_GT(res.cold.cycles, 0u);
+    EXPECT_GT(res.warm.cycles, 0u);
+    EXPECT_GT(res.cold.insts, 0u);
+    // Cold runs the lazy init and misses everywhere: strictly slower.
+    EXPECT_GT(res.cold.cycles, res.warm.cycles);
+    EXPECT_GT(res.cold.l1iMisses, res.warm.l1iMisses);
+}
+
+TEST(Experiment, FibonacciGoCx86ColdWarm)
+{
+    ExperimentRunner runner(smallConfig(IsaId::Cx86, false));
+    const FunctionSpec spec = specFor("fibonacci-go");
+    FunctionResult res =
+        runner.runFunction(spec, workloads::workloadImpl(spec.workload));
+    ASSERT_TRUE(res.ok);
+    EXPECT_GT(res.cold.cycles, res.warm.cycles);
+}
+
+TEST(Experiment, PythonInterpreterRuns)
+{
+    ExperimentRunner runner(smallConfig(IsaId::Riscv, false));
+    const FunctionSpec spec = specFor("fibonacci-python");
+    FunctionResult res =
+        runner.runFunction(spec, workloads::workloadImpl(spec.workload));
+    ASSERT_TRUE(res.ok);
+    EXPECT_GT(res.cold.cycles, res.warm.cycles);
+}
+
+TEST(Experiment, HotelGeoTalksToCassandra)
+{
+    ExperimentRunner runner(smallConfig(IsaId::Riscv, true));
+    const FunctionSpec spec = specFor("geo");
+    FunctionResult res =
+        runner.runFunction(spec, workloads::workloadImpl(spec.workload));
+    ASSERT_TRUE(res.ok);
+    EXPECT_GT(res.cold.cycles, res.warm.cycles);
+}
+
+TEST(Experiment, EmulationModeReportsLatencies)
+{
+    ExperimentRunner runner(smallConfig(IsaId::Riscv, false));
+    const FunctionSpec spec = specFor("aes-go");
+    EmuResult res = runner.runFunctionEmu(
+        spec, workloads::workloadImpl(spec.workload));
+    ASSERT_TRUE(res.ok);
+    EXPECT_GT(res.coldNs, res.warmNs);
+}

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Guest-OS substrate tests: address spaces and paging, the
+ * cooperative scheduler, syscalls, the shared-memory rings (host and
+ * guest side), and the loader layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/system.hh"
+#include "cpu/tlb.hh"
+#include "gen/guestlib.hh"
+#include "gen/ir.hh"
+#include "guest/loader.hh"
+#include "guest/ring.hh"
+#include "guest/syscall_abi.hh"
+#include "stack/topology.hh"
+
+using namespace svb;
+
+TEST(AddressSpace, MapAndTranslate)
+{
+    PhysMemory phys(1 << 22);
+    FrameAllocator frames(0x10000, 1 << 22);
+    AddressSpace as(phys, frames);
+    const Addr frame = frames.allocFrames(1);
+    as.mapPage(0x40000000, frame);
+    EXPECT_EQ(as.translate(0x40000123), frame + 0x123);
+    EXPECT_TRUE(as.isMapped(0x40000000));
+    EXPECT_FALSE(as.isMapped(0x40001000));
+}
+
+TEST(AddressSpace, RegionsAreZeroedAndContiguous)
+{
+    PhysMemory phys(1 << 22);
+    FrameAllocator frames(0x10000, 1 << 22);
+    AddressSpace as(phys, frames);
+    as.allocRegion(0x10000000, 3 * 4096);
+    as.write(0x10000000 + 2 * 4096 + 8, 0xabcdef, 8);
+    EXPECT_EQ(as.read(0x10000000 + 2 * 4096 + 8, 8), 0xabcdefu);
+    EXPECT_EQ(as.read(0x10000000, 8), 0u);
+}
+
+TEST(AddressSpace, CrossPageBulkCopy)
+{
+    PhysMemory phys(1 << 22);
+    FrameAllocator frames(0x10000, 1 << 22);
+    AddressSpace as(phys, frames);
+    as.allocRegion(0x20000000, 2 * 4096);
+    std::vector<uint8_t> data(6000);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = uint8_t(i);
+    as.writeBytes(0x20000000 + 100, data.data(), data.size());
+    std::vector<uint8_t> back(6000);
+    as.readBytes(0x20000000 + 100, back.data(), back.size());
+    EXPECT_EQ(data, back);
+}
+
+TEST(Tlb, HitMissFlush)
+{
+    PhysMemory phys(1 << 22);
+    FrameAllocator frames(0x10000, 1 << 22);
+    AddressSpace as(phys, frames);
+    const Addr pa = as.allocRegion(0x30000000, 4096);
+
+    StatGroup stats("t");
+    Tlb tlb(TlbParams{"tlb", 16, 64}, stats);
+    auto tr1 = tlb.translate(0x30000010, as.root(), phys, nullptr, 0);
+    EXPECT_FALSE(tr1.fault);
+    EXPECT_EQ(tr1.paddr, pa + 0x10);
+    EXPECT_EQ(tlb.misses(), 1u);
+
+    auto tr2 = tlb.translate(0x30000020, as.root(), phys, nullptr, 0);
+    EXPECT_EQ(tr2.paddr, pa + 0x20);
+    EXPECT_EQ(tlb.hits(), 1u);
+
+    tlb.flush();
+    tlb.translate(0x30000010, as.root(), phys, nullptr, 0);
+    EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(Tlb, FaultsOnUnmapped)
+{
+    PhysMemory phys(1 << 22);
+    FrameAllocator frames(0x10000, 1 << 22);
+    AddressSpace as(phys, frames);
+    StatGroup stats("t");
+    Tlb tlb(TlbParams{"tlb", 16, 64}, stats);
+    EXPECT_TRUE(
+        tlb.translate(0x66000000, as.root(), phys, nullptr, 0).fault);
+}
+
+TEST(Ring, HostPushPopWrapAround)
+{
+    PhysMemory phys(1 << 20);
+    ring::Ring rg;
+    rg.phys = 0x1000;
+    rg.numSlots = 8;
+    phys.clearRange(rg.phys, ring::byteSize(8));
+
+    std::vector<uint8_t> out;
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 8; ++i) {
+            const uint64_t payload = uint64_t(round) * 100 + i;
+            ASSERT_TRUE(ring::tryPush(phys, rg, &payload, 8));
+        }
+        const uint64_t extra = 1;
+        EXPECT_FALSE(ring::tryPush(phys, rg, &extra, 8)); // full
+        for (int i = 0; i < 8; ++i) {
+            ASSERT_TRUE(ring::tryPop(phys, rg, out));
+            ASSERT_EQ(out.size(), 8u);
+            uint64_t v;
+            std::memcpy(&v, out.data(), 8);
+            EXPECT_EQ(v, uint64_t(round) * 100 + i);
+        }
+        EXPECT_FALSE(ring::tryPop(phys, rg, out)); // empty
+    }
+}
+
+TEST(Kernel, YieldRotatesProcessesOnOneCore)
+{
+    // Two processes on core 0 increment their own counters and yield;
+    // both must make progress.
+    SystemConfig cfg = SystemConfig::paperConfig(IsaId::Riscv);
+    cfg.numCores = 1;
+    System sys(cfg);
+
+    auto mkProgram = [&]() {
+        gen::ProgramBuilder pb;
+        const Addr counter = pb.addZeroData(8);
+        auto f = pb.beginFunction("main", 0);
+        const int ptr = f.newVreg(), v = f.newVreg(), i = f.newVreg();
+        const int loop = f.newLabel(), done = f.newLabel();
+        f.lea(ptr, counter);
+        f.movi(i, 0);
+        f.label(loop);
+        f.brcondi(gen::CondOp::Ge, i, 50, done);
+        f.load(v, ptr, 0, 8, false);
+        f.bini(gen::BinOp::Add, v, v, 1);
+        f.store(ptr, 0, v, 8);
+        f.syscall(sys::sysYield, {});
+        f.addi(i, i, 1);
+        f.br(loop);
+        f.label(done);
+        f.ret();
+        pb.setEntry("main");
+        return std::pair(pb.take(), counter);
+    };
+
+    auto [prog_a, counter_a] = mkProgram();
+    auto [prog_b, counter_b] = mkProgram();
+    LoadedProgram a = loadProcess(
+        sys.kernel(), gen::compileProgram(prog_a, IsaId::Riscv), "a", 0);
+    LoadedProgram b = loadProcess(
+        sys.kernel(), gen::compileProgram(prog_b, IsaId::Riscv), "b", 0);
+    sys.scheduleIdleCores();
+    sys.run(10'000'000);
+
+    EXPECT_EQ(sys.kernel().process(a.pid).space->read(counter_a, 8), 50u);
+    EXPECT_EQ(sys.kernel().process(b.pid).space->read(counter_b, 8), 50u);
+    EXPECT_EQ(sys.kernel().process(a.pid).state, ProcState::Exited);
+    EXPECT_EQ(sys.kernel().process(b.pid).state, ProcState::Exited);
+}
+
+TEST(Kernel, GuestRingsCrossCores)
+{
+    // A producer on core 0 sends 20 messages through a shared ring to
+    // a consumer on core 1, which accumulates the payloads.
+    SystemConfig cfg = SystemConfig::paperConfig(IsaId::Riscv);
+    System sys(cfg);
+
+    const Addr ring_phys = sys.frames().allocFrames(1);
+    sys.phys().clearRange(ring_phys, 4096);
+    const Addr ring_va = layout::sharedBase;
+
+    gen::ProgramBuilder producer;
+    {
+        const gen::GuestLib lib = gen::GuestLib::addTo(producer);
+        auto f = producer.beginFunction("main", 0);
+        const int64_t buf_off = f.localBytes(16);
+        const int buf = f.newVreg(), rg = f.newVreg(), i = f.newVreg(),
+                  len = f.imm(8);
+        const int loop = f.newLabel(), done = f.newLabel();
+        f.movi(rg, int64_t(ring_va));
+        f.movi(i, 0);
+        f.label(loop);
+        f.brcondi(gen::CondOp::Ge, i, 20, done);
+        f.leaLocal(buf, buf_off);
+        f.store(buf, 0, i, 8);
+        f.callVoid(lib.ringSend, {rg, buf, len});
+        f.addi(i, i, 1);
+        f.br(loop);
+        f.label(done);
+        f.ret();
+        producer.setEntry("main");
+    }
+
+    gen::ProgramBuilder consumer;
+    Addr sum_addr = 0;
+    {
+        sum_addr = consumer.addZeroData(8);
+        const gen::GuestLib lib = gen::GuestLib::addTo(consumer);
+        auto f = consumer.beginFunction("main", 0);
+        const int64_t buf_off = f.localBytes(16);
+        const int buf = f.newVreg(), rg = f.newVreg(), i = f.newVreg(),
+                  sum = f.newVreg(), v = f.newVreg(), out = f.newVreg();
+        const int loop = f.newLabel(), done = f.newLabel();
+        f.movi(rg, int64_t(ring_va));
+        f.movi(sum, 0);
+        f.movi(i, 0);
+        f.label(loop);
+        f.brcondi(gen::CondOp::Ge, i, 20, done);
+        f.leaLocal(buf, buf_off);
+        f.callVoid(lib.ringRecv, {rg, buf});
+        f.load(v, buf, 0, 8, false);
+        f.bin(gen::BinOp::Add, sum, sum, v);
+        f.addi(i, i, 1);
+        f.br(loop);
+        f.label(done);
+        f.lea(out, sum_addr);
+        f.store(out, 0, sum, 8);
+        f.ret();
+        consumer.setEntry("main");
+    }
+
+    LoadedProgram p = loadProcess(
+        sys.kernel(), gen::compileProgram(producer.take(), IsaId::Riscv),
+        "producer", 0);
+    LoadedProgram c = loadProcess(
+        sys.kernel(), gen::compileProgram(consumer.take(), IsaId::Riscv),
+        "consumer", 1);
+    mapSharedInto(sys.kernel(), p.pid, ring_va, ring_phys, 4096);
+    mapSharedInto(sys.kernel(), c.pid, ring_va, ring_phys, 4096);
+    sys.scheduleIdleCores();
+    const uint64_t ran = sys.run(20'000'000);
+    EXPECT_LT(ran, 20'000'000u);
+    EXPECT_EQ(sys.kernel().process(c.pid).space->read(sum_addr, 8),
+              uint64_t(19 * 20 / 2));
+}
+
+TEST(Loader, LayoutAndSymbols)
+{
+    SystemConfig cfg = SystemConfig::paperConfig(IsaId::Riscv);
+    cfg.numCores = 1;
+    System sys(cfg);
+
+    gen::ProgramBuilder pb;
+    pb.addZeroData(128);
+    gen::GuestLib::addTo(pb);
+    auto f = pb.beginFunction("main", 0);
+    f.ret();
+    pb.setEntry("main");
+    LoadableImage image = gen::compileProgram(pb.take(), IsaId::Riscv);
+
+    EXPECT_GT(image.symbols.size(), 5u);
+    EXPECT_EQ(image.symbolAt(0), "_start");
+
+    LoadedProgram lp = loadProcess(sys.kernel(), image, "layout", 0);
+    const Process &proc = sys.kernel().process(lp.pid);
+    EXPECT_TRUE(proc.space->isMapped(layout::codeBase));
+    EXPECT_TRUE(proc.space->isMapped(layout::dataBase));
+    EXPECT_TRUE(proc.space->isMapped(layout::heapBase));
+    EXPECT_TRUE(proc.space->isMapped(layout::stackTop - 4096));
+    EXPECT_EQ(lp.entry, layout::codeBase);
+}

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * CX86 encoder/decoder tests: lengths, micro-op cracking, condition
+ * flags, and the short-displacement memory forms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/cx86/assembler.hh"
+#include "isa/cx86/decoder.hh"
+#include "isa/isa_info.hh"
+
+using namespace svb;
+
+namespace
+{
+
+StaticInst
+first(const std::vector<uint8_t> &code)
+{
+    return cx86::decode(code.data(), code.size());
+}
+
+template <typename Fn>
+StaticInst
+roundtrip(Fn &&emit)
+{
+    cx86::Assembler as;
+    emit(as);
+    return first(as.finish());
+}
+
+} // namespace
+
+TEST(Cx86Isa, MovRegRegIsTwoBytes)
+{
+    StaticInst inst =
+        roundtrip([](cx86::Assembler &as) { as.mov(cx::r1, cx::r2); });
+    ASSERT_TRUE(inst.valid);
+    EXPECT_EQ(inst.length, 2);
+    EXPECT_EQ(inst.numUops, 1);
+    EXPECT_EQ(inst.uops[0].rd, cx::r1);
+    EXPECT_EQ(inst.uops[0].rs1, cx::r2);
+}
+
+TEST(Cx86Isa, MovImmChoosesWidth)
+{
+    StaticInst small =
+        roundtrip([](cx86::Assembler &as) { as.movImm(cx::r3, 1234); });
+    EXPECT_EQ(small.length, 6);
+    EXPECT_EQ(small.uops[0].imm, 1234);
+
+    StaticInst neg =
+        roundtrip([](cx86::Assembler &as) { as.movImm(cx::r3, -5); });
+    EXPECT_EQ(neg.length, 6);
+    EXPECT_EQ(neg.uops[0].imm, -5);
+
+    StaticInst big = roundtrip([](cx86::Assembler &as) {
+        as.movImm(cx::r3, 0x123456789abLL);
+    });
+    EXPECT_EQ(big.length, 10);
+    EXPECT_EQ(big.uops[0].imm, 0x123456789abLL);
+}
+
+TEST(Cx86Isa, TwoOperandAluReadsDest)
+{
+    StaticInst inst =
+        roundtrip([](cx86::Assembler &as) { as.add(cx::rbp, cx::r6); });
+    EXPECT_EQ(inst.uops[0].rd, cx::rbp);
+    EXPECT_EQ(inst.uops[0].rs1, cx::rbp); // destructive two-operand form
+    EXPECT_EQ(inst.uops[0].rs2, cx::r6);
+}
+
+TEST(Cx86Isa, LoadsPickDisp8Form)
+{
+    StaticInst short_form = roundtrip([](cx86::Assembler &as) {
+        as.load(cx::r1, cx::rsp, 16, 8, false);
+    });
+    EXPECT_EQ(short_form.length, 3);
+    EXPECT_EQ(short_form.uops[0].imm, 16);
+    EXPECT_EQ(short_form.uops[0].memSize, 8);
+
+    StaticInst long_form = roundtrip([](cx86::Assembler &as) {
+        as.load(cx::r1, cx::rsp, 4096, 4, true);
+    });
+    EXPECT_EQ(long_form.length, 6);
+    EXPECT_EQ(long_form.uops[0].imm, 4096);
+    EXPECT_TRUE(long_form.uops[0].memSigned);
+}
+
+TEST(Cx86Isa, StoreOperands)
+{
+    StaticInst inst = roundtrip([](cx86::Assembler &as) {
+        as.store(cx::r7, cx::rbp, -8, 8);
+    });
+    EXPECT_EQ(inst.length, 3); // disp8
+    EXPECT_TRUE(inst.uops[0].isStore());
+    EXPECT_EQ(inst.uops[0].rs1, cx::rbp); // base
+    EXPECT_EQ(inst.uops[0].rs2, cx::r7);  // data
+    EXPECT_EQ(inst.uops[0].imm, -8);
+}
+
+TEST(Cx86Isa, PushCracksToTwoUops)
+{
+    StaticInst inst =
+        roundtrip([](cx86::Assembler &as) { as.push(cx::r3); });
+    ASSERT_EQ(inst.numUops, 2);
+    EXPECT_EQ(inst.uops[0].op, UopOp::Sub); // rsp -= 8
+    EXPECT_EQ(inst.uops[0].rd, cx::rsp);
+    EXPECT_TRUE(inst.uops[1].isStore());
+}
+
+TEST(Cx86Isa, PopCracksToTwoUops)
+{
+    StaticInst inst =
+        roundtrip([](cx86::Assembler &as) { as.pop(cx::r3); });
+    ASSERT_EQ(inst.numUops, 2);
+    EXPECT_TRUE(inst.uops[0].isLoad());
+    EXPECT_EQ(inst.uops[1].op, UopOp::Add); // rsp += 8
+}
+
+TEST(Cx86Isa, CallCracksToFourUops)
+{
+    cx86::Assembler as;
+    AsmLabel l = as.newLabel();
+    as.call(l);
+    as.bind(l);
+    as.nop();
+    StaticInst inst = first(as.finish());
+    ASSERT_EQ(inst.numUops, 4);
+    EXPECT_TRUE(inst.isCall);
+    EXPECT_EQ(inst.uops[0].op, UopOp::Auipc); // link = pc + 5
+    EXPECT_EQ(inst.uops[0].imm, 5);
+    EXPECT_TRUE(inst.uops[2].isStore());
+    EXPECT_EQ(inst.uops[3].op, UopOp::Jump);
+    EXPECT_EQ(inst.directOffset, 5); // to the next instruction
+}
+
+TEST(Cx86Isa, RetCracksToThreeUops)
+{
+    StaticInst inst = roundtrip([](cx86::Assembler &as) { as.ret(); });
+    ASSERT_EQ(inst.numUops, 3);
+    EXPECT_TRUE(inst.isReturn);
+    EXPECT_TRUE(inst.uops[0].isLoad());
+    EXPECT_EQ(inst.uops[2].op, UopOp::JumpReg);
+}
+
+TEST(Cx86Isa, ReadModifyFormsCrack)
+{
+    StaticInst addm = roundtrip([](cx86::Assembler &as) {
+        as.addMem(cx::r1, cx::r2, 64);
+    });
+    ASSERT_EQ(addm.numUops, 2);
+    EXPECT_TRUE(addm.uops[0].isLoad());
+    EXPECT_EQ(addm.uops[1].op, UopOp::Add);
+
+    StaticInst adds = roundtrip([](cx86::Assembler &as) {
+        as.addStore(cx::r1, cx::r2, 64);
+    });
+    ASSERT_EQ(adds.numUops, 3);
+    EXPECT_TRUE(adds.uops[0].isLoad());
+    EXPECT_TRUE(adds.uops[2].isStore());
+}
+
+class Cx86JccTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Cx86JccTest, DecodesWithCondition)
+{
+    const auto cond = FlagCond(GetParam());
+    cx86::Assembler as;
+    AsmLabel l = as.newLabel();
+    as.jcc(cond, l);
+    as.bind(l);
+    as.nop();
+    StaticInst inst = first(as.finish());
+    ASSERT_TRUE(inst.valid);
+    EXPECT_EQ(inst.length, 5);
+    EXPECT_TRUE(inst.isCondCtrl);
+    EXPECT_EQ(inst.uops[0].cond, cond);
+    EXPECT_EQ(inst.uops[0].rs1, cx::rflags);
+    EXPECT_EQ(inst.directOffset, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConds, Cx86JccTest, ::testing::Range(0, 10));
+
+TEST(Cx86Semantics, CmpFlagsAndConds)
+{
+    // 3 vs 5: lt, ltu.
+    uint64_t f1 = computeCmpFlags(3, 5);
+    EXPECT_TRUE(flagCondTaken(FlagCond::Lt, f1));
+    EXPECT_TRUE(flagCondTaken(FlagCond::Ltu, f1));
+    EXPECT_TRUE(flagCondTaken(FlagCond::Ne, f1));
+    EXPECT_FALSE(flagCondTaken(FlagCond::Ge, f1));
+
+    // Equal values.
+    uint64_t f2 = computeCmpFlags(9, 9);
+    EXPECT_TRUE(flagCondTaken(FlagCond::Eq, f2));
+    EXPECT_TRUE(flagCondTaken(FlagCond::Le, f2));
+    EXPECT_TRUE(flagCondTaken(FlagCond::Geu, f2));
+    EXPECT_FALSE(flagCondTaken(FlagCond::Gtu, f2));
+
+    // Signed vs unsigned disagreement: -1 vs 1.
+    uint64_t f3 = computeCmpFlags(uint64_t(-1), 1);
+    EXPECT_TRUE(flagCondTaken(FlagCond::Lt, f3));  // signed: -1 < 1
+    EXPECT_TRUE(flagCondTaken(FlagCond::Gtu, f3)); // unsigned: huge > 1
+
+    // Signed overflow: INT64_MIN - 1 wraps positive.
+    uint64_t f4 = computeCmpFlags(uint64_t(INT64_MIN), 1);
+    EXPECT_TRUE(flagCondTaken(FlagCond::Lt, f4));
+}
+
+TEST(Cx86Isa, JmpRel32BothDirections)
+{
+    cx86::Assembler as;
+    AsmLabel top = as.newLabel(), fwd = as.newLabel();
+    as.bind(top);
+    as.nop();
+    as.jmp(fwd);   // at offset 1
+    as.jmp(top);   // at offset 6
+    as.bind(fwd);
+    as.nop();
+    const auto &code = as.finish();
+    StaticInst fwd_jmp = cx86::decode(code.data() + 1, code.size() - 1);
+    EXPECT_EQ(fwd_jmp.directOffset, 10); // 11 - 1
+    StaticInst back_jmp = cx86::decode(code.data() + 6, code.size() - 6);
+    EXPECT_EQ(back_jmp.directOffset, -6);
+}
+
+TEST(Cx86Isa, TruncatedWindowIsInvalid)
+{
+    cx86::Assembler as;
+    as.movImm(cx::r1, 0x123456789LL); // 10 bytes
+    const auto &code = as.finish();
+    EXPECT_FALSE(cx86::decode(code.data(), 4).valid);
+    EXPECT_TRUE(cx86::decode(code.data(), 10).valid);
+}
+
+TEST(Cx86Isa, UnknownOpcodeIsInvalid)
+{
+    const uint8_t junk[4] = {0xff, 0, 0, 0};
+    EXPECT_FALSE(cx86::decode(junk, 4).valid);
+}
+
+TEST(Cx86Isa, ShiftForms)
+{
+    StaticInst shl = roundtrip([](cx86::Assembler &as) {
+        as.shl(cx::r2, 5);
+    });
+    EXPECT_EQ(shl.length, 3);
+    EXPECT_EQ(shl.uops[0].op, UopOp::Sll);
+    EXPECT_EQ(shl.uops[0].imm, 5);
+
+    StaticInst sarr = roundtrip([](cx86::Assembler &as) {
+        as.sarr(cx::r2, cx::r3);
+    });
+    EXPECT_EQ(sarr.uops[0].op, UopOp::Sra);
+    EXPECT_FALSE(sarr.uops[0].useImm);
+}

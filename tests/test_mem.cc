@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Memory system unit tests: physical memory, tag-only caches (LRU,
+ * writebacks, invalidation), the DRAM row-buffer model, and the
+ * per-core hierarchies with write-invalidate coherence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+#include "mem/phys_memory.hh"
+
+using namespace svb;
+
+TEST(PhysMemory, ReadWriteAllWidths)
+{
+    PhysMemory mem(4096);
+    mem.write(100, 0x1122334455667788ULL, 8);
+    EXPECT_EQ(mem.read(100, 8), 0x1122334455667788ULL);
+    EXPECT_EQ(mem.read(100, 4), 0x55667788u);
+    EXPECT_EQ(mem.read(100, 2), 0x7788u);
+    EXPECT_EQ(mem.read(100, 1), 0x88u);
+    // Little endian: byte at +1.
+    EXPECT_EQ(mem.read8(101), 0x77);
+    mem.write16(200, 0xbeef);
+    EXPECT_EQ(mem.read16(200), 0xbeef);
+}
+
+TEST(PhysMemory, BulkAndClear)
+{
+    PhysMemory mem(4096);
+    const char src[] = "serverless";
+    mem.writeBytes(10, src, sizeof(src));
+    char dst[sizeof(src)];
+    mem.readBytes(10, dst, sizeof(src));
+    EXPECT_STREQ(dst, src);
+    mem.clearRange(10, sizeof(src));
+    EXPECT_EQ(mem.read8(10), 0);
+}
+
+TEST(PhysMemory, CheckpointRoundtrip)
+{
+    PhysMemory mem(4096);
+    mem.write64(8, 0xdeadbeef);
+    Checkpoint cp;
+    mem.serializeState("m.", cp);
+    PhysMemory other(4096);
+    other.unserializeState("m.", cp);
+    EXPECT_EQ(other.read64(8), 0xdeadbeefu);
+}
+
+namespace
+{
+
+/** A terminal MemLevel with fixed latency for cache testing. */
+class FakeBackend : public MemLevel
+{
+  public:
+    Cycles access(Addr, bool is_write, Cycles) override
+    {
+        ++(is_write ? writes : reads);
+        return 100;
+    }
+    void warm(Addr, bool is_write) override
+    {
+        ++(is_write ? writes : reads);
+    }
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+};
+
+} // namespace
+
+TEST(Cache, HitAfterFill)
+{
+    StatGroup stats("t");
+    FakeBackend backend;
+    Cache c(CacheParams{"c", 1024, 2, 64, 2}, backend, stats);
+
+    EXPECT_GT(c.access(0x100, false, 0), 100u); // miss: fill from below
+    EXPECT_EQ(c.access(0x100, false, 1), 2u);   // hit
+    EXPECT_EQ(c.access(0x13f, false, 2), 2u);   // same line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    StatGroup stats("t");
+    FakeBackend backend;
+    // 2 ways, 8 sets: lines 0, 512, 1024 map to set 0.
+    Cache c(CacheParams{"c", 1024, 2, 64, 1}, backend, stats);
+    c.access(0, false, 0);
+    c.access(512, false, 1);
+    c.access(0, false, 2);     // touch 0: 512 becomes LRU
+    c.access(1024, false, 3);  // evicts 512
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(512));
+    EXPECT_TRUE(c.contains(1024));
+}
+
+TEST(Cache, DirtyEvictionWritesBack)
+{
+    StatGroup stats("t");
+    FakeBackend backend;
+    Cache c(CacheParams{"c", 128, 1, 64, 1}, backend, stats);
+    c.access(0, true, 0);          // dirty line in set 0
+    const uint64_t writes_before = backend.writes;
+    c.access(128, false, 1);       // evicts the dirty line
+    EXPECT_EQ(backend.writes, writes_before + 1);
+}
+
+TEST(Cache, CleanEvictionDoesNotWriteBack)
+{
+    StatGroup stats("t");
+    FakeBackend backend;
+    Cache c(CacheParams{"c", 128, 1, 64, 1}, backend, stats);
+    c.access(0, false, 0);
+    c.access(128, false, 1);
+    EXPECT_EQ(backend.writes, 0u);
+}
+
+TEST(Cache, InvalidateDropsLine)
+{
+    StatGroup stats("t");
+    FakeBackend backend;
+    Cache c(CacheParams{"c", 1024, 2, 64, 1}, backend, stats);
+    c.access(0x40, true, 0);
+    EXPECT_TRUE(c.invalidate(0x40));
+    EXPECT_FALSE(c.contains(0x40));
+    EXPECT_FALSE(c.invalidate(0x40)); // already gone
+    // Invalidated dirty lines are dropped, not written back (the
+    // functional data lives in PhysMemory).
+    EXPECT_EQ(backend.writes, 0u);
+}
+
+TEST(Cache, WarmUpdatesTagsWithoutTiming)
+{
+    StatGroup stats("t");
+    FakeBackend backend;
+    Cache c(CacheParams{"c", 1024, 2, 64, 3}, backend, stats);
+    c.warm(0x80, false);
+    EXPECT_TRUE(c.contains(0x80));
+    EXPECT_EQ(c.access(0x80, false, 0), 3u); // timed hit afterwards
+}
+
+TEST(Cache, FlushAllEmptiesCache)
+{
+    StatGroup stats("t");
+    FakeBackend backend;
+    Cache c(CacheParams{"c", 1024, 2, 64, 1}, backend, stats);
+    c.access(0, false, 0);
+    c.flushAll();
+    EXPECT_FALSE(c.contains(0));
+}
+
+TEST(Dram, RowBufferHitsAreCheaper)
+{
+    StatGroup stats("t");
+    DramParams p;
+    DramCtrl dram(p, stats);
+    const Cycles first = dram.access(0, false, 0);
+    const Cycles second = dram.access(64, false, 10'000); // same row
+    EXPECT_GT(first, second);
+}
+
+TEST(Dram, ChannelContentionQueues)
+{
+    StatGroup stats("t");
+    DramCtrl dram(DramParams{}, stats);
+    const Cycles back_to_back_first = dram.access(0, false, 0);
+    // Immediately-following access must wait for the channel.
+    const Cycles back_to_back_second = dram.access(1 << 20, false, 1);
+    EXPECT_GT(back_to_back_second, back_to_back_first / 2);
+}
+
+TEST(Hierarchy, SnoopInvalidatesOtherCore)
+{
+    StatGroup stats("t");
+    DramCtrl dram(DramParams{}, stats);
+    CoherenceBus bus;
+    CoreMemSystem core0(0, CoreMemParams{}, dram, bus, stats);
+    CoreMemSystem core1(1, CoreMemParams{}, dram, bus, stats);
+
+    core0.dataAccess(0x1000, 8, false, 0);
+    core1.dataAccess(0x1000, 8, false, 0);
+    EXPECT_TRUE(core0.l1d().contains(0x1000));
+    EXPECT_TRUE(core1.l1d().contains(0x1000));
+
+    // A write by core 1 invalidates core 0's copy.
+    core1.dataAccess(0x1000, 8, true, 1);
+    EXPECT_FALSE(core0.l1d().contains(0x1000));
+    EXPECT_TRUE(core1.l1d().contains(0x1000));
+}
+
+TEST(Hierarchy, StraddlingAccessTouchesBothLines)
+{
+    StatGroup stats("t");
+    DramCtrl dram(DramParams{}, stats);
+    CoherenceBus bus;
+    CoreMemSystem core(0, CoreMemParams{}, dram, bus, stats);
+
+    core.dataAccess(0x10fc, 8, false, 0); // crosses 0x1100
+    EXPECT_TRUE(core.l1d().contains(0x10c0));
+    EXPECT_TRUE(core.l1d().contains(0x1100));
+}
+
+TEST(Hierarchy, FetchGoesThroughL1I)
+{
+    StatGroup stats("t");
+    DramCtrl dram(DramParams{}, stats);
+    CoherenceBus bus;
+    CoreMemSystem core(0, CoreMemParams{}, dram, bus, stats);
+
+    core.fetchAccess(0x2000, 4, 0);
+    EXPECT_TRUE(core.l1i().contains(0x2000));
+    EXPECT_FALSE(core.l1d().contains(0x2000));
+    EXPECT_TRUE(core.l2().contains(0x2000)); // filled on the way
+}
+
+TEST(Hierarchy, MissLatencyDecomposes)
+{
+    StatGroup stats("t");
+    DramCtrl dram(DramParams{}, stats);
+    CoherenceBus bus;
+    CoreMemSystem core(0, CoreMemParams{}, dram, bus, stats);
+
+    const Cycles cold = core.dataAccess(0x3000, 8, false, 0);
+    const Cycles l2_hit = [&] {
+        core.l1d().invalidate(0x3000);
+        return core.dataAccess(0x3000, 8, false, 100);
+    }();
+    const Cycles l1_hit = core.dataAccess(0x3000, 8, false, 200);
+    EXPECT_GT(cold, l2_hit);
+    EXPECT_GT(l2_hit, l1_hit);
+    EXPECT_EQ(l1_hit, CoreMemParams{}.l1d.hitLatency);
+}

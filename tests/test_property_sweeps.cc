@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Property sweeps:
+ *  - decoder robustness: random byte windows must decode to something
+ *    self-consistent or cleanly invalid — never crash or lie about
+ *    lengths;
+ *  - whole-suite invariants: every function of the evaluation set,
+ *    driven end-to-end, satisfies cold > warm > 0.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "isa/cx86/decoder.hh"
+#include "isa/disasm.hh"
+#include "isa/riscv/decoder.hh"
+#include "sim/rng.hh"
+#include "workloads/workloads.hh"
+
+using namespace svb;
+
+TEST(DecoderFuzz, RiscvNeverCrashesAndIsConsistent)
+{
+    Rng rng(0xdec0de);
+    for (int i = 0; i < 200'000; ++i) {
+        const auto word = uint32_t(rng.next());
+        const StaticInst inst = riscv::decode(word);
+        if (!inst.valid)
+            continue;
+        ASSERT_EQ(inst.length, 4u);
+        ASSERT_GE(inst.numUops, 1u);
+        ASSERT_LE(inst.numUops, maxUopsPerInst);
+        // Control summary flags must be consistent with the uops.
+        bool has_ctrl = false;
+        for (unsigned u = 0; u < inst.numUops; ++u)
+            has_ctrl |= inst.uops[u].isControl();
+        ASSERT_EQ(inst.isControl, has_ctrl);
+        // Disassembly of any valid instruction must not throw.
+        ASSERT_FALSE(disassemble(inst, IsaId::Riscv, 0x1000).empty());
+    }
+}
+
+TEST(DecoderFuzz, Cx86NeverCrashesAndRespectsWindow)
+{
+    Rng rng(0xc0de);
+    uint8_t window[16];
+    for (int i = 0; i < 200'000; ++i) {
+        for (auto &b : window)
+            b = uint8_t(rng.next());
+        const size_t avail = 1 + rng.nextBounded(sizeof(window));
+        const StaticInst inst = cx86::decode(window, avail);
+        if (!inst.valid)
+            continue;
+        ASSERT_LE(size_t(inst.length), avail)
+            << "decoded past the window";
+        ASSERT_GE(inst.numUops, 1u);
+        ASSERT_LE(inst.numUops, maxUopsPerInst);
+        for (unsigned u = 0; u < inst.numUops; ++u) {
+            const MicroOp &uop = inst.uops[u];
+            if (uop.rd != invalidReg) {
+                ASSERT_LT(uop.rd, cx::numRegs);
+            }
+            if (uop.rs1 != invalidReg) {
+                ASSERT_LT(uop.rs1, cx::numRegs);
+            }
+            if (uop.rs2 != invalidReg) {
+                ASSERT_LT(uop.rs2, cx::numRegs);
+            }
+            if (uop.isMem()) {
+                ASSERT_TRUE(uop.memSize == 1 || uop.memSize == 2 ||
+                            uop.memSize == 4 || uop.memSize == 8);
+            }
+        }
+        ASSERT_FALSE(disassemble(inst, IsaId::Cx86).empty());
+    }
+}
+
+namespace
+{
+
+class SuiteSweepTest : public ::testing::TestWithParam<int>
+{
+};
+
+} // namespace
+
+TEST_P(SuiteSweepTest, EveryFunctionHasColdGreaterThanWarm)
+{
+    const auto specs = workloads::allFunctions();
+    ASSERT_LT(size_t(GetParam()), specs.size());
+    const FunctionSpec &spec = specs[size_t(GetParam())];
+
+    ClusterConfig cfg;
+    cfg.system = SystemConfig::paperConfig(IsaId::Riscv);
+    cfg.startDb = spec.usesDb;
+    cfg.startMemcached = spec.usesMemcached;
+    ExperimentRunner runner(cfg);
+    // Emulation mode keeps the whole 21-function sweep quick while
+    // still driving every container end to end.
+    const EmuResult res = runner.runFunctionEmu(
+        spec, workloads::workloadImpl(spec.workload));
+    ASSERT_TRUE(res.ok) << spec.name;
+    EXPECT_GT(res.warmNs, 0u) << spec.name;
+    EXPECT_GT(res.coldNs, res.warmNs) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFunctions, SuiteSweepTest,
+                         ::testing::Range(0, 21));

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue, RNG, statistics,
+ * checkpoints.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "sim/eventq.hh"
+#include "sim/rng.hh"
+#include "sim/serialize.hh"
+#include "sim/stats.hh"
+
+using namespace svb;
+
+TEST(EventQueue, FiresInTimeThenInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(20, "b", [&] { order.push_back(2); });
+    q.schedule(10, "a", [&] { order.push_back(1); });
+    q.schedule(20, "c", [&] { order.push_back(3); });
+    EXPECT_EQ(q.nextEventTick(), 10u);
+    EXPECT_EQ(q.serviceUpTo(15), 1u);
+    EXPECT_EQ(q.serviceUpTo(25), 2u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(5, "outer", [&] {
+        ++fired;
+        q.schedule(6, "inner", [&] { ++fired; });
+    });
+    q.serviceUpTo(10);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ClearDropsEverything)
+{
+    EventQueue q;
+    q.schedule(5, "x", [] {});
+    q.clear();
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_EQ(q.nextEventTick(), maxTick);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.nextBounded(17), 17u);
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = r.nextRange(-5, 9);
+        ASSERT_GE(v, -5);
+        ASSERT_LE(v, 9);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        const double d = r.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+    }
+}
+
+TEST(Stats, ScalarAndFormula)
+{
+    StatGroup g("top");
+    Scalar &s = g.addScalar("count", "a counter");
+    g.addFormula("double", "2x count",
+                 [&s] { return 2.0 * double(s.value()); });
+    ++s;
+    s += 4;
+    auto snap = g.snapshotAll();
+    EXPECT_DOUBLE_EQ(snap.at("top.count"), 5.0);
+    EXPECT_DOUBLE_EQ(snap.at("top.double"), 10.0);
+    g.resetAll();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Stats, ChildGroupsAndDottedNames)
+{
+    StatGroup g("sys");
+    Scalar &inner = g.childGroup("cpu").childGroup("l1").addScalar(
+        "misses", "d");
+    inner += 3;
+    auto snap = g.snapshotAll();
+    EXPECT_DOUBLE_EQ(snap.at("sys.cpu.l1.misses"), 3.0);
+    // childGroup returns the same child on repeat lookups.
+    EXPECT_EQ(&g.childGroup("cpu"), &g.childGroup("cpu"));
+}
+
+TEST(Stats, DistributionBucketsAndMean)
+{
+    StatGroup g("g");
+    Distribution &d = g.addDistribution("lat", "latency", 0, 100, 10);
+    d.sample(5);
+    d.sample(15);
+    d.sample(15);
+    d.sample(250); // overflow
+    EXPECT_EQ(d.samples(), 4u);
+    EXPECT_EQ(d.bucketCount(0), 1u);
+    EXPECT_EQ(d.bucketCount(1), 2u);
+    EXPECT_EQ(d.overflows(), 1u);
+    EXPECT_DOUBLE_EQ(d.mean(), (5 + 15 + 15 + 250) / 4.0);
+    d.reset();
+    EXPECT_EQ(d.samples(), 0u);
+}
+
+TEST(Stats, PrintProducesOutput)
+{
+    StatGroup g("root");
+    g.addScalar("x", "something") += 9;
+    std::ostringstream os;
+    g.printAll(os);
+    EXPECT_NE(os.str().find("root.x"), std::string::npos);
+    EXPECT_NE(os.str().find("9"), std::string::npos);
+}
+
+TEST(Checkpoint, ScalarStringBlobRoundtrip)
+{
+    Checkpoint cp;
+    cp.setScalar("a.b", 123);
+    cp.setString("name", "svbench");
+    cp.setBlob("mem", {1, 2, 3, 255});
+    EXPECT_EQ(cp.getScalar("a.b"), 123u);
+    EXPECT_EQ(cp.getString("name"), "svbench");
+    EXPECT_EQ(cp.getBlob("mem").size(), 4u);
+    EXPECT_TRUE(cp.hasScalar("a.b"));
+    EXPECT_FALSE(cp.hasScalar("missing"));
+}
+
+TEST(Checkpoint, FileRoundtrip)
+{
+    const std::string path = "/tmp/svbench_test_ckpt.bin";
+    {
+        Checkpoint cp;
+        cp.setScalar("cycle", 999);
+        cp.setString("isa", "riscv64");
+        std::vector<uint8_t> blob(4096);
+        for (size_t i = 0; i < blob.size(); ++i)
+            blob[i] = uint8_t(i * 7);
+        cp.setBlob("mem.contents", std::move(blob));
+        cp.saveToFile(path);
+    }
+    Checkpoint cp = Checkpoint::loadFromFile(path);
+    EXPECT_EQ(cp.getScalar("cycle"), 999u);
+    EXPECT_EQ(cp.getString("isa"), "riscv64");
+    const auto &blob = cp.getBlob("mem.contents");
+    ASSERT_EQ(blob.size(), 4096u);
+    EXPECT_EQ(blob[1000], uint8_t(1000 * 7));
+    std::remove(path.c_str());
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * End-to-end smoke tests: build a tiny guest program with the IR,
+ * compile it for both ISAs, run it on both CPU models, and check the
+ * architectural results through guest memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "gen/guestlib.hh"
+#include "gen/ir.hh"
+#include "guest/loader.hh"
+
+using namespace svb;
+
+namespace
+{
+
+/** Build a program that computes fib(n) iteratively into data[0]. */
+gen::Program
+fibProgram(int64_t n, Addr &result_addr_out)
+{
+    gen::ProgramBuilder pb;
+    result_addr_out = pb.addZeroData(16);
+
+    auto f = pb.beginFunction("main", 0);
+    const int a = f.newVreg(), b = f.newVreg(), t = f.newVreg(),
+              i = f.newVreg(), ptr = f.newVreg();
+    const int loop = f.newLabel(), done = f.newLabel();
+    f.movi(a, 0);
+    f.movi(b, 1);
+    f.movi(i, 0);
+    f.label(loop);
+    f.brcondi(gen::CondOp::Ge, i, n, done);
+    f.bin(gen::BinOp::Add, t, a, b);
+    f.mov(a, b);
+    f.mov(b, t);
+    f.addi(i, i, 1);
+    f.br(loop);
+    f.label(done);
+    f.lea(ptr, result_addr_out);
+    f.store(ptr, 0, a, 8);
+    f.ret();
+
+    pb.setEntry("main");
+    return pb.take();
+}
+
+uint64_t
+runFib(IsaId isa, CpuModel model, uint64_t *cycles_out = nullptr)
+{
+    SystemConfig cfg = SystemConfig::paperConfig(isa);
+    cfg.numCores = 1;
+    System sys(cfg);
+
+    Addr result_addr = 0;
+    gen::Program prog = fibProgram(30, result_addr);
+    LoadableImage image = gen::compileProgram(prog, isa);
+    LoadedProgram lp = loadProcess(sys.kernel(), image, "fib", 0);
+
+    sys.scheduleIdleCores();
+    sys.switchCpu(0, model);
+    const uint64_t ran = sys.run(5'000'000);
+    EXPECT_LT(ran, 5'000'000u) << "program did not terminate";
+    EXPECT_TRUE(sys.cpu(0).halted());
+    if (cycles_out != nullptr)
+        *cycles_out = ran;
+
+    AddressSpace &as = *sys.kernel().process(lp.pid).space;
+    return as.read(result_addr, 8);
+}
+
+} // namespace
+
+TEST(Smoke, FibRiscvAtomic)
+{
+    EXPECT_EQ(runFib(IsaId::Riscv, CpuModel::Atomic), 832040u);
+}
+
+TEST(Smoke, FibRiscvO3)
+{
+    EXPECT_EQ(runFib(IsaId::Riscv, CpuModel::O3), 832040u);
+}
+
+TEST(Smoke, FibCx86Atomic)
+{
+    EXPECT_EQ(runFib(IsaId::Cx86, CpuModel::Atomic), 832040u);
+}
+
+TEST(Smoke, FibCx86O3)
+{
+    EXPECT_EQ(runFib(IsaId::Cx86, CpuModel::O3), 832040u);
+}
+
+TEST(Smoke, O3FasterThanAtomicIsNotRequiredButBothTerminate)
+{
+    uint64_t atomic_cycles = 0, o3_cycles = 0;
+    runFib(IsaId::Riscv, CpuModel::Atomic, &atomic_cycles);
+    runFib(IsaId::Riscv, CpuModel::O3, &o3_cycles);
+    EXPECT_GT(atomic_cycles, 0u);
+    EXPECT_GT(o3_cycles, 0u);
+}
+
+TEST(Smoke, GuestLibMemCopyAndHash)
+{
+    SystemConfig cfg = SystemConfig::paperConfig(IsaId::Riscv);
+    cfg.numCores = 1;
+    System sys(cfg);
+
+    gen::ProgramBuilder pb;
+    const char payload[] = "hello serverless world, hello riscv!";
+    const Addr src = pb.addData(payload, sizeof(payload));
+    const Addr dst = pb.addZeroData(64);
+    const Addr hash_out = pb.addZeroData(8);
+    gen::GuestLib lib = gen::GuestLib::addTo(pb);
+
+    auto f = pb.beginFunction("main", 0);
+    const int vsrc = f.newVreg(), vdst = f.newVreg(), vlen = f.newVreg(),
+              vout = f.newVreg();
+    f.lea(vsrc, src);
+    f.lea(vdst, dst);
+    f.movi(vlen, sizeof(payload));
+    f.callVoid(lib.memCopy, {vdst, vsrc, vlen});
+    const int h = f.call(lib.fnvHash, {vdst, vlen});
+    f.lea(vout, hash_out);
+    f.store(vout, 0, h, 8);
+    f.ret();
+    pb.setEntry("main");
+
+    LoadableImage image =
+        gen::compileProgram(pb.take(), IsaId::Riscv);
+    LoadedProgram lp = loadProcess(sys.kernel(), image, "copy", 0);
+    sys.scheduleIdleCores();
+    ASSERT_LT(sys.run(2'000'000), 2'000'000u);
+
+    AddressSpace &as = *sys.kernel().process(lp.pid).space;
+    char copied[sizeof(payload)];
+    as.readBytes(dst, copied, sizeof(payload));
+    EXPECT_STREQ(copied, payload);
+
+    // Host-side FNV-1a for cross-checking.
+    uint64_t expect = 0xcbf29ce484222325ULL;
+    for (char c : payload) {
+        expect ^= uint8_t(c);
+        expect *= 0x100000001b3ULL;
+    }
+    EXPECT_EQ(as.read(hash_out, 8), expect);
+}

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Serverless-stack tests: tier calibration invariants, server/client
+ * program construction for every tier and ISA, the container image
+ * registry model, and report formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hh"
+#include "stack/image.hh"
+#include "stack/runtime.hh"
+#include "workloads/workloads.hh"
+
+using namespace svb;
+
+TEST(Calibration, TierNames)
+{
+    EXPECT_STREQ(tierName(RuntimeTier::Go), "go");
+    EXPECT_STREQ(tierName(RuntimeTier::Node), "nodejs");
+    EXPECT_STREQ(tierName(RuntimeTier::Python), "python");
+}
+
+TEST(Calibration, Cx86StackIsHeavierEverywhere)
+{
+    for (RuntimeTier tier :
+         {RuntimeTier::Go, RuntimeTier::Node, RuntimeTier::Python}) {
+        const TierParams rv = tierParams(tier, IsaId::Riscv);
+        const TierParams cx = tierParams(tier, IsaId::Cx86);
+        EXPECT_GT(cx.wrapperLayers, rv.wrapperLayers) << tierName(tier);
+        EXPECT_GT(cx.initLayers, rv.initLayers) << tierName(tier);
+        EXPECT_GT(cx.preMainTouchBytes, rv.preMainTouchBytes)
+            << tierName(tier);
+    }
+}
+
+TEST(Calibration, PythonImportsDominate)
+{
+    for (IsaId isa : {IsaId::Riscv, IsaId::Cx86}) {
+        const TierParams go = tierParams(RuntimeTier::Go, isa);
+        const TierParams py = tierParams(RuntimeTier::Python, isa);
+        EXPECT_GT(py.initLayers * py.initSlabBytes,
+                  3 * go.initLayers * go.initSlabBytes);
+    }
+}
+
+TEST(Calibration, SteadyStateExceedsL2)
+{
+    // The per-request working set must exceed the 512 KiB L2 so warm
+    // requests keep missing, as the paper's do.
+    for (IsaId isa : {IsaId::Riscv, IsaId::Cx86}) {
+        for (RuntimeTier tier :
+             {RuntimeTier::Go, RuntimeTier::Node, RuntimeTier::Python}) {
+            const TierParams p = tierParams(tier, isa);
+            EXPECT_GT(p.wrapperLayers * p.wrapperSlabBytes,
+                      uint64_t(128 * 1024))
+                << tierName(tier);
+        }
+    }
+}
+
+class BuildAllServersTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(BuildAllServersTest, ProgramsCompileAndCarrySymbols)
+{
+    const auto [fn_idx, isa_idx] = GetParam();
+    const auto specs = workloads::allFunctions();
+    ASSERT_LT(size_t(fn_idx), specs.size());
+    const FunctionSpec &spec = specs[size_t(fn_idx)];
+    const IsaId isa = isa_idx == 0 ? IsaId::Riscv : IsaId::Cx86;
+
+    const LoadableImage server = buildServerProgram(
+        spec, workloads::workloadImpl(spec.workload), isa);
+    EXPECT_GT(server.code.size(), 4096u) << spec.name;
+    EXPECT_GT(server.heapBytes, 1024u * 1024u) << spec.name;
+    EXPECT_EQ(server.symbolAt(0), "_start");
+    bool has_serve_loop = false;
+    for (const auto &[name, off] : server.symbols)
+        has_serve_loop |= name == "server.main";
+    EXPECT_TRUE(has_serve_loop) << spec.name;
+
+    const LoadableImage client = buildClientProgram(
+        spec, workloads::workloadImpl(spec.workload), isa);
+    EXPECT_GT(client.code.size(), 256u) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFunctionsBothIsas, BuildAllServersTest,
+    ::testing::Combine(::testing::Range(0, 21), ::testing::Values(0, 1)));
+
+TEST(ImageModel, ReproducesTable44Totals)
+{
+    // Spot-check against the paper's Table 4.4 cells.
+    auto total = [](const char *name, IsaId isa) {
+        for (const FunctionSpec &spec : workloads::allFunctions()) {
+            if (spec.name == name) {
+                return containerImage(spec, isa, RegistryProfile::GPour)
+                    ->totalMb();
+            }
+        }
+        return -1.0;
+    };
+    EXPECT_NEAR(total("fibonacci-go", IsaId::Cx86), 8.39, 0.01);
+    EXPECT_NEAR(total("fibonacci-go", IsaId::Riscv), 7.76, 0.01);
+    EXPECT_NEAR(total("fibonacci-python", IsaId::Riscv), 132.62, 0.01);
+    EXPECT_NEAR(total("auth-nodejs", IsaId::Cx86), 70.50, 0.01);
+    EXPECT_NEAR(total("payment-nodejs", IsaId::Riscv), 80.64, 0.01);
+    EXPECT_NEAR(total("profile", IsaId::Riscv), 7.79, 0.01);
+}
+
+TEST(ImageModel, OrderingInvariants)
+{
+    // Go < NodeJS < Python within each ISA (Section 4.2.5).
+    for (IsaId isa : {IsaId::Riscv, IsaId::Cx86}) {
+        double go = 0, node = 0, py = 0;
+        for (const FunctionSpec &spec : workloads::standaloneSuite()) {
+            if (spec.workload != "fibonacci")
+                continue;
+            const double mb =
+                containerImage(spec, isa, RegistryProfile::GPour)
+                    ->totalMb();
+            if (spec.tier == RuntimeTier::Go)
+                go = mb;
+            else if (spec.tier == RuntimeTier::Node)
+                node = mb;
+            else
+                py = mb;
+        }
+        EXPECT_LT(go, node);
+        EXPECT_LT(node, py);
+    }
+}
+
+TEST(ImageModel, NatheesanProfileGaps)
+{
+    for (const FunctionSpec &spec : workloads::allFunctions()) {
+        const auto img =
+            containerImage(spec, IsaId::Riscv, RegistryProfile::Natheesan);
+        if (spec.usesDb) {
+            EXPECT_FALSE(img.has_value()) << spec.name
+                                          << ": hotel needs MongoDB";
+        } else {
+            ASSERT_TRUE(img.has_value()) << spec.name;
+            EXPECT_GT(img->totalMb(), 1.0);
+        }
+        // No x86 images in the Natheesan registry at all.
+        EXPECT_FALSE(containerImage(spec, IsaId::Cx86,
+                                    RegistryProfile::Natheesan)
+                         .has_value());
+    }
+}
+
+TEST(ImageModel, BreakdownSumsToTotal)
+{
+    for (const FunctionSpec &spec : workloads::allFunctions()) {
+        for (IsaId isa : {IsaId::Riscv, IsaId::Cx86}) {
+            const auto img =
+                containerImage(spec, isa, RegistryProfile::GPour);
+            ASSERT_TRUE(img.has_value());
+            EXPECT_GE(img->appMb, 0.0) << spec.name;
+            EXPECT_GT(img->baseOsMb, 0.0) << spec.name;
+            EXPECT_NEAR(img->totalMb(), img->baseOsMb + img->runtimeMb +
+                                            img->libsMb + img->appMb,
+                        1e-9);
+        }
+    }
+}
+
+TEST(Report, FiguresPrintWithoutCrashing)
+{
+    // Smoke-test the printers (they write to stdout).
+    report::figureHeader("Figure T", "test caption",
+                         {SystemConfig::paperConfig(IsaId::Riscv)});
+    report::barFigure({"a", "b"}, "cycles",
+                      {{"row1", {100, 50}}, {"row2", {30, 20}}});
+    report::stackedPercentFigure({"i", "d"}, {{"row", {30, 70}}});
+    report::table({"Function", "x86"}, {{"fib", {8.39}}});
+    report::configTables(SystemConfig::paperConfig(IsaId::Riscv),
+                         SystemConfig::paperConfig(IsaId::Cx86));
+    SUCCEED();
+}

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Guest bytecode VM tests: run small bytecode programs through the
+ * interpreter (itself simulated guest code) and check outputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/system.hh"
+#include "gen/guestlib.hh"
+#include "guest/loader.hh"
+#include "stack/vm.hh"
+
+using namespace svb;
+
+namespace
+{
+
+/**
+ * Run @p bytecode under the interpreter with @p request as input.
+ * @return the response bytes
+ */
+std::vector<uint8_t>
+runBytecode(const std::vector<uint8_t> &bytecode,
+            const std::vector<uint8_t> &request, IsaId isa = IsaId::Riscv)
+{
+    gen::ProgramBuilder pb;
+    const Addr req_addr =
+        pb.addData(request.data(), std::max<size_t>(request.size(), 8));
+    const Addr resp_addr = pb.addZeroData(256);
+    const Addr resp_len_addr = pb.addZeroData(8);
+    const Addr code_addr = pb.addData(bytecode.data(), bytecode.size());
+    const gen::GuestLib lib = gen::GuestLib::addTo(pb);
+    const int vm_run = vm::emitVmInterpreter(pb, lib);
+
+    auto f = pb.beginFunction("main", 0);
+    const int ctx = f.newVreg(), v = f.newVreg(), out = f.newVreg();
+    // ctx block lives at the start of the heap.
+    f.movi(ctx, int64_t(layout::heapBase));
+    f.lea(v, req_addr);
+    f.store(ctx, vm::ctxoff::reqBuf, v, 8);
+    f.movi(v, int64_t(request.size()));
+    f.store(ctx, vm::ctxoff::reqLen, v, 8);
+    f.lea(v, resp_addr);
+    f.store(ctx, vm::ctxoff::respBuf, v, 8);
+    f.movi(v, int64_t(layout::heapBase) + 4096); // VM arena
+    f.store(ctx, vm::ctxoff::heap, v, 8);
+    const int codep = f.newVreg(), ninsts = f.newVreg();
+    f.lea(codep, code_addr);
+    f.movi(ninsts, int64_t(bytecode.size() / vm::instBytes));
+    const int vrlen = f.call(vm_run, {codep, ninsts, ctx});
+    f.lea(out, resp_len_addr);
+    f.store(out, 0, vrlen, 8);
+    f.ret();
+    pb.setEntry("main");
+
+    SystemConfig cfg = SystemConfig::paperConfig(isa);
+    cfg.numCores = 1;
+    System sys(cfg);
+    LoadableImage image = gen::compileProgram(pb.take(), isa);
+    LoadedProgram lp = loadProcess(sys.kernel(), image, "vm", 0);
+    sys.scheduleIdleCores();
+    EXPECT_LT(sys.run(50'000'000), 50'000'000u) << "vm hung";
+
+    const AddressSpace &as = *sys.kernel().process(lp.pid).space;
+    const uint64_t rlen = as.read(resp_len_addr, 8);
+    std::vector<uint8_t> resp(rlen);
+    if (rlen > 0)
+        as.readBytes(resp_addr, resp.data(), rlen);
+    return resp;
+}
+
+std::vector<uint8_t>
+u64Request(uint64_t a, uint64_t b = 0)
+{
+    std::vector<uint8_t> req(16);
+    std::memcpy(req.data(), &a, 8);
+    std::memcpy(req.data() + 8, &b, 8);
+    return req;
+}
+
+uint64_t
+u64At(const std::vector<uint8_t> &bytes, size_t off)
+{
+    uint64_t v = 0;
+    std::memcpy(&v, bytes.data() + off, 8);
+    return v;
+}
+
+} // namespace
+
+TEST(Vm, ArithmeticAndHalt)
+{
+    vm::VmAsm a;
+    a.ldi(1, 21);
+    a.ldi(2, 2);
+    a.mul(3, 1, 2);
+    a.addi(3, 3, 100);
+    a.ldi(4, 0);
+    a.emit(vm::vmOut8, 4, 3);
+    a.ldi(5, 8);
+    a.halt(5);
+    const auto resp = runBytecode(a.finish(), u64Request(0));
+    ASSERT_EQ(resp.size(), 8u);
+    EXPECT_EQ(u64At(resp, 0), 142u);
+}
+
+TEST(Vm, LoopsAndBranches)
+{
+    // Sum 1..100 with a jlt loop.
+    vm::VmAsm a;
+    const uint8_t i = 1, sum = 2, limit = 3, off = 4, len = 5;
+    const int loop = a.newLabel();
+    a.ldi(i, 1);
+    a.ldi(sum, 0);
+    a.ldi(limit, 101);
+    a.bind(loop);
+    a.add(sum, sum, i);
+    a.addi(i, i, 1);
+    a.jlt(i, limit, loop);
+    a.ldi(off, 0);
+    a.emit(vm::vmOut8, off, sum);
+    a.ldi(len, 8);
+    a.halt(len);
+    const auto resp = runBytecode(a.finish(), u64Request(0));
+    EXPECT_EQ(u64At(resp, 0), 5050u);
+}
+
+TEST(Vm, HeapPersistsWithinRun)
+{
+    vm::VmAsm a;
+    const uint8_t v = 1, z = 2, r = 3, off = 4, len = 5;
+    a.ldi(v, 777);
+    a.ldi(z, 0);
+    a.emit(vm::vmSt8, v, z, 0, 128); // heap[128] = 777
+    a.emit(vm::vmLd8, r, z, 0, 128);
+    a.ldi(off, 0);
+    a.emit(vm::vmOut8, off, r);
+    a.ldi(len, 8);
+    a.halt(len);
+    const auto resp = runBytecode(a.finish(), u64Request(0));
+    EXPECT_EQ(u64At(resp, 0), 777u);
+}
+
+TEST(Vm, ReadsRequestBytesAndWords)
+{
+    vm::VmAsm a;
+    const uint8_t idx = 1, b = 2, w = 3, off = 4, len = 5;
+    a.ldi(idx, 1);
+    a.emit(vm::vmInB, b, idx); // second byte of the request
+    a.ldi(idx, 8);
+    a.emit(vm::vmIn8, w, idx); // second word
+    a.ldi(off, 0);
+    a.emit(vm::vmOut8, off, b);
+    a.ldi(off, 8);
+    a.emit(vm::vmOut8, off, w);
+    a.emit(vm::vmInLen, b);
+    a.ldi(off, 16);
+    a.emit(vm::vmOut8, off, b);
+    a.ldi(len, 24);
+    a.halt(len);
+    const auto resp = runBytecode(a.finish(), u64Request(0xAB00, 4242));
+    EXPECT_EQ(u64At(resp, 0), 0xABu);
+    EXPECT_EQ(u64At(resp, 8), 4242u);
+    EXPECT_EQ(u64At(resp, 16), 16u);
+}
+
+TEST(Vm, HashStepMatchesHost)
+{
+    vm::VmAsm a;
+    const uint8_t h = 1, x = 2, off = 3, len = 4;
+    a.ldi(h, 0x811c9dc5);
+    a.ldi(x, 0x42);
+    a.emit(vm::vmHashStep, h, x);
+    a.ldi(off, 0);
+    a.emit(vm::vmOut8, off, h);
+    a.ldi(len, 8);
+    a.halt(len);
+    const auto resp = runBytecode(a.finish(), u64Request(0));
+    // vmLdi sign-extends its imm32 (0x811c9dc5 has the sign bit set).
+    const uint64_t seed = uint64_t(int64_t(int32_t(0x811c9dc5)));
+    EXPECT_EQ(u64At(resp, 0), (seed ^ 0x42ULL) * 0x01000193ULL);
+}
+
+TEST(Vm, RunawayProgramTerminates)
+{
+    // No halt: the interpreter's bounds guard returns length 0.
+    vm::VmAsm a;
+    a.ldi(1, 5);
+    a.addi(1, 1, 1);
+    const auto resp = runBytecode(a.finish(), u64Request(0));
+    EXPECT_EQ(resp.size(), 0u);
+}
+
+TEST(Vm, SameResultOnBothIsas)
+{
+    vm::VmAsm a;
+    const uint8_t i = 1, acc = 2, limit = 3, off = 4, len = 5;
+    const int loop = a.newLabel();
+    a.ldi(i, 0);
+    a.ldi(acc, 7);
+    a.ldi(limit, 50);
+    a.bind(loop);
+    a.emit(vm::vmHashStep, acc, i);
+    a.addi(i, i, 1);
+    a.jlt(i, limit, loop);
+    a.ldi(off, 0);
+    a.emit(vm::vmOut8, off, acc);
+    a.ldi(len, 8);
+    a.halt(len);
+    const auto bytecode = a.finish();
+    const auto rv = runBytecode(bytecode, u64Request(0), IsaId::Riscv);
+    const auto cx = runBytecode(bytecode, u64Request(0), IsaId::Cx86);
+    EXPECT_EQ(rv, cx);
+}
