@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_design_space"
+  "../bench/ablation_design_space.pdb"
+  "CMakeFiles/ablation_design_space.dir/ablation_design_space.cc.o"
+  "CMakeFiles/ablation_design_space.dir/ablation_design_space.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_extended_suite"
+  "../bench/extension_extended_suite.pdb"
+  "CMakeFiles/extension_extended_suite.dir/extension_extended_suite.cc.o"
+  "CMakeFiles/extension_extended_suite.dir/extension_extended_suite.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_extended_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

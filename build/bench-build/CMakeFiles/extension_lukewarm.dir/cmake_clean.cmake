@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_lukewarm"
+  "../bench/extension_lukewarm.pdb"
+  "CMakeFiles/extension_lukewarm.dir/extension_lukewarm.cc.o"
+  "CMakeFiles/extension_lukewarm.dir/extension_lukewarm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_lukewarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

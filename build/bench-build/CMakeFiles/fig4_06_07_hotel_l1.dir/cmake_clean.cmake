@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_06_07_hotel_l1"
+  "../bench/fig4_06_07_hotel_l1.pdb"
+  "CMakeFiles/fig4_06_07_hotel_l1.dir/fig4_06_07_hotel_l1.cc.o"
+  "CMakeFiles/fig4_06_07_hotel_l1.dir/fig4_06_07_hotel_l1.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_06_07_hotel_l1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_06_07_hotel_l1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_08_09_hotel_l1_pct"
+  "../bench/fig4_08_09_hotel_l1_pct.pdb"
+  "CMakeFiles/fig4_08_09_hotel_l1_pct.dir/fig4_08_09_hotel_l1_pct.cc.o"
+  "CMakeFiles/fig4_08_09_hotel_l1_pct.dir/fig4_08_09_hotel_l1_pct.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_08_09_hotel_l1_pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

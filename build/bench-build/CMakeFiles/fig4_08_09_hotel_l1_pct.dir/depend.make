@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_08_09_hotel_l1_pct.
+# This may be replaced when dependencies are built.

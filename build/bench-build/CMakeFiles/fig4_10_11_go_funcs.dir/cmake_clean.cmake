@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_10_11_go_funcs"
+  "../bench/fig4_10_11_go_funcs.pdb"
+  "CMakeFiles/fig4_10_11_go_funcs.dir/fig4_10_11_go_funcs.cc.o"
+  "CMakeFiles/fig4_10_11_go_funcs.dir/fig4_10_11_go_funcs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_10_11_go_funcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

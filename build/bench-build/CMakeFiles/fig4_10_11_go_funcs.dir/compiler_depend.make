@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_10_11_go_funcs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_12_x86_cycles"
+  "../bench/fig4_12_x86_cycles.pdb"
+  "CMakeFiles/fig4_12_x86_cycles.dir/fig4_12_x86_cycles.cc.o"
+  "CMakeFiles/fig4_12_x86_cycles.dir/fig4_12_x86_cycles.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_12_x86_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_12_x86_cycles.
+# This may be replaced when dependencies are built.

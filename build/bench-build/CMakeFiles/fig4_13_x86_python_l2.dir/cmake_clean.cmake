@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_13_x86_python_l2"
+  "../bench/fig4_13_x86_python_l2.pdb"
+  "CMakeFiles/fig4_13_x86_python_l2.dir/fig4_13_x86_python_l2.cc.o"
+  "CMakeFiles/fig4_13_x86_python_l2.dir/fig4_13_x86_python_l2.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_13_x86_python_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

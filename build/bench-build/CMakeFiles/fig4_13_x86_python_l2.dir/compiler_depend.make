@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_13_x86_python_l2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_14_x86_hotel_cycles"
+  "../bench/fig4_14_x86_hotel_cycles.pdb"
+  "CMakeFiles/fig4_14_x86_hotel_cycles.dir/fig4_14_x86_hotel_cycles.cc.o"
+  "CMakeFiles/fig4_14_x86_hotel_cycles.dir/fig4_14_x86_hotel_cycles.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_14_x86_hotel_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

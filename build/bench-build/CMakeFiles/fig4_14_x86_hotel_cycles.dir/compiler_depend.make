@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_14_x86_hotel_cycles.
+# This may be replaced when dependencies are built.

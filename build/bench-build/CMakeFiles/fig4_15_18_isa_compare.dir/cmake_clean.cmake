@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_15_18_isa_compare"
+  "../bench/fig4_15_18_isa_compare.pdb"
+  "CMakeFiles/fig4_15_18_isa_compare.dir/fig4_15_18_isa_compare.cc.o"
+  "CMakeFiles/fig4_15_18_isa_compare.dir/fig4_15_18_isa_compare.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_15_18_isa_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_19_isa_hotel"
+  "../bench/fig4_19_isa_hotel.pdb"
+  "CMakeFiles/fig4_19_isa_hotel.dir/fig4_19_isa_hotel.cc.o"
+  "CMakeFiles/fig4_19_isa_hotel.dir/fig4_19_isa_hotel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_19_isa_hotel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_19_isa_hotel.
+# This may be replaced when dependencies are built.

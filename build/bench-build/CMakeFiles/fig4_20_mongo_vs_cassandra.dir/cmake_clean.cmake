@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_20_mongo_vs_cassandra"
+  "../bench/fig4_20_mongo_vs_cassandra.pdb"
+  "CMakeFiles/fig4_20_mongo_vs_cassandra.dir/fig4_20_mongo_vs_cassandra.cc.o"
+  "CMakeFiles/fig4_20_mongo_vs_cassandra.dir/fig4_20_mongo_vs_cassandra.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_20_mongo_vs_cassandra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_20_mongo_vs_cassandra.
+# This may be replaced when dependencies are built.

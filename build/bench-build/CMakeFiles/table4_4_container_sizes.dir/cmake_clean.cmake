@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_4_container_sizes"
+  "../bench/table4_4_container_sizes.pdb"
+  "CMakeFiles/table4_4_container_sizes.dir/table4_4_container_sizes.cc.o"
+  "CMakeFiles/table4_4_container_sizes.dir/table4_4_container_sizes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_4_container_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

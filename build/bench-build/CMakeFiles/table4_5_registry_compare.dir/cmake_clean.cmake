@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_5_registry_compare"
+  "../bench/table4_5_registry_compare.pdb"
+  "CMakeFiles/table4_5_registry_compare.dir/table4_5_registry_compare.cc.o"
+  "CMakeFiles/table4_5_registry_compare.dir/table4_5_registry_compare.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_5_registry_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

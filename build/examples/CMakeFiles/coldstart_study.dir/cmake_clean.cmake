@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coldstart_study.dir/coldstart_study.cpp.o"
+  "CMakeFiles/coldstart_study.dir/coldstart_study.cpp.o.d"
+  "coldstart_study"
+  "coldstart_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coldstart_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

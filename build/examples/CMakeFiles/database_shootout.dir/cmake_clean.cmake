@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_shootout.dir/database_shootout.cpp.o"
+  "CMakeFiles/database_shootout.dir/database_shootout.cpp.o.d"
+  "database_shootout"
+  "database_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_code.dir/inspect_code.cpp.o"
+  "CMakeFiles/inspect_code.dir/inspect_code.cpp.o.d"
+  "inspect_code"
+  "inspect_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

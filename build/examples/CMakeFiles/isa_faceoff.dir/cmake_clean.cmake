@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_faceoff.dir/isa_faceoff.cpp.o"
+  "CMakeFiles/isa_faceoff.dir/isa_faceoff.cpp.o.d"
+  "isa_faceoff"
+  "isa_faceoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_faceoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

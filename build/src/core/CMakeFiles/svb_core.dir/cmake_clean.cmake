@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svb_core.dir/cluster.cc.o"
+  "CMakeFiles/svb_core.dir/cluster.cc.o.d"
+  "CMakeFiles/svb_core.dir/experiment.cc.o"
+  "CMakeFiles/svb_core.dir/experiment.cc.o.d"
+  "CMakeFiles/svb_core.dir/report.cc.o"
+  "CMakeFiles/svb_core.dir/report.cc.o.d"
+  "CMakeFiles/svb_core.dir/result_cache.cc.o"
+  "CMakeFiles/svb_core.dir/result_cache.cc.o.d"
+  "CMakeFiles/svb_core.dir/system.cc.o"
+  "CMakeFiles/svb_core.dir/system.cc.o.d"
+  "libsvb_core.a"
+  "libsvb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

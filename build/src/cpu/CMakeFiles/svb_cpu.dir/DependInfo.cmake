@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/atomic_cpu.cc" "src/cpu/CMakeFiles/svb_cpu.dir/atomic_cpu.cc.o" "gcc" "src/cpu/CMakeFiles/svb_cpu.dir/atomic_cpu.cc.o.d"
+  "/root/repo/src/cpu/branch_pred.cc" "src/cpu/CMakeFiles/svb_cpu.dir/branch_pred.cc.o" "gcc" "src/cpu/CMakeFiles/svb_cpu.dir/branch_pred.cc.o.d"
+  "/root/repo/src/cpu/o3_cpu.cc" "src/cpu/CMakeFiles/svb_cpu.dir/o3_cpu.cc.o" "gcc" "src/cpu/CMakeFiles/svb_cpu.dir/o3_cpu.cc.o.d"
+  "/root/repo/src/cpu/tlb.cc" "src/cpu/CMakeFiles/svb_cpu.dir/tlb.cc.o" "gcc" "src/cpu/CMakeFiles/svb_cpu.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/svb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/svb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/svb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svb_cpu.dir/atomic_cpu.cc.o"
+  "CMakeFiles/svb_cpu.dir/atomic_cpu.cc.o.d"
+  "CMakeFiles/svb_cpu.dir/branch_pred.cc.o"
+  "CMakeFiles/svb_cpu.dir/branch_pred.cc.o.d"
+  "CMakeFiles/svb_cpu.dir/o3_cpu.cc.o"
+  "CMakeFiles/svb_cpu.dir/o3_cpu.cc.o.d"
+  "CMakeFiles/svb_cpu.dir/tlb.cc.o"
+  "CMakeFiles/svb_cpu.dir/tlb.cc.o.d"
+  "libsvb_cpu.a"
+  "libsvb_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svb_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svb_db.dir/store_gen.cc.o"
+  "CMakeFiles/svb_db.dir/store_gen.cc.o.d"
+  "libsvb_db.a"
+  "libsvb_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svb_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

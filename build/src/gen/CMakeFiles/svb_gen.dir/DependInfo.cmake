@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/backend_cx86.cc" "src/gen/CMakeFiles/svb_gen.dir/backend_cx86.cc.o" "gcc" "src/gen/CMakeFiles/svb_gen.dir/backend_cx86.cc.o.d"
+  "/root/repo/src/gen/backend_riscv.cc" "src/gen/CMakeFiles/svb_gen.dir/backend_riscv.cc.o" "gcc" "src/gen/CMakeFiles/svb_gen.dir/backend_riscv.cc.o.d"
+  "/root/repo/src/gen/guestlib.cc" "src/gen/CMakeFiles/svb_gen.dir/guestlib.cc.o" "gcc" "src/gen/CMakeFiles/svb_gen.dir/guestlib.cc.o.d"
+  "/root/repo/src/gen/ir.cc" "src/gen/CMakeFiles/svb_gen.dir/ir.cc.o" "gcc" "src/gen/CMakeFiles/svb_gen.dir/ir.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guest/CMakeFiles/svb_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/svb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/svb_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/svb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/svb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svb_gen.dir/backend_cx86.cc.o"
+  "CMakeFiles/svb_gen.dir/backend_cx86.cc.o.d"
+  "CMakeFiles/svb_gen.dir/backend_riscv.cc.o"
+  "CMakeFiles/svb_gen.dir/backend_riscv.cc.o.d"
+  "CMakeFiles/svb_gen.dir/guestlib.cc.o"
+  "CMakeFiles/svb_gen.dir/guestlib.cc.o.d"
+  "CMakeFiles/svb_gen.dir/ir.cc.o"
+  "CMakeFiles/svb_gen.dir/ir.cc.o.d"
+  "libsvb_gen.a"
+  "libsvb_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svb_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

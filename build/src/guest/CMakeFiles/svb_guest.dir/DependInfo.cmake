@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/address_space.cc" "src/guest/CMakeFiles/svb_guest.dir/address_space.cc.o" "gcc" "src/guest/CMakeFiles/svb_guest.dir/address_space.cc.o.d"
+  "/root/repo/src/guest/kernel.cc" "src/guest/CMakeFiles/svb_guest.dir/kernel.cc.o" "gcc" "src/guest/CMakeFiles/svb_guest.dir/kernel.cc.o.d"
+  "/root/repo/src/guest/loader.cc" "src/guest/CMakeFiles/svb_guest.dir/loader.cc.o" "gcc" "src/guest/CMakeFiles/svb_guest.dir/loader.cc.o.d"
+  "/root/repo/src/guest/ring.cc" "src/guest/CMakeFiles/svb_guest.dir/ring.cc.o" "gcc" "src/guest/CMakeFiles/svb_guest.dir/ring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/svb_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/svb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/svb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/svb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

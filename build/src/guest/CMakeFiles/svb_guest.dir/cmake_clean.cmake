@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svb_guest.dir/address_space.cc.o"
+  "CMakeFiles/svb_guest.dir/address_space.cc.o.d"
+  "CMakeFiles/svb_guest.dir/kernel.cc.o"
+  "CMakeFiles/svb_guest.dir/kernel.cc.o.d"
+  "CMakeFiles/svb_guest.dir/loader.cc.o"
+  "CMakeFiles/svb_guest.dir/loader.cc.o.d"
+  "CMakeFiles/svb_guest.dir/ring.cc.o"
+  "CMakeFiles/svb_guest.dir/ring.cc.o.d"
+  "libsvb_guest.a"
+  "libsvb_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svb_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

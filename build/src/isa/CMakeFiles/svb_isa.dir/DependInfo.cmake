@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/cx86/assembler.cc" "src/isa/CMakeFiles/svb_isa.dir/cx86/assembler.cc.o" "gcc" "src/isa/CMakeFiles/svb_isa.dir/cx86/assembler.cc.o.d"
+  "/root/repo/src/isa/cx86/decoder.cc" "src/isa/CMakeFiles/svb_isa.dir/cx86/decoder.cc.o" "gcc" "src/isa/CMakeFiles/svb_isa.dir/cx86/decoder.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/isa/CMakeFiles/svb_isa.dir/disasm.cc.o" "gcc" "src/isa/CMakeFiles/svb_isa.dir/disasm.cc.o.d"
+  "/root/repo/src/isa/isa_info.cc" "src/isa/CMakeFiles/svb_isa.dir/isa_info.cc.o" "gcc" "src/isa/CMakeFiles/svb_isa.dir/isa_info.cc.o.d"
+  "/root/repo/src/isa/microop.cc" "src/isa/CMakeFiles/svb_isa.dir/microop.cc.o" "gcc" "src/isa/CMakeFiles/svb_isa.dir/microop.cc.o.d"
+  "/root/repo/src/isa/riscv/assembler.cc" "src/isa/CMakeFiles/svb_isa.dir/riscv/assembler.cc.o" "gcc" "src/isa/CMakeFiles/svb_isa.dir/riscv/assembler.cc.o.d"
+  "/root/repo/src/isa/riscv/decoder.cc" "src/isa/CMakeFiles/svb_isa.dir/riscv/decoder.cc.o" "gcc" "src/isa/CMakeFiles/svb_isa.dir/riscv/decoder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/svb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svb_isa.dir/cx86/assembler.cc.o"
+  "CMakeFiles/svb_isa.dir/cx86/assembler.cc.o.d"
+  "CMakeFiles/svb_isa.dir/cx86/decoder.cc.o"
+  "CMakeFiles/svb_isa.dir/cx86/decoder.cc.o.d"
+  "CMakeFiles/svb_isa.dir/disasm.cc.o"
+  "CMakeFiles/svb_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/svb_isa.dir/isa_info.cc.o"
+  "CMakeFiles/svb_isa.dir/isa_info.cc.o.d"
+  "CMakeFiles/svb_isa.dir/microop.cc.o"
+  "CMakeFiles/svb_isa.dir/microop.cc.o.d"
+  "CMakeFiles/svb_isa.dir/riscv/assembler.cc.o"
+  "CMakeFiles/svb_isa.dir/riscv/assembler.cc.o.d"
+  "CMakeFiles/svb_isa.dir/riscv/decoder.cc.o"
+  "CMakeFiles/svb_isa.dir/riscv/decoder.cc.o.d"
+  "libsvb_isa.a"
+  "libsvb_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svb_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

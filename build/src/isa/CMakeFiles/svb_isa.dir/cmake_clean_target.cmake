@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsvb_isa.a"
+)

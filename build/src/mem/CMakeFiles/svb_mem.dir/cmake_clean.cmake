@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svb_mem.dir/cache.cc.o"
+  "CMakeFiles/svb_mem.dir/cache.cc.o.d"
+  "CMakeFiles/svb_mem.dir/dram.cc.o"
+  "CMakeFiles/svb_mem.dir/dram.cc.o.d"
+  "CMakeFiles/svb_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/svb_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/svb_mem.dir/phys_memory.cc.o"
+  "CMakeFiles/svb_mem.dir/phys_memory.cc.o.d"
+  "libsvb_mem.a"
+  "libsvb_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svb_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

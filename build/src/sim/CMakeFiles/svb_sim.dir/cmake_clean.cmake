@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svb_sim.dir/eventq.cc.o"
+  "CMakeFiles/svb_sim.dir/eventq.cc.o.d"
+  "CMakeFiles/svb_sim.dir/logging.cc.o"
+  "CMakeFiles/svb_sim.dir/logging.cc.o.d"
+  "CMakeFiles/svb_sim.dir/rng.cc.o"
+  "CMakeFiles/svb_sim.dir/rng.cc.o.d"
+  "CMakeFiles/svb_sim.dir/serialize.cc.o"
+  "CMakeFiles/svb_sim.dir/serialize.cc.o.d"
+  "CMakeFiles/svb_sim.dir/stats.cc.o"
+  "CMakeFiles/svb_sim.dir/stats.cc.o.d"
+  "libsvb_sim.a"
+  "libsvb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svb_stack.dir/calibration.cc.o"
+  "CMakeFiles/svb_stack.dir/calibration.cc.o.d"
+  "CMakeFiles/svb_stack.dir/image.cc.o"
+  "CMakeFiles/svb_stack.dir/image.cc.o.d"
+  "CMakeFiles/svb_stack.dir/kvproto.cc.o"
+  "CMakeFiles/svb_stack.dir/kvproto.cc.o.d"
+  "CMakeFiles/svb_stack.dir/runtime.cc.o"
+  "CMakeFiles/svb_stack.dir/runtime.cc.o.d"
+  "CMakeFiles/svb_stack.dir/vm.cc.o"
+  "CMakeFiles/svb_stack.dir/vm.cc.o.d"
+  "libsvb_stack.a"
+  "libsvb_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svb_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

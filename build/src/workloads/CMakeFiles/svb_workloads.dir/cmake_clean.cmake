@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svb_workloads.dir/extended.cc.o"
+  "CMakeFiles/svb_workloads.dir/extended.cc.o.d"
+  "CMakeFiles/svb_workloads.dir/hotel.cc.o"
+  "CMakeFiles/svb_workloads.dir/hotel.cc.o.d"
+  "CMakeFiles/svb_workloads.dir/registry.cc.o"
+  "CMakeFiles/svb_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/svb_workloads.dir/shop.cc.o"
+  "CMakeFiles/svb_workloads.dir/shop.cc.o.d"
+  "CMakeFiles/svb_workloads.dir/standalone.cc.o"
+  "CMakeFiles/svb_workloads.dir/standalone.cc.o.d"
+  "libsvb_workloads.a"
+  "libsvb_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svb_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

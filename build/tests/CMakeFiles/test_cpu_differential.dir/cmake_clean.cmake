@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_differential.dir/test_cpu_differential.cc.o"
+  "CMakeFiles/test_cpu_differential.dir/test_cpu_differential.cc.o.d"
+  "test_cpu_differential"
+  "test_cpu_differential.pdb"
+  "test_cpu_differential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

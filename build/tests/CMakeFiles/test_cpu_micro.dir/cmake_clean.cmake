@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_micro.dir/test_cpu_micro.cc.o"
+  "CMakeFiles/test_cpu_micro.dir/test_cpu_micro.cc.o.d"
+  "test_cpu_micro"
+  "test_cpu_micro.pdb"
+  "test_cpu_micro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

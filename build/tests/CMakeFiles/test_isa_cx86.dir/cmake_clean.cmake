@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa_cx86.dir/test_isa_cx86.cc.o"
+  "CMakeFiles/test_isa_cx86.dir/test_isa_cx86.cc.o.d"
+  "test_isa_cx86"
+  "test_isa_cx86.pdb"
+  "test_isa_cx86[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa_cx86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

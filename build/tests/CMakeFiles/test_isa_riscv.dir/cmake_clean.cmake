@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa_riscv.dir/test_isa_riscv.cc.o"
+  "CMakeFiles/test_isa_riscv.dir/test_isa_riscv.cc.o.d"
+  "test_isa_riscv"
+  "test_isa_riscv.pdb"
+  "test_isa_riscv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa_riscv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uarch_features.dir/test_uarch_features.cc.o"
+  "CMakeFiles/test_uarch_features.dir/test_uarch_features.cc.o.d"
+  "test_uarch_features"
+  "test_uarch_features.pdb"
+  "test_uarch_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uarch_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_vm.cc" "tests/CMakeFiles/test_vm.dir/test_vm.cc.o" "gcc" "tests/CMakeFiles/test_vm.dir/test_vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/svb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/svb_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/svb_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/svb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/svb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/svb_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/svb_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/svb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/svb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/svb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_experiment[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_isa_riscv[1]_include.cmake")
+include("/root/repo/build/tests/test_isa_cx86[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu_differential[1]_include.cmake")
+include("/root/repo/build/tests/test_gen[1]_include.cmake")
+include("/root/repo/build/tests/test_guest[1]_include.cmake")
+include("/root/repo/build/tests/test_db[1]_include.cmake")
+include("/root/repo/build/tests/test_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_stack[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu_micro[1]_include.cmake")
+include("/root/repo/build/tests/test_disasm[1]_include.cmake")
+include("/root/repo/build/tests/test_uarch_features[1]_include.cmake")
+include("/root/repo/build/tests/test_core_system[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sweeps[1]_include.cmake")
