@@ -3,6 +3,12 @@
  * Design-space ablations (the thesis' stated future work, Section 6):
  * sweep L2 size, branch-predictor strength and LSQ depth on one cold
  * and one warm request of a representative function, on both ISAs.
+ *
+ * Every point is an independent simulation, so the whole grid is
+ * collected first and fanned out across host cores with parallelRun()
+ * (cache-free: these configurations differ in fields the ResultCache
+ * key does not cover). Output is printed in grid order afterwards,
+ * identical to the old serial loop.
  */
 
 #include "bench_common.hh"
@@ -22,16 +28,20 @@ pick(const std::string &name)
     return {};
 }
 
-void
-runPoint(const std::string &label, const ClusterConfig &cfg,
-         const FunctionSpec &spec)
+/** One ablation point: the section it belongs to plus its job. */
+struct Point
 {
-    ExperimentRunner runner(cfg);
-    const FunctionResult res =
-        runner.runFunction(spec, workloads::workloadImpl(spec.workload));
+    std::string section; ///< figure header this point prints under
+    std::string label;
+    SweepJob job;
+};
+
+void
+printPoint(const Point &point, const FunctionResult &res)
+{
     std::printf("  %-34s cold %9lu cyc (cpi %4.2f)   warm %9lu cyc"
                 " (cpi %4.2f)%s\n",
-                label.c_str(), (unsigned long)res.cold.cycles,
+                point.label.c_str(), (unsigned long)res.cold.cycles,
                 res.cold.cpi, (unsigned long)res.warm.cycles, res.warm.cpi,
                 res.ok ? "" : "  [FAILED]");
 }
@@ -42,60 +52,55 @@ int
 main()
 {
     const FunctionSpec spec = pick("fibonacci-go");
+    const WorkloadImpl &impl = workloads::workloadImpl(spec.workload);
+    std::vector<Point> points;
+    auto add = [&](const char *section, std::string label,
+                   ClusterConfig cfg) {
+        points.push_back({section, std::move(label), {cfg, spec, &impl}});
+    };
 
-    report::figureHeader("Ablation A", "L2 capacity sweep (fibonacci-go)",
-                         {});
     for (IsaId isa : {IsaId::Riscv, IsaId::Cx86}) {
         for (uint32_t kb : {256u, 512u, 1024u, 2048u}) {
             ClusterConfig cfg = benchutil::chapter4Config(isa, false);
             cfg.system.caches.l2.sizeBytes = kb * 1024;
-            runPoint(std::string(isaName(isa)) + " L2=" +
-                         std::to_string(kb) + "KB",
-                     cfg, spec);
+            add("Ablation A", std::string(isaName(isa)) + " L2=" +
+                                  std::to_string(kb) + "KB",
+                cfg);
         }
     }
 
-    report::figureHeader("Ablation B",
-                         "branch predictor sweep (fibonacci-go)", {});
     for (IsaId isa : {IsaId::Riscv, IsaId::Cx86}) {
         for (uint32_t entries : {256u, 1024u, 4096u, 16384u}) {
             ClusterConfig cfg = benchutil::chapter4Config(isa, false);
             cfg.system.o3.bp.tableEntries = entries;
             cfg.system.o3.bp.btbEntries = entries;
-            runPoint(std::string(isaName(isa)) + " BP=" +
-                         std::to_string(entries) + " entries",
-                     cfg, spec);
+            add("Ablation B", std::string(isaName(isa)) + " BP=" +
+                                  std::to_string(entries) + " entries",
+                cfg);
         }
     }
 
-    report::figureHeader("Ablation C", "LSQ depth sweep (fibonacci-go)",
-                         {});
     for (IsaId isa : {IsaId::Riscv, IsaId::Cx86}) {
         for (unsigned entries : {8u, 16u, 32u, 64u}) {
             ClusterConfig cfg = benchutil::chapter4Config(isa, false);
             cfg.system.o3.lqEntries = entries;
             cfg.system.o3.sqEntries = entries;
-            runPoint(std::string(isaName(isa)) + " LQ/SQ=" +
-                         std::to_string(entries),
-                     cfg, spec);
+            add("Ablation C", std::string(isaName(isa)) + " LQ/SQ=" +
+                                  std::to_string(entries),
+                cfg);
         }
     }
 
-    report::figureHeader("Ablation D",
-                         "branch predictor organisation (fibonacci-go)",
-                         {});
     for (IsaId isa : {IsaId::Riscv, IsaId::Cx86}) {
         for (BpKind kind :
              {BpKind::Bimodal, BpKind::GShare, BpKind::Tournament}) {
             ClusterConfig cfg = benchutil::chapter4Config(isa, false);
             cfg.system.o3.bp.kind = kind;
-            runPoint(std::string(isaName(isa)) + " " + bpKindName(kind),
-                     cfg, spec);
+            add("Ablation D",
+                std::string(isaName(isa)) + " " + bpKindName(kind), cfg);
         }
     }
 
-    report::figureHeader(
-        "Ablation E", "next-line prefetching (fibonacci-go)", {});
     for (IsaId isa : {IsaId::Riscv, IsaId::Cx86}) {
         for (int mode = 0; mode < 3; ++mode) {
             ClusterConfig cfg = benchutil::chapter4Config(isa, false);
@@ -110,8 +115,30 @@ main()
             }
             if (mode == 0)
                 label += " no prefetch";
-            runPoint(label, cfg, spec);
+            add("Ablation E", label, cfg);
         }
+    }
+
+    std::vector<SweepJob> jobs;
+    jobs.reserve(points.size());
+    for (const Point &point : points)
+        jobs.push_back(point.job);
+    const std::vector<FunctionResult> results = parallelRun(jobs);
+
+    const std::map<std::string, std::string> captions = {
+        {"Ablation A", "L2 capacity sweep (fibonacci-go)"},
+        {"Ablation B", "branch predictor sweep (fibonacci-go)"},
+        {"Ablation C", "LSQ depth sweep (fibonacci-go)"},
+        {"Ablation D", "branch predictor organisation (fibonacci-go)"},
+        {"Ablation E", "next-line prefetching (fibonacci-go)"},
+    };
+    std::string current;
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (points[i].section != current) {
+            current = points[i].section;
+            report::figureHeader(current, captions.at(current), {});
+        }
+        printPoint(points[i], results[i]);
     }
     return 0;
 }

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "core/parallel.hh"
 #include "core/report.hh"
 #include "core/result_cache.hh"
 #include "workloads/workloads.hh"
@@ -33,16 +34,54 @@ chapter4Config(IsaId isa, bool with_stores,
     return cfg;
 }
 
-/** Run (or fetch) detailed results for a list of functions. */
+/** Build the parallel-scheduler job list for one configuration. */
+inline std::vector<SweepJob>
+sweepJobs(const ClusterConfig &cfg, const std::vector<FunctionSpec> &specs)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(specs.size());
+    for (const FunctionSpec &spec : specs)
+        jobs.push_back({cfg, spec,
+                        &workloads::workloadImpl(spec.workload)});
+    return jobs;
+}
+
+/**
+ * Run (or fetch) detailed results for a list of functions.
+ *
+ * Independent experiments fan out across host cores (SVBENCH_JOBS
+ * workers); results, figure tables and the CSV cache are identical to
+ * a serial run — see core/parallel.hh.
+ */
 inline std::vector<FunctionResult>
 sweep(ResultCache &cache, IsaId isa,
       const std::vector<FunctionSpec> &specs, bool with_stores)
 {
-    std::vector<FunctionResult> out;
     const ClusterConfig cfg = chapter4Config(isa, with_stores);
-    for (const FunctionSpec &spec : specs) {
-        out.push_back(cache.detailed(
-            cfg, spec, workloads::workloadImpl(spec.workload)));
+    return parallelSweep(cache, sweepJobs(cfg, specs));
+}
+
+/**
+ * Run (or fetch) the same function set on several configurations as
+ * ONE parallel batch, so the scheduler overlaps simulations across
+ * configurations too (e.g. both ISAs of Figs 4.15-4.18 at once).
+ * @return one result vector per configuration, in @p cfgs order.
+ */
+inline std::vector<std::vector<FunctionResult>>
+sweepConfigs(ResultCache &cache, const std::vector<ClusterConfig> &cfgs,
+             const std::vector<FunctionSpec> &specs)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(cfgs.size() * specs.size());
+    for (const ClusterConfig &cfg : cfgs) {
+        for (const SweepJob &job : sweepJobs(cfg, specs))
+            jobs.push_back(job);
+    }
+    const std::vector<FunctionResult> flat = parallelSweep(cache, jobs);
+    std::vector<std::vector<FunctionResult>> out(cfgs.size());
+    for (size_t c = 0; c < cfgs.size(); ++c) {
+        out[c].assign(flat.begin() + c * specs.size(),
+                      flat.begin() + (c + 1) * specs.size());
     }
     return out;
 }

@@ -14,14 +14,16 @@ int
 main()
 {
     ResultCache cache;
-    // The Go set mixes store-free and store-backed functions.
-    std::vector<FunctionResult> results;
+    // The Go set mixes store-free and store-backed functions, so each
+    // job carries its own cluster configuration.
+    std::vector<SweepJob> jobs;
     for (const FunctionSpec &spec : workloads::goFunctions()) {
-        const ClusterConfig cfg =
-            benchutil::chapter4Config(IsaId::Riscv, spec.usesDb);
-        results.push_back(cache.detailed(
-            cfg, spec, workloads::workloadImpl(spec.workload)));
+        jobs.push_back({benchutil::chapter4Config(IsaId::Riscv,
+                                                  spec.usesDb),
+                        spec, &workloads::workloadImpl(spec.workload)});
     }
+    const std::vector<FunctionResult> results =
+        parallelSweep(cache, jobs);
 
     report::figureHeader("Figure 4.10",
                          "cycles, all Go functions, RISC-V (cold/warm)",

@@ -7,9 +7,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstring>
 
+#include "core/parallel.hh"
 #include "core/system.hh"
+#include "cpu/decode_cache.hh"
 #include "gen/guestlib.hh"
 #include "gen/ir.hh"
 #include "guest/loader.hh"
@@ -162,6 +165,72 @@ BM_O3SimRate(benchmark::State &state)
     }
 }
 BENCHMARK(BM_O3SimRate)->Unit(benchmark::kMillisecond);
+
+/**
+ * Per-task dispatch overhead of the experiment scheduler's pool: a
+ * batch of trivial tasks submitted and drained, so the time per
+ * iteration is queue+wakeup cost, not work.
+ */
+void
+BM_ThreadPoolDispatch(benchmark::State &state)
+{
+    ThreadPool pool(unsigned(state.range(0)));
+    std::atomic<uint64_t> sink{0};
+    for (auto _ : state) {
+        for (int i = 0; i < 256; ++i)
+            pool.submit([&sink] {
+                sink.fetch_add(1, std::memory_order_relaxed);
+            });
+        pool.wait();
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 256);
+    benchmark::DoNotOptimize(sink.load());
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(4);
+
+namespace
+{
+
+/** A DecodeCache over a loop of RV64 instructions at address 0. */
+struct DecodeFixture
+{
+    DecodeFixture() : phys(1 << 20), cache(IsaId::Riscv, phys)
+    {
+        riscv::Assembler as;
+        for (int i = 0; i < 16; ++i)
+            as.add(rv::a0, rv::a1, rv::a2);
+        const auto &code = as.finish();
+        phys.writeBytes(0, code.data(), code.size());
+    }
+    PhysMemory phys;
+    DecodeCache cache;
+};
+
+} // namespace
+
+/** Same-address re-decode: the one-entry MRU fast path. */
+void
+BM_DecodeCacheMruHit(benchmark::State &state)
+{
+    DecodeFixture fx;
+    fx.cache.decodeAt(0); // populate
+    for (auto _ : state)
+        benchmark::DoNotOptimize(&fx.cache.decodeAt(0));
+}
+BENCHMARK(BM_DecodeCacheMruHit);
+
+/** Sequential fetch through a 16-instruction loop: hash-map path. */
+void
+BM_DecodeCacheLoopFetch(benchmark::State &state)
+{
+    DecodeFixture fx;
+    Addr pc = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(&fx.cache.decodeAt(pc));
+        pc = (pc + 4) & 63;
+    }
+}
+BENCHMARK(BM_DecodeCacheLoopFetch);
 
 /** Program compilation (IR -> machine code) throughput. */
 void

@@ -1,0 +1,166 @@
+#include "parallel.hh"
+
+#include <cstdlib>
+#include <map>
+#include <type_traits>
+
+#include "sim/logging.hh"
+
+namespace svb
+{
+
+// Results are merged across threads by copying into a pre-sized
+// vector slot per submission index.
+static_assert(std::is_copy_assignable_v<FunctionResult>,
+              "parallel merge requires copyable results");
+
+// The shared-state audit for this scheduler rests on stat trees being
+// impossible to alias across clusters: keep StatGroup non-copyable.
+static_assert(!std::is_copy_constructible_v<StatGroup> &&
+                  !std::is_copy_assignable_v<StatGroup>,
+              "StatGroup must stay instance-scoped per System");
+
+ThreadPool::ThreadPool(unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = defaultJobs();
+    workers.reserve(jobs);
+    for (unsigned i = 0; i < jobs; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        stopping = true;
+    }
+    taskReady.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("SVBENCH_JOBS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return unsigned(v);
+        warn("ignoring SVBENCH_JOBS='", env, "' (want a positive integer)");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1u;
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        svb_assert(!stopping, "submit() on a stopping ThreadPool");
+        tasks.push_back(std::move(task));
+        ++inFlight;
+    }
+    taskReady.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(mtx);
+    allDone.wait(lk, [this] { return inFlight == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lk(mtx);
+            taskReady.wait(lk,
+                           [this] { return stopping || !tasks.empty(); });
+            if (tasks.empty())
+                return; // stopping and drained
+            task = std::move(tasks.front());
+            tasks.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            --inFlight;
+            if (inFlight == 0)
+                allDone.notify_all();
+        }
+    }
+}
+
+std::vector<FunctionResult>
+parallelSweep(ResultCache &cache, const std::vector<SweepJob> &jobs,
+              unsigned jobs_override)
+{
+    std::vector<FunctionResult> results(jobs.size());
+
+    // Partition into cache hits (answered inline), primary misses
+    // (one per distinct cache key; these run on the pool) and
+    // duplicate misses (same key as an earlier job; resolved from the
+    // primary's result, exactly as a serial sweep would hit the row
+    // the primary just recorded).
+    std::map<std::string, size_t> primaryForKey;
+    std::vector<size_t> primaries;
+    std::vector<char> isHit(jobs.size(), 0);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (cache.lookupDetailed(jobs[i].cfg, jobs[i].spec, results[i])) {
+            isHit[i] = 1;
+            continue;
+        }
+        const std::string key = cache.detailedKey(jobs[i].cfg, jobs[i].spec);
+        if (primaryForKey.emplace(key, i).second)
+            primaries.push_back(i);
+    }
+
+    if (!primaries.empty()) {
+        ThreadPool pool(jobs_override);
+        for (size_t idx : primaries) {
+            pool.submit([&cache, &jobs, &results, idx] {
+                results[idx] = cache.computeDetailed(
+                    jobs[idx].cfg, jobs[idx].spec, *jobs[idx].impl);
+            });
+        }
+        pool.wait();
+        // Single-writer CSV append, in submission order: the cache
+        // file is byte-identical to what a serial sweep writes.
+        for (size_t idx : primaries)
+            cache.recordDetailed(jobs[idx].cfg, jobs[idx].spec,
+                                 results[idx]);
+    }
+
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (isHit[i])
+            continue;
+        const std::string key = cache.detailedKey(jobs[i].cfg, jobs[i].spec);
+        const size_t primary = primaryForKey.at(key);
+        if (primary != i)
+            results[i] = results[primary];
+    }
+    return results;
+}
+
+std::vector<FunctionResult>
+parallelRun(const std::vector<SweepJob> &jobs, unsigned jobs_override)
+{
+    std::vector<FunctionResult> results(jobs.size());
+    ThreadPool pool(jobs_override);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        pool.submit([&jobs, &results, i] {
+            ExperimentRunner runner(jobs[i].cfg);
+            results[i] =
+                runner.runFunction(jobs[i].spec, *jobs[i].impl);
+        });
+    }
+    pool.wait();
+    return results;
+}
+
+} // namespace svb

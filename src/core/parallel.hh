@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Deterministic parallel experiment scheduler.
+ *
+ * Chapter 4's figure sweeps are grids of fully independent
+ * simulations — (function x ISA x cold/warm x DB) — and every
+ * simulation is bit-deterministic and instance-scoped (per-cluster
+ * System, object-scoped Rng, no global tick state). This module fans
+ * those simulations out across host cores with a fixed-size thread
+ * pool and merges the results back in submission order, so figure
+ * tables and the CSV result cache are byte-identical to a serial run
+ * regardless of completion order.
+ *
+ * Worker count comes from the SVBENCH_JOBS environment variable
+ * (default: hardware_concurrency). SVBENCH_JOBS=1 degrades to the
+ * serial behaviour.
+ */
+
+#ifndef SVB_CORE_PARALLEL_HH
+#define SVB_CORE_PARALLEL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "result_cache.hh"
+
+namespace svb
+{
+
+/**
+ * A fixed-size pool of worker threads servicing a FIFO task queue.
+ *
+ * Deliberately work-stealing-free: tasks are picked up in submission
+ * order from a single queue, which keeps scheduling easy to reason
+ * about. Determinism of *results* does not depend on the pool at all —
+ * callers merge by submission index, never by completion order.
+ */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** @param jobs worker count; 0 selects defaultJobs() */
+    explicit ThreadPool(unsigned jobs = 0);
+
+    /** Drains nothing: joins after finishing already-queued tasks. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Worker count implied by the environment: SVBENCH_JOBS if set to
+     * a positive integer, otherwise std::thread::hardware_concurrency
+     * (or 1 when that reports 0).
+     */
+    static unsigned defaultJobs();
+
+    /** Enqueue @p task for execution on some worker. */
+    void submit(Task task);
+
+    /** Block until every submitted task has finished running. */
+    void wait();
+
+    unsigned size() const { return unsigned(workers.size()); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<Task> tasks;
+    std::mutex mtx;
+    std::condition_variable taskReady; ///< signals workers
+    std::condition_variable allDone;   ///< signals wait()
+    size_t inFlight = 0;               ///< queued + currently running
+    bool stopping = false;
+};
+
+/** One independent experiment: a cluster configuration, the function
+ *  to run on it, and the function's workload implementation. */
+struct SweepJob
+{
+    ClusterConfig cfg;
+    FunctionSpec spec;
+    const WorkloadImpl *impl = nullptr;
+};
+
+/**
+ * Run every job through the ResultCache across the pool.
+ *
+ * Cache hits are answered inline. Misses are deduplicated by cache
+ * key, computed concurrently on worker threads (each worker builds
+ * its own ExperimentRunner / ServerlessCluster via the cache's
+ * per-thread runner table), and then *recorded in submission order*
+ * from the calling thread — the CSV backing file ends up
+ * byte-identical to a serial sweep of the same job list.
+ *
+ * @param jobs_override worker count; 0 selects ThreadPool::defaultJobs()
+ * @return one FunctionResult per job, in submission order
+ */
+std::vector<FunctionResult>
+parallelSweep(ResultCache &cache, const std::vector<SweepJob> &jobs,
+              unsigned jobs_override = 0);
+
+/**
+ * Cache-free variant for design-space ablations, whose configurations
+ * differ in fields the cache key does not cover. Each job gets a
+ * fresh ExperimentRunner on a worker thread; results are merged in
+ * submission order.
+ */
+std::vector<FunctionResult>
+parallelRun(const std::vector<SweepJob> &jobs, unsigned jobs_override = 0);
+
+} // namespace svb
+
+#endif // SVB_CORE_PARALLEL_HH

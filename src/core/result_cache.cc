@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "db/store_gen.hh"
 #include "sim/logging.hh"
@@ -53,6 +54,28 @@ unpackStats(const std::map<std::string, uint64_t> &fields,
     return rs;
 }
 
+std::map<std::string, uint64_t>
+packResult(const FunctionResult &res)
+{
+    std::map<std::string, uint64_t> fields = packStats(res.cold, "cold.");
+    for (const auto &[k, v] : packStats(res.warm, "warm."))
+        fields[k] = v;
+    fields["ok"] = res.ok ? 1 : 0;
+    return fields;
+}
+
+FunctionResult
+unpackResult(const std::string &name,
+             const std::map<std::string, uint64_t> &fields)
+{
+    FunctionResult res;
+    res.name = name;
+    res.ok = fields.at("ok") != 0;
+    res.cold = unpackStats(fields, "cold.");
+    res.warm = unpackStats(fields, "warm.");
+    return res;
+}
+
 } // namespace
 
 ResultCache::ResultCache(std::string path_arg) : path(std::move(path_arg))
@@ -89,8 +112,8 @@ ResultCache::load()
 }
 
 void
-ResultCache::append(const std::string &key,
-                    const std::map<std::string, uint64_t> &fields)
+ResultCache::appendLocked(const std::string &key,
+                          const std::map<std::string, uint64_t> &fields)
 {
     rows[key] = fields;
     std::ofstream os(path, std::ios::app);
@@ -111,41 +134,103 @@ ResultCache::keyOf(const ClusterConfig &cfg, const FunctionSpec &spec,
     return os.str();
 }
 
+std::string
+ResultCache::detailedKey(const ClusterConfig &cfg,
+                         const FunctionSpec &spec) const
+{
+    return keyOf(cfg, spec, "o3");
+}
+
 ExperimentRunner &
 ResultCache::runnerFor(const ClusterConfig &cfg)
 {
+    // Keyed by (configuration, calling thread): a runner owns a whole
+    // ServerlessCluster with no internal locking, so it must never be
+    // driven from two threads. Within one thread it is reused across
+    // functions, preserving the serial path's boot-once behaviour.
     std::ostringstream os;
     os << isaName(cfg.system.isa) << "/" << db::dbKindName(cfg.dbKind)
-       << "/" << cfg.startDb << cfg.startMemcached;
-    auto &slot = runners[os.str()];
-    if (!slot)
-        slot = std::make_unique<ExperimentRunner>(cfg);
+       << "/" << cfg.startDb << cfg.startMemcached << "/tid"
+       << std::hash<std::thread::id>{}(std::this_thread::get_id());
+    const std::string key = os.str();
+
+    {
+        std::lock_guard<std::mutex> lk(runnersMtx);
+        auto it = runners.find(key);
+        if (it != runners.end())
+            return *it->second;
+    }
+    // Construct outside the lock: booting a cluster is expensive and
+    // concurrent boots are the whole point. No other thread inserts
+    // this key (it embeds our thread id), so the slot stays ours.
+    auto runner = std::make_unique<ExperimentRunner>(cfg);
+    std::lock_guard<std::mutex> lk(runnersMtx);
+    auto &slot = runners[key];
+    slot = std::move(runner);
     return *slot;
+}
+
+bool
+ResultCache::lookupDetailed(const ClusterConfig &cfg,
+                            const FunctionSpec &spec, FunctionResult &out)
+{
+    const std::string key = detailedKey(cfg, spec);
+    std::lock_guard<std::mutex> lk(mtx);
+    auto it = rows.find(key);
+    if (it == rows.end() || !it->second.count("ok"))
+        return false;
+    out = unpackResult(spec.name, it->second);
+    return true;
+}
+
+FunctionResult
+ResultCache::computeDetailed(const ClusterConfig &cfg,
+                             const FunctionSpec &spec,
+                             const WorkloadImpl &impl)
+{
+    inform("measuring ", spec.name, " on ", isaName(cfg.system.isa),
+           " (detailed O3, cold+warm)...");
+    return runnerFor(cfg).runFunction(spec, impl);
+}
+
+void
+ResultCache::recordDetailed(const ClusterConfig &cfg,
+                            const FunctionSpec &spec,
+                            const FunctionResult &res)
+{
+    const std::string key = detailedKey(cfg, spec);
+    std::lock_guard<std::mutex> lk(mtx);
+    appendLocked(key, packResult(res));
 }
 
 FunctionResult
 ResultCache::detailed(const ClusterConfig &cfg, const FunctionSpec &spec,
                       const WorkloadImpl &impl)
 {
-    const std::string key = keyOf(cfg, spec, "o3");
-    auto it = rows.find(key);
-    if (it != rows.end() && it->second.count("ok")) {
-        FunctionResult res;
-        res.name = spec.name;
-        res.ok = it->second.at("ok") != 0;
-        res.cold = unpackStats(it->second, "cold.");
-        res.warm = unpackStats(it->second, "warm.");
-        return res;
+    const std::string key = detailedKey(cfg, spec);
+    {
+        std::unique_lock<std::mutex> lk(mtx);
+        for (;;) {
+            auto it = rows.find(key);
+            if (it != rows.end() && it->second.count("ok"))
+                return unpackResult(spec.name, it->second);
+            if (!pending.count(key))
+                break;
+            // Another thread is simulating this key; wait for its row
+            // rather than duplicating the run.
+            pendingCv.wait(lk);
+        }
+        pending.insert(key);
     }
 
-    inform("measuring ", spec.name, " on ", isaName(cfg.system.isa),
-           " (detailed O3, cold+warm)...");
-    FunctionResult res = runnerFor(cfg).runFunction(spec, impl);
-    std::map<std::string, uint64_t> fields = packStats(res.cold, "cold.");
-    for (const auto &[k, v] : packStats(res.warm, "warm."))
-        fields[k] = v;
-    fields["ok"] = res.ok ? 1 : 0;
-    append(key, fields);
+    const FunctionResult res = computeDetailed(cfg, spec, impl);
+
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        appendLocked(key, packResult(res));
+        pending.erase(key);
+    }
+    pendingCv.notify_all();
     return res;
 }
 
@@ -154,28 +239,46 @@ ResultCache::emulated(const ClusterConfig &cfg, const FunctionSpec &spec,
                       const WorkloadImpl &impl)
 {
     const std::string key = keyOf(cfg, spec, "emu");
-    auto it = rows.find(key);
-    if (it != rows.end() && it->second.count("ok")) {
+    auto unpack = [&](const std::map<std::string, uint64_t> &fields) {
         EmuResult res;
         res.name = spec.name;
-        res.ok = it->second.at("ok") != 0;
-        res.coldNs = it->second.at("coldNs");
-        res.warmNs = it->second.at("warmNs");
+        res.ok = fields.at("ok") != 0;
+        res.coldNs = fields.at("coldNs");
+        res.warmNs = fields.at("warmNs");
         return res;
+    };
+    {
+        std::unique_lock<std::mutex> lk(mtx);
+        for (;;) {
+            auto it = rows.find(key);
+            if (it != rows.end() && it->second.count("ok"))
+                return unpack(it->second);
+            if (!pending.count(key))
+                break;
+            pendingCv.wait(lk);
+        }
+        pending.insert(key);
     }
 
     inform("measuring ", spec.name, " on ", isaName(cfg.system.isa),
            " (emulation)...");
     EmuResult res = runnerFor(cfg).runFunctionEmu(spec, impl);
-    append(key, {{"coldNs", res.coldNs},
-                 {"warmNs", res.warmNs},
-                 {"ok", res.ok ? 1u : 0u}});
+
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        appendLocked(key, {{"coldNs", res.coldNs},
+                           {"warmNs", res.warmNs},
+                           {"ok", res.ok ? 1u : 0u}});
+        pending.erase(key);
+    }
+    pendingCv.notify_all();
     return res;
 }
 
 void
 ResultCache::clear()
 {
+    std::lock_guard<std::mutex> lk(mtx);
     rows.clear();
     std::remove(path.c_str());
 }

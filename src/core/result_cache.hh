@@ -7,13 +7,24 @@
  * bit-deterministic, so results are cached in a CSV file keyed by
  * (ISA, database, function, mode); every bench binary transparently
  * shares it. Delete the file (or set SVBENCH_FRESH=1) to re-measure.
+ *
+ * Thread-safety: every public member may be called concurrently. The
+ * row map and CSV append are guarded by one mutex; a "pending" set
+ * plus condition variable guarantees that two threads asking for the
+ * same key never duplicate a simulation (the second waits for the
+ * first's row). Runners are constructed per (configuration, calling
+ * thread), never shared across threads — an ExperimentRunner owns a
+ * whole ServerlessCluster and is not itself thread-safe.
  */
 
 #ifndef SVB_CORE_RESULT_CACHE_HH
 #define SVB_CORE_RESULT_CACHE_HH
 
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 
 #include "experiment.hh"
@@ -42,6 +53,31 @@ class ResultCache
     EmuResult emulated(const ClusterConfig &cfg, const FunctionSpec &spec,
                        const WorkloadImpl &impl);
 
+    // --- split-phase API for the parallel scheduler ----------------------
+    // parallelSweep() computes misses concurrently but records them in
+    // submission order, keeping the CSV byte-identical to a serial
+    // sweep; hence lookup, compute and record are exposed separately.
+
+    /** @return true and fill @p out when the detailed row is cached. */
+    bool lookupDetailed(const ClusterConfig &cfg, const FunctionSpec &spec,
+                        FunctionResult &out);
+
+    /**
+     * Run the detailed experiment on this thread's runner for @p cfg
+     * WITHOUT recording the row (the caller will recordDetailed()).
+     */
+    FunctionResult computeDetailed(const ClusterConfig &cfg,
+                                   const FunctionSpec &spec,
+                                   const WorkloadImpl &impl);
+
+    /** Store @p res in the row map and append it to the CSV file. */
+    void recordDetailed(const ClusterConfig &cfg, const FunctionSpec &spec,
+                        const FunctionResult &res);
+
+    /** The row key of the detailed result for (@p cfg, @p spec). */
+    std::string detailedKey(const ClusterConfig &cfg,
+                            const FunctionSpec &spec) const;
+
     /** Forget everything (and remove the backing file). */
     void clear();
 
@@ -50,14 +86,25 @@ class ResultCache
                       const std::string &mode) const;
     ExperimentRunner &runnerFor(const ClusterConfig &cfg);
     void load();
-    void append(const std::string &key,
-                const std::map<std::string, uint64_t> &fields);
+    /** Caller must hold @ref mtx. */
+    void appendLocked(const std::string &key,
+                      const std::map<std::string, uint64_t> &fields);
 
     std::string path;
     bool fresh = false;
+
+    /** Guards rows, pending, and the CSV append. */
+    std::mutex mtx;
+    std::condition_variable pendingCv;
+    /** Keys whose simulation is in flight on some thread. */
+    std::set<std::string> pending;
     /** key -> field -> value. */
     std::map<std::string, std::map<std::string, uint64_t>> rows;
-    /** One live runner per distinct cluster configuration. */
+
+    /** Guards runners (map mutation only; runner use is unsynchronised
+     *  and safe because entries are keyed by constructing thread). */
+    std::mutex runnersMtx;
+    /** One live runner per (cluster configuration, thread). */
     std::map<std::string, std::unique_ptr<ExperimentRunner>> runners;
 };
 

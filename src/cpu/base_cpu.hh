@@ -1,6 +1,11 @@
 /**
  * @file
  * Common base of the CPU models.
+ *
+ * Thread-safety: instance-scoped, like all of cpu/ (CPUs, TLBs,
+ * branch predictors, the DecodeCache). Every object hangs off one
+ * System and is driven by the single thread running that System's
+ * experiment (core/parallel.hh); there is no cross-instance state.
  */
 
 #ifndef SVB_CPU_BASE_CPU_HH

@@ -23,11 +23,20 @@ namespace svb
 
 /**
  * Shared decode service for one ISA over one physical memory.
+ *
+ * Thread-safety: instance-scoped (one per System); no locking needed
+ * because a System is only ever driven by a single thread.
  */
 class DecodeCache
 {
   public:
-    DecodeCache(IsaId isa, PhysMemory &phys) : isa(isa), phys(phys) {}
+    DecodeCache(IsaId isa, PhysMemory &phys) : isa(isa), phys(phys)
+    {
+        // Sized for the full guest software stack so the map does not
+        // rehash while the container boots (~tens of thousands of
+        // distinct instruction addresses).
+        cache.reserve(1 << 16);
+    }
 
     /**
      * Decode the instruction whose first byte is at physical @p paddr.
@@ -36,21 +45,38 @@ class DecodeCache
     const StaticInst &
     decodeAt(Addr paddr)
     {
-        auto it = cache.find(paddr);
-        if (it != cache.end())
-            return it->second;
+        // One-entry MRU fast path: fetch/issue re-decode the same
+        // address many times in a row (O3 refetch, atomic stepping
+        // through tight loops), so skip the hash lookup when the
+        // address repeats.
+        if (mru && paddr == mruPaddr)
+            return *mru;
 
-        StaticInst inst;
-        if (isa == IsaId::Riscv) {
-            inst = riscv::decode(phys.read32(paddr));
-        } else {
-            uint8_t window[16];
-            const size_t avail =
-                std::min<size_t>(sizeof(window), phys.size() - paddr);
-            phys.readBytes(paddr, window, avail);
-            inst = cx86::decode(window, avail);
+        auto it = cache.find(paddr);
+        if (it == cache.end()) {
+            StaticInst inst;
+            if (isa == IsaId::Riscv) {
+                inst = riscv::decode(phys.read32(paddr));
+            } else {
+                uint8_t window[16];
+                // A wild fetch past the end of physical memory must
+                // not underflow the window size; decode(nullptr-ish, 0)
+                // yields an invalid instruction the CPU traps on.
+                const size_t avail =
+                    paddr < phys.size()
+                        ? std::min<size_t>(sizeof(window),
+                                           phys.size() - paddr)
+                        : 0;
+                if (avail)
+                    phys.readBytes(paddr, window, avail);
+                inst = cx86::decode(window, avail);
+            }
+            it = cache.emplace(paddr, std::move(inst)).first;
         }
-        return cache.emplace(paddr, std::move(inst)).first->second;
+        // unordered_map is node-based: &it->second survives rehash.
+        mruPaddr = paddr;
+        mru = &it->second;
+        return *mru;
     }
 
     size_t size() const { return cache.size(); }
@@ -59,6 +85,8 @@ class DecodeCache
     IsaId isa;
     PhysMemory &phys;
     std::unordered_map<Addr, StaticInst> cache;
+    Addr mruPaddr = 0;
+    const StaticInst *mru = nullptr;
 };
 
 } // namespace svb

@@ -6,6 +6,10 @@
  * process table, runs a cooperative per-core round-robin scheduler,
  * and implements the syscall ABI (exit/yield/m5/log). Context switches
  * charge a fixed trap cost and, via ptRoot changes, flush the TLBs.
+ *
+ * Thread-safety: instance-scoped, like all of guest/ (kernel, address
+ * spaces, loader, rings). One GuestKernel per System, driven by that
+ * System's single experiment thread (core/parallel.hh).
  */
 
 #ifndef SVB_GUEST_KERNEL_HH

@@ -7,6 +7,11 @@
  * functional data always lives in PhysMemory. This is the classic
  * trace-style cache model and keeps functional correctness decoupled
  * from the timing model.
+ *
+ * Thread-safety: instance-scoped, like all of mem/ (PhysMemory,
+ * Cache, DramCtrl, hierarchies). Every object belongs to exactly one
+ * System; nothing in this layer is global, so concurrent experiment
+ * workers (core/parallel.hh) need no locks here.
  */
 
 #ifndef SVB_MEM_CACHE_HH

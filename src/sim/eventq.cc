@@ -6,11 +6,11 @@ namespace svb
 {
 
 void
-EventQueue::schedule(Tick when, std::string name, Callback cb)
+EventQueue::schedule(Tick when, const char *name, Callback cb)
 {
     svb_assert(when >= _curTick, "scheduling event '", name,
                "' in the past: ", when, " < ", _curTick);
-    events.push({when, nextSeq++, std::move(name), std::move(cb)});
+    events.push({when, nextSeq++, name, std::move(cb)});
 }
 
 size_t

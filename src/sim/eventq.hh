@@ -6,6 +6,11 @@
  * (container lifecycle timers, scheduler quanta, deferred work) is
  * scheduled here. Events firing at the same tick are serviced in
  * insertion order so simulation is bit-reproducible.
+ *
+ * Thread-safety: instance-scoped, no synchronisation. Each System
+ * owns exactly one EventQueue and a System is only ever driven by one
+ * thread (the parallel experiment scheduler gives every worker its
+ * own cluster — see core/parallel.hh).
  */
 
 #ifndef SVB_SIM_EVENTQ_HH
@@ -14,7 +19,6 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <string>
 #include <vector>
 
 #include "types.hh"
@@ -35,10 +39,12 @@ class EventQueue
      *
      * @param when absolute tick at which to fire; must not be in the
      *             past relative to the queue's current time
-     * @param name debugging label for the event
+     * @param name debugging label; must point at storage that outlives
+     *             the event (in practice a string literal). Stored as
+     *             a bare pointer so the hot path never allocates.
      * @param cb   the work to run
      */
-    void schedule(Tick when, std::string name, Callback cb);
+    void schedule(Tick when, const char *name, Callback cb);
 
     /**
      * Service every event with firing time <= now, in order.
@@ -65,7 +71,7 @@ class EventQueue
     {
         Tick when;
         uint64_t seq;
-        std::string name;
+        const char *name;
         Callback cb;
 
         bool

@@ -1,31 +1,36 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace svb
 {
 
 namespace
 {
-bool informOn = true;
+std::atomic<bool> informOn{true};
+/** Serialises sink writes so concurrent workers never tear lines. */
+std::mutex sinkMtx;
 }
 
 void
 setInformEnabled(bool enabled)
 {
-    informOn = enabled;
+    informOn.store(enabled, std::memory_order_relaxed);
 }
 
 bool
 informEnabled()
 {
-    return informOn;
+    return informOn.load(std::memory_order_relaxed);
 }
 
 void
 logMessage(LogLevel level, const std::string &msg)
 {
+    std::lock_guard<std::mutex> lk(sinkMtx);
     switch (level) {
       case LogLevel::Inform:
         std::cout << "info: " << msg << "\n";

@@ -6,6 +6,12 @@
  * fatal()  — a user/configuration error; exits with status 1.
  * warn()   — functionality that might not be modelled exactly.
  * inform() — plain status output.
+ *
+ * This is the one sink shared by every simulation thread, so
+ * logMessage() serialises writes under a mutex (whole lines, never
+ * torn) and the inform() gate is an atomic. Everything else in
+ * sim/ (EventQueue, StatGroup, Rng, serialization) is instance-scoped
+ * state owned by a single System and needs no locking.
  */
 
 #ifndef SVB_SIM_LOGGING_HH

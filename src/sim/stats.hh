@@ -7,6 +7,12 @@
  * experiment harness resets the whole tree at region-of-interest
  * start and snapshots it at region end, exactly like gem5's stat
  * reset / stat dump magic operations.
+ *
+ * Thread-safety: none, by design. There is no global stat registry —
+ * every StatGroup tree is rooted in exactly one System (StatGroup is
+ * non-copyable and owned via unique_ptr), so concurrent experiments
+ * on worker threads touch disjoint trees. Audited for the parallel
+ * scheduler (core/parallel.hh).
  */
 
 #ifndef SVB_SIM_STATS_HH

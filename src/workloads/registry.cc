@@ -13,6 +13,10 @@ namespace detail
 std::map<std::string, WorkloadImpl> &
 registry()
 {
+    // The one function-local static in the simulator. Initialisation
+    // is thread-safe (C++11 magic static) and the map is never
+    // mutated afterwards, so concurrent sweep workers may read it
+    // freely.
     static std::map<std::string, WorkloadImpl> reg = [] {
         std::map<std::string, WorkloadImpl> r;
         registerStandalone(r);
