@@ -1,0 +1,178 @@
+#include "checkpoint_store.hh"
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "db/store_gen.hh"
+#include "sim/logging.hh"
+
+namespace svb
+{
+
+namespace
+{
+
+/** FNV-1a 64-bit, printed as 16 hex digits: stable file names that
+ *  stay valid across runs and processes. */
+std::string
+hashHex(const std::string &s)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (char ch : s) {
+        h ^= uint8_t(ch);
+        h *= 1099511628211ull;
+    }
+    std::ostringstream os;
+    os << std::hex;
+    for (int i = 60; i >= 0; i -= 4)
+        os << "0123456789abcdef"[(h >> i) & 0xf];
+    return os.str();
+}
+
+void
+appendSpec(std::ostringstream &os, const FunctionSpec &spec)
+{
+    os << spec.name << "/" << spec.workload << "/" << int(spec.tier) << "/"
+       << spec.usesDb << spec.usesMemcached;
+}
+
+} // namespace
+
+CheckpointStore::CheckpointStore()
+{
+    const char *d = std::getenv("SVBENCH_CKPT_DIR");
+    dir = (d != nullptr && d[0] != '\0') ? d : "svbench_ckpts";
+    const char *off = std::getenv("SVBENCH_NO_CKPT");
+    disabled = off != nullptr && off[0] == '1';
+}
+
+CheckpointStore &
+CheckpointStore::global()
+{
+    static CheckpointStore store;
+    return store;
+}
+
+std::string
+CheckpointStore::fingerprint(const ClusterConfig &cfg,
+                             const FunctionSpec &spec,
+                             const FunctionSpec *interferer)
+{
+    const SystemConfig &sys = cfg.system;
+    std::ostringstream os;
+    os << "prepared-v1;" << isaName(sys.isa) << ";cores=" << sys.numCores
+       << ";mhz=" << sys.clockMHz << ";mem=" << sys.memBytes
+       << ";seed=" << sys.seed;
+    auto geom = [&os](const CacheParams &c) {
+        os << ";" << c.name << "=" << c.sizeBytes << "/" << c.assoc << "/"
+           << c.lineSize;
+    };
+    geom(sys.caches.l1i);
+    geom(sys.caches.l1d);
+    geom(sys.caches.l2);
+    os << ";dram=" << sys.dram.numBanks << "/" << sys.dram.rowBytes;
+    os << ";db=" << db::dbKindName(cfg.dbKind) << "/" << cfg.startDb
+       << cfg.startMemcached;
+    os << ";fn=";
+    appendSpec(os, spec);
+    if (interferer != nullptr) {
+        os << ";vs=";
+        appendSpec(os, *interferer);
+    }
+    return os.str();
+}
+
+std::string
+CheckpointStore::pathFor(const std::string &fp) const
+{
+    return dir + "/" + hashHex(fp) + ".ckpt";
+}
+
+std::shared_ptr<const Checkpoint>
+CheckpointStore::acquire(const std::string &fp, bool *claimed)
+{
+    *claimed = false;
+    std::unique_lock<std::mutex> lk(mtx);
+    for (;;) {
+        auto it = cache.find(fp);
+        if (it != cache.end())
+            return it->second;
+        if (!pending.count(fp))
+            break;
+        // Another thread is preparing this tuple; share its work.
+        pendingCv.wait(lk);
+    }
+    pending.insert(fp);
+    lk.unlock();
+
+    // Disk probe outside the lock: loading a checkpoint is slow and
+    // the pending entry already guards this fingerprint.
+    std::string err;
+    std::optional<Checkpoint> from_disk =
+        Checkpoint::tryLoadFromFile(pathFor(fp), &err);
+    if (from_disk.has_value()) {
+        // Guard against hash collisions and stale files from another
+        // configuration: the stored fingerprint must match exactly.
+        if (!from_disk->hasString("meta.fingerprint") ||
+            from_disk->getString("meta.fingerprint") != fp) {
+            warn("checkpoint ", pathFor(fp),
+                 " belongs to a different configuration; re-preparing");
+            from_disk.reset();
+        }
+    } else if (!err.empty() && std::filesystem::exists(pathFor(fp))) {
+        warn("ignoring corrupt checkpoint ", pathFor(fp), ": ", err);
+    }
+
+    lk.lock();
+    if (!from_disk.has_value()) {
+        *claimed = true; // caller prepares, then publish()/release()
+        return nullptr;
+    }
+    auto cp = std::make_shared<const Checkpoint>(std::move(*from_disk));
+    cache[fp] = cp;
+    pending.erase(fp);
+    lk.unlock();
+    pendingCv.notify_all();
+    return cp;
+}
+
+void
+CheckpointStore::publish(const std::string &fp, Checkpoint cp)
+{
+    cp.setString("meta.fingerprint", fp);
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        warn("cannot create checkpoint directory ", dir, ": ", ec.message());
+    else
+        cp.saveToFile(pathFor(fp));
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        cache[fp] = std::make_shared<const Checkpoint>(std::move(cp));
+        pending.erase(fp);
+    }
+    pendingCv.notify_all();
+}
+
+void
+CheckpointStore::release(const std::string &fp)
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        pending.erase(fp);
+    }
+    pendingCv.notify_all();
+}
+
+void
+CheckpointStore::resetForTest(const std::string &test_dir)
+{
+    std::lock_guard<std::mutex> lk(mtx);
+    cache.clear();
+    pending.clear();
+    dir = test_dir;
+    disabled = false;
+}
+
+} // namespace svb

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Checkpoint-once / restore-many store for prepared experiments.
+ *
+ * Booting a cluster and settling a deployed function is by far the
+ * most expensive part of a measurement, and it is identical across
+ * every measurement variant (cold, warming, warm, lukewarm baseline,
+ * ablation points that share the frontend configuration). This store
+ * keys a full prepared-system snapshot — functional state plus warm
+ * microarchitectural state — by a content fingerprint of the
+ * configuration, persists it on disk, and hands it to every later
+ * preparation of the same tuple.
+ *
+ * The invariant the whole design serves: a restored run produces
+ * byte-identical statistics to an uninterrupted run
+ * (tests/test_checkpoint_restore.cc enforces this).
+ *
+ * Environment:
+ *  - SVBENCH_CKPT_DIR  directory for .ckpt files (default
+ *    "svbench_ckpts", created on first publish)
+ *  - SVBENCH_NO_CKPT=1 disables the store entirely (every prepare
+ *    boots from scratch)
+ *
+ * Thread-safety: every public member may be called concurrently. A
+ * pending-set plus condition variable deduplicates in-flight
+ * preparations exactly like ResultCache deduplicates simulations.
+ */
+
+#ifndef SVB_CORE_CHECKPOINT_STORE_HH
+#define SVB_CORE_CHECKPOINT_STORE_HH
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "cluster.hh"
+
+namespace svb
+{
+
+/**
+ * Process-wide cache of prepared-system checkpoints.
+ */
+class CheckpointStore
+{
+  public:
+    /** The shared instance every ExperimentRunner consults. */
+    static CheckpointStore &global();
+
+    /**
+     * Content fingerprint of everything that shapes the prepared
+     * state: ISA, core count, clock, memory size, seed, cache and
+     * DRAM geometry, store-container selection and the deployed
+     * function(s). Deliberately EXCLUDED: cache/DRAM latencies,
+     * prefetcher and O3/branch-predictor parameters — none of them
+     * influence functional warming, so ablation points differing only
+     * in those fields share one checkpoint.
+     *
+     * @param interferer co-deployed function for the lukewarm study,
+     *                   or nullptr for a solo deployment
+     */
+    static std::string fingerprint(const ClusterConfig &cfg,
+                                   const FunctionSpec &spec,
+                                   const FunctionSpec *interferer = nullptr);
+
+    /** @return false when SVBENCH_NO_CKPT disabled the store. */
+    bool enabled() const { return !disabled; }
+
+    /**
+     * Look up @p fp, blocking while another thread prepares it.
+     *
+     * @return the checkpoint (memory- or disk-cached), or nullptr with
+     *         @p *claimed set: the caller must prepare the system and
+     *         then publish() on success or release() on failure. A
+     *         corrupt on-disk file is treated as a miss (with a
+     *         warning), never a crash.
+     */
+    std::shared_ptr<const Checkpoint> acquire(const std::string &fp,
+                                              bool *claimed);
+
+    /** Store a freshly prepared checkpoint under @p fp (atomic file
+     *  write + in-memory publication) and wake any waiters. */
+    void publish(const std::string &fp, Checkpoint cp);
+
+    /** Drop a claim whose preparation failed; waiters re-claim. */
+    void release(const std::string &fp);
+
+    /** Test hook: forget all state and redirect the store to @p dir
+     *  (re-enabling it regardless of SVBENCH_NO_CKPT). */
+    void resetForTest(const std::string &dir);
+
+    /** On-disk path for a fingerprint (hash-named .ckpt file). */
+    std::string pathFor(const std::string &fp) const;
+
+  private:
+    CheckpointStore();
+
+    std::string dir;
+    bool disabled = false;
+
+    std::mutex mtx;
+    std::condition_variable pendingCv;
+    std::set<std::string> pending;
+    std::map<std::string, std::shared_ptr<const Checkpoint>> cache;
+};
+
+} // namespace svb
+
+#endif // SVB_CORE_CHECKPOINT_STORE_HH

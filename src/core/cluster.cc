@@ -65,6 +65,13 @@ ServerlessCluster::boot()
     if (baseline.has_value())
         return;
 
+    // A runner whose first experiments all restored from prepared
+    // checkpoints never booted; its machine has run (deployments,
+    // advanced clock) and must be rebuilt before the store bootstraps
+    // execute on it.
+    if (machine->cycle() != 0)
+        buildSystem();
+
     const uint64_t expected_ready =
         (cfg.startDb ? 1u : 0u) + (cfg.startMemcached ? 1u : 0u);
     machine->scheduleIdleCores();
@@ -90,6 +97,46 @@ ServerlessCluster::resetToBaseline()
     resetOnBeginSlot = -1;
     buildSystem();
     machine->restoreCheckpoint(*baseline);
+}
+
+Checkpoint
+ServerlessCluster::savePrepared() const
+{
+    Checkpoint cp = machine->saveCheckpoint(/*include_uarch=*/true);
+    cp.setScalar("cluster.nWorkBegin", nWorkBegin);
+    cp.setScalar("cluster.nWorkEnd", nWorkEnd);
+    cp.setScalar("cluster.nSlotWorkEnd0", nSlotWorkEnd[0]);
+    cp.setScalar("cluster.nSlotWorkEnd1", nSlotWorkEnd[1]);
+    cp.setScalar("cluster.nReady", nReady);
+    cp.setScalar("cluster.workBeginCycle", workBeginCycle);
+    cp.setScalar("cluster.workEndCycle", workEndCycle);
+    return cp;
+}
+
+void
+ServerlessCluster::beginRestore()
+{
+    nWorkBegin = nWorkEnd = nReady = 0;
+    nSlotWorkEnd[0] = nSlotWorkEnd[1] = 0;
+    workBeginCycle = workEndCycle = 0;
+    stopAtWorkEnds = ~uint64_t(0);
+    stopSlot = -1;
+    resetOnBegin = false;
+    resetOnBeginSlot = -1;
+    buildSystem();
+}
+
+void
+ServerlessCluster::finishRestore(const Checkpoint &cp)
+{
+    machine->restoreCheckpoint(cp);
+    nWorkBegin = cp.getScalar("cluster.nWorkBegin");
+    nWorkEnd = cp.getScalar("cluster.nWorkEnd");
+    nSlotWorkEnd[0] = cp.getScalar("cluster.nSlotWorkEnd0");
+    nSlotWorkEnd[1] = cp.getScalar("cluster.nSlotWorkEnd1");
+    nReady = cp.getScalar("cluster.nReady");
+    workBeginCycle = cp.getScalar("cluster.workBeginCycle");
+    workEndCycle = cp.getScalar("cluster.workEndCycle");
 }
 
 ServerlessCluster::Deployment

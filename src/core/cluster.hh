@@ -59,6 +59,27 @@ class ServerlessCluster : public M5Listener
      */
     void resetToBaseline();
 
+    // --- prepared-state checkpointing (checkpoint-once/restore-many) -----
+    /**
+     * Serialise the fully prepared platform — functional AND warm
+     * microarchitectural state, plus this cluster's run-control
+     * counters — for the CheckpointStore. Call at the post-readiness
+     * settle point, before any client gate opens.
+     */
+    Checkpoint savePrepared() const;
+
+    /**
+     * First half of a prepared-state restore: rebuild the System from
+     * scratch and zero the run-control counters. The caller then
+     * re-issues the same deploy() calls (the kernel restore checks
+     * that the process table matches the checkpointed one) and
+     * finishes with finishRestore().
+     */
+    void beginRestore();
+
+    /** Second half: overwrite the rebuilt platform with @p cp. */
+    void finishRestore(const Checkpoint &cp);
+
     /** A deployed function-under-test. */
     struct Deployment
     {

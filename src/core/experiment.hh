@@ -102,10 +102,23 @@ class ExperimentRunner
     ServerlessCluster &cluster() { return *clusterPtr; }
 
   private:
-    /** Prepare a deployment: reset, deploy, boot to readiness. */
+    /**
+     * Prepare a deployment: restore the prepared-state checkpoint for
+     * this (function, config) tuple when the CheckpointStore has one,
+     * else boot/settle from scratch and publish the snapshot.
+     */
     ServerlessCluster::Deployment prepare(const FunctionSpec &spec,
                                           const WorkloadImpl &impl,
                                           bool &ok);
+
+    /** The checkpoint-free preparation path: reset, deploy, boot the
+     *  container to readiness, settle. */
+    ServerlessCluster::Deployment prepareFresh(const FunctionSpec &spec,
+                                               const WorkloadImpl &impl,
+                                               bool &ok);
+
+    /** Convert a cycle delta to nanoseconds at the configured clock. */
+    uint64_t cyclesToNs(uint64_t cycles) const;
 
     RequestStats snapshotServerCore() const;
 

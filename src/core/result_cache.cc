@@ -1,10 +1,12 @@
 #include "result_cache.hh"
 
+#include <cctype>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <thread>
 
+#include "checkpoint_store.hh"
 #include "db/store_gen.hh"
 #include "sim/logging.hh"
 
@@ -76,6 +78,51 @@ unpackResult(const std::string &name,
     return res;
 }
 
+bool
+allDigits(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s)
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+    return true;
+}
+
+/**
+ * Every field a valid row of @p key's mode must carry. The CSV is
+ * append-only and a crash can truncate the final line anywhere;
+ * because fields serialise in alphabetical order, "ok" lands BEFORE
+ * the "warm.*" block, so a truncated detailed row can look complete
+ * ("ok=1") while silently missing its warm measurements. Validating
+ * the full field set closes that hole.
+ */
+bool
+rowComplete(const std::string &key,
+            const std::map<std::string, uint64_t> &row)
+{
+    const size_t comma = key.rfind(',');
+    const std::string mode =
+        comma == std::string::npos ? "" : key.substr(comma + 1);
+    auto hasStats = [&row](const std::string &prefix) {
+        static const char *names[] = {"cycles", "insts",       "uops",
+                                      "l1i",    "l1d",         "l2",
+                                      "branches", "mispredicts", "itlb",
+                                      "dtlb"};
+        for (const char *n : names)
+            if (!row.count(prefix + n))
+                return false;
+        return true;
+    };
+    if (mode == "o3")
+        return row.count("ok") && row.size() == 21 && hasStats("cold.") &&
+               hasStats("warm.");
+    if (mode == "emu")
+        return row.size() == 3 && row.count("ok") && row.count("coldNs") &&
+               row.count("warmNs");
+    return false; // unrecognisable key: treat as corruption
+}
+
 } // namespace
 
 ResultCache::ResultCache(std::string path_arg) : path(std::move(path_arg))
@@ -93,22 +140,41 @@ ResultCache::load()
     if (!is)
         return;
     std::string line;
+    size_t lineno = 0;
+    size_t skipped = 0;
     while (std::getline(is, line)) {
+        ++lineno;
         // Format: key|field=value|field=value|...
         std::istringstream ls(line);
         std::string key;
-        if (!std::getline(ls, key, '|'))
+        if (!std::getline(ls, key, '|') || key.empty()) {
+            ++skipped;
             continue;
+        }
+        std::map<std::string, uint64_t> row;
+        bool malformed = false;
         std::string kv;
-        auto &row = rows[key];
         while (std::getline(ls, kv, '|')) {
             const size_t eq = kv.find('=');
-            if (eq == std::string::npos)
-                continue;
+            if (eq == std::string::npos || eq == 0 ||
+                !allDigits(kv.substr(eq + 1))) {
+                malformed = true;
+                break;
+            }
             row[kv.substr(0, eq)] =
                 std::strtoull(kv.c_str() + eq + 1, nullptr, 10);
         }
+        if (malformed || !rowComplete(key, row)) {
+            warn(path, ":", lineno,
+                 ": skipping malformed result row (key '", key, "')");
+            ++skipped;
+            continue;
+        }
+        rows[key] = std::move(row);
     }
+    if (skipped > 0)
+        warn(path, ": ignored ", skipped,
+             " unusable line(s); those results will be re-measured");
 }
 
 void
@@ -139,6 +205,13 @@ ResultCache::detailedKey(const ClusterConfig &cfg,
                          const FunctionSpec &spec) const
 {
     return keyOf(cfg, spec, "o3");
+}
+
+std::string
+ResultCache::checkpointKeyOf(const ClusterConfig &cfg,
+                             const FunctionSpec &spec) const
+{
+    return CheckpointStore::fingerprint(cfg, spec);
 }
 
 ExperimentRunner &

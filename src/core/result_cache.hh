@@ -78,6 +78,14 @@ class ResultCache
     std::string detailedKey(const ClusterConfig &cfg,
                             const FunctionSpec &spec) const;
 
+    /**
+     * The CheckpointStore fingerprint of (@p cfg, @p spec)'s prepared
+     * state. parallelSweep() groups jobs by this key so each prepared
+     * tuple is set up by exactly one worker and shared by the rest.
+     */
+    std::string checkpointKeyOf(const ClusterConfig &cfg,
+                                const FunctionSpec &spec) const;
+
     /** Forget everything (and remove the backing file). */
     void clear();
 

@@ -147,7 +147,7 @@ System::m5Op(int core_id, uint64_t op, uint64_t arg)
 }
 
 Checkpoint
-System::saveCheckpoint() const
+System::saveCheckpoint(bool include_uarch) const
 {
     for (unsigned c = 0; c < cfg.numCores; ++c) {
         svb_assert(models[c] == CpuModel::Atomic,
@@ -169,6 +169,27 @@ System::saveCheckpoint() const
         cp.setScalar(prefix + "halted", ctx.halted ? 1 : 0);
         for (unsigned r = 0; r < maxArchRegs; ++r)
             cp.setScalar(prefix + "reg" + std::to_string(r), ctx.regs[r]);
+    }
+    if (include_uarch) {
+        cp.setScalar("uarch.present", 1);
+        decoder->serializeState("decode.", cp);
+        dram->serializeState("dram.", cp);
+        for (unsigned c = 0; c < cfg.numCores; ++c) {
+            const std::string prefix = "cpu" + std::to_string(c) + ".";
+            coreMems[c]->serializeState(prefix + "mem.", cp);
+            atomics[c]->itlb().serializeState(prefix + "itlb.", cp);
+            atomics[c]->dtlb().serializeState(prefix + "dtlb.", cp);
+            cp.setScalar(prefix + "stall", atomics[c]->stallCycles());
+            // Setup mode runs the Atomic CPU, which never trains the
+            // predictor; a cold predictor is recorded as a flag, not
+            // tables, so the snapshot stays valid (and shareable)
+            // across branch-predictor-geometry ablation points.
+            const BranchPredictor &bp = o3s[c]->branchPredictor();
+            const bool warm = !bp.isReset();
+            cp.setScalar(prefix + "bpWarm", warm ? 1 : 0);
+            if (warm)
+                bp.serializeState(prefix + "bp.", cp);
+        }
     }
     return cp;
 }
@@ -195,7 +216,26 @@ System::restoreCheckpoint(const Checkpoint &cp)
         models[c] = CpuModel::Atomic;
         atomics[c]->setContext(ctx);
     }
-    flushMicroarchState();
+    if (!cp.hasScalar("uarch.present")) {
+        flushMicroarchState();
+        return;
+    }
+    // Warm-state restore. Order matters: setContext() above flushed
+    // the Atomic TLBs, so they are repopulated here; physical memory
+    // is already restored, so the decode cache can re-decode.
+    decoder->unserializeState("decode.", cp);
+    dram->unserializeState("dram.", cp);
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        const std::string prefix = "cpu" + std::to_string(c) + ".";
+        coreMems[c]->unserializeState(prefix + "mem.", cp);
+        atomics[c]->itlb().unserializeState(prefix + "itlb.", cp);
+        atomics[c]->dtlb().unserializeState(prefix + "dtlb.", cp);
+        atomics[c]->setStallCycles(cp.getScalar(prefix + "stall"));
+        if (cp.getScalar(prefix + "bpWarm") != 0)
+            o3s[c]->branchPredictor().unserializeState(prefix + "bp.", cp);
+        else
+            o3s[c]->branchPredictor().reset();
+    }
 }
 
 } // namespace svb

@@ -94,10 +94,24 @@ class System : public M5Listener
      * Serialise the full functional state. Every core must currently
      * run its Atomic CPU (detailed state is not checkpointable, as in
      * gem5).
+     *
+     * With @p include_uarch the warm microarchitectural state rides
+     * along too: caches, TLBs, DRAM open rows, decode cache, trained
+     * branch predictors and in-flight atomic-CPU stall cycles. Such a
+     * snapshot restores to a machine byte-identical to the one it was
+     * taken on, so measurements after a restore match an uninterrupted
+     * run exactly.
      */
-    Checkpoint saveCheckpoint() const;
+    Checkpoint saveCheckpoint(bool include_uarch = false) const;
 
-    /** Restore a checkpoint taken on an identically built system. */
+    /**
+     * Restore a checkpoint taken on an identically built system.
+     * Checkpoints without microarchitectural state (the default above)
+     * flush caches/TLBs/predictors afterwards; checkpoints carrying it
+     * restore that warm state instead. Restore must happen on a
+     * freshly built system (detailed-CPU structures in their
+     * constructed state), which the cluster's restore path guarantees.
+     */
     void restoreCheckpoint(const Checkpoint &cp);
 
   private:

@@ -37,6 +37,11 @@ class AtomicCpu : public BaseCpu
     /** Dump the recent pc history (fault diagnostics). */
     void dumpHistory() const;
 
+    /** Trap-cost cycles still to burn — checkpointed so a restored run
+     *  resumes mid-stall exactly like the uninterrupted one. */
+    Cycles stallCycles() const { return pendingStall; }
+    void setStallCycles(Cycles c) { pendingStall = c; }
+
   private:
     bool warming = true;
     Cycles pendingStall = 0; ///< trap-cost cycles still to burn

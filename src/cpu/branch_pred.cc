@@ -1,5 +1,7 @@
 #include "branch_pred.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace svb
@@ -140,6 +142,77 @@ BranchPredictor::update(Addr pc, const StaticInst &inst, bool taken,
         e.target = target;
         e.valid = true;
     }
+}
+
+bool
+BranchPredictor::isReset() const
+{
+    auto all = [](const std::vector<uint8_t> &v, uint8_t x) {
+        return std::all_of(v.begin(), v.end(),
+                           [x](uint8_t c) { return c == x; });
+    };
+    if (!all(bimodal, 1) || !all(gshare, 1) || !all(chooser, 2))
+        return false;
+    for (const auto &e : btb)
+        if (e.valid)
+            return false;
+    for (Addr a : ras)
+        if (a != 0)
+            return false;
+    return rasTop == 0 && history == 0;
+}
+
+void
+BranchPredictor::serializeState(const std::string &prefix,
+                                Checkpoint &cp) const
+{
+    cp.setScalar(prefix + "tableEntries", p.tableEntries);
+    cp.setScalar(prefix + "btbEntries", p.btbEntries);
+    cp.setScalar(prefix + "rasEntries", p.rasEntries);
+    cp.setScalar(prefix + "rasTop", rasTop);
+    cp.setScalar(prefix + "history", history);
+    BlobWriter w;
+    for (uint8_t c : bimodal)
+        w.putU8(c);
+    for (uint8_t c : gshare)
+        w.putU8(c);
+    for (uint8_t c : chooser)
+        w.putU8(c);
+    for (const BtbEntry &e : btb) {
+        w.putU64(e.tag);
+        w.putU64(e.target);
+        w.putU8(e.valid ? 1 : 0);
+    }
+    for (Addr a : ras)
+        w.putU64(a);
+    cp.setBlob(prefix + "state", w.take());
+}
+
+void
+BranchPredictor::unserializeState(const std::string &prefix,
+                                  const Checkpoint &cp)
+{
+    svb_assert(cp.getScalar(prefix + "tableEntries") == p.tableEntries &&
+                   cp.getScalar(prefix + "btbEntries") == p.btbEntries &&
+                   cp.getScalar(prefix + "rasEntries") == p.rasEntries,
+               "checkpoint branch-predictor geometry mismatch");
+    rasTop = size_t(cp.getScalar(prefix + "rasTop"));
+    history = cp.getScalar(prefix + "history");
+    BlobReader r(cp.getBlob(prefix + "state"));
+    for (uint8_t &c : bimodal)
+        c = r.getU8();
+    for (uint8_t &c : gshare)
+        c = r.getU8();
+    for (uint8_t &c : chooser)
+        c = r.getU8();
+    for (BtbEntry &e : btb) {
+        e.tag = r.getU64();
+        e.target = r.getU64();
+        e.valid = r.getU8() != 0;
+    }
+    for (Addr &a : ras)
+        a = r.getU64();
+    svb_assert(r.done(), "checkpoint branch-predictor blob has trailing bytes");
 }
 
 void

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "isa/static_inst.hh"
+#include "sim/serialize.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -74,6 +75,21 @@ class BranchPredictor
 
     /** Clear all prediction state (cold start / context switch). */
     void reset();
+
+    /**
+     * @return true when every table is in its reset() state. Used by
+     * checkpointing: setup mode runs the Atomic CPU, which never
+     * trains the predictor, so settle-point snapshots can record "BP
+     * is cold" instead of geometry-specific zero tables — keeping a
+     * snapshot shareable across BP-geometry ablation points.
+     */
+    bool isReset() const;
+
+    /** Serialize trained state (tables, BTB, RAS, history). */
+    void serializeState(const std::string &prefix, Checkpoint &cp) const;
+
+    /** Restore state saved on a predictor of identical geometry. */
+    void unserializeState(const std::string &prefix, const Checkpoint &cp);
 
   private:
     size_t bimodalIndex(Addr pc) const;

@@ -77,4 +77,43 @@ Tlb::flush()
         we.valid = false;
 }
 
+void
+Tlb::serializeState(const std::string &prefix, Checkpoint &cp) const
+{
+    cp.setScalar(prefix + "entries", entries.size());
+    cp.setScalar(prefix + "walkEntries", walkCache.size());
+    BlobWriter w;
+    for (const Entry &e : entries) {
+        w.putU64(e.vpn);
+        w.putU64(e.frame);
+        w.putU8(e.valid ? 1 : 0);
+    }
+    for (const WalkEntry &we : walkCache) {
+        w.putU64(we.key);
+        w.putU64(we.table);
+        w.putU8(we.valid ? 1 : 0);
+    }
+    cp.setBlob(prefix + "state", w.take());
+}
+
+void
+Tlb::unserializeState(const std::string &prefix, const Checkpoint &cp)
+{
+    svb_assert(cp.getScalar(prefix + "entries") == entries.size() &&
+                   cp.getScalar(prefix + "walkEntries") == walkCache.size(),
+               "checkpoint TLB geometry mismatch (", p.name, ")");
+    BlobReader r(cp.getBlob(prefix + "state"));
+    for (Entry &e : entries) {
+        e.vpn = r.getU64();
+        e.frame = r.getU64();
+        e.valid = r.getU8() != 0;
+    }
+    for (WalkEntry &we : walkCache) {
+        we.key = r.getU64();
+        we.table = r.getU64();
+        we.valid = r.getU8() != 0;
+    }
+    svb_assert(r.done(), "checkpoint TLB blob has trailing bytes");
+}
+
 } // namespace svb

@@ -55,6 +55,13 @@ class Tlb
     /** Drop all cached translations (context switch). */
     void flush();
 
+    /** Serialize translation + walk-cache warm state (checkpointing).
+     *  Note: does NOT bump the flush statistic. */
+    void serializeState(const std::string &prefix, Checkpoint &cp) const;
+
+    /** Restore warm state saved on a TLB of identical geometry. */
+    void unserializeState(const std::string &prefix, const Checkpoint &cp);
+
     uint64_t hits() const { return statHits.value(); }
     uint64_t misses() const { return statMisses.value(); }
 

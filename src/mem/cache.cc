@@ -168,4 +168,39 @@ Cache::contains(Addr line_addr) const
                line_addr & ~Addr(p.lineSize - 1)) != nullptr;
 }
 
+void
+Cache::serializeState(const std::string &prefix, Checkpoint &cp) const
+{
+    cp.setScalar(prefix + "lines", lines.size());
+    cp.setScalar(prefix + "lineSize", p.lineSize);
+    cp.setScalar(prefix + "assoc", p.assoc);
+    cp.setScalar(prefix + "useCounter", useCounter);
+    BlobWriter w;
+    for (const Line &line : lines) {
+        w.putU64(line.tag);
+        w.putU64(line.lastUse);
+        w.putU8(uint8_t((line.valid ? 1 : 0) | (line.dirty ? 2 : 0)));
+    }
+    cp.setBlob(prefix + "state", w.take());
+}
+
+void
+Cache::unserializeState(const std::string &prefix, const Checkpoint &cp)
+{
+    svb_assert(cp.getScalar(prefix + "lines") == lines.size() &&
+                   cp.getScalar(prefix + "lineSize") == p.lineSize &&
+                   cp.getScalar(prefix + "assoc") == p.assoc,
+               "checkpoint cache geometry mismatch (", p.name, ")");
+    useCounter = cp.getScalar(prefix + "useCounter");
+    BlobReader r(cp.getBlob(prefix + "state"));
+    for (Line &line : lines) {
+        line.tag = r.getU64();
+        line.lastUse = r.getU64();
+        const uint8_t flags = r.getU8();
+        line.valid = (flags & 1) != 0;
+        line.dirty = (flags & 2) != 0;
+    }
+    svb_assert(r.done(), "checkpoint cache blob has trailing bytes");
+}
+
 } // namespace svb

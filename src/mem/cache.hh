@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/serialize.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -99,6 +100,12 @@ class Cache : public MemLevel
     uint64_t hits() const { return statHits.value(); }
     uint64_t misses() const { return statMisses.value(); }
     const CacheParams &params() const { return p; }
+
+    /** Serialize tag/LRU/dirty warm state (checkpoint-once pipeline). */
+    void serializeState(const std::string &prefix, Checkpoint &cp) const;
+
+    /** Restore warm state saved on a cache of identical geometry. */
+    void unserializeState(const std::string &prefix, const Checkpoint &cp);
 
   private:
     struct Line

@@ -1,5 +1,7 @@
 #include "dram.hh"
 
+#include "sim/logging.hh"
+
 namespace svb
 {
 
@@ -80,6 +82,33 @@ DramCtrl::warm(Addr line_addr, bool is_write)
         openRow[bank] = row;
         rowValid[bank] = true;
     }
+}
+
+void
+DramCtrl::serializeState(const std::string &prefix, Checkpoint &cp) const
+{
+    cp.setScalar(prefix + "banks", openRow.size());
+    cp.setScalar(prefix + "channelFreeAt", channelFreeAt);
+    BlobWriter w;
+    for (size_t b = 0; b < openRow.size(); ++b) {
+        w.putU64(openRow[b]);
+        w.putU8(rowValid[b] ? 1 : 0);
+    }
+    cp.setBlob(prefix + "rows", w.take());
+}
+
+void
+DramCtrl::unserializeState(const std::string &prefix, const Checkpoint &cp)
+{
+    svb_assert(cp.getScalar(prefix + "banks") == openRow.size(),
+               "checkpoint DRAM bank-count mismatch");
+    channelFreeAt = cp.getScalar(prefix + "channelFreeAt");
+    BlobReader r(cp.getBlob(prefix + "rows"));
+    for (size_t b = 0; b < openRow.size(); ++b) {
+        openRow[b] = r.getU64();
+        rowValid[b] = r.getU8() != 0;
+    }
+    svb_assert(r.done(), "checkpoint DRAM blob has trailing bytes");
 }
 
 } // namespace svb

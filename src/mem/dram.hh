@@ -43,6 +43,16 @@ class DramCtrl : public MemLevel
     uint64_t reads() const { return statReads.value(); }
     uint64_t writes() const { return statWrites.value(); }
 
+    /**
+     * Serialize open-row and channel state. The open rows survive the
+     * cold-start flush (real DRAM keeps rows open across a process
+     * switch), so byte-identical restore requires capturing them.
+     */
+    void serializeState(const std::string &prefix, Checkpoint &cp) const;
+
+    /** Restore state saved on an identically configured controller. */
+    void unserializeState(const std::string &prefix, const Checkpoint &cp);
+
   private:
     uint32_t bankOf(Addr line_addr) const;
     uint64_t rowOf(Addr line_addr) const;

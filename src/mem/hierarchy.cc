@@ -91,4 +91,22 @@ CoreMemSystem::flushAll()
     l2Cache->flushAll();
 }
 
+void
+CoreMemSystem::serializeState(const std::string &prefix,
+                              Checkpoint &cp) const
+{
+    l1iCache->serializeState(prefix + "l1i.", cp);
+    l1dCache->serializeState(prefix + "l1d.", cp);
+    l2Cache->serializeState(prefix + "l2.", cp);
+}
+
+void
+CoreMemSystem::unserializeState(const std::string &prefix,
+                                const Checkpoint &cp)
+{
+    l1iCache->unserializeState(prefix + "l1i.", cp);
+    l1dCache->unserializeState(prefix + "l1d.", cp);
+    l2Cache->unserializeState(prefix + "l2.", cp);
+}
+
 } // namespace svb

@@ -81,6 +81,12 @@ class CoreMemSystem
     /** Drop all cached state in this core. */
     void flushAll();
 
+    /** Serialize the warm state of every level (checkpoint pipeline). */
+    void serializeState(const std::string &prefix, Checkpoint &cp) const;
+
+    /** Restore warm state saved on an identical hierarchy. */
+    void unserializeState(const std::string &prefix, const Checkpoint &cp);
+
     Cache &l1i() { return *l1iCache; }
     Cache &l1d() { return *l1dCache; }
     Cache &l2() { return *l2Cache; }

@@ -1,5 +1,6 @@
 #include "phys_memory.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "sim/logging.hh"
@@ -55,8 +56,31 @@ PhysMemory::clearRange(Addr addr, size_t len)
 void
 PhysMemory::serializeState(const std::string &prefix, Checkpoint &cp) const
 {
+    // Sparse page encoding: the backing allocation is much larger than
+    // the footprint the guest actually touches, so storing only the
+    // non-zero 4 KiB pages keeps checkpoints small enough to hold one
+    // per experiment tuple on disk. Format: repeated (u64 page index,
+    // pageBytes raw bytes) records.
+    constexpr size_t pageBytes = 4096;
     cp.setScalar(prefix + "size", mem.size());
-    cp.setBlob(prefix + "contents", mem);
+    cp.setScalar(prefix + "pageBytes", pageBytes);
+    BlobWriter w;
+    uint64_t stored = 0;
+    for (size_t page = 0; page * pageBytes < mem.size(); ++page) {
+        const size_t off = page * pageBytes;
+        const size_t len = std::min(pageBytes, mem.size() - off);
+        bool nonzero = false;
+        for (size_t i = 0; i < len && !nonzero; ++i)
+            nonzero = mem[off + i] != 0;
+        if (!nonzero)
+            continue;
+        w.putU64(page);
+        for (size_t i = 0; i < len; ++i)
+            w.putU8(mem[off + i]);
+        ++stored;
+    }
+    cp.setScalar(prefix + "pages", stored);
+    cp.setBlob(prefix + "data", w.take());
 }
 
 void
@@ -65,8 +89,19 @@ PhysMemory::unserializeState(const std::string &prefix,
 {
     svb_assert(cp.getScalar(prefix + "size") == mem.size(),
                "checkpoint memory size mismatch");
-    const auto &blob = cp.getBlob(prefix + "contents");
-    mem.assign(blob.begin(), blob.end());
+    const size_t pageBytes = cp.getScalar(prefix + "pageBytes");
+    const uint64_t pages = cp.getScalar(prefix + "pages");
+    std::fill(mem.begin(), mem.end(), 0);
+    BlobReader r(cp.getBlob(prefix + "data"));
+    for (uint64_t i = 0; i < pages; ++i) {
+        const uint64_t page = r.getU64();
+        const size_t off = size_t(page) * pageBytes;
+        svb_assert(off < mem.size(), "checkpoint page index OOB");
+        const size_t len = std::min(pageBytes, mem.size() - off);
+        for (size_t b = 0; b < len; ++b)
+            mem[off + b] = r.getU8();
+    }
+    svb_assert(r.done(), "checkpoint memory blob has trailing bytes");
 }
 
 } // namespace svb

@@ -1,6 +1,9 @@
 #include "serialize.hh"
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
+#include <iterator>
 
 #include "logging.hh"
 
@@ -10,23 +13,13 @@ namespace svb
 namespace
 {
 
+constexpr char ckptMagic[8] = {'S', 'V', 'B', 'C', 'K', 'P', 'T', '1'};
+
 void
 writeU64(std::ostream &os, uint64_t v)
 {
     for (int i = 0; i < 8; ++i)
         os.put(char((v >> (8 * i)) & 0xff));
-}
-
-uint64_t
-readU64(std::istream &is)
-{
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-        int c = is.get();
-        svb_assert(c != EOF, "truncated checkpoint");
-        v |= uint64_t(uint8_t(c)) << (8 * i);
-    }
-    return v;
 }
 
 void
@@ -36,15 +29,87 @@ writeStr(std::ostream &os, const std::string &s)
     os.write(s.data(), std::streamsize(s.size()));
 }
 
-std::string
-readStr(std::istream &is)
+/**
+ * Bounds-checked cursor over the fully-read file contents. Every
+ * length field is validated against the bytes actually remaining, so
+ * a corrupt length can never trigger a huge allocation or a read past
+ * the end of the buffer.
+ */
+struct FileParser
 {
-    uint64_t n = readU64(is);
-    std::string s(n, '\0');
-    is.read(s.data(), std::streamsize(n));
-    svb_assert(is.good(), "truncated checkpoint string");
-    return s;
-}
+    const std::vector<uint8_t> &data;
+    size_t pos = 0;
+    std::string error;      ///< first failure, empty while good
+    std::string context;    ///< key currently being read, for messages
+
+    explicit FileParser(const std::vector<uint8_t> &data) : data(data) {}
+
+    bool failed() const { return !error.empty(); }
+    size_t remaining() const { return data.size() - pos; }
+
+    void
+    fail(const std::string &what)
+    {
+        if (!error.empty())
+            return;
+        error = what;
+        if (!context.empty())
+            error += " (while reading '" + context + "')";
+        error += " at offset " + std::to_string(pos);
+    }
+
+    uint64_t
+    getU64()
+    {
+        if (failed())
+            return 0;
+        if (remaining() < 8) {
+            fail("truncated checkpoint: expected 8-byte value");
+            return 0;
+        }
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= uint64_t(data[pos + size_t(i)]) << (8 * i);
+        pos += 8;
+        return v;
+    }
+
+    std::string
+    getStr()
+    {
+        const uint64_t n = getU64();
+        if (failed())
+            return {};
+        if (n > remaining()) {
+            fail("corrupt checkpoint: string length " + std::to_string(n) +
+                 " exceeds " + std::to_string(remaining()) +
+                 " remaining bytes");
+            return {};
+        }
+        std::string s(reinterpret_cast<const char *>(data.data() + pos),
+                      size_t(n));
+        pos += size_t(n);
+        return s;
+    }
+
+    std::vector<uint8_t>
+    getBlob()
+    {
+        const uint64_t n = getU64();
+        if (failed())
+            return {};
+        if (n > remaining()) {
+            fail("corrupt checkpoint: blob length " + std::to_string(n) +
+                 " exceeds " + std::to_string(remaining()) +
+                 " remaining bytes");
+            return {};
+        }
+        std::vector<uint8_t> out(data.begin() + std::ptrdiff_t(pos),
+                                 data.begin() + std::ptrdiff_t(pos + n));
+        pos += size_t(n);
+        return out;
+    }
+};
 
 } // namespace
 
@@ -99,65 +164,139 @@ Checkpoint::hasScalar(const std::string &key) const
     return scalars.count(key) != 0;
 }
 
+bool
+Checkpoint::hasString(const std::string &key) const
+{
+    return strings.count(key) != 0;
+}
+
+bool
+Checkpoint::hasBlob(const std::string &key) const
+{
+    return blobs.count(key) != 0;
+}
+
 void
 Checkpoint::saveToFile(const std::string &path) const
 {
-    std::ofstream os(path, std::ios::binary);
-    if (!os)
-        svb_fatal("cannot open checkpoint file '", path, "' for writing");
-    os.write("SVBCKPT1", 8);
-    writeU64(os, scalars.size());
-    for (const auto &[k, v] : scalars) {
-        writeStr(os, k);
-        writeU64(os, v);
+    // Write-then-rename: readers either see the previous complete file
+    // or the new complete file, never a half-written one.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            svb_fatal("cannot open checkpoint file '", tmp,
+                      "' for writing");
+        os.write(ckptMagic, sizeof(ckptMagic));
+        writeU64(os, scalars.size());
+        for (const auto &[k, v] : scalars) {
+            writeStr(os, k);
+            writeU64(os, v);
+        }
+        writeU64(os, strings.size());
+        for (const auto &[k, v] : strings) {
+            writeStr(os, k);
+            writeStr(os, v);
+        }
+        writeU64(os, blobs.size());
+        for (const auto &[k, v] : blobs) {
+            writeStr(os, k);
+            writeU64(os, v.size());
+            os.write(reinterpret_cast<const char *>(v.data()),
+                     std::streamsize(v.size()));
+        }
+        os.flush();
+        if (!os.good())
+            svb_fatal("short write to checkpoint file '", tmp, "'");
     }
-    writeU64(os, strings.size());
-    for (const auto &[k, v] : strings) {
-        writeStr(os, k);
-        writeStr(os, v);
-    }
-    writeU64(os, blobs.size());
-    for (const auto &[k, v] : blobs) {
-        writeStr(os, k);
-        writeU64(os, v.size());
-        os.write(reinterpret_cast<const char *>(v.data()),
-                 std::streamsize(v.size()));
-    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        svb_fatal("cannot rename '", tmp, "' to '", path, "'");
 }
 
 Checkpoint
 Checkpoint::loadFromFile(const std::string &path)
 {
+    std::string err;
+    std::optional<Checkpoint> cp = tryLoadFromFile(path, &err);
+    if (!cp)
+        svb_fatal("loading checkpoint '", path, "': ", err);
+    return std::move(*cp);
+}
+
+std::optional<Checkpoint>
+Checkpoint::tryLoadFromFile(const std::string &path, std::string *err)
+{
+    auto failWith = [&](const std::string &message) {
+        if (err != nullptr)
+            *err = message;
+        return std::nullopt;
+    };
+
     std::ifstream is(path, std::ios::binary);
     if (!is)
-        svb_fatal("cannot open checkpoint file '", path, "'");
-    char magic[8];
-    is.read(magic, 8);
-    if (!is.good() || std::string(magic, 8) != "SVBCKPT1")
-        svb_fatal("'", path, "' is not an svbench checkpoint");
+        return failWith("cannot open file");
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(is)),
+                               std::istreambuf_iterator<char>());
+    if (bytes.size() < sizeof(ckptMagic) ||
+        !std::equal(ckptMagic, ckptMagic + sizeof(ckptMagic),
+                    bytes.begin())) {
+        return failWith("not an svbench checkpoint (bad magic/version)");
+    }
 
+    FileParser p(bytes);
+    p.pos = sizeof(ckptMagic);
     Checkpoint cp;
-    uint64_t n = readU64(is);
-    for (uint64_t i = 0; i < n; ++i) {
-        std::string k = readStr(is);
-        cp.scalars[k] = readU64(is);
+
+    p.context = "scalar count";
+    uint64_t n = p.getU64();
+    for (uint64_t i = 0; i < n && !p.failed(); ++i) {
+        p.context = "scalar key #" + std::to_string(i);
+        std::string k = p.getStr();
+        p.context = k;
+        cp.scalars[k] = p.getU64();
     }
-    n = readU64(is);
-    for (uint64_t i = 0; i < n; ++i) {
-        std::string k = readStr(is);
-        cp.strings[k] = readStr(is);
+    p.context = "string count";
+    n = p.getU64();
+    for (uint64_t i = 0; i < n && !p.failed(); ++i) {
+        p.context = "string key #" + std::to_string(i);
+        std::string k = p.getStr();
+        p.context = k;
+        cp.strings[k] = p.getStr();
     }
-    n = readU64(is);
-    for (uint64_t i = 0; i < n; ++i) {
-        std::string k = readStr(is);
-        uint64_t len = readU64(is);
-        std::vector<uint8_t> data(len);
-        is.read(reinterpret_cast<char *>(data.data()),
-                std::streamsize(len));
-        svb_assert(is.good(), "truncated checkpoint blob");
-        cp.blobs[k] = std::move(data);
+    p.context = "blob count";
+    n = p.getU64();
+    for (uint64_t i = 0; i < n && !p.failed(); ++i) {
+        p.context = "blob key #" + std::to_string(i);
+        std::string k = p.getStr();
+        p.context = k;
+        cp.blobs[k] = p.getBlob();
+    }
+    if (p.failed())
+        return failWith(p.error);
+    if (p.remaining() != 0) {
+        return failWith("corrupt checkpoint: " +
+                        std::to_string(p.remaining()) +
+                        " bytes of trailing garbage");
     }
     return cp;
+}
+
+uint8_t
+BlobReader::getU8()
+{
+    svb_assert(pos < data.size(), "blob reader overrun");
+    return data[pos++];
+}
+
+uint64_t
+BlobReader::getU64()
+{
+    svb_assert(pos + 8 <= data.size(), "blob reader overrun");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= uint64_t(data[pos + size_t(i)]) << (8 * i);
+    pos += 8;
+    return v;
 }
 
 } // namespace svb

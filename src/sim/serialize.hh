@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -47,11 +48,33 @@ class Checkpoint
     /** @return true when a scalar exists under @p key. */
     bool hasScalar(const std::string &key) const;
 
-    /** Write the checkpoint to a file (simple tagged binary format). */
+    /** @return true when a string exists under @p key. */
+    bool hasString(const std::string &key) const;
+
+    /** @return true when a blob exists under @p key. */
+    bool hasBlob(const std::string &key) const;
+
+    /**
+     * Write the checkpoint to a file (simple tagged binary format).
+     * The write goes to a temporary sibling first and is renamed into
+     * place, so a crash mid-write never leaves a truncated checkpoint
+     * under @p path.
+     */
     void saveToFile(const std::string &path) const;
 
-    /** Read a checkpoint previously written by saveToFile(). */
+    /** Read a checkpoint previously written by saveToFile(); fatal on
+     *  a missing, corrupt or truncated file. */
     static Checkpoint loadFromFile(const std::string &path);
+
+    /**
+     * Non-fatal variant of loadFromFile(): validates the magic tag,
+     * bounds every length field against the bytes remaining in the
+     * file, and rejects trailing garbage. On failure returns
+     * std::nullopt and, when @p err is non-null, stores a message
+     * naming the offending key.
+     */
+    static std::optional<Checkpoint>
+    tryLoadFromFile(const std::string &path, std::string *err = nullptr);
 
     size_t numScalars() const { return scalars.size(); }
     size_t numBlobs() const { return blobs.size(); }
@@ -75,6 +98,49 @@ class Serializable
     /** Restore this object's state from @p cp under @p prefix. */
     virtual void unserializeState(const std::string &prefix,
                                   const Checkpoint &cp) = 0;
+};
+
+/**
+ * Little-endian encoder for packing structured component state
+ * (cache line arrays, TLB entries, ...) into one checkpoint blob
+ * instead of thousands of scalar entries.
+ */
+class BlobWriter
+{
+  public:
+    void
+    putU8(uint8_t v)
+    {
+        buf.push_back(v);
+    }
+
+    void
+    putU64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf.push_back(uint8_t(v >> (8 * i)));
+    }
+
+    std::vector<uint8_t> take() { return std::move(buf); }
+
+  private:
+    std::vector<uint8_t> buf;
+};
+
+/** Bounds-checked reader matching BlobWriter's encoding. */
+class BlobReader
+{
+  public:
+    explicit BlobReader(const std::vector<uint8_t> &data) : data(data) {}
+
+    uint8_t getU8();
+    uint64_t getU64();
+    bool done() const { return pos == data.size(); }
+    size_t remaining() const { return data.size() - pos; }
+
+  private:
+    const std::vector<uint8_t> &data;
+    size_t pos = 0;
 };
 
 } // namespace svb
