@@ -222,6 +222,37 @@ ExperimentRunner::runLukewarm(const FunctionSpec &spec,
     return result;
 }
 
+LoadCalibration
+ExperimentRunner::runLoadCalibration(const FunctionSpec &spec,
+                                     const WorkloadImpl &impl)
+{
+    LoadCalibration result;
+    result.name = spec.name;
+
+    bool ok = false;
+    ServerlessCluster &cl = *clusterPtr;
+    auto dep = prepare(spec, impl, ok);
+    if (!ok) {
+        warn(spec.name, ": load calibration failed to prepare");
+        return result;
+    }
+
+    cl.openClientGate(dep);
+    if (!cl.runUntilWorkEnds(1))
+        return result;
+    result.coldNs = cyclesToNs(cl.lastWorkEndCycle() -
+                               cl.lastWorkBeginCycle());
+
+    for (unsigned k = 0; k < loadWarmSamples; ++k) {
+        if (!cl.runUntilWorkEnds(2 + k))
+            return result;
+        result.warmNs[k] = cyclesToNs(cl.lastWorkEndCycle() -
+                                      cl.lastWorkBeginCycle());
+    }
+    result.ok = true;
+    return result;
+}
+
 EmuResult
 ExperimentRunner::runFunctionEmu(const FunctionSpec &spec,
                                  const WorkloadImpl &impl,

@@ -65,6 +65,23 @@ struct EmuResult
     bool ok = false;
 };
 
+/** Warm-request samples a load calibration measures (requests 2..5). */
+constexpr unsigned loadWarmSamples = 4;
+
+/**
+ * Per-function service-time calibration for the load subsystem
+ * (src/load): the measured cold-path latency (request 1 on a freshly
+ * restored instance) and a cycle of warm-path latencies the load
+ * simulation replays per warm invocation.
+ */
+struct LoadCalibration
+{
+    std::string name;
+    uint64_t coldNs = 0;
+    uint64_t warmNs[loadWarmSamples] = {0, 0, 0, 0};
+    bool ok = false;
+};
+
 /**
  * Drives full cold/warm experiments over a cluster.
  */
@@ -98,6 +115,17 @@ class ExperimentRunner
     EmuResult runFunctionEmu(const FunctionSpec &spec,
                              const WorkloadImpl &impl,
                              unsigned warm_request = 10);
+
+    /**
+     * Calibrate @p spec for the load subsystem: prepare the instance
+     * (restoring the prepared-state checkpoint when the store has
+     * one — a cold start under load restores the post-boot snapshot
+     * rather than re-booting), then measure request 1 (the cold path)
+     * and requests 2..1+loadWarmSamples (the warm path) on the Atomic
+     * CPU at the configured clock.
+     */
+    LoadCalibration runLoadCalibration(const FunctionSpec &spec,
+                                       const WorkloadImpl &impl);
 
     ServerlessCluster &cluster() { return *clusterPtr; }
 

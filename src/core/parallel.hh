@@ -115,6 +115,27 @@ parallelSweep(ResultCache &cache, const std::vector<SweepJob> &jobs,
 std::vector<FunctionResult>
 parallelRun(const std::vector<SweepJob> &jobs, unsigned jobs_override = 0);
 
+/**
+ * The submission-order merge that parallelSweep applies to
+ * experiments, generalised to any indexed computation: run
+ * @p compute(i) for every i in [0, n) across the pool and return the
+ * results in index order, regardless of completion order. The load
+ * subsystem's scenario sweep is the main client. @p compute must be
+ * safe to call concurrently from multiple workers; determinism of
+ * each result is the callee's responsibility.
+ */
+template <typename Result, typename Fn>
+std::vector<Result>
+parallelIndexed(size_t n, Fn &&compute, unsigned jobs_override = 0)
+{
+    std::vector<Result> results(n);
+    ThreadPool pool(jobs_override);
+    for (size_t i = 0; i < n; ++i)
+        pool.submit([&results, &compute, i] { results[i] = compute(i); });
+    pool.wait();
+    return results;
+}
+
 } // namespace svb
 
 #endif // SVB_CORE_PARALLEL_HH

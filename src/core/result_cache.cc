@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -15,6 +16,33 @@ namespace svb
 
 namespace
 {
+
+/**
+ * Schema version of a row mode, carried in every row's "v" field.
+ * Bump a mode's version whenever its field set or meaning changes;
+ * old rows are then skipped (and re-measured) instead of misparsed.
+ * 0 means the mode is unknown to this build.
+ */
+uint64_t
+modeSchemaVersion(const std::string &mode)
+{
+    if (mode == "o3")
+        return 1;
+    if (mode == "emu")
+        return 1;
+    if (mode == "ldcal")
+        return 1;
+    if (mode == "load")
+        return 1;
+    return 0;
+}
+
+std::string
+modeOfKey(const std::string &key)
+{
+    const size_t comma = key.rfind(',');
+    return comma == std::string::npos ? "" : key.substr(comma + 1);
+}
 
 std::map<std::string, uint64_t>
 packStats(const RequestStats &rs, const std::string &prefix)
@@ -63,7 +91,33 @@ packResult(const FunctionResult &res)
     for (const auto &[k, v] : packStats(res.warm, "warm."))
         fields[k] = v;
     fields["ok"] = res.ok ? 1 : 0;
+    fields["v"] = modeSchemaVersion("o3");
     return fields;
+}
+
+std::map<std::string, uint64_t>
+packLoadCal(const LoadCalibration &cal)
+{
+    std::map<std::string, uint64_t> fields;
+    fields["coldNs"] = cal.coldNs;
+    for (unsigned k = 0; k < loadWarmSamples; ++k)
+        fields["warm" + std::to_string(k) + "Ns"] = cal.warmNs[k];
+    fields["ok"] = cal.ok ? 1 : 0;
+    fields["v"] = modeSchemaVersion("ldcal");
+    return fields;
+}
+
+LoadCalibration
+unpackLoadCal(const std::string &name,
+              const std::map<std::string, uint64_t> &fields)
+{
+    LoadCalibration cal;
+    cal.name = name;
+    cal.ok = fields.at("ok") != 0;
+    cal.coldNs = fields.at("coldNs");
+    for (unsigned k = 0; k < loadWarmSamples; ++k)
+        cal.warmNs[k] = fields.at("warm" + std::to_string(k) + "Ns");
+    return cal;
 }
 
 FunctionResult
@@ -89,21 +143,31 @@ allDigits(const std::string &s)
     return true;
 }
 
+/** Validation outcome of a loaded CSV row. */
+enum class RowCheck { Ok, Malformed, UnknownMode, VersionMismatch };
+
 /**
- * Every field a valid row of @p key's mode must carry. The CSV is
- * append-only and a crash can truncate the final line anywhere;
- * because fields serialise in alphabetical order, "ok" lands BEFORE
- * the "warm.*" block, so a truncated detailed row can look complete
- * ("ok=1") while silently missing its warm measurements. Validating
- * the full field set closes that hole.
+ * Every field a valid row of @p key's mode must carry, plus the
+ * mode's schema version. The CSV is append-only and a crash can
+ * truncate the final line anywhere; because fields serialise in
+ * alphabetical order, "ok" lands BEFORE the "warm.*" block, so a
+ * truncated detailed row can look complete ("ok=1") while silently
+ * missing its warm measurements. Validating the full field set closes
+ * that hole; the version check stops rows written by an older or
+ * newer tool generation from being misparsed field-by-field.
  */
-bool
+RowCheck
 rowComplete(const std::string &key,
             const std::map<std::string, uint64_t> &row)
 {
-    const size_t comma = key.rfind(',');
-    const std::string mode =
-        comma == std::string::npos ? "" : key.substr(comma + 1);
+    const std::string mode = modeOfKey(key);
+    const uint64_t version = modeSchemaVersion(mode);
+    if (version == 0)
+        return RowCheck::UnknownMode;
+    auto vit = row.find("v");
+    if (vit == row.end() || vit->second != version)
+        return RowCheck::VersionMismatch;
+
     auto hasStats = [&row](const std::string &prefix) {
         static const char *names[] = {"cycles", "insts",       "uops",
                                       "l1i",    "l1d",         "l2",
@@ -114,18 +178,61 @@ rowComplete(const std::string &key,
                 return false;
         return true;
     };
-    if (mode == "o3")
-        return row.count("ok") && row.size() == 21 && hasStats("cold.") &&
-               hasStats("warm.");
-    if (mode == "emu")
-        return row.size() == 3 && row.count("ok") && row.count("coldNs") &&
-               row.count("warmNs");
-    return false; // unrecognisable key: treat as corruption
+    auto hasAll = [&row](std::initializer_list<const char *> names) {
+        for (const char *n : names)
+            if (!row.count(n))
+                return false;
+        return true;
+    };
+    bool ok = false;
+    if (mode == "o3") {
+        ok = row.size() == 22 && row.count("ok") && hasStats("cold.") &&
+             hasStats("warm.");
+    } else if (mode == "emu") {
+        ok = row.size() == 4 && hasAll({"ok", "coldNs", "warmNs"});
+    } else if (mode == "ldcal") {
+        ok = row.size() == 3 + loadWarmSamples &&
+             hasAll({"ok", "coldNs"});
+        for (unsigned k = 0; ok && k < loadWarmSamples; ++k)
+            ok = row.count("warm" + std::to_string(k) + "Ns") != 0;
+    } else if (mode == "load") {
+        ok = row.size() == 13 &&
+             hasAll({"ok", "invocations", "coldStarts", "warmHits",
+                     "evictions", "p50Ns", "p90Ns", "p99Ns", "p999Ns",
+                     "maxNs", "throughputMrps", "histoFp"});
+    }
+    return ok ? RowCheck::Ok : RowCheck::Malformed;
 }
 
 } // namespace
 
-ResultCache::ResultCache(std::string path_arg) : path(std::move(path_arg))
+namespace
+{
+
+/**
+ * Default backing path: SVBENCH_RESULTS when set, otherwise
+ * build/svbench_results.csv so machine output stays out of the
+ * repository root (the directory is created on demand).
+ */
+std::string
+defaultResultPath()
+{
+    if (const char *env = std::getenv("SVBENCH_RESULTS")) {
+        if (env[0] != '\0')
+            return env;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories("build", ec);
+    if (ec)
+        warn("cannot create build/ for the result cache: ",
+             ec.message(), "; falling back to the working directory");
+    return ec ? "svbench_results.csv" : "build/svbench_results.csv";
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string path_arg)
+    : path(path_arg.empty() ? defaultResultPath() : std::move(path_arg))
 {
     const char *env = std::getenv("SVBENCH_FRESH");
     fresh = env != nullptr && env[0] == '1';
@@ -164,9 +271,21 @@ ResultCache::load()
             row[kv.substr(0, eq)] =
                 std::strtoull(kv.c_str() + eq + 1, nullptr, 10);
         }
-        if (malformed || !rowComplete(key, row)) {
-            warn(path, ":", lineno,
-                 ": skipping malformed result row (key '", key, "')");
+        const RowCheck check =
+            malformed ? RowCheck::Malformed : rowComplete(key, row);
+        if (check != RowCheck::Ok) {
+            if (check == RowCheck::UnknownMode) {
+                warn(path, ":", lineno, ": skipping row of unknown mode '",
+                     modeOfKey(key),
+                     "' (written by a different tool generation?)");
+            } else if (check == RowCheck::VersionMismatch) {
+                warn(path, ":", lineno, ": skipping '", modeOfKey(key),
+                     "' row with stale schema version; it will be "
+                     "re-measured");
+            } else {
+                warn(path, ":", lineno,
+                     ": skipping malformed result row (key '", key, "')");
+            }
             ++skipped;
             continue;
         }
@@ -341,11 +460,119 @@ ResultCache::emulated(const ClusterConfig &cfg, const FunctionSpec &spec,
         std::lock_guard<std::mutex> lk(mtx);
         appendLocked(key, {{"coldNs", res.coldNs},
                            {"warmNs", res.warmNs},
-                           {"ok", res.ok ? 1u : 0u}});
+                           {"ok", res.ok ? 1u : 0u},
+                           {"v", modeSchemaVersion("emu")}});
         pending.erase(key);
     }
     pendingCv.notify_all();
     return res;
+}
+
+std::string
+ResultCache::loadCalKey(const ClusterConfig &cfg,
+                        const FunctionSpec &spec) const
+{
+    return keyOf(cfg, spec, "ldcal");
+}
+
+bool
+ResultCache::lookupLoadCal(const ClusterConfig &cfg,
+                           const FunctionSpec &spec, LoadCalibration &out)
+{
+    const std::string key = keyOf(cfg, spec, "ldcal");
+    std::lock_guard<std::mutex> lk(mtx);
+    auto it = rows.find(key);
+    if (it == rows.end() || !it->second.count("ok"))
+        return false;
+    out = unpackLoadCal(spec.name, it->second);
+    return true;
+}
+
+LoadCalibration
+ResultCache::computeLoadCal(const ClusterConfig &cfg,
+                            const FunctionSpec &spec,
+                            const WorkloadImpl &impl)
+{
+    inform("calibrating ", spec.name, " on ", isaName(cfg.system.isa),
+           " for load (cold + ", loadWarmSamples, " warm samples)...");
+    return runnerFor(cfg).runLoadCalibration(spec, impl);
+}
+
+void
+ResultCache::recordLoadCal(const ClusterConfig &cfg,
+                           const FunctionSpec &spec,
+                           const LoadCalibration &cal)
+{
+    const std::string key = keyOf(cfg, spec, "ldcal");
+    std::lock_guard<std::mutex> lk(mtx);
+    appendLocked(key, packLoadCal(cal));
+}
+
+LoadCalibration
+ResultCache::loadCalibration(const ClusterConfig &cfg,
+                             const FunctionSpec &spec,
+                             const WorkloadImpl &impl)
+{
+    const std::string key = keyOf(cfg, spec, "ldcal");
+    {
+        std::unique_lock<std::mutex> lk(mtx);
+        for (;;) {
+            auto it = rows.find(key);
+            if (it != rows.end() && it->second.count("ok"))
+                return unpackLoadCal(spec.name, it->second);
+            if (!pending.count(key))
+                break;
+            pendingCv.wait(lk);
+        }
+        pending.insert(key);
+    }
+
+    const LoadCalibration cal = computeLoadCal(cfg, spec, impl);
+
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        appendLocked(key, packLoadCal(cal));
+        pending.erase(key);
+    }
+    pendingCv.notify_all();
+    return cal;
+}
+
+std::string
+ResultCache::loadKey(const ClusterConfig &cfg,
+                     const std::string &scenario) const
+{
+    svb_assert(scenario.find_first_of(",|=") == std::string::npos,
+               "scenario name contains a CSV metacharacter");
+    std::ostringstream os;
+    os << isaName(cfg.system.isa) << "," << db::dbKindName(cfg.dbKind)
+       << "," << (cfg.startDb ? 1 : 0) << (cfg.startMemcached ? 1 : 0)
+       << "," << scenario << ",load";
+    return os.str();
+}
+
+bool
+ResultCache::lookupLoadRow(const std::string &key,
+                           std::map<std::string, uint64_t> &out)
+{
+    std::lock_guard<std::mutex> lk(mtx);
+    auto it = rows.find(key);
+    if (it == rows.end() || !it->second.count("ok"))
+        return false;
+    out = it->second;
+    return true;
+}
+
+void
+ResultCache::recordLoadRow(const std::string &key,
+                           const std::map<std::string, uint64_t> &fields)
+{
+    std::map<std::string, uint64_t> row = fields;
+    row["v"] = modeSchemaVersion("load");
+    svb_assert(rowComplete(key, row) == RowCheck::Ok,
+               "load row does not match the 'load' schema");
+    std::lock_guard<std::mutex> lk(mtx);
+    appendLocked(key, row);
 }
 
 void

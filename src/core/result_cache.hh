@@ -8,6 +8,17 @@
  * (ISA, database, function, mode); every bench binary transparently
  * shares it. Delete the file (or set SVBENCH_FRESH=1) to re-measure.
  *
+ * Backing file location: SVBENCH_RESULTS when set, otherwise
+ * build/svbench_results.csv under the working directory (machine
+ * output never lands at the repo root).
+ *
+ * Row modes and schemas: each row's key ends in a mode tag ("o3",
+ * "emu", "ldcal", "load") and each mode has an explicit schema
+ * version carried in the row's "v" field. Loading a row whose mode is
+ * unknown or whose version does not match warns and skips it (the row
+ * is re-measured) instead of silently misparsing fields written by a
+ * different tool generation.
+ *
  * Thread-safety: every public member may be called concurrently. The
  * row map and CSV append are guarded by one mutex; a "pending" set
  * plus condition variable guarantees that two threads asking for the
@@ -38,8 +49,12 @@ namespace svb
 class ResultCache
 {
   public:
-    /** @param path CSV backing file (created on first write) */
-    explicit ResultCache(std::string path = "svbench_results.csv");
+    /**
+     * @param path CSV backing file (created on first write); empty
+     *             selects SVBENCH_RESULTS, falling back to
+     *             build/svbench_results.csv
+     */
+    explicit ResultCache(std::string path = "");
 
     /**
      * Fetch (or run and record) the detailed cold/warm result for
@@ -85,6 +100,50 @@ class ResultCache
      */
     std::string checkpointKeyOf(const ClusterConfig &cfg,
                                 const FunctionSpec &spec) const;
+
+    // --- load-calibration rows (mode "ldcal") ----------------------------
+    // Same split-phase shape as the detailed API, used by
+    // load::loadSweep() to calibrate service times in submission
+    // order before the scenario simulations run.
+
+    /** Fetch (or run and record) the load calibration; blocking. */
+    LoadCalibration loadCalibration(const ClusterConfig &cfg,
+                                    const FunctionSpec &spec,
+                                    const WorkloadImpl &impl);
+
+    /** @return true and fill @p out when the calibration is cached. */
+    bool lookupLoadCal(const ClusterConfig &cfg, const FunctionSpec &spec,
+                       LoadCalibration &out);
+
+    /** Run the calibration on this thread's runner, no recording. */
+    LoadCalibration computeLoadCal(const ClusterConfig &cfg,
+                                   const FunctionSpec &spec,
+                                   const WorkloadImpl &impl);
+
+    /** Store @p cal in the row map and append it to the CSV file. */
+    void recordLoadCal(const ClusterConfig &cfg, const FunctionSpec &spec,
+                       const LoadCalibration &cal);
+
+    /** The row key of the load calibration for (@p cfg, @p spec). */
+    std::string loadCalKey(const ClusterConfig &cfg,
+                           const FunctionSpec &spec) const;
+
+    // --- load-scenario summary rows (mode "load") ------------------------
+    // The load subsystem owns the semantics of these fields; the
+    // cache validates the schema (field set + version) on load.
+
+    /** Key of a load-scenario row. @p scenario must not contain the
+     *  CSV metacharacters ',', '|' or '='. */
+    std::string loadKey(const ClusterConfig &cfg,
+                        const std::string &scenario) const;
+
+    /** @return true and fill @p out when the load row is cached. */
+    bool lookupLoadRow(const std::string &key,
+                       std::map<std::string, uint64_t> &out);
+
+    /** Store a load-scenario summary row (schema-checked). */
+    void recordLoadRow(const std::string &key,
+                       const std::map<std::string, uint64_t> &fields);
 
     /** Forget everything (and remove the backing file). */
     void clear();

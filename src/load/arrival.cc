@@ -1,0 +1,96 @@
+#include "arrival.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace svb::load
+{
+
+const char *
+arrivalKindName(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::Uniform: return "uniform";
+      case ArrivalKind::Poisson: return "poisson";
+      case ArrivalKind::Burst: return "burst";
+    }
+    return "?";
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig &config, Rng rng_arg)
+    : cfg(config), rng(rng_arg)
+{
+    svb_assert(cfg.ratePerSec > 0.0, "arrival rate must be positive");
+    if (cfg.kind == ArrivalKind::Burst) {
+        svb_assert(cfg.burstFactor >= 1.0, "burstFactor < 1");
+        svb_assert(cfg.burstDuty > 0.0 && cfg.burstDuty < 1.0,
+                   "burstDuty outside (0,1)");
+        svb_assert(cfg.burstPeriodNs > 0, "burstPeriodNs == 0");
+    }
+}
+
+uint64_t
+ArrivalProcess::gapNs()
+{
+    double rate = cfg.ratePerSec;
+    if (cfg.kind == ArrivalKind::Uniform) {
+        const double gap = 1e9 / rate;
+        return std::max<uint64_t>(1, uint64_t(std::llround(gap)));
+    }
+    if (cfg.kind == ArrivalKind::Burst) {
+        // Square-wave modulated Poisson via time rescaling: draw a
+        // unit-rate exponential and advance through the integrated
+        // intensity, switching rates exactly at phase boundaries.
+        // (Drawing one gap at the phase's instantaneous rate would
+        // let long off-phase gaps overshoot the short on-phase and
+        // bias the long-run rate low.) The on-phase runs at
+        // burstFactor * rate; the off-phase absorbs the remainder,
+        // floored so the stream never fully stops.
+        double need = -std::log(1.0 - rng.nextDouble());
+        const double off = (1.0 - cfg.burstDuty * cfg.burstFactor) /
+                           (1.0 - cfg.burstDuty);
+        const double onRate = rate * cfg.burstFactor * 1e-9;
+        const double offRate = rate * std::max(off, 0.02) * 1e-9;
+        const uint64_t onLen =
+            uint64_t(double(cfg.burstPeriodNs) * cfg.burstDuty);
+        double t = double(nowNs);
+        for (;;) {
+            const uint64_t pos = uint64_t(t) % cfg.burstPeriodNs;
+            const bool on = pos < onLen;
+            const double r = on ? onRate : offRate;
+            const double dt = double((on ? onLen : cfg.burstPeriodNs) - pos);
+            if (r * dt >= need) {
+                t += need / r;
+                break;
+            }
+            need -= r * dt;
+            t += dt;
+        }
+        return std::max<uint64_t>(1, uint64_t(t) - nowNs);
+    }
+    // Exponential gap via inverse transform; 1-u keeps log() finite.
+    const double u = rng.nextDouble();
+    const double gap = -std::log(1.0 - u) / rate * 1e9;
+    return std::max<uint64_t>(1, uint64_t(std::llround(gap)));
+}
+
+uint64_t
+ArrivalProcess::nextArrivalNs()
+{
+    nowNs += gapNs();
+    return nowNs;
+}
+
+std::vector<uint64_t>
+ArrivalProcess::generate(const ArrivalConfig &config, Rng rng, size_t n)
+{
+    ArrivalProcess ap(config, rng);
+    std::vector<uint64_t> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(ap.nextArrivalNs());
+    return out;
+}
+
+} // namespace svb::load

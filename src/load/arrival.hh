@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Open-loop inter-arrival generators for the invocation-load
+ * subsystem.
+ *
+ * Open loop means arrivals are generated independently of completions
+ * (the SeBS/serverless-benchmarking convention): a slow platform does
+ * not slow the request stream down, it builds a queue — which is
+ * exactly how tail latency degrades in production.
+ *
+ * Determinism contract: a process is a pure function of its
+ * ArrivalConfig and the Rng substream it is constructed with.
+ * Substreams come from Rng::split(), so the sequence is identical
+ * regardless of SVBENCH_JOBS worker count or scheduling.
+ */
+
+#ifndef SVB_LOAD_ARRIVAL_HH
+#define SVB_LOAD_ARRIVAL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace svb::load
+{
+
+/** Shape of the inter-arrival distribution. */
+enum class ArrivalKind
+{
+    Uniform, ///< constant gap 1/rate (closed-form pacing)
+    Poisson, ///< exponential gaps (memoryless arrivals)
+    Burst,   ///< square-wave modulated Poisson (on/off phases)
+};
+
+const char *arrivalKindName(ArrivalKind kind);
+
+/** Arrival-process parameters. */
+struct ArrivalConfig
+{
+    ArrivalKind kind = ArrivalKind::Poisson;
+    /** Long-run average arrival rate (requests per second). */
+    double ratePerSec = 100.0;
+    /** Burst only: on-phase rate multiplier. */
+    double burstFactor = 8.0;
+    /** Burst only: on+off period. */
+    uint64_t burstPeriodNs = 1'000'000'000;
+    /** Burst only: fraction of the period spent at the burst rate. */
+    double burstDuty = 0.1;
+};
+
+/**
+ * A stream of monotonically increasing arrival timestamps.
+ */
+class ArrivalProcess
+{
+  public:
+    /** @param rng substream dedicated to this process (Rng::split). */
+    ArrivalProcess(const ArrivalConfig &config, Rng rng);
+
+    /** @return the next arrival time (ns); strictly increasing. */
+    uint64_t nextArrivalNs();
+
+    /** Generate the first @p n arrival times of a fresh process. */
+    static std::vector<uint64_t> generate(const ArrivalConfig &config,
+                                          Rng rng, size_t n);
+
+  private:
+    /** Draw one inter-arrival gap at the current simulated time. */
+    uint64_t gapNs();
+
+    ArrivalConfig cfg;
+    Rng rng;
+    uint64_t nowNs = 0;
+};
+
+} // namespace svb::load
+
+#endif // SVB_LOAD_ARRIVAL_HH

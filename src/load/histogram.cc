@@ -1,0 +1,135 @@
+#include "histogram.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace svb::load
+{
+
+namespace
+{
+
+/** Octave groups above the exact region: exponents kSubBits..63. */
+constexpr size_t numGroups = 64 - LatencyHistogram::kSubBits;
+
+} // namespace
+
+size_t
+LatencyHistogram::numBuckets()
+{
+    // Exact region (one bucket per value < 2^kSubBits) is group 0;
+    // every higher octave contributes kSubBuckets sub-buckets.
+    return (numGroups + 1) * kSubBuckets;
+}
+
+LatencyHistogram::LatencyHistogram() : counts(numBuckets(), 0) {}
+
+size_t
+LatencyHistogram::bucketIndex(uint64_t ns)
+{
+    if (ns < kSubBuckets)
+        return size_t(ns);
+    const unsigned e = 63 - unsigned(std::countl_zero(ns));
+    const unsigned group = e - kSubBits + 1;
+    const uint64_t sub = (ns >> (e - kSubBits)) & (kSubBuckets - 1);
+    return size_t(group) * kSubBuckets + size_t(sub);
+}
+
+uint64_t
+LatencyHistogram::bucketLow(size_t index)
+{
+    if (index < kSubBuckets)
+        return uint64_t(index);
+    const size_t group = index / kSubBuckets;
+    const uint64_t sub = index % kSubBuckets;
+    return (kSubBuckets + sub) << (group - 1);
+}
+
+uint64_t
+LatencyHistogram::bucketHigh(size_t index)
+{
+    if (index < kSubBuckets)
+        return uint64_t(index);
+    const size_t group = index / kSubBuckets;
+    const uint64_t width = uint64_t(1) << (group - 1);
+    return bucketLow(index) + width - 1;
+}
+
+void
+LatencyHistogram::record(uint64_t ns)
+{
+    ++counts[bucketIndex(ns)];
+    ++total;
+    sumNs += ns;
+    if (ns < minNs)
+        minNs = ns;
+    if (ns > maxNs)
+        maxNs = ns;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    total += other.total;
+    sumNs += other.sumNs;
+    if (other.total > 0) {
+        if (other.minNs < minNs)
+            minNs = other.minNs;
+        if (other.maxNs > maxNs)
+            maxNs = other.maxNs;
+    }
+}
+
+double
+LatencyHistogram::mean() const
+{
+    return total ? double(sumNs) / double(total) : 0.0;
+}
+
+uint64_t
+LatencyHistogram::percentile(double p) const
+{
+    svb_assert(p >= 0.0 && p <= 100.0, "percentile out of [0,100]");
+    if (total == 0)
+        return 0;
+    const uint64_t target =
+        std::max<uint64_t>(1, uint64_t(std::ceil(p / 100.0 *
+                                                 double(total))));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        seen += counts[i];
+        if (seen >= target)
+            return bucketHigh(i);
+    }
+    return maxNs; // unreachable with a consistent total
+}
+
+uint64_t
+LatencyHistogram::fingerprint() const
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](uint64_t v) {
+        for (unsigned b = 0; b < 8; ++b) {
+            h ^= (v >> (8 * b)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    for (uint64_t c : counts)
+        mix(c);
+    mix(total);
+    return h;
+}
+
+bool
+LatencyHistogram::operator==(const LatencyHistogram &other) const
+{
+    return counts == other.counts && total == other.total &&
+           sumNs == other.sumNs &&
+           minValue() == other.minValue() && maxValue() == other.maxValue();
+}
+
+} // namespace svb::load

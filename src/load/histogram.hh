@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Log-bucketed latency histogram for the invocation-load subsystem.
+ *
+ * Tail percentiles (p99, p99.9) are the quantities that matter under
+ * sustained load, and they must survive two constraints: (1) millions
+ * of samples at nanosecond resolution cannot be kept individually, and
+ * (2) the parallel scheduler merges per-worker partials, so the data
+ * structure has to be exactly mergeable — merge(a, b) must equal the
+ * histogram a single pass over both sample sets would have produced
+ * (tests/test_property_sweeps.cc enforces this).
+ *
+ * The bucket layout is HdrHistogram-style: values below 2^kSubBits
+ * are exact (one bucket per value); above that, each power-of-two
+ * octave is divided into 2^kSubBits sub-buckets, bounding the relative
+ * quantisation error of any percentile at 1/2^kSubBits (~3.1%).
+ */
+
+#ifndef SVB_LOAD_HISTOGRAM_HH
+#define SVB_LOAD_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace svb::load
+{
+
+/**
+ * Fixed-layout histogram of uint64 latency samples (nanoseconds).
+ */
+class LatencyHistogram
+{
+  public:
+    /** Sub-bucket resolution: 2^kSubBits buckets per octave. */
+    static constexpr unsigned kSubBits = 5;
+    static constexpr uint64_t kSubBuckets = 1ull << kSubBits;
+
+    LatencyHistogram();
+
+    /** Add one sample. */
+    void record(uint64_t ns);
+
+    /** Add every bucket of @p other; exact (no re-quantisation). */
+    void merge(const LatencyHistogram &other);
+
+    /** Total recorded samples. */
+    uint64_t count() const { return total; }
+
+    /** Exact smallest / largest recorded sample (0 when empty). */
+    uint64_t minValue() const { return total ? minNs : 0; }
+    uint64_t maxValue() const { return total ? maxNs : 0; }
+
+    /** Mean of all samples (exact sum / count). */
+    double mean() const;
+
+    /**
+     * The value at percentile @p p in [0, 100]: the inclusive upper
+     * bound of the bucket holding the ceil(p/100 * count)-th smallest
+     * sample. Guaranteed >= the true order statistic and within one
+     * bucket width (relative error <= 1/kSubBuckets) above it.
+     */
+    uint64_t percentile(double p) const;
+
+    /** FNV-1a hash over (bucket counts, total): byte-identity probe
+     *  for the determinism contract of bench/load_tail_latency. */
+    uint64_t fingerprint() const;
+
+    /** Bucket index a value lands in (exposed for tests). */
+    static size_t bucketIndex(uint64_t ns);
+    /** Inclusive [low, high] value range of bucket @p index. */
+    static uint64_t bucketLow(size_t index);
+    static uint64_t bucketHigh(size_t index);
+    /** Number of buckets in the fixed layout. */
+    static size_t numBuckets();
+
+    bool operator==(const LatencyHistogram &other) const;
+
+  private:
+    std::vector<uint64_t> counts;
+    uint64_t total = 0;
+    uint64_t sumNs = 0;
+    uint64_t minNs = ~uint64_t(0);
+    uint64_t maxNs = 0;
+};
+
+} // namespace svb::load
+
+#endif // SVB_LOAD_HISTOGRAM_HH

@@ -1,0 +1,147 @@
+#include "instance_pool.hh"
+
+#include "sim/logging.hh"
+
+namespace svb::load
+{
+
+const char *
+keepAlivePolicyName(KeepAlivePolicy policy)
+{
+    switch (policy) {
+      case KeepAlivePolicy::AlwaysCold: return "always-cold";
+      case KeepAlivePolicy::AlwaysWarm: return "always-warm";
+      case KeepAlivePolicy::FixedTtl: return "fixed-ttl";
+      case KeepAlivePolicy::Lru: return "lru";
+    }
+    return "?";
+}
+
+InstancePool::InstancePool(const PoolConfig &config) : cfg(config)
+{
+    svb_assert(cfg.maxInstances > 0, "pool needs at least one slot");
+    slots.resize(cfg.maxInstances);
+}
+
+void
+InstancePool::expireIdle(uint64_t now_ns)
+{
+    if (cfg.policy != KeepAlivePolicy::FixedTtl)
+        return;
+    for (Instance &inst : slots) {
+        if (inst.live && inst.busyUntilNs <= now_ns &&
+            now_ns - inst.lastUsedNs > cfg.keepAliveNs) {
+            inst.live = false;
+            ++poolStats.evictions;
+        }
+    }
+}
+
+InstancePool::Placement
+InstancePool::acquire(uint32_t fn_id, uint64_t now_ns)
+{
+    expireIdle(now_ns);
+
+    const bool reuse_allowed = cfg.policy != KeepAlivePolicy::AlwaysCold;
+    const bool provisioned = cfg.policy == KeepAlivePolicy::AlwaysWarm;
+
+    // 1. A warm idle instance of this function: reuse the most
+    //    recently used one (lets the others age toward eviction).
+    if (reuse_allowed) {
+        int best = -1;
+        for (unsigned i = 0; i < slots.size(); ++i) {
+            const Instance &inst = slots[i];
+            if (inst.live && inst.fnId == fn_id &&
+                inst.busyUntilNs <= now_ns &&
+                (best < 0 ||
+                 inst.lastUsedNs > slots[unsigned(best)].lastUsedNs))
+                best = int(i);
+        }
+        if (best >= 0) {
+            ++poolStats.warmHits;
+            return {unsigned(best), false, now_ns};
+        }
+    }
+
+    // 2. A free (dead) slot: start a new instance there.
+    for (unsigned i = 0; i < slots.size(); ++i) {
+        if (!slots[i].live && slots[i].busyUntilNs <= now_ns) {
+            slots[i].fnId = fn_id;
+            if (provisioned)
+                ++poolStats.warmHits;
+            else
+                ++poolStats.coldStarts;
+            return {i, !provisioned, now_ns};
+        }
+    }
+
+    // 3. Evict the least recently used idle instance (of any
+    //    function; same-function idles were caught in step 1).
+    int victim = -1;
+    for (unsigned i = 0; i < slots.size(); ++i) {
+        const Instance &inst = slots[i];
+        if (inst.live && inst.busyUntilNs <= now_ns &&
+            (victim < 0 ||
+             inst.lastUsedNs < slots[unsigned(victim)].lastUsedNs))
+            victim = int(i);
+    }
+    if (victim >= 0) {
+        slots[unsigned(victim)].fnId = fn_id;
+        slots[unsigned(victim)].live = false;
+        ++poolStats.evictions;
+        if (provisioned)
+            ++poolStats.warmHits;
+        else
+            ++poolStats.coldStarts;
+        return {unsigned(victim), !provisioned, now_ns};
+    }
+
+    // 4. Every slot is busy: queue behind the earliest-free one. If
+    //    it is running this same function, the follow-up request is a
+    //    warm hit (the instance stays resident); otherwise the slot
+    //    is recycled for us — an eviction plus a fresh start.
+    unsigned q = 0;
+    for (unsigned i = 1; i < slots.size(); ++i) {
+        if (slots[i].busyUntilNs < slots[q].busyUntilNs)
+            q = i;
+    }
+    const uint64_t start = slots[q].busyUntilNs;
+    const bool same_fn =
+        reuse_allowed && slots[q].live && slots[q].fnId == fn_id;
+    if (same_fn) {
+        ++poolStats.warmHits;
+        return {q, false, start};
+    }
+    if (slots[q].live)
+        ++poolStats.evictions;
+    slots[q].live = false;
+    slots[q].fnId = fn_id;
+    if (provisioned)
+        ++poolStats.warmHits;
+    else
+        ++poolStats.coldStarts;
+    return {q, !provisioned, start};
+}
+
+void
+InstancePool::release(unsigned slot, uint64_t end_ns)
+{
+    svb_assert(slot < slots.size(), "release of unknown slot");
+    Instance &inst = slots[slot];
+    inst.busyUntilNs = end_ns;
+    inst.lastUsedNs = end_ns;
+    // AlwaysCold tears the instance down with the request; every
+    // other policy keeps it resident (until TTL/LRU eviction).
+    inst.live = cfg.policy != KeepAlivePolicy::AlwaysCold;
+}
+
+unsigned
+InstancePool::liveInstances() const
+{
+    unsigned n = 0;
+    for (const Instance &inst : slots)
+        n += inst.live ? 1 : 0;
+    return n;
+}
+
+} // namespace svb::load

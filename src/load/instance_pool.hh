@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Keep-alive instance pool for the invocation-load subsystem.
+ *
+ * The pool decides, per invocation, whether the cold path (fresh
+ * container start) or the warm path is exercised — the keep-alive
+ * policy is what turns an arrival stream into a cold-start *rate*
+ * (Ustiugov et al.: the policy decides how often the cold path is
+ * paid). Capacity is bounded: when every slot is busy, a request
+ * queues on the earliest-free instance, which is how queueing delay
+ * enters the tail.
+ *
+ * Policies:
+ *  - AlwaysCold: every invocation boots a fresh instance (no reuse);
+ *    the serverless worst case and the Figure-4.1 cold column.
+ *  - AlwaysWarm: provisioned concurrency; no invocation ever pays the
+ *    cold path.
+ *  - FixedTtl: an idle instance is evicted keepAliveNs after its last
+ *    request completes (the fixed-keep-alive policy of commercial
+ *    FaaS platforms).
+ *  - Lru: instances live until capacity pressure evicts the least
+ *    recently used idle one (cache-style keep-alive).
+ *
+ * Placement is greedy in arrival order and fully deterministic: ties
+ * are broken by slot index, so identical invocation streams produce
+ * identical cold/warm decisions on every host and worker count.
+ */
+
+#ifndef SVB_LOAD_INSTANCE_POOL_HH
+#define SVB_LOAD_INSTANCE_POOL_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace svb::load
+{
+
+/** Keep-alive / eviction policy of a pool. */
+enum class KeepAlivePolicy
+{
+    AlwaysCold,
+    AlwaysWarm,
+    FixedTtl,
+    Lru,
+};
+
+const char *keepAlivePolicyName(KeepAlivePolicy policy);
+
+/** Pool parameters. */
+struct PoolConfig
+{
+    KeepAlivePolicy policy = KeepAlivePolicy::FixedTtl;
+    /** Instance slots: the concurrency limit of the deployment. */
+    unsigned maxInstances = 4;
+    /** FixedTtl only: idle lifetime after the last completion. */
+    uint64_t keepAliveNs = 100'000'000; // 100 ms
+};
+
+/** Aggregate pool outcomes over a run. */
+struct PoolStats
+{
+    uint64_t coldStarts = 0;
+    uint64_t warmHits = 0;
+    uint64_t evictions = 0;
+};
+
+/**
+ * A bounded pool of function instances with keep-alive.
+ *
+ * Usage per invocation (in arrival order): acquire() chooses the
+ * slot and the cold/warm path and the start time; the caller computes
+ * the service time and immediately release()s the slot with the
+ * completion time. The strict acquire-then-release pairing is what
+ * makes the greedy placement well-defined.
+ */
+class InstancePool
+{
+  public:
+    explicit InstancePool(const PoolConfig &config);
+
+    /** acquire()'s decision for one invocation. */
+    struct Placement
+    {
+        unsigned slot = 0;
+        bool cold = false;
+        /** Service start: the arrival time, or the queued-behind
+         *  instance's free time when every slot is busy. */
+        uint64_t startNs = 0;
+    };
+
+    /** Place an invocation of function @p fn_id arriving at @p now_ns. */
+    Placement acquire(uint32_t fn_id, uint64_t now_ns);
+
+    /** Complete the invocation on @p slot at @p end_ns. */
+    void release(unsigned slot, uint64_t end_ns);
+
+    const PoolStats &stats() const { return poolStats; }
+
+    /** Live (kept-alive) instances right now. */
+    unsigned liveInstances() const;
+
+  private:
+    struct Instance
+    {
+        bool live = false;
+        uint32_t fnId = 0;
+        uint64_t busyUntilNs = 0;
+        uint64_t lastUsedNs = 0;
+    };
+
+    /** Apply TTL expiry to idle instances at @p now_ns. */
+    void expireIdle(uint64_t now_ns);
+
+    PoolConfig cfg;
+    std::vector<Instance> slots;
+    PoolStats poolStats;
+};
+
+} // namespace svb::load
+
+#endif // SVB_LOAD_INSTANCE_POOL_HH

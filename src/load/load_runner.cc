@@ -1,0 +1,230 @@
+#include "load_runner.hh"
+
+#include <cmath>
+#include <map>
+
+#include "core/parallel.hh"
+#include "sim/logging.hh"
+
+namespace svb::load
+{
+
+namespace
+{
+
+std::map<std::string, uint64_t>
+packLoadResult(const LoadResult &res)
+{
+    return {
+        {"invocations", res.invocations},
+        {"coldStarts", res.coldStarts},
+        {"warmHits", res.warmHits},
+        {"evictions", res.evictions},
+        {"p50Ns", res.p50Ns},
+        {"p90Ns", res.p90Ns},
+        {"p99Ns", res.p99Ns},
+        {"p999Ns", res.p999Ns},
+        {"maxNs", res.maxNs},
+        {"throughputMrps",
+         uint64_t(std::llround(res.throughputRps * 1000.0))},
+        {"histoFp", res.histoFingerprint},
+        {"ok", res.ok ? 1u : 0u},
+    };
+}
+
+LoadResult
+unpackLoadResult(const std::string &scenario,
+                 const std::map<std::string, uint64_t> &fields)
+{
+    LoadResult res;
+    res.scenario = scenario;
+    res.invocations = fields.at("invocations");
+    res.coldStarts = fields.at("coldStarts");
+    res.warmHits = fields.at("warmHits");
+    res.evictions = fields.at("evictions");
+    res.p50Ns = fields.at("p50Ns");
+    res.p90Ns = fields.at("p90Ns");
+    res.p99Ns = fields.at("p99Ns");
+    res.p999Ns = fields.at("p999Ns");
+    res.maxNs = fields.at("maxNs");
+    res.throughputRps = double(fields.at("throughputMrps")) / 1000.0;
+    res.histoFingerprint = fields.at("histoFp");
+    res.ok = fields.at("ok") != 0;
+    return res;
+}
+
+/**
+ * The pure load simulation: replay calibrated service times through
+ * the arrival process and instance pool. Deterministic in (scenario,
+ * calibrations) alone — all randomness comes from seed-derived
+ * substreams, never from threads or wall clocks.
+ */
+LoadResult
+simulateStream(const LoadScenario &s,
+               const std::vector<LoadCalibration> &cals)
+{
+    LoadResult res;
+    res.scenario = s.name;
+    res.invocations = s.invocations;
+
+    const Rng master(s.seed);
+    ArrivalProcess arrivals(s.arrival, master.split(0));
+    Rng mixRng = master.split(1);
+    Rng warmRng = master.split(2);
+    InstancePool pool(s.pool);
+
+    double totalWeight = 0.0;
+    for (const LoadMixEntry &entry : s.mix)
+        totalWeight += entry.weight;
+    svb_assert(totalWeight > 0.0, "load mix has no weight");
+
+    uint64_t lastEndNs = 0;
+    for (uint64_t i = 0; i < s.invocations; ++i) {
+        const uint64_t arrival = arrivals.nextArrivalNs();
+
+        uint32_t fn = 0;
+        double u = mixRng.nextDouble() * totalWeight;
+        for (size_t m = 0; m + 1 < s.mix.size(); ++m) {
+            u -= s.mix[m].weight;
+            if (u < 0.0)
+                break;
+            fn = uint32_t(m + 1);
+        }
+
+        const InstancePool::Placement pl = pool.acquire(fn, arrival);
+        const LoadCalibration &cal = cals[fn];
+        const uint64_t service =
+            pl.cold ? cal.coldNs
+                    : cal.warmNs[warmRng.nextBounded(loadWarmSamples)];
+        const uint64_t end = pl.startNs + std::max<uint64_t>(1, service);
+        pool.release(pl.slot, end);
+
+        res.latency.record(end - arrival);
+        if (end > lastEndNs)
+            lastEndNs = end;
+    }
+
+    res.coldStarts = pool.stats().coldStarts;
+    res.warmHits = pool.stats().warmHits;
+    res.evictions = pool.stats().evictions;
+    res.p50Ns = res.latency.percentile(50.0);
+    res.p90Ns = res.latency.percentile(90.0);
+    res.p99Ns = res.latency.percentile(99.0);
+    res.p999Ns = res.latency.percentile(99.9);
+    res.maxNs = res.latency.maxValue();
+    res.throughputRps =
+        lastEndNs ? double(s.invocations) * 1e9 / double(lastEndNs) : 0.0;
+    res.histoFingerprint = res.latency.fingerprint();
+    res.ok = true;
+    return res;
+}
+
+} // namespace
+
+LoadResult
+LoadRunner::run(const LoadScenario &scenario)
+{
+    svb_assert(!scenario.mix.empty(), "load scenario with empty mix");
+    svb_assert(scenario.invocations > 0, "load scenario with no traffic");
+
+    std::vector<LoadCalibration> cals;
+    cals.reserve(scenario.mix.size());
+    for (const LoadMixEntry &entry : scenario.mix) {
+        svb_assert(entry.impl != nullptr, "mix entry without workload");
+        cals.push_back(cache.loadCalibration(scenario.cluster, entry.spec,
+                                             *entry.impl));
+        if (!cals.back().ok) {
+            warn(scenario.name, ": calibration of ", entry.spec.name,
+                 " failed; scenario skipped");
+            LoadResult res;
+            res.scenario = scenario.name;
+            return res;
+        }
+    }
+    return simulateStream(scenario, cals);
+}
+
+std::vector<LoadResult>
+loadSweep(ResultCache &cache, const std::vector<LoadScenario> &scenarios,
+          unsigned jobs_override)
+{
+    // --- Phase 1: calibrate every distinct (cluster, function) ----------
+    // Concurrent compute, submission-order record: ldcal CSV rows are
+    // identical to a serial sweep's at any worker count.
+    struct CalJob
+    {
+        const ClusterConfig *cfg;
+        const FunctionSpec *spec;
+        const WorkloadImpl *impl;
+    };
+    std::vector<CalJob> calJobs;
+    std::map<std::string, char> seenCal;
+    for (const LoadScenario &s : scenarios) {
+        for (const LoadMixEntry &entry : s.mix) {
+            const std::string key =
+                cache.loadCalKey(s.cluster, entry.spec);
+            if (!seenCal.emplace(key, 1).second)
+                continue;
+            LoadCalibration cached;
+            if (!cache.lookupLoadCal(s.cluster, entry.spec, cached))
+                calJobs.push_back({&s.cluster, &entry.spec, entry.impl});
+        }
+    }
+    if (!calJobs.empty()) {
+        const auto cals = parallelIndexed<LoadCalibration>(
+            calJobs.size(),
+            [&](size_t i) {
+                return cache.computeLoadCal(*calJobs[i].cfg,
+                                            *calJobs[i].spec,
+                                            *calJobs[i].impl);
+            },
+            jobs_override);
+        for (size_t i = 0; i < calJobs.size(); ++i)
+            cache.recordLoadCal(*calJobs[i].cfg, *calJobs[i].spec,
+                                cals[i]);
+    }
+
+    // --- Phase 2: simulate the scenarios --------------------------------
+    std::vector<LoadResult> results(scenarios.size());
+    std::map<std::string, size_t> primaryForKey;
+    std::vector<size_t> primaries;
+    std::vector<char> isHit(scenarios.size(), 0);
+    for (size_t i = 0; i < scenarios.size(); ++i) {
+        const std::string key =
+            cache.loadKey(scenarios[i].cluster, scenarios[i].name);
+        std::map<std::string, uint64_t> row;
+        if (cache.lookupLoadRow(key, row)) {
+            results[i] = unpackLoadResult(scenarios[i].name, row);
+            isHit[i] = 1;
+            continue;
+        }
+        if (primaryForKey.emplace(key, i).second)
+            primaries.push_back(i);
+    }
+    if (!primaries.empty()) {
+        const auto fresh = parallelIndexed<LoadResult>(
+            primaries.size(),
+            [&](size_t k) {
+                return LoadRunner(cache).run(scenarios[primaries[k]]);
+            },
+            jobs_override);
+        for (size_t k = 0; k < primaries.size(); ++k) {
+            const size_t idx = primaries[k];
+            results[idx] = fresh[k];
+            cache.recordLoadRow(
+                cache.loadKey(scenarios[idx].cluster, scenarios[idx].name),
+                packLoadResult(fresh[k]));
+        }
+    }
+    for (size_t i = 0; i < scenarios.size(); ++i) {
+        if (isHit[i])
+            continue;
+        const size_t primary = primaryForKey.at(
+            cache.loadKey(scenarios[i].cluster, scenarios[i].name));
+        if (primary != i)
+            results[i] = results[primary];
+    }
+    return results;
+}
+
+} // namespace svb::load

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The invocation-load runner: sustained request streams against the
+ * simulated serverless platform.
+ *
+ * The Figure-4.1 protocol measures one cold and one warm request per
+ * function; production platforms are characterised by *streams* —
+ * an arrival rate, a keep-alive policy, and the latency distribution
+ * they induce. This runner composes the pieces:
+ *
+ *  1. Service times are CALIBRATED on the real simulated cluster
+ *     (ExperimentRunner::runLoadCalibration): the measured cold-path
+ *     latency of request 1 on a freshly restored instance, and a
+ *     cycle of measured warm-path latencies. Each cold start restores
+ *     the PR-2 prepared-state checkpoint instead of re-booting, so a
+ *     warm CheckpointStore makes calibration cheap; rows are memoised
+ *     in the ResultCache (mode "ldcal").
+ *  2. An open-loop ArrivalProcess emits invocation timestamps; an
+ *     InstancePool maps each invocation to the cold or warm path and
+ *     to a start time (queueing included); the per-invocation
+ *     latency (completion - arrival) feeds a LatencyHistogram.
+ *  3. Scenario summaries land in the ResultCache as mode-"load" rows;
+ *     loadSweep() fans scenarios out across SVBENCH_JOBS workers and
+ *     records rows in submission order, so the CSV is byte-identical
+ *     to a serial sweep.
+ *
+ * Everything downstream of calibration is a pure function of the
+ * scenario (seed included): identical seeds give byte-identical
+ * histograms and cold-start counts at any worker count.
+ */
+
+#ifndef SVB_LOAD_LOAD_RUNNER_HH
+#define SVB_LOAD_LOAD_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "arrival.hh"
+#include "core/result_cache.hh"
+#include "histogram.hh"
+#include "instance_pool.hh"
+
+namespace svb::load
+{
+
+/** One function of a scenario's traffic mix. */
+struct LoadMixEntry
+{
+    FunctionSpec spec;
+    const WorkloadImpl *impl = nullptr;
+    double weight = 1.0;
+};
+
+/** A complete load-scenario description. */
+struct LoadScenario
+{
+    /** Row-key component; no ',', '|' or '=' characters. */
+    std::string name;
+    ClusterConfig cluster;
+    std::vector<LoadMixEntry> mix;
+    ArrivalConfig arrival;
+    PoolConfig pool;
+    uint64_t invocations = 2000;
+    uint64_t seed = 0x10adULL;
+};
+
+/** Scenario outcome: pool stats plus the latency distribution. */
+struct LoadResult
+{
+    std::string scenario;
+    uint64_t invocations = 0;
+    uint64_t coldStarts = 0;
+    uint64_t warmHits = 0;
+    uint64_t evictions = 0;
+    uint64_t p50Ns = 0;
+    uint64_t p90Ns = 0;
+    uint64_t p99Ns = 0;
+    uint64_t p999Ns = 0;
+    uint64_t maxNs = 0;
+    /** Completed invocations per second of simulated load time. */
+    double throughputRps = 0.0;
+    uint64_t histoFingerprint = 0;
+    /** Full distribution; empty when the result came from the CSV
+     *  cache (summary fields are always populated). */
+    LatencyHistogram latency;
+    bool ok = false;
+};
+
+/**
+ * Runs one scenario at a time against a shared ResultCache.
+ */
+class LoadRunner
+{
+  public:
+    explicit LoadRunner(ResultCache &cache_arg) : cache(cache_arg) {}
+
+    /**
+     * Calibrate (through the cache) and simulate @p scenario. Always
+     * simulates the stream — only calibration is memoised — so the
+     * full histogram is populated.
+     */
+    LoadResult run(const LoadScenario &scenario);
+
+  private:
+    ResultCache &cache;
+};
+
+/**
+ * Run every scenario, fanned out across SVBENCH_JOBS workers.
+ *
+ * Phase 1 calibrates every distinct (cluster, function) of the
+ * scenario mixes — concurrently, but recorded in submission order.
+ * Phase 2 simulates the scenarios concurrently; cached scenario rows
+ * are answered inline, fresh summaries are recorded in submission
+ * order. The CSV backing file ends up byte-identical to a serial
+ * sweep of the same scenario list.
+ */
+std::vector<LoadResult> loadSweep(ResultCache &cache,
+                                  const std::vector<LoadScenario> &scenarios,
+                                  unsigned jobs_override = 0);
+
+} // namespace svb::load
+
+#endif // SVB_LOAD_LOAD_RUNNER_HH

@@ -29,9 +29,22 @@ rotl(uint64_t x, int k)
 void
 Rng::reseed(uint64_t seed)
 {
+    seed0 = seed;
     uint64_t sm = seed;
     for (auto &s : state)
         s = splitMix64(sm);
+}
+
+Rng
+Rng::split(uint64_t stream_id) const
+{
+    // Mix the stream id into the original seed through two SplitMix64
+    // rounds; the +1 keeps split(0) distinct from the parent stream.
+    uint64_t sm = seed0;
+    uint64_t derived = splitMix64(sm);
+    sm = derived ^ ((stream_id + 1) * 0x9e3779b97f4a7c15ULL);
+    derived = splitMix64(sm);
+    return Rng(derived);
 }
 
 uint64_t

@@ -39,8 +39,20 @@ class Rng
     /** @return a double uniformly distributed in [0, 1). */
     double nextDouble();
 
+    /**
+     * Derive an independent, deterministic substream.
+     *
+     * The derived generator is a pure function of (constructing seed,
+     * @p stream_id) — it does NOT depend on how many values have been
+     * drawn from this generator, nor on which thread calls it. Work
+     * split across SVBENCH_JOBS workers therefore sees identical
+     * substreams regardless of worker count or scheduling order.
+     */
+    Rng split(uint64_t stream_id) const;
+
   private:
     uint64_t state[4];
+    uint64_t seed0 = 0; ///< the seed reseed() was last given
 };
 
 } // namespace svb

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * The invocation-load subsystem's contracts:
+ *  - arrival generators are deterministic per substream, independent
+ *    of how streams are partitioned across SVBENCH_JOBS workers;
+ *  - the instance pool implements each keep-alive policy's cold/warm
+ *    and eviction semantics;
+ *  - loadSweep() produces byte-identical results and CSV rows at any
+ *    worker count, with the cold path exercised under load;
+ *  - the new ResultCache row modes ("ldcal", "load") round-trip, and
+ *    rows of unknown modes or stale schema versions are skipped, not
+ *    misparsed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/checkpoint_store.hh"
+#include "core/parallel.hh"
+#include "load/load_runner.hh"
+#include "workloads/workloads.hh"
+
+using namespace svb;
+using namespace svb::load;
+
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+struct TempCacheFile
+{
+    explicit TempCacheFile(std::string p) : path(std::move(p))
+    {
+        std::remove(path.c_str());
+    }
+    ~TempCacheFile() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+struct TempCheckpointDir
+{
+    explicit TempCheckpointDir(std::string d) : dir(std::move(d))
+    {
+        std::filesystem::remove_all(dir);
+        CheckpointStore::global().resetForTest(dir);
+    }
+    ~TempCheckpointDir()
+    {
+        std::filesystem::remove_all(dir);
+        CheckpointStore::global().resetForTest(dir);
+    }
+    std::string dir;
+};
+
+FunctionSpec
+specFor(const std::string &name)
+{
+    for (const FunctionSpec &spec : workloads::allFunctions()) {
+        if (spec.name == name)
+            return spec;
+    }
+    ADD_FAILURE() << "unknown function " << name;
+    return {};
+}
+
+ClusterConfig
+standaloneConfig(IsaId isa)
+{
+    ClusterConfig cfg;
+    cfg.system = SystemConfig::paperConfig(isa);
+    cfg.startDb = false;
+    cfg.startMemcached = false;
+    return cfg;
+}
+
+LoadScenario
+smallScenario(const std::string &name, KeepAlivePolicy policy)
+{
+    const FunctionSpec spec = specFor("fibonacci-go");
+    LoadScenario s;
+    s.name = name;
+    s.cluster = standaloneConfig(IsaId::Riscv);
+    s.mix = {{spec, &workloads::workloadImpl(spec.workload), 1.0}};
+    s.arrival.kind = ArrivalKind::Poisson;
+    s.arrival.ratePerSec = 400.0;
+    s.pool.policy = policy;
+    s.pool.maxInstances = 4;
+    s.pool.keepAliveNs = 2'000'000; // 2 ms: forces TTL expiries
+    s.invocations = 400;
+    s.seed = 77;
+    return s;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------------
+// Arrival generators
+// --------------------------------------------------------------------------
+
+TEST(Arrival, UniformGapIsExact)
+{
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::Uniform;
+    cfg.ratePerSec = 1000.0; // 1 ms gaps
+    const auto times = ArrivalProcess::generate(cfg, Rng(1).split(0), 5);
+    ASSERT_EQ(times.size(), 5u);
+    for (size_t i = 0; i < times.size(); ++i)
+        EXPECT_EQ(times[i], (i + 1) * 1'000'000u);
+}
+
+TEST(Arrival, PoissonIsMonotoneAndHitsTheMeanRate)
+{
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::Poisson;
+    cfg.ratePerSec = 500.0;
+    const size_t n = 20'000;
+    const auto times = ArrivalProcess::generate(cfg, Rng(2).split(0), n);
+    for (size_t i = 1; i < n; ++i)
+        ASSERT_GT(times[i], times[i - 1]);
+    // Long-run rate within 5% of the configured one.
+    const double secs = double(times.back()) * 1e-9;
+    const double rate = double(n) / secs;
+    EXPECT_NEAR(rate, cfg.ratePerSec, cfg.ratePerSec * 0.05);
+}
+
+TEST(Arrival, BurstPreservesTheAverageRate)
+{
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::Burst;
+    cfg.ratePerSec = 200.0;
+    cfg.burstFactor = 5.0;
+    cfg.burstDuty = 0.1;
+    cfg.burstPeriodNs = 100'000'000;
+    const size_t n = 20'000;
+    const auto times = ArrivalProcess::generate(cfg, Rng(3).split(0), n);
+    const double rate = double(n) / (double(times.back()) * 1e-9);
+    EXPECT_NEAR(rate, cfg.ratePerSec, cfg.ratePerSec * 0.10);
+    for (size_t i = 1; i < n; ++i)
+        ASSERT_GT(times[i], times[i - 1]);
+}
+
+TEST(Arrival, SubstreamsIdenticalAtAnyWorkerCount)
+{
+    // The satellite contract for sim/rng split(): per-stream arrival
+    // sequences depend only on (seed, streamId) — partitioning the
+    // streams across 1 or 8 pool workers changes nothing.
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::Poisson;
+    cfg.ratePerSec = 250.0;
+    const Rng master(0xfeed);
+    constexpr size_t streams = 16;
+
+    auto runWith = [&](unsigned jobs) {
+        return parallelIndexed<std::vector<uint64_t>>(
+            streams,
+            [&](size_t id) {
+                return ArrivalProcess::generate(cfg, master.split(id),
+                                                200);
+            },
+            jobs);
+    };
+    const auto serial = runWith(1);
+    const auto wide = runWith(8);
+    ASSERT_EQ(serial.size(), wide.size());
+    for (size_t i = 0; i < streams; ++i)
+        EXPECT_EQ(serial[i], wide[i]) << "stream " << i;
+    // And distinct streams really are distinct.
+    EXPECT_NE(serial[0], serial[1]);
+}
+
+// --------------------------------------------------------------------------
+// Instance pool policies
+// --------------------------------------------------------------------------
+
+TEST(InstancePool, AlwaysColdNeverReuses)
+{
+    PoolConfig cfg;
+    cfg.policy = KeepAlivePolicy::AlwaysCold;
+    cfg.maxInstances = 2;
+    InstancePool pool(cfg);
+    uint64_t t = 0;
+    for (int i = 0; i < 10; ++i) {
+        t += 1000;
+        const auto pl = pool.acquire(0, t);
+        EXPECT_TRUE(pl.cold);
+        pool.release(pl.slot, t + 100);
+    }
+    EXPECT_EQ(pool.stats().coldStarts, 10u);
+    EXPECT_EQ(pool.stats().warmHits, 0u);
+    EXPECT_EQ(pool.liveInstances(), 0u);
+}
+
+TEST(InstancePool, AlwaysWarmNeverPaysTheColdPath)
+{
+    PoolConfig cfg;
+    cfg.policy = KeepAlivePolicy::AlwaysWarm;
+    cfg.maxInstances = 2;
+    InstancePool pool(cfg);
+    uint64_t t = 0;
+    for (uint32_t fn = 0; fn < 4; ++fn) { // more functions than slots
+        t += 1000;
+        const auto pl = pool.acquire(fn, t);
+        EXPECT_FALSE(pl.cold);
+        pool.release(pl.slot, t + 100);
+    }
+    EXPECT_EQ(pool.stats().coldStarts, 0u);
+    EXPECT_EQ(pool.stats().warmHits, 4u);
+}
+
+TEST(InstancePool, FixedTtlEvictsIdleInstances)
+{
+    PoolConfig cfg;
+    cfg.policy = KeepAlivePolicy::FixedTtl;
+    cfg.maxInstances = 4;
+    cfg.keepAliveNs = 1000;
+    InstancePool pool(cfg);
+
+    auto pl = pool.acquire(0, 0);
+    EXPECT_TRUE(pl.cold);
+    pool.release(pl.slot, 100);
+
+    // Within the TTL: warm.
+    pl = pool.acquire(0, 600);
+    EXPECT_FALSE(pl.cold);
+    pool.release(pl.slot, 700);
+
+    // Idle past the TTL: evicted, cold again.
+    pl = pool.acquire(0, 5000);
+    EXPECT_TRUE(pl.cold);
+    pool.release(pl.slot, 5100);
+
+    EXPECT_EQ(pool.stats().coldStarts, 2u);
+    EXPECT_EQ(pool.stats().warmHits, 1u);
+    EXPECT_EQ(pool.stats().evictions, 1u);
+}
+
+TEST(InstancePool, LruEvictsTheLeastRecentlyUsedUnderPressure)
+{
+    PoolConfig cfg;
+    cfg.policy = KeepAlivePolicy::Lru;
+    cfg.maxInstances = 2;
+    InstancePool pool(cfg);
+
+    auto a = pool.acquire(0, 0); // cold, slot for fn 0
+    pool.release(a.slot, 10);
+    auto b = pool.acquire(1, 100); // cold, slot for fn 1
+    pool.release(b.slot, 110);
+
+    // fn 0 again: warm (still resident).
+    auto c = pool.acquire(0, 200);
+    EXPECT_FALSE(c.cold);
+    pool.release(c.slot, 210);
+
+    // fn 2 needs a slot: evicts fn 1 (least recently used), cold
+    // start. fn 0 — more recently used — survives.
+    auto d = pool.acquire(2, 300);
+    EXPECT_TRUE(d.cold);
+    pool.release(d.slot, 310);
+    EXPECT_EQ(pool.stats().evictions, 1u);
+
+    auto e = pool.acquire(0, 400);
+    EXPECT_FALSE(e.cold);
+    pool.release(e.slot, 410);
+
+    // fn 1 was the victim, so it is cold again — and its slot comes
+    // from evicting fn 2, now the least recently used.
+    auto f = pool.acquire(1, 500);
+    EXPECT_TRUE(f.cold);
+    pool.release(f.slot, 510);
+    EXPECT_EQ(pool.stats().evictions, 2u);
+}
+
+TEST(InstancePool, QueuesWhenEverySlotIsBusy)
+{
+    PoolConfig cfg;
+    cfg.policy = KeepAlivePolicy::FixedTtl;
+    cfg.maxInstances = 1;
+    cfg.keepAliveNs = 1'000'000;
+    InstancePool pool(cfg);
+
+    auto a = pool.acquire(0, 0);
+    EXPECT_TRUE(a.cold);
+    pool.release(a.slot, 10'000); // busy until t=10000
+
+    // Arrives at t=100 while the only slot is busy: queued behind it,
+    // warm (same function keeps the instance resident).
+    auto b = pool.acquire(0, 100);
+    EXPECT_FALSE(b.cold);
+    EXPECT_EQ(b.startNs, 10'000u);
+    pool.release(b.slot, 20'000);
+}
+
+// --------------------------------------------------------------------------
+// Load sweep over the simulated cluster
+// --------------------------------------------------------------------------
+
+TEST(LoadSweep, DeterministicAcrossWorkerCountsAndExercisesColdPath)
+{
+    TempCheckpointDir ckpts("ckpt_load_sweep");
+
+    const std::vector<LoadScenario> scenarios = {
+        smallScenario("t-ttl", KeepAlivePolicy::FixedTtl),
+        smallScenario("t-warm", KeepAlivePolicy::AlwaysWarm),
+        smallScenario("t-cold", KeepAlivePolicy::AlwaysCold),
+    };
+
+    TempCacheFile serial_file("test_load_serial.csv");
+    std::vector<LoadResult> serial;
+    {
+        ResultCache cache(serial_file.path);
+        serial = loadSweep(cache, scenarios, 1);
+    }
+
+    TempCacheFile par_file("test_load_jobs8.csv");
+    std::vector<LoadResult> wide;
+    {
+        ResultCache cache(par_file.path);
+        wide = loadSweep(cache, scenarios, 8);
+    }
+
+    ASSERT_EQ(serial.size(), wide.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_TRUE(serial[i].ok) << scenarios[i].name;
+        // Byte-identical histograms and cold-start counts.
+        EXPECT_TRUE(serial[i].latency == wide[i].latency);
+        EXPECT_EQ(serial[i].histoFingerprint, wide[i].histoFingerprint);
+        EXPECT_EQ(serial[i].coldStarts, wide[i].coldStarts);
+        EXPECT_EQ(serial[i].p99Ns, wide[i].p99Ns);
+        EXPECT_EQ(serial[i].invocations, serial[i].latency.count());
+    }
+
+    // The CSV backing file too (ldcal + load rows, submission order).
+    const std::string serial_csv = slurp(serial_file.path);
+    EXPECT_FALSE(serial_csv.empty());
+    EXPECT_EQ(serial_csv, slurp(par_file.path));
+
+    // The keep-alive policy decides how often the cold path is paid.
+    const LoadResult &ttl = serial[0];
+    const LoadResult &warm = serial[1];
+    const LoadResult &cold = serial[2];
+    EXPECT_GT(ttl.coldStarts, 0u);
+    EXPECT_LT(ttl.coldStarts, ttl.invocations);
+    EXPECT_EQ(warm.coldStarts, 0u);
+    EXPECT_EQ(cold.coldStarts, cold.invocations);
+    // Mixing cold and warm invocations separates the tail from the
+    // median: the cold path is really exercised under load.
+    EXPECT_GT(ttl.p99Ns, ttl.p50Ns);
+    // Warm-only traffic is strictly faster at the median than
+    // cold-only traffic.
+    EXPECT_LT(warm.p50Ns, cold.p50Ns);
+}
+
+TEST(LoadSweep, SecondSweepIsAllCacheHits)
+{
+    TempCheckpointDir ckpts("ckpt_load_rerun");
+    const std::vector<LoadScenario> scenarios = {
+        smallScenario("t-rerun", KeepAlivePolicy::FixedTtl)};
+
+    TempCacheFile file("test_load_rerun.csv");
+    ResultCache cache(file.path);
+    const auto first = loadSweep(cache, scenarios, 2);
+    const std::string csv_after_first = slurp(file.path);
+    const auto second = loadSweep(cache, scenarios, 2);
+    EXPECT_EQ(csv_after_first, slurp(file.path));
+    ASSERT_EQ(first.size(), second.size());
+    EXPECT_EQ(first[0].coldStarts, second[0].coldStarts);
+    EXPECT_EQ(first[0].p99Ns, second[0].p99Ns);
+    EXPECT_EQ(first[0].histoFingerprint, second[0].histoFingerprint);
+    // A cache-hit result carries the summary but not the buckets.
+    EXPECT_EQ(second[0].latency.count(), 0u);
+    EXPECT_TRUE(second[0].ok);
+}
+
+// --------------------------------------------------------------------------
+// ResultCache row modes and schema versions
+// --------------------------------------------------------------------------
+
+TEST(ResultCacheSchema, UnknownModeRowsAreSkippedNotMisparsed)
+{
+    TempCacheFile file("test_load_schema.csv");
+    {
+        std::ofstream os(file.path);
+        os << "riscv64,cassandra,00,fib,futuremode|ok=1|v=9\n";
+    }
+    ResultCache cache(file.path);
+    // The unknown-mode row must not satisfy any lookup.
+    std::map<std::string, uint64_t> row;
+    EXPECT_FALSE(
+        cache.lookupLoadRow("riscv64,cassandra,00,fib,futuremode", row));
+}
+
+TEST(ResultCacheSchema, StaleVersionRowsAreSkipped)
+{
+    const FunctionSpec spec = specFor("fibonacci-go");
+    const ClusterConfig cfg = standaloneConfig(IsaId::Riscv);
+
+    TempCacheFile file("test_load_stale.csv");
+    std::string key;
+    {
+        ResultCache cache(file.path);
+        key = cache.loadCalKey(cfg, spec);
+    }
+    {
+        // A complete ldcal row, but with a schema version from the
+        // future: every field present, still rejected.
+        std::ofstream os(file.path);
+        os << key
+           << "|coldNs=5|ok=1|v=99|warm0Ns=1|warm1Ns=1|warm2Ns=1|"
+              "warm3Ns=1\n";
+    }
+    ResultCache cache(file.path);
+    LoadCalibration cal;
+    EXPECT_FALSE(cache.lookupLoadCal(cfg, spec, cal));
+}
+
+TEST(ResultCacheSchema, LoadCalRowRoundTrips)
+{
+    const FunctionSpec spec = specFor("fibonacci-go");
+    const ClusterConfig cfg = standaloneConfig(IsaId::Riscv);
+
+    TempCacheFile file("test_load_roundtrip.csv");
+    LoadCalibration cal;
+    cal.name = spec.name;
+    cal.coldNs = 123456;
+    for (unsigned k = 0; k < loadWarmSamples; ++k)
+        cal.warmNs[k] = 1000 + k;
+    cal.ok = true;
+    {
+        ResultCache cache(file.path);
+        cache.recordLoadCal(cfg, spec, cal);
+    }
+    // A fresh cache instance re-reads it from disk.
+    ResultCache cache(file.path);
+    LoadCalibration back;
+    ASSERT_TRUE(cache.lookupLoadCal(cfg, spec, back));
+    EXPECT_EQ(back.coldNs, cal.coldNs);
+    for (unsigned k = 0; k < loadWarmSamples; ++k)
+        EXPECT_EQ(back.warmNs[k], cal.warmNs[k]);
+    EXPECT_TRUE(back.ok);
+}

@@ -5,15 +5,23 @@
  *    self-consistent or cleanly invalid — never crash or lie about
  *    lengths;
  *  - whole-suite invariants: every function of the evaluation set,
- *    driven end-to-end, satisfies cold > warm > 0.
+ *    driven end-to-end, satisfies cold > warm > 0;
+ *  - latency-histogram invariants: bucket boundaries tile the value
+ *    space, percentiles bound the true order statistic within one
+ *    sub-bucket, and merge() is exactly equivalent to a single pass.
  */
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
 
 #include "core/experiment.hh"
 #include "isa/cx86/decoder.hh"
 #include "isa/disasm.hh"
 #include "isa/riscv/decoder.hh"
+#include "load/histogram.hh"
 #include "sim/rng.hh"
 #include "workloads/workloads.hh"
 
@@ -106,3 +114,106 @@ TEST_P(SuiteSweepTest, EveryFunctionHasColdGreaterThanWarm)
 
 INSTANTIATE_TEST_SUITE_P(AllFunctions, SuiteSweepTest,
                          ::testing::Range(0, 21));
+
+TEST(HistogramProperty, BucketsTileTheValueSpace)
+{
+    using load::LatencyHistogram;
+    // Consecutive buckets must cover [0, 2^64) with no gaps and no
+    // overlaps, and every probe value must land in the bucket whose
+    // [low, high] range contains it.
+    const size_t n = LatencyHistogram::numBuckets();
+    for (size_t i = 1; i < n; ++i) {
+        ASSERT_EQ(LatencyHistogram::bucketLow(i),
+                  LatencyHistogram::bucketHigh(i - 1) + 1)
+            << "gap/overlap at bucket " << i;
+    }
+    EXPECT_EQ(LatencyHistogram::bucketLow(0), 0u);
+    EXPECT_EQ(LatencyHistogram::bucketHigh(n - 1), ~uint64_t(0));
+
+    Rng rng(0x815);
+    for (int i = 0; i < 100'000; ++i) {
+        // Bit-width-uniform probes so every octave gets exercised.
+        const unsigned bits = 1 + unsigned(rng.nextBounded(64));
+        const uint64_t v =
+            bits == 64 ? rng.next() : rng.next() >> (64 - bits);
+        const size_t idx = LatencyHistogram::bucketIndex(v);
+        ASSERT_LT(idx, n);
+        ASSERT_GE(v, LatencyHistogram::bucketLow(idx));
+        ASSERT_LE(v, LatencyHistogram::bucketHigh(idx));
+    }
+    // Boundary values in the exact region map to themselves.
+    for (uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+        const size_t idx = LatencyHistogram::bucketIndex(v);
+        EXPECT_EQ(LatencyHistogram::bucketLow(idx), v);
+        EXPECT_EQ(LatencyHistogram::bucketHigh(idx), v);
+    }
+}
+
+TEST(HistogramProperty, PercentileBoundsTheSortedReference)
+{
+    using load::LatencyHistogram;
+    Rng rng(0x9e11);
+    for (int trial = 0; trial < 20; ++trial) {
+        LatencyHistogram h;
+        std::vector<uint64_t> samples;
+        const size_t n = 100 + rng.nextBounded(5000);
+        for (size_t i = 0; i < n; ++i) {
+            // Log-uniform latencies spanning ns to tens of seconds.
+            const unsigned bits = 1 + unsigned(rng.nextBounded(35));
+            const uint64_t v = rng.next() >> (64 - bits);
+            samples.push_back(v);
+            h.record(v);
+        }
+        std::sort(samples.begin(), samples.end());
+        for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+            const size_t rank =
+                p == 0.0 ? 0
+                         : std::min<size_t>(
+                               n - 1,
+                               size_t(std::ceil(p / 100.0 * double(n))) -
+                                   1);
+            const uint64_t ref = samples[rank];
+            const uint64_t est = h.percentile(p);
+            // Estimate is the bucket's inclusive upper bound: never
+            // below the true order statistic, and within one
+            // sub-bucket width above it.
+            ASSERT_GE(est, ref) << "p=" << p << " n=" << n;
+            const double maxErr =
+                double(ref) / double(LatencyHistogram::kSubBuckets) + 1.0;
+            ASSERT_LE(double(est - ref), maxErr) << "p=" << p << " n=" << n;
+        }
+        EXPECT_EQ(h.maxValue(), samples.back());
+        EXPECT_EQ(h.minValue(), samples.front());
+    }
+}
+
+TEST(HistogramProperty, MergeEqualsSinglePass)
+{
+    using load::LatencyHistogram;
+    Rng rng(0x3e6e);
+    for (int trial = 0; trial < 20; ++trial) {
+        // Split one sample stream across k partial histograms the way
+        // the parallel scheduler would, merge them in order, and
+        // require exact equality with the single-pass histogram —
+        // counts, totals, min/max, and fingerprint.
+        const unsigned k = 2 + unsigned(rng.nextBounded(7));
+        std::vector<LatencyHistogram> parts(k);
+        LatencyHistogram single;
+        const size_t n = 1000 + rng.nextBounded(10'000);
+        for (size_t i = 0; i < n; ++i) {
+            const unsigned bits = 1 + unsigned(rng.nextBounded(40));
+            const uint64_t v = rng.next() >> (64 - bits);
+            single.record(v);
+            parts[rng.nextBounded(k)].record(v);
+        }
+        LatencyHistogram merged;
+        for (const LatencyHistogram &part : parts)
+            merged.merge(part);
+        ASSERT_TRUE(merged == single);
+        ASSERT_EQ(merged.fingerprint(), single.fingerprint());
+        ASSERT_EQ(merged.count(), single.count());
+        ASSERT_DOUBLE_EQ(merged.mean(), single.mean());
+        for (double p : {50.0, 99.0, 99.9})
+            ASSERT_EQ(merged.percentile(p), single.percentile(p));
+    }
+}
