@@ -27,6 +27,7 @@ main()
         rows.push_back({res.name,
                         {double(res.cold.cycles), double(res.warm.cycles)}});
     }
-    report::barFigure({"RISCV Cold", "RISCV Warm"}, "cycles", rows);
+    report::barFigure({{"RISCV Cold", "cycles"}, {"RISCV Warm", "cycles"}},
+                      rows);
     return 0;
 }

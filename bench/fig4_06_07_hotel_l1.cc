@@ -25,7 +25,8 @@ main()
                              {double(res.cold.l1iMisses),
                               double(res.cold.l1dMisses)}});
     }
-    report::barFigure({"L1 Instruction", "L1 Data"}, "misses", cold_rows);
+    report::barFigure({{"L1 Instruction", "misses"}, {"L1 Data", "misses"}},
+                      cold_rows);
 
     report::figureHeader("Figure 4.7",
                          "hotel L1 cache misses, RISC-V, warm execution",
@@ -36,6 +37,7 @@ main()
                              {double(res.warm.l1iMisses),
                               double(res.warm.l1dMisses)}});
     }
-    report::barFigure({"L1 Instruction", "L1 Data"}, "misses", warm_rows);
+    report::barFigure({{"L1 Instruction", "misses"}, {"L1 Data", "misses"}},
+                      warm_rows);
     return 0;
 }

@@ -25,7 +25,9 @@ main()
                              {double(res.cold.l1iMisses),
                               double(res.cold.l1dMisses)}});
     }
-    report::stackedPercentFigure({"L1 Instruction", "L1 Data"}, cold_rows);
+    const std::vector<report::SeriesSpec> l1_series = {
+        {"L1 Instruction", ""}, {"L1 Data", ""}};
+    report::stackedPercentFigure(l1_series, cold_rows);
 
     report::figureHeader("Figure 4.9",
                          "hotel L1 miss split (I vs D), RISC-V, warm",
@@ -36,6 +38,6 @@ main()
                              {double(res.warm.l1iMisses),
                               double(res.warm.l1dMisses)}});
     }
-    report::stackedPercentFigure({"L1 Instruction", "L1 Data"}, warm_rows);
+    report::stackedPercentFigure(l1_series, warm_rows);
     return 0;
 }

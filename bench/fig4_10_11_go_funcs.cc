@@ -34,7 +34,8 @@ main()
                             {double(res.cold.cycles),
                              double(res.warm.cycles)}});
     }
-    report::barFigure({"RISCV Cold", "RISCV Warm"}, "cycles", cyc_rows);
+    report::barFigure({{"RISCV Cold", "cycles"}, {"RISCV Warm", "cycles"}},
+                      cyc_rows);
 
     report::figureHeader("Figure 4.11",
                          "L2 misses, all Go functions, RISC-V (cold/warm)",
@@ -45,6 +46,7 @@ main()
                            {double(res.cold.l2Misses),
                             double(res.warm.l2Misses)}});
     }
-    report::barFigure({"RISCV Cold", "RISCV Warm"}, "L2 misses", l2_rows);
+    report::barFigure(
+        {{"RISCV Cold", "L2 misses"}, {"RISCV Warm", "L2 misses"}}, l2_rows);
     return 0;
 }

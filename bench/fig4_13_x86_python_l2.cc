@@ -27,6 +27,7 @@ main()
                         {double(res.cold.l2Misses),
                          double(res.warm.l2Misses)}});
     }
-    report::barFigure({"x86 Cold", "x86 Warm"}, "L2 misses", rows);
+    report::barFigure({{"x86 Cold", "L2 misses"}, {"x86 Warm", "L2 misses"}},
+                      rows);
     return 0;
 }

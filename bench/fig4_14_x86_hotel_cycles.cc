@@ -24,6 +24,7 @@ main()
         rows.push_back({res.name,
                         {double(res.cold.cycles), double(res.warm.cycles)}});
     }
-    report::barFigure({"x86 Cold", "x86 Warm"}, "cycles", rows);
+    report::barFigure({{"x86 Cold", "cycles"}, {"x86 Warm", "cycles"}},
+                      rows);
     return 0;
 }

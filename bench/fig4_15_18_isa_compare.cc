@@ -8,6 +8,8 @@
  * instruction count of the lean RISC-V software stack.
  */
 
+#include <cstdlib>
+
 #include "bench_common.hh"
 
 using namespace svb;
@@ -30,12 +32,15 @@ main()
     const std::vector<SystemConfig> platforms = {
         SystemConfig::paperConfig(IsaId::Cx86),
         SystemConfig::paperConfig(IsaId::Riscv)};
-    const std::vector<std::string> series = {"x86 Cold", "x86 Warm",
-                                             "RISCV Cold", "RISCV Warm"};
+    const std::vector<std::string> seriesNames = {"x86 Cold", "x86 Warm",
+                                                  "RISCV Cold", "RISCV Warm"};
 
     auto emit = [&](const std::string &fig, const std::string &caption,
                     const std::string &unit, auto field) {
         report::figureHeader(fig, caption, platforms);
+        std::vector<report::SeriesSpec> series;
+        for (const std::string &name : seriesNames)
+            series.push_back({name, unit});
         std::vector<report::Row> rows;
         for (size_t i = 0; i < rv.size(); ++i) {
             rows.push_back({rv[i].name,
@@ -44,7 +49,7 @@ main()
                              double(field(rv[i].cold)),
                              double(field(rv[i].warm))}});
         }
-        report::barFigure(series, unit, rows);
+        report::barFigure(series, rows);
     };
 
     emit("Figure 4.15", "cycles, standalone + shop, RISC-V vs x86",
@@ -65,5 +70,28 @@ main()
     }
     std::printf("\nRISC-V cold faster than x86 warm for %zu of %zu"
                 " benchmarks\n", riscv_cold_beats_x86_warm, rv.size());
+
+    // Opt-in extra panel (off by default so the figure output above
+    // stays byte-identical): per-request stall-cause attribution.
+    if (std::getenv("SVBENCH_STALLS") != nullptr) {
+        report::figureHeader("Stall panel",
+                             "O3 stall-cause breakdown, cold + warm, "
+                             "RISC-V vs x86 (percent of cycles)",
+                             platforms);
+        std::vector<report::Row> stall_rows;
+        auto add = [&](const std::string &label, const RequestStats &s) {
+            std::vector<double> vals;
+            for (unsigned c = 0; c < numStallCauses; ++c)
+                vals.push_back(double(s.stalls[c]));
+            stall_rows.push_back({label, vals});
+        };
+        for (size_t i = 0; i < rv.size(); ++i) {
+            add(rv[i].name + "/x86/cold", cx[i].cold);
+            add(rv[i].name + "/x86/warm", cx[i].warm);
+            add(rv[i].name + "/riscv/cold", rv[i].cold);
+            add(rv[i].name + "/riscv/warm", rv[i].warm);
+        }
+        report::stallPanel(stall_rows);
+    }
     return 0;
 }

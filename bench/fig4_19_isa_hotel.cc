@@ -31,7 +31,10 @@ main()
                          double(rv[i].cold.cycles),
                          double(rv[i].warm.cycles)}});
     }
-    report::barFigure({"x86 Cold", "x86 Warm", "RISCV Cold", "RISCV Warm"},
-                      "cycles", rows);
+    report::barFigure({{"x86 Cold", "cycles"},
+                       {"x86 Warm", "cycles"},
+                       {"RISCV Cold", "cycles"},
+                       {"RISCV Warm", "cycles"}},
+                      rows);
     return 0;
 }

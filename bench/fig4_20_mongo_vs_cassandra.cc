@@ -35,7 +35,10 @@ main()
         "Figure 4.20",
         "hotel latency with Cassandra vs MongoDB, emulation mode, x86 (ns)",
         {SystemConfig::paperConfig(IsaId::Cx86)});
-    report::barFigure({"Cass Cold", "Cass Warm", "Mongo Cold",
-                       "Mongo Warm"}, "ns", rows);
+    report::barFigure({{"Cass Cold", "ns"},
+                       {"Cass Warm", "ns"},
+                       {"Mongo Cold", "ns"},
+                       {"Mongo Warm", "ns"}},
+                      rows);
     return 0;
 }

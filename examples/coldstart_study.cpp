@@ -45,8 +45,12 @@ main(int argc, char **argv)
                 spec.usesDb ? ", database-backed" : "");
 
     ExperimentRunner runner(cfg);
-    const FunctionResult res =
-        runner.runFunction(spec, workloads::workloadImpl(spec.workload));
+    RunSpec rs;
+    rs.mode = RunMode::Detailed;
+    rs.spec = spec;
+    rs.impl = &workloads::workloadImpl(spec.workload);
+    rs.platform = cfg;
+    const FunctionResult res = std::get<FunctionResult>(runner.run(rs));
     if (!res.ok) {
         std::printf("experiment failed\n");
         return 1;

@@ -41,8 +41,12 @@ main()
         runner.cluster().boot();
         const uint64_t boot_cycles = runner.cluster().system().cycle();
 
-        const EmuResult res = runner.runFunctionEmu(
-            spec, workloads::workloadImpl(spec.workload));
+        RunSpec rs;
+        rs.mode = RunMode::Emu;
+        rs.spec = spec;
+        rs.impl = &workloads::workloadImpl(spec.workload);
+        rs.platform = cfg;
+        const EmuResult res = std::get<EmuResult>(runner.run(rs));
         std::printf("%-12s %14lu %14lu %14lu%s\n", db::dbKindName(kind),
                     (unsigned long)boot_cycles,
                     (unsigned long)res.coldNs, (unsigned long)res.warmNs,

@@ -43,8 +43,12 @@ main(int argc, char **argv)
         std::printf("measuring %s on %s...\n", spec.name.c_str(),
                     isaName(isas[i]));
         ExperimentRunner runner(cfg);
-        results[i] = runner.runFunction(
-            spec, workloads::workloadImpl(spec.workload));
+        RunSpec rs;
+        rs.mode = RunMode::Detailed;
+        rs.spec = spec;
+        rs.impl = &workloads::workloadImpl(spec.workload);
+        rs.platform = cfg;
+        results[i] = std::get<FunctionResult>(runner.run(rs));
         if (!results[i].ok) {
             std::printf("experiment failed on %s\n", isaName(isas[i]));
             return 1;

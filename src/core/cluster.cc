@@ -95,6 +95,7 @@ ServerlessCluster::resetToBaseline()
     stopSlot = -1;
     resetOnBegin = false;
     resetOnBeginSlot = -1;
+    beginSnap.clear();
     buildSystem();
     machine->restoreCheckpoint(*baseline);
 }
@@ -123,6 +124,7 @@ ServerlessCluster::beginRestore()
     stopSlot = -1;
     resetOnBegin = false;
     resetOnBeginSlot = -1;
+    beginSnap.clear();
     buildSystem();
 }
 
@@ -260,6 +262,10 @@ ServerlessCluster::m5Op(int core_id, uint64_t op, uint64_t arg)
         if (resetOnBegin &&
             (resetOnBeginSlot < 0 || resetOnBeginSlot == slot)) {
             machine->stats().resetAll();
+            // Post-reset snapshot: the measured request's stats are a
+            // delta against this (an all-zero baseline, so the delta
+            // reproduces the legacy absolute readings bit-for-bit).
+            beginSnap = machine->stats().snapshotAll();
             resetOnBegin = false;
         }
         break;
@@ -269,6 +275,11 @@ ServerlessCluster::m5Op(int core_id, uint64_t op, uint64_t arg)
         const unsigned slot = unsigned(arg >> 32) & 1;
         ++nSlotWorkEnd[slot];
         workEndCycle = machine->cycle();
+        if (traceTrack != obs::badTrack) {
+            obs::Tracer::global().record(
+                traceTrack, "request#" + std::to_string(nWorkEnd), "request",
+                workBeginCycle, workEndCycle - workBeginCycle);
+        }
         const uint64_t relevant =
             stopSlot < 0 ? nWorkEnd : nSlotWorkEnd[unsigned(stopSlot)];
         if ((stopSlot < 0 || stopSlot == int(slot)) &&

@@ -17,6 +17,8 @@
 #include <optional>
 
 #include "db/store_gen.hh"
+#include "obs/stat_export.hh"
+#include "obs/trace.hh"
 #include "stack/runtime.hh"
 #include "system.hh"
 
@@ -51,6 +53,9 @@ class ServerlessCluster : public M5Listener
      * checkpoint. Idempotent.
      */
     void boot();
+
+    /** Has boot() completed (i.e. does a baseline checkpoint exist)? */
+    bool booted() const { return baseline.has_value(); }
 
     /**
      * Reset to the post-boot baseline: tears the System down,
@@ -126,7 +131,9 @@ class ServerlessCluster : public M5Listener
     bool runUntilReady(uint64_t target_events);
 
     /**
-     * Reset stats exactly when the next workBegin arrives.
+     * Reset stats exactly when the next workBegin arrives, and
+     * capture the post-reset stat snapshot the request's measurement
+     * deltas against (see workBeginSnapshot()).
      * @param slot restrict to one deployment slot, or -1 for any
      */
     void
@@ -135,6 +142,16 @@ class ServerlessCluster : public M5Listener
         resetOnBegin = true;
         resetOnBeginSlot = slot;
     }
+
+    /** The stat snapshot captured at the last armed workBegin. */
+    const obs::StatSnapshot &workBeginSnapshot() const { return beginSnap; }
+
+    /**
+     * Point the m5 plumbing at a trace track: every workEnd then
+     * records a "request#N" span covering [workBegin, workEnd] in
+     * simulated cycles. obs::badTrack (the default) disables it.
+     */
+    void setTraceTrack(obs::TrackId track) { traceTrack = track; }
 
     void m5Op(int core_id, uint64_t op, uint64_t arg) override;
 
@@ -160,6 +177,8 @@ class ServerlessCluster : public M5Listener
     int stopSlot = -1; ///< -1: total count; 0/1: per-slot count
     bool resetOnBegin = false;
     int resetOnBeginSlot = -1;
+    obs::StatSnapshot beginSnap;
+    obs::TrackId traceTrack = obs::badTrack;
 };
 
 } // namespace svb

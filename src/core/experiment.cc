@@ -1,11 +1,59 @@
 #include "experiment.hh"
 
+#include <sstream>
+
 #include "checkpoint_store.hh"
+#include "isa/isa_info.hh"
 #include "sim/logging.hh"
 #include "stack/topology.hh"
 
 namespace svb
 {
+
+const char *
+runModeName(RunMode mode)
+{
+    switch (mode) {
+      case RunMode::Detailed: return "o3";
+      case RunMode::Emu:      return "emu";
+      case RunMode::Lukewarm: return "lukewarm";
+      case RunMode::LoadCal:  return "ldcal";
+    }
+    return "?";
+}
+
+bool
+runResultOk(const RunResult &result)
+{
+    return std::visit([](const auto &r) { return r.ok; }, result);
+}
+
+RequestStats
+RequestStats::fromStatDelta(const obs::StatSnapshot &delta,
+                            const std::string &cpu_prefix,
+                            const std::string &mem_prefix)
+{
+    auto get = [&](const std::string &key) {
+        return uint64_t(obs::statValue(delta, key));
+    };
+
+    RequestStats rs;
+    rs.cycles = get(cpu_prefix + "numCycles");
+    rs.insts = get(cpu_prefix + "numInsts");
+    rs.uops = get(cpu_prefix + "numUops");
+    rs.cpi = rs.insts ? double(rs.cycles) / double(rs.insts) : 0.0;
+    rs.l1iMisses = get(mem_prefix + "l1i.misses");
+    rs.l1dMisses = get(mem_prefix + "l1d.misses");
+    rs.l2Misses = get(mem_prefix + "l2.misses");
+    rs.branches = get(cpu_prefix + "numBranches");
+    rs.branchMispredicts = get(cpu_prefix + "branchMispredicts");
+    rs.itlbMisses = get(cpu_prefix + "itlb.misses");
+    rs.dtlbMisses = get(cpu_prefix + "dtlb.misses");
+    for (unsigned c = 0; c < numStallCauses; ++c)
+        rs.stalls[c] =
+            get(cpu_prefix + "stall." + stallCauseName(c));
+    return rs;
+}
 
 ExperimentRunner::ExperimentRunner(const ClusterConfig &config)
     : cfg(config), clusterPtr(std::make_unique<ServerlessCluster>(config))
@@ -14,18 +62,55 @@ ExperimentRunner::ExperimentRunner(const ClusterConfig &config)
 
 ExperimentRunner::~ExperimentRunner() = default;
 
+std::string
+ExperimentRunner::experimentName(const FunctionSpec &spec,
+                                 const char *mode) const
+{
+    std::ostringstream os;
+    os << isaName(cfg.system.isa) << "/" << db::dbKindName(cfg.dbKind)
+       << (cfg.startDb ? 1 : 0) << (cfg.startMemcached ? 1 : 0) << "/"
+       << spec.name << "/" << mode;
+    return os.str();
+}
+
+void
+ExperimentRunner::beginTrace(const FunctionSpec &spec, const char *mode)
+{
+    curName = experimentName(spec, mode);
+    curTrack = obs::Tracer::global().track(curName);
+    clusterPtr->setTraceTrack(curTrack);
+}
+
+void
+ExperimentRunner::span(const std::string &name, const std::string &cat,
+                       uint64_t start, uint64_t end)
+{
+    if (curTrack != obs::badTrack && end >= start)
+        obs::Tracer::global().record(curTrack, name, cat, start,
+                                     end - start);
+}
+
 ServerlessCluster::Deployment
 ExperimentRunner::prepareFresh(const FunctionSpec &spec,
                                const WorkloadImpl &impl, bool &ok)
 {
     ServerlessCluster &cl = *clusterPtr;
+    // A runner reused across experiments keeps its booted baseline;
+    // only record a boot span when the bootstrap actually runs.
+    const bool fresh_boot = !cl.booted();
     cl.boot();
+    if (fresh_boot)
+        span("boot", "phase", 0, cl.system().cycle());
     cl.resetToBaseline();
     auto dep = cl.deploy(spec, impl);
     // Container boot on the Atomic CPU, up to the readiness report.
+    const uint64_t start_begin = cl.system().cycle();
     ok = cl.runUntilReady(1);
+    span("container-start", "phase", start_begin, cl.system().cycle());
     // Let the server settle into its receive loop.
+    const uint64_t settle_begin = cl.system().cycle();
     cl.system().run(5'000);
+    span("settle", "phase", settle_begin, cl.system().cycle());
     return dep;
 }
 
@@ -47,6 +132,7 @@ ExperimentRunner::prepare(const FunctionSpec &spec,
         cl.beginRestore();
         auto dep = cl.deploy(spec, impl);
         cl.finishRestore(*cp);
+        span("restore", "phase", cl.system().cycle(), cl.system().cycle());
         ok = true;
         return dep;
     }
@@ -69,28 +155,21 @@ ExperimentRunner::cyclesToNs(uint64_t cycles) const
 }
 
 RequestStats
-ExperimentRunner::snapshotServerCore() const
+ExperimentRunner::measureServerCore(const char *phase) const
 {
-    const auto snap = clusterPtr->system().stats().snapshotAll();
-    auto get = [&](const std::string &key) {
-        auto it = snap.find(key);
-        return it == snap.end() ? 0.0 : it->second;
-    };
+    ServerlessCluster &cl = *clusterPtr;
+    const obs::StatSnapshot now = obs::snapshot(cl.system().stats());
+    const obs::StatSnapshot delta =
+        obs::delta(cl.workBeginSnapshot(), now);
+
     const std::string cpu = "system.cpu1.o3.";
     const std::string mem = "system.core1.";
-
-    RequestStats rs;
-    rs.cycles = uint64_t(get(cpu + "numCycles"));
-    rs.insts = uint64_t(get(cpu + "numInsts"));
-    rs.uops = uint64_t(get(cpu + "numUops"));
-    rs.cpi = rs.insts ? double(rs.cycles) / double(rs.insts) : 0.0;
-    rs.l1iMisses = uint64_t(get(mem + "l1i.misses"));
-    rs.l1dMisses = uint64_t(get(mem + "l1d.misses"));
-    rs.l2Misses = uint64_t(get(mem + "l2.misses"));
-    rs.branches = uint64_t(get(cpu + "numBranches"));
-    rs.branchMispredicts = uint64_t(get(cpu + "branchMispredicts"));
-    rs.itlbMisses = uint64_t(get(cpu + "itlb.misses"));
-    rs.dtlbMisses = uint64_t(get(cpu + "dtlb.misses"));
+    RequestStats rs = RequestStats::fromStatDelta(delta, cpu, mem);
+    // The stall taxonomy partitions the measured cycles: a hole here
+    // means a tick path missed its accountCycle() call.
+    svb_assert(rs.stallTotal() == rs.cycles,
+               "stall-cause attribution does not sum to numCycles");
+    obs::dumpRequestStats(curName + "." + phase, delta);
     return rs;
 }
 
@@ -100,6 +179,7 @@ ExperimentRunner::runFunction(const FunctionSpec &spec,
 {
     FunctionResult result;
     result.name = spec.name;
+    beginTrace(spec, runModeName(RunMode::Detailed));
 
     bool ok = false;
     ServerlessCluster &cl = *clusterPtr;
@@ -122,15 +202,18 @@ ExperimentRunner::runFunction(const FunctionSpec &spec,
         warn(spec.name, ": cold request did not complete");
         return result;
     }
-    result.cold = snapshotServerCore();
+    result.cold = measureServerCore("cold");
+    span("cold", "measure", cl.lastWorkBeginCycle(), cl.lastWorkEndCycle());
 
     // --- Setup mode: functional warming through requests 2..9 ------------
     m.switchCpu(topo::clientCore, CpuModel::Atomic);
     m.switchCpu(topo::serverCore, CpuModel::Atomic);
+    const uint64_t warming_begin = cl.lastWorkEndCycle();
     if (!cl.runUntilWorkEnds(9)) {
         warn(spec.name, ": warming requests did not complete");
         return result;
     }
+    span("warming", "phase", warming_begin, cl.lastWorkEndCycle());
 
     // --- Evaluation mode, request 10 (warm) -------------------------------
     m.switchCpu(topo::clientCore, CpuModel::O3);
@@ -140,7 +223,8 @@ ExperimentRunner::runFunction(const FunctionSpec &spec,
         warn(spec.name, ": warm request did not complete");
         return result;
     }
-    result.warm = snapshotServerCore();
+    result.warm = measureServerCore("warm");
+    span("warm", "measure", cl.lastWorkBeginCycle(), cl.lastWorkEndCycle());
     result.ok = true;
     return result;
 }
@@ -161,6 +245,8 @@ ExperimentRunner::runLukewarm(const FunctionSpec &spec,
         return result;
     result.warm = solo.warm;
 
+    beginTrace(spec, runModeName(RunMode::Lukewarm));
+
     // Interleaved run: both functions share the server core. The
     // two-function settle point gets its own checkpoint, keyed by the
     // (function, interferer) pair.
@@ -180,17 +266,20 @@ ExperimentRunner::runLukewarm(const FunctionSpec &spec,
         dep = cl.deploy(spec, impl, /*ring_slot=*/0);
         dep2 = cl.deploy(interferer, interferer_impl, /*ring_slot=*/1);
         cl.finishRestore(*cp);
+        span("restore", "phase", cl.system().cycle(), cl.system().cycle());
     } else {
         cl.boot();
         cl.resetToBaseline();
         dep = cl.deploy(spec, impl, /*ring_slot=*/0);
         dep2 = cl.deploy(interferer, interferer_impl, /*ring_slot=*/1);
+        const uint64_t start_begin = cl.system().cycle();
         if (!cl.runUntilReady(2)) {
             if (claimed)
                 store.release(fp);
             warn(spec.name, ": lukewarm containers failed to boot");
             return result;
         }
+        span("container-start", "phase", start_begin, cl.system().cycle());
         cl.system().run(5'000);
         if (claimed)
             store.publish(fp, cl.savePrepared());
@@ -202,11 +291,13 @@ ExperimentRunner::runLukewarm(const FunctionSpec &spec,
     // clients start through the explicit per-deployment gate.
     cl.openClientGate(dep);
     cl.openClientGate(dep2);
+    const uint64_t warming_begin = cl.system().cycle();
     if (!cl.runUntilSlotWorkEnds(0, 9) ||
         !cl.runUntilSlotWorkEnds(1, 9)) {
         warn(spec.name, ": lukewarm warming did not complete");
         return result;
     }
+    span("warming", "phase", warming_begin, cl.lastWorkEndCycle());
 
     // Measure the next request of the function under test, detailed.
     m.switchCpu(topo::clientCore, CpuModel::O3);
@@ -217,7 +308,9 @@ ExperimentRunner::runLukewarm(const FunctionSpec &spec,
         warn(spec.name, ": lukewarm measurement did not complete");
         return result;
     }
-    result.lukewarm = snapshotServerCore();
+    result.lukewarm = measureServerCore("lukewarm");
+    span("lukewarm", "measure", cl.lastWorkBeginCycle(),
+         cl.lastWorkEndCycle());
     result.ok = true;
     return result;
 }
@@ -228,6 +321,7 @@ ExperimentRunner::runLoadCalibration(const FunctionSpec &spec,
 {
     LoadCalibration result;
     result.name = spec.name;
+    beginTrace(spec, runModeName(RunMode::LoadCal));
 
     bool ok = false;
     ServerlessCluster &cl = *clusterPtr;
@@ -242,12 +336,15 @@ ExperimentRunner::runLoadCalibration(const FunctionSpec &spec,
         return result;
     result.coldNs = cyclesToNs(cl.lastWorkEndCycle() -
                                cl.lastWorkBeginCycle());
+    span("cold", "measure", cl.lastWorkBeginCycle(), cl.lastWorkEndCycle());
 
     for (unsigned k = 0; k < loadWarmSamples; ++k) {
         if (!cl.runUntilWorkEnds(2 + k))
             return result;
         result.warmNs[k] = cyclesToNs(cl.lastWorkEndCycle() -
                                       cl.lastWorkBeginCycle());
+        span("warm" + std::to_string(1 + k), "measure",
+             cl.lastWorkBeginCycle(), cl.lastWorkEndCycle());
     }
     result.ok = true;
     return result;
@@ -260,6 +357,7 @@ ExperimentRunner::runFunctionEmu(const FunctionSpec &spec,
 {
     EmuResult result;
     result.name = spec.name;
+    beginTrace(spec, runModeName(RunMode::Emu));
 
     bool ok = false;
     ServerlessCluster &cl = *clusterPtr;
@@ -272,13 +370,36 @@ ExperimentRunner::runFunctionEmu(const FunctionSpec &spec,
         return result;
     result.coldNs = cyclesToNs(cl.lastWorkEndCycle() -
                                cl.lastWorkBeginCycle());
+    span("cold", "measure", cl.lastWorkBeginCycle(), cl.lastWorkEndCycle());
 
     if (!cl.runUntilWorkEnds(warm_request))
         return result;
     result.warmNs = cyclesToNs(cl.lastWorkEndCycle() -
                                cl.lastWorkBeginCycle());
+    span("warm", "measure", cl.lastWorkBeginCycle(), cl.lastWorkEndCycle());
     result.ok = true;
     return result;
+}
+
+RunResult
+ExperimentRunner::run(const RunSpec &rs)
+{
+    svb_assert(rs.impl != nullptr, "RunSpec without a workload impl");
+    switch (rs.mode) {
+      case RunMode::Detailed:
+        return runFunction(rs.spec, *rs.impl);
+      case RunMode::Emu:
+        return runFunctionEmu(rs.spec, *rs.impl, rs.options.warmRequest);
+      case RunMode::Lukewarm:
+        svb_assert(rs.options.interferer != nullptr &&
+                       rs.options.interfererImpl != nullptr,
+                   "Lukewarm RunSpec without an interferer");
+        return runLukewarm(rs.spec, *rs.impl, *rs.options.interferer,
+                           *rs.options.interfererImpl);
+      case RunMode::LoadCal:
+        return runLoadCalibration(rs.spec, *rs.impl);
+    }
+    svb_fatal("unreachable RunMode");
 }
 
 } // namespace svb

@@ -8,6 +8,21 @@
  * warm through requests 2-9 on the Atomic CPU, then measure request
  * 10 (warm). Statistics are collected from the server core, reset at
  * each measured request's workBegin and sampled at its workEnd.
+ *
+ * Run/Result API: every mode (detailed O3, emulation, lukewarm
+ * interleaving, load calibration) flows through one entry point —
+ * ExperimentRunner::run(RunSpec) returning a RunResult variant — so
+ * callers describe *what* to measure instead of hand-wiring per-mode
+ * call sequences. The per-mode methods remain as the implementations
+ * behind the dispatch.
+ *
+ * Observability: each run records simulated-time spans (boot /
+ * restore / container-start / settle / cold / warming / warm) onto an
+ * obs::Tracer track named <isa>/<db><flags>/<function>/<mode>, and
+ * every measured request's RequestStats is a view over an
+ * obs::StatSnapshot delta of the server core's stat tree (workBegin
+ * snapshot vs workEnd snapshot) rather than fields plumbed one by
+ * one. SVBENCH_TRACE and SVBENCH_STATDUMP enable the exports.
  */
 
 #ifndef SVB_CORE_EXPERIMENT_HH
@@ -15,8 +30,12 @@
 
 #include <memory>
 #include <string>
+#include <variant>
 
 #include "cluster.hh"
+#include "cpu/stall_cause.hh"
+#include "obs/stat_export.hh"
+#include "obs/trace.hh"
 
 namespace svb
 {
@@ -35,6 +54,29 @@ struct RequestStats
     uint64_t branchMispredicts = 0;
     uint64_t itlbMisses = 0;
     uint64_t dtlbMisses = 0;
+    /** Per-cause cycle attribution (cpu/stall_cause.hh); the causes
+     *  partition the request's cycles, so the entries sum to
+     *  @ref cycles on every measured request. */
+    uint64_t stalls[numStallCauses] = {};
+
+    uint64_t
+    stallTotal() const
+    {
+        uint64_t sum = 0;
+        for (unsigned c = 0; c < numStallCauses; ++c)
+            sum += stalls[c];
+        return sum;
+    }
+
+    /**
+     * Build the view over a named-stat delta: @p cpu_prefix names the
+     * server core's O3 group ("system.cpu1.o3."), @p mem_prefix its
+     * memory hierarchy ("system.core1."). CPI is recomputed from the
+     * cycle/instruction deltas (formula deltas are meaningless).
+     */
+    static RequestStats fromStatDelta(const obs::StatSnapshot &delta,
+                                      const std::string &cpu_prefix,
+                                      const std::string &mem_prefix);
 };
 
 /** Cold and warm measurements for one function. */
@@ -82,6 +124,52 @@ struct LoadCalibration
     bool ok = false;
 };
 
+/** The measurement protocol a RunSpec selects. */
+enum class RunMode
+{
+    Detailed, ///< Figure-4.1 cold+warm O3 measurement -> FunctionResult
+    Emu,      ///< functional-emulation latencies      -> EmuResult
+    Lukewarm, ///< interleaved-interferer study        -> LukewarmResult
+    LoadCal,  ///< load-subsystem calibration          -> LoadCalibration
+};
+
+/** Stable mode tag used in trace-track names and result-cache keys. */
+const char *runModeName(RunMode mode);
+
+/** Mode-specific knobs; fields are read only by the noted modes. */
+struct RunOptions
+{
+    /** Emu: which request is reported as the warm latency. */
+    unsigned warmRequest = 10;
+    /** Lukewarm: the co-located interfering function. */
+    const FunctionSpec *interferer = nullptr;
+    const WorkloadImpl *interfererImpl = nullptr;
+};
+
+/**
+ * One complete experiment description: what to run, on which
+ * platform, under which protocol. The unified entry points
+ * (ExperimentRunner::run, ResultCache::run) consume this instead of
+ * per-mode argument lists.
+ */
+struct RunSpec
+{
+    RunMode mode = RunMode::Detailed;
+    FunctionSpec spec;
+    const WorkloadImpl *impl = nullptr;
+    /** The cluster to run on; used by cache-level entry points that
+     *  own runner construction (a runner's own config wins). */
+    ClusterConfig platform;
+    RunOptions options;
+};
+
+/** The per-mode outcome, tagged by the RunSpec's mode. */
+using RunResult =
+    std::variant<FunctionResult, EmuResult, LukewarmResult, LoadCalibration>;
+
+/** @return the variant's ok flag, whatever the mode. */
+bool runResultOk(const RunResult &result);
+
 /**
  * Drives full cold/warm experiments over a cluster.
  */
@@ -90,6 +178,13 @@ class ExperimentRunner
   public:
     explicit ExperimentRunner(const ClusterConfig &config);
     ~ExperimentRunner();
+
+    /**
+     * The unified entry point: dispatch @p rs to its mode's protocol
+     * on this runner's cluster (rs.platform is informational here —
+     * cache-level callers use it to pick the runner).
+     */
+    RunResult run(const RunSpec &rs);
 
     /** Run the Figure 4.1 protocol for one function. */
     FunctionResult runFunction(const FunctionSpec &spec,
@@ -148,10 +243,30 @@ class ExperimentRunner
     /** Convert a cycle delta to nanoseconds at the configured clock. */
     uint64_t cyclesToNs(uint64_t cycles) const;
 
-    RequestStats snapshotServerCore() const;
+    /** The trace-track / stat-dump stem of one experiment. */
+    std::string experimentName(const FunctionSpec &spec,
+                               const char *mode) const;
+
+    /** Open the experiment's trace track and point the cluster at it. */
+    void beginTrace(const FunctionSpec &spec, const char *mode);
+
+    /** Record a completed span onto the current experiment's track. */
+    void span(const std::string &name, const std::string &cat,
+              uint64_t start, uint64_t end);
+
+    /**
+     * Measure the server core over the request that just ended: delta
+     * the stat tree against the armed workBegin snapshot, build the
+     * RequestStats view, check the stall-cycle partition, and dump
+     * the per-request stat tree when SVBENCH_STATDUMP is set.
+     * @param phase dump-file tag ("cold", "warm", "lukewarm")
+     */
+    RequestStats measureServerCore(const char *phase) const;
 
     ClusterConfig cfg;
     std::unique_ptr<ServerlessCluster> clusterPtr;
+    obs::TrackId curTrack = obs::badTrack;
+    std::string curName; ///< current experiment's name (dump stem)
 };
 
 } // namespace svb

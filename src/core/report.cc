@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "cpu/stall_cause.hh"
+#include "sim/logging.hh"
+
 namespace svb::report
 {
 
@@ -44,45 +47,81 @@ figureHeader(const std::string &figure_id, const std::string &caption,
 }
 
 void
-barFigure(const std::vector<std::string> &series, const std::string &unit,
-          const std::vector<Row> &rows)
+barFigure(const std::vector<SeriesSpec> &series, const std::vector<Row> &rows)
 {
     double max_value = 0;
-    for (const Row &row : rows)
-        for (double v : row.values)
-            max_value = std::max(max_value, v);
+    for (const Row &row : rows) {
+        svb_assert(row.values.size() == series.size(),
+                   "figure row has a different arity than its series");
+        for (size_t i = 0; i < row.values.size(); ++i)
+            max_value = std::max(max_value, row.values[i] * series[i].scale);
+    }
 
     std::printf("%-26s", "benchmark");
-    for (const std::string &s : series)
-        std::printf(" %14s", (s + " (" + unit + ")").c_str());
+    for (const SeriesSpec &s : series)
+        std::printf(" %14s", (s.name + " (" + s.unit + ")").c_str());
     std::printf("\n");
 
     for (const Row &row : rows) {
         std::printf("%-26s", row.label.c_str());
-        for (double v : row.values)
-            std::printf(" %14.0f", v);
-        printBar(row.values.empty() ? 0 : row.values[0], max_value, 28);
+        for (size_t i = 0; i < row.values.size(); ++i)
+            std::printf(" %14.0f", row.values[i] * series[i].scale);
+        printBar(row.values.empty() ? 0 : row.values[0] * series[0].scale,
+                 max_value, 28);
     }
+}
+
+void
+stackedPercentFigure(const std::vector<SeriesSpec> &series,
+                     const std::vector<Row> &rows)
+{
+    std::printf("%-26s", "benchmark");
+    for (const SeriesSpec &s : series)
+        std::printf(" %12s", (s.name + " %").c_str());
+    std::printf(" %16s\n", "total");
+
+    for (const Row &row : rows) {
+        svb_assert(row.values.size() == series.size(),
+                   "figure row has a different arity than its series");
+        double total = 0;
+        for (size_t i = 0; i < row.values.size(); ++i)
+            total += row.values[i] * series[i].scale;
+        std::printf("%-26s", row.label.c_str());
+        for (size_t i = 0; i < row.values.size(); ++i) {
+            const double v = row.values[i] * series[i].scale;
+            std::printf(" %12.1f", total > 0 ? 100.0 * v / total : 0.0);
+        }
+        std::printf(" %16.0f\n", total);
+    }
+}
+
+void
+barFigure(const std::vector<std::string> &series, const std::string &unit,
+          const std::vector<Row> &rows)
+{
+    std::vector<SeriesSpec> specs;
+    for (const std::string &s : series)
+        specs.push_back({s, unit, 1.0});
+    barFigure(specs, rows);
 }
 
 void
 stackedPercentFigure(const std::vector<std::string> &series,
                      const std::vector<Row> &rows)
 {
-    std::printf("%-26s", "benchmark");
+    std::vector<SeriesSpec> specs;
     for (const std::string &s : series)
-        std::printf(" %12s", (s + " %").c_str());
-    std::printf(" %16s\n", "total");
+        specs.push_back({s, "", 1.0});
+    stackedPercentFigure(specs, rows);
+}
 
-    for (const Row &row : rows) {
-        double total = 0;
-        for (double v : row.values)
-            total += v;
-        std::printf("%-26s", row.label.c_str());
-        for (double v : row.values)
-            std::printf(" %12.1f", total > 0 ? 100.0 * v / total : 0.0);
-        std::printf(" %16.0f\n", total);
-    }
+void
+stallPanel(const std::vector<Row> &rows)
+{
+    std::vector<SeriesSpec> series;
+    for (unsigned c = 0; c < numStallCauses; ++c)
+        series.push_back({stallCauseName(c), "cycles"});
+    stackedPercentFigure(series, rows);
 }
 
 void

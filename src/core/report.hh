@@ -22,23 +22,52 @@ struct Row
     std::vector<double> values;
 };
 
+/**
+ * One figure series (column): its display name, the unit printed in
+ * the column header, and a scale factor applied to every value before
+ * printing (e.g. 1e-6 to plot cycles as Mcycles). Figures take one
+ * SeriesSpec per column instead of parallel name/unit vectors, so a
+ * column's description travels as one value.
+ */
+struct SeriesSpec
+{
+    std::string name;
+    std::string unit;
+    double scale = 1.0;
+};
+
 /** Print the experiment banner (figure id, caption, platform). */
 void figureHeader(const std::string &figure_id, const std::string &caption,
                   const std::vector<SystemConfig> &platforms);
 
 /**
  * Print a grouped-bar figure: one row per benchmark, one column per
- * series, with a scaled ASCII bar for the first series pair.
- *
- * @param series column names (e.g. {"cold", "warm"})
- * @param unit   printed in the column header (e.g. "cycles")
+ * series, with a scaled ASCII bar for the first series. Every row
+ * must carry exactly one value per series.
  */
+void barFigure(const std::vector<SeriesSpec> &series,
+               const std::vector<Row> &rows);
+
+/** Print a percentage-stacked figure (Figs 4.8/4.9 style); the
+ *  series' units are unused (columns print as "name %"). */
+void stackedPercentFigure(const std::vector<SeriesSpec> &series,
+                          const std::vector<Row> &rows);
+
+// Legacy parallel-vector spellings; thin wrappers over the
+// SeriesSpec forms (every series shares @p unit, scale 1).
 void barFigure(const std::vector<std::string> &series,
                const std::string &unit, const std::vector<Row> &rows);
-
-/** Print a percentage-stacked figure (Figs 4.8/4.9 style). */
 void stackedPercentFigure(const std::vector<std::string> &series,
                           const std::vector<Row> &rows);
+
+/**
+ * Print the O3 stall-cause breakdown panel: one row per measured
+ * request, one column per cause from the stall taxonomy
+ * (cpu/stall_cause.hh), as percentages of the request's cycles. Row
+ * values must be ordered by StallCause; the total column equals the
+ * request's cycle count because the causes partition it.
+ */
+void stallPanel(const std::vector<Row> &rows);
 
 /** Print a plain table (Tables 4.4/4.5 style). */
 void table(const std::vector<std::string> &columns,

@@ -17,24 +17,18 @@ namespace svb
 namespace
 {
 
-/**
- * Schema version of a row mode, carried in every row's "v" field.
- * Bump a mode's version whenever its field set or meaning changes;
- * old rows are then skipped (and re-measured) instead of misparsed.
- * 0 means the mode is unknown to this build.
- */
-uint64_t
-modeSchemaVersion(const std::string &mode)
+/** The per-request stat fields under one prefix ("cold." / "warm."). */
+std::vector<std::string>
+statFields(const std::string &prefix)
 {
-    if (mode == "o3")
-        return 1;
-    if (mode == "emu")
-        return 1;
-    if (mode == "ldcal")
-        return 1;
-    if (mode == "load")
-        return 1;
-    return 0;
+    std::vector<std::string> fields;
+    for (const char *n :
+         {"cycles", "insts", "uops", "l1i", "l1d", "l2", "branches",
+          "mispredicts", "itlb", "dtlb"})
+        fields.push_back(prefix + n);
+    for (unsigned c = 0; c < numStallCauses; ++c)
+        fields.push_back(prefix + "stall." + stallCauseName(c));
+    return fields;
 }
 
 std::string
@@ -44,10 +38,73 @@ modeOfKey(const std::string &key)
     return comma == std::string::npos ? "" : key.substr(comma + 1);
 }
 
+} // namespace
+
+/**
+ * The schema descriptor table: one entry per row mode, carrying the
+ * mode tag, the current schema version and the complete ordered field
+ * set. Bump a mode's version whenever its field set or meaning
+ * changes; old rows are then skipped (and re-measured) instead of
+ * misparsed. o3 is at v2: v1 predates the stall-cause fields.
+ */
+const RowSchema *
+RowSchema::find(const std::string &mode)
+{
+    static const std::vector<RowSchema> schemas = [] {
+        std::vector<RowSchema> s;
+        {
+            RowSchema o3{"o3", 2, statFields("cold.")};
+            const std::vector<std::string> warm = statFields("warm.");
+            o3.fields.insert(o3.fields.end(), warm.begin(), warm.end());
+            o3.fields.push_back("ok");
+            s.push_back(std::move(o3));
+        }
+        s.push_back({"emu", 1, {"coldNs", "warmNs", "ok"}});
+        {
+            RowSchema ld{"ldcal", 1, {"coldNs"}};
+            for (unsigned k = 0; k < loadWarmSamples; ++k)
+                ld.fields.push_back("warm" + std::to_string(k) + "Ns");
+            ld.fields.push_back("ok");
+            s.push_back(std::move(ld));
+        }
+        s.push_back({"load", 1,
+                     {"invocations", "coldStarts", "warmHits", "evictions",
+                      "p50Ns", "p90Ns", "p99Ns", "p999Ns", "maxNs",
+                      "throughputMrps", "histoFp", "ok"}});
+        return s;
+    }();
+    for (const RowSchema &schema : schemas)
+        if (mode == schema.mode)
+            return &schema;
+    return nullptr;
+}
+
+bool
+RowSchema::complete(const std::map<std::string, uint64_t> &row) const
+{
+    if (row.size() != fields.size() + 1) // +1: the "v" stamp
+        return false;
+    for (const std::string &f : fields)
+        if (!row.count(f))
+            return false;
+    return true;
+}
+
+namespace
+{
+
+/** Current schema version of @p mode (0 when unknown). */
+uint64_t
+modeSchemaVersion(const std::string &mode)
+{
+    const RowSchema *schema = RowSchema::find(mode);
+    return schema != nullptr ? schema->version : 0;
+}
+
 std::map<std::string, uint64_t>
 packStats(const RequestStats &rs, const std::string &prefix)
 {
-    return {
+    std::map<std::string, uint64_t> fields = {
         {prefix + "cycles", rs.cycles},
         {prefix + "insts", rs.insts},
         {prefix + "uops", rs.uops},
@@ -59,6 +116,9 @@ packStats(const RequestStats &rs, const std::string &prefix)
         {prefix + "itlb", rs.itlbMisses},
         {prefix + "dtlb", rs.dtlbMisses},
     };
+    for (unsigned c = 0; c < numStallCauses; ++c)
+        fields[prefix + "stall." + stallCauseName(c)] = rs.stalls[c];
+    return fields;
 }
 
 RequestStats
@@ -81,6 +141,8 @@ unpackStats(const std::map<std::string, uint64_t> &fields,
     rs.itlbMisses = get("itlb");
     rs.dtlbMisses = get("dtlb");
     rs.cpi = rs.insts ? double(rs.cycles) / double(rs.insts) : 0.0;
+    for (unsigned c = 0; c < numStallCauses; ++c)
+        rs.stalls[c] = get(std::string("stall.") + stallCauseName(c));
     return rs;
 }
 
@@ -132,6 +194,57 @@ unpackResult(const std::string &name,
     return res;
 }
 
+std::map<std::string, uint64_t>
+packEmu(const EmuResult &res)
+{
+    return {{"coldNs", res.coldNs},
+            {"warmNs", res.warmNs},
+            {"ok", res.ok ? 1u : 0u},
+            {"v", modeSchemaVersion("emu")}};
+}
+
+EmuResult
+unpackEmu(const std::string &name,
+          const std::map<std::string, uint64_t> &fields)
+{
+    EmuResult res;
+    res.name = name;
+    res.ok = fields.at("ok") != 0;
+    res.coldNs = fields.at("coldNs");
+    res.warmNs = fields.at("warmNs");
+    return res;
+}
+
+/** Serialise whichever result the variant holds under its schema. */
+std::map<std::string, uint64_t>
+packRunResult(const RunResult &res)
+{
+    if (const auto *fr = std::get_if<FunctionResult>(&res))
+        return packResult(*fr);
+    if (const auto *er = std::get_if<EmuResult>(&res))
+        return packEmu(*er);
+    if (const auto *lc = std::get_if<LoadCalibration>(&res))
+        return packLoadCal(*lc);
+    svb_fatal("packRunResult: lukewarm results are not cacheable");
+}
+
+RunResult
+unpackRunResult(RunMode mode, const std::string &name,
+                const std::map<std::string, uint64_t> &fields)
+{
+    switch (mode) {
+      case RunMode::Detailed:
+        return unpackResult(name, fields);
+      case RunMode::Emu:
+        return unpackEmu(name, fields);
+      case RunMode::LoadCal:
+        return unpackLoadCal(name, fields);
+      case RunMode::Lukewarm:
+        break;
+    }
+    svb_fatal("unpackRunResult: lukewarm rows do not exist");
+}
+
 bool
 allDigits(const std::string &s)
 {
@@ -160,48 +273,13 @@ RowCheck
 rowComplete(const std::string &key,
             const std::map<std::string, uint64_t> &row)
 {
-    const std::string mode = modeOfKey(key);
-    const uint64_t version = modeSchemaVersion(mode);
-    if (version == 0)
+    const RowSchema *schema = RowSchema::find(modeOfKey(key));
+    if (schema == nullptr)
         return RowCheck::UnknownMode;
     auto vit = row.find("v");
-    if (vit == row.end() || vit->second != version)
+    if (vit == row.end() || vit->second != schema->version)
         return RowCheck::VersionMismatch;
-
-    auto hasStats = [&row](const std::string &prefix) {
-        static const char *names[] = {"cycles", "insts",       "uops",
-                                      "l1i",    "l1d",         "l2",
-                                      "branches", "mispredicts", "itlb",
-                                      "dtlb"};
-        for (const char *n : names)
-            if (!row.count(prefix + n))
-                return false;
-        return true;
-    };
-    auto hasAll = [&row](std::initializer_list<const char *> names) {
-        for (const char *n : names)
-            if (!row.count(n))
-                return false;
-        return true;
-    };
-    bool ok = false;
-    if (mode == "o3") {
-        ok = row.size() == 22 && row.count("ok") && hasStats("cold.") &&
-             hasStats("warm.");
-    } else if (mode == "emu") {
-        ok = row.size() == 4 && hasAll({"ok", "coldNs", "warmNs"});
-    } else if (mode == "ldcal") {
-        ok = row.size() == 3 + loadWarmSamples &&
-             hasAll({"ok", "coldNs"});
-        for (unsigned k = 0; ok && k < loadWarmSamples; ++k)
-            ok = row.count("warm" + std::to_string(k) + "Ns") != 0;
-    } else if (mode == "load") {
-        ok = row.size() == 13 &&
-             hasAll({"ok", "invocations", "coldStarts", "warmHits",
-                     "evictions", "p50Ns", "p90Ns", "p99Ns", "p999Ns",
-                     "maxNs", "throughputMrps", "histoFp"});
-    }
-    return ok ? RowCheck::Ok : RowCheck::Malformed;
+    return schema->complete(row) ? RowCheck::Ok : RowCheck::Malformed;
 }
 
 } // namespace
@@ -395,17 +473,29 @@ ResultCache::recordDetailed(const ClusterConfig &cfg,
     appendLocked(key, packResult(res));
 }
 
-FunctionResult
-ResultCache::detailed(const ClusterConfig &cfg, const FunctionSpec &spec,
-                      const WorkloadImpl &impl)
+std::string
+ResultCache::rowKey(const ClusterConfig &cfg, const FunctionSpec &spec,
+                    RunMode mode) const
 {
-    const std::string key = detailedKey(cfg, spec);
+    return keyOf(cfg, spec, runModeName(mode));
+}
+
+RunResult
+ResultCache::run(const RunSpec &rs)
+{
+    svb_assert(rs.impl != nullptr, "RunSpec without a workload impl");
+    // Lukewarm results are keyed by an interferer the row key cannot
+    // carry; they always execute.
+    if (rs.mode == RunMode::Lukewarm)
+        return runnerFor(rs.platform).run(rs);
+
+    const std::string key = rowKey(rs.platform, rs.spec, rs.mode);
     {
         std::unique_lock<std::mutex> lk(mtx);
         for (;;) {
             auto it = rows.find(key);
             if (it != rows.end() && it->second.count("ok"))
-                return unpackResult(spec.name, it->second);
+                return unpackRunResult(rs.mode, rs.spec.name, it->second);
             if (!pending.count(key))
                 break;
             // Another thread is simulating this key; wait for its row
@@ -415,57 +505,57 @@ ResultCache::detailed(const ClusterConfig &cfg, const FunctionSpec &spec,
         pending.insert(key);
     }
 
-    const FunctionResult res = computeDetailed(cfg, spec, impl);
+    switch (rs.mode) {
+      case RunMode::Detailed:
+        inform("measuring ", rs.spec.name, " on ",
+               isaName(rs.platform.system.isa),
+               " (detailed O3, cold+warm)...");
+        break;
+      case RunMode::Emu:
+        inform("measuring ", rs.spec.name, " on ",
+               isaName(rs.platform.system.isa), " (emulation)...");
+        break;
+      case RunMode::LoadCal:
+        inform("calibrating ", rs.spec.name, " on ",
+               isaName(rs.platform.system.isa), " for load (cold + ",
+               loadWarmSamples, " warm samples)...");
+        break;
+      case RunMode::Lukewarm:
+        break;
+    }
+    const RunResult res = runnerFor(rs.platform).run(rs);
 
     {
         std::lock_guard<std::mutex> lk(mtx);
-        appendLocked(key, packResult(res));
+        appendLocked(key, packRunResult(res));
         pending.erase(key);
     }
     pendingCv.notify_all();
     return res;
 }
 
+FunctionResult
+ResultCache::detailed(const ClusterConfig &cfg, const FunctionSpec &spec,
+                      const WorkloadImpl &impl)
+{
+    RunSpec rs;
+    rs.mode = RunMode::Detailed;
+    rs.spec = spec;
+    rs.impl = &impl;
+    rs.platform = cfg;
+    return std::get<FunctionResult>(run(rs));
+}
+
 EmuResult
 ResultCache::emulated(const ClusterConfig &cfg, const FunctionSpec &spec,
                       const WorkloadImpl &impl)
 {
-    const std::string key = keyOf(cfg, spec, "emu");
-    auto unpack = [&](const std::map<std::string, uint64_t> &fields) {
-        EmuResult res;
-        res.name = spec.name;
-        res.ok = fields.at("ok") != 0;
-        res.coldNs = fields.at("coldNs");
-        res.warmNs = fields.at("warmNs");
-        return res;
-    };
-    {
-        std::unique_lock<std::mutex> lk(mtx);
-        for (;;) {
-            auto it = rows.find(key);
-            if (it != rows.end() && it->second.count("ok"))
-                return unpack(it->second);
-            if (!pending.count(key))
-                break;
-            pendingCv.wait(lk);
-        }
-        pending.insert(key);
-    }
-
-    inform("measuring ", spec.name, " on ", isaName(cfg.system.isa),
-           " (emulation)...");
-    EmuResult res = runnerFor(cfg).runFunctionEmu(spec, impl);
-
-    {
-        std::lock_guard<std::mutex> lk(mtx);
-        appendLocked(key, {{"coldNs", res.coldNs},
-                           {"warmNs", res.warmNs},
-                           {"ok", res.ok ? 1u : 0u},
-                           {"v", modeSchemaVersion("emu")}});
-        pending.erase(key);
-    }
-    pendingCv.notify_all();
-    return res;
+    RunSpec rs;
+    rs.mode = RunMode::Emu;
+    rs.spec = spec;
+    rs.impl = &impl;
+    rs.platform = cfg;
+    return std::get<EmuResult>(run(rs));
 }
 
 std::string
@@ -513,29 +603,12 @@ ResultCache::loadCalibration(const ClusterConfig &cfg,
                              const FunctionSpec &spec,
                              const WorkloadImpl &impl)
 {
-    const std::string key = keyOf(cfg, spec, "ldcal");
-    {
-        std::unique_lock<std::mutex> lk(mtx);
-        for (;;) {
-            auto it = rows.find(key);
-            if (it != rows.end() && it->second.count("ok"))
-                return unpackLoadCal(spec.name, it->second);
-            if (!pending.count(key))
-                break;
-            pendingCv.wait(lk);
-        }
-        pending.insert(key);
-    }
-
-    const LoadCalibration cal = computeLoadCal(cfg, spec, impl);
-
-    {
-        std::lock_guard<std::mutex> lk(mtx);
-        appendLocked(key, packLoadCal(cal));
-        pending.erase(key);
-    }
-    pendingCv.notify_all();
-    return cal;
+    RunSpec rs;
+    rs.mode = RunMode::LoadCal;
+    rs.spec = spec;
+    rs.impl = &impl;
+    rs.platform = cfg;
+    return std::get<LoadCalibration>(run(rs));
 }
 
 std::string
@@ -552,8 +625,8 @@ ResultCache::loadKey(const ClusterConfig &cfg,
 }
 
 bool
-ResultCache::lookupLoadRow(const std::string &key,
-                           std::map<std::string, uint64_t> &out)
+ResultCache::lookupRow(const std::string &key,
+                       std::map<std::string, uint64_t> &out)
 {
     std::lock_guard<std::mutex> lk(mtx);
     auto it = rows.find(key);
@@ -564,15 +637,29 @@ ResultCache::lookupLoadRow(const std::string &key,
 }
 
 void
+ResultCache::recordRow(const std::string &key,
+                       const std::map<std::string, uint64_t> &fields)
+{
+    std::map<std::string, uint64_t> row = fields;
+    row["v"] = modeSchemaVersion(modeOfKey(key));
+    svb_assert(rowComplete(key, row) == RowCheck::Ok,
+               "row does not match its mode's schema");
+    std::lock_guard<std::mutex> lk(mtx);
+    appendLocked(key, row);
+}
+
+bool
+ResultCache::lookupLoadRow(const std::string &key,
+                           std::map<std::string, uint64_t> &out)
+{
+    return lookupRow(key, out);
+}
+
+void
 ResultCache::recordLoadRow(const std::string &key,
                            const std::map<std::string, uint64_t> &fields)
 {
-    std::map<std::string, uint64_t> row = fields;
-    row["v"] = modeSchemaVersion("load");
-    svb_assert(rowComplete(key, row) == RowCheck::Ok,
-               "load row does not match the 'load' schema");
-    std::lock_guard<std::mutex> lk(mtx);
-    appendLocked(key, row);
+    recordRow(key, fields);
 }
 
 void

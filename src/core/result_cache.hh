@@ -13,11 +13,12 @@
  * output never lands at the repo root).
  *
  * Row modes and schemas: each row's key ends in a mode tag ("o3",
- * "emu", "ldcal", "load") and each mode has an explicit schema
- * version carried in the row's "v" field. Loading a row whose mode is
- * unknown or whose version does not match warns and skips it (the row
- * is re-measured) instead of silently misparsing fields written by a
- * different tool generation.
+ * "emu", "ldcal", "load") and each mode is described by a RowSchema
+ * descriptor (tag, version, field set) — the single source of truth
+ * for the "v" version stamp and for completeness validation. Loading
+ * a row whose mode is unknown or whose version does not match warns
+ * and skips it (the row is re-measured) instead of silently
+ * misparsing fields written by a different tool generation.
  *
  * Thread-safety: every public member may be called concurrently. The
  * row map and CSV append are guarded by one mutex; a "pending" set
@@ -37,11 +38,34 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "experiment.hh"
 
 namespace svb
 {
+
+/**
+ * The on-disk schema of one row mode: its key tag, its schema version
+ * (written to and checked against every row's "v" field) and the
+ * exact set of data fields a complete row carries. The descriptor
+ * table in result_cache.cc is the single source of truth — version
+ * checks, completeness validation and the field enumeration all read
+ * it, so adding a field to a mode is a one-place change (plus the
+ * version bump).
+ */
+struct RowSchema
+{
+    const char *mode;   ///< key tag: "o3", "emu", "ldcal", "load"
+    uint64_t version;   ///< current generation, stored as "v"
+    std::vector<std::string> fields; ///< data fields (excluding "v")
+
+    /** @return the descriptor for @p mode, or nullptr if unknown. */
+    static const RowSchema *find(const std::string &mode);
+
+    /** Does @p row carry exactly this schema's fields (plus "v")? */
+    bool complete(const std::map<std::string, uint64_t> &row) const;
+};
 
 /**
  * Lazily-populated store of detailed and emulation results.
@@ -55,6 +79,32 @@ class ResultCache
      *             build/svbench_results.csv
      */
     explicit ResultCache(std::string path = "");
+
+    /**
+     * The unified cache-aware entry point: fetch the row for @p rs
+     * (keyed by rs.platform, rs.spec and the mode tag), or run it on
+     * this thread's runner and record the row. Lukewarm runs are not
+     * cached (their identity includes the interferer, which the key
+     * does not carry) and always execute. The legacy per-mode methods
+     * below are thin wrappers over this.
+     */
+    RunResult run(const RunSpec &rs);
+
+    /** The CSV row key of (@p cfg, @p spec) under @p mode. */
+    std::string rowKey(const ClusterConfig &cfg, const FunctionSpec &spec,
+                       RunMode mode) const;
+
+    /** @return true and fill @p out when @p key has a complete row. */
+    bool lookupRow(const std::string &key,
+                   std::map<std::string, uint64_t> &out);
+
+    /**
+     * Store a row: stamps the mode's schema version into "v",
+     * validates the field set against the RowSchema descriptor, then
+     * appends to the CSV.
+     */
+    void recordRow(const std::string &key,
+                   const std::map<std::string, uint64_t> &fields);
 
     /**
      * Fetch (or run and record) the detailed cold/warm result for

@@ -40,6 +40,14 @@ O3Cpu::O3Cpu(const O3Params &params, int core_id, IsaId isa_id,
 {
     svb_assert(p.numPhysIntRegs > isaDesc.numIntRegs + 8,
                "too few physical registers");
+    // The per-cycle attribution vector (see cpu/stall_cause.hh): one
+    // counter per cause in its own child group, so the flattened stat
+    // names read system.cpuN.o3.stall.<cause>.
+    StatGroup &stall_group = group.childGroup("stall");
+    for (unsigned c = 0; c < numStallCauses; ++c) {
+        statStallCycles[c] = &stall_group.addScalar(
+            stallCauseName(c), "cycles attributed to this stall cause");
+    }
     group.addFormula("cpi", "cycles per committed instruction", [this]() {
         return statInsts.value()
                    ? double(statCycles.value()) / double(statInsts.value())
@@ -115,12 +123,51 @@ O3Cpu::tick()
     ++cycle;
     ++statCycles;
 
+    commitsThisCycle = 0;
+    commitBlock = CommitBlock::None;
+    renameStall = RenameStall::None;
+    frontendInFlight = false;
+
     commitStage();
-    if (ctx.halted)
+    if (ctx.halted) {
+        accountCycle();
         return;
+    }
     issueStage();
     renameStage();
     fetchStage();
+    accountCycle();
+}
+
+void
+O3Cpu::accountCycle()
+{
+    // Exactly one cause per counted cycle; cpu/stall_cause.hh
+    // documents the priority order. Backend structure pressure
+    // (observed at rename) outranks the head's own block so that
+    // window-full cycles stay distinguishable from plain miss
+    // latency.
+    StallCause cause;
+    if (commitsThisCycle > 0)
+        cause = StallCause::Retiring;
+    else if (commitBlock == CommitBlock::Trap)
+        cause = StallCause::Trap;
+    else if (commitBlock == CommitBlock::RobEmpty)
+        cause = frontendInFlight ? StallCause::Decode
+                                 : StallCause::FetchStarved;
+    else if (renameStall == RenameStall::Rob)
+        cause = StallCause::RobFull;
+    else if (renameStall == RenameStall::Iq)
+        cause = StallCause::IqFull;
+    else if (renameStall == RenameStall::Lsq)
+        cause = StallCause::LsqFull;
+    else if (renameStall == RenameStall::Regs)
+        cause = StallCause::RenameBlocked;
+    else if (commitBlock == CommitBlock::HeadMem)
+        cause = StallCause::Memory;
+    else
+        cause = StallCause::IssueWait;
+    ++*statStallCycles[unsigned(cause)];
 }
 
 // --------------------------------------------------------------------------
@@ -221,6 +268,7 @@ O3Cpu::renameStage()
         // Resource check across the whole macro instruction.
         if (rob.size() + inst.numUops > p.robEntries) {
             ++statRobFullStalls;
+            renameStall = RenameStall::Rob;
             return;
         }
         unsigned need_iq = 0, need_regs = 0, need_lq = 0, need_sq = 0;
@@ -239,15 +287,19 @@ O3Cpu::renameStage()
         }
         if (iq.size() + need_iq > p.iqEntries) {
             ++statIqFullStalls;
+            renameStall = RenameStall::Iq;
             return;
         }
         if (loadQueue.size() + need_lq > p.lqEntries ||
             storeQueue.size() + need_sq > p.sqEntries) {
             ++statLsqFullStalls;
+            renameStall = RenameStall::Lsq;
             return;
         }
-        if (freeList.size() < need_regs)
+        if (freeList.size() < need_regs) {
+            renameStall = RenameStall::Regs;
             return;
+        }
 
         for (unsigned i = 0; i < inst.numUops; ++i) {
             const MicroOp &u = inst.uops[i];
@@ -510,12 +562,20 @@ O3Cpu::issueLoad(DynInst &d)
 void
 O3Cpu::commitStage()
 {
-    if (cycle < commitStallUntil)
+    if (cycle < commitStallUntil) {
+        commitBlock = CommitBlock::Trap;
         return;
+    }
 
     for (unsigned n = 0; n < p.commitWidth; ++n) {
-        if (rob.empty())
+        if (rob.empty()) {
+            commitBlock = CommitBlock::RobEmpty;
+            // Sampled before this cycle's rename/fetch run: entries
+            // still in the frontend-delay pipe mean decode transit,
+            // a drained frontend means fetch starvation.
+            frontendInFlight = !fetchQueue.empty();
             return;
+        }
         DynInst &d = rob.front();
 
         if (d.uop.isSyscall() || d.uop.isHalt()) {
@@ -523,8 +583,12 @@ O3Cpu::commitStage()
             return;
         }
 
-        if (!d.executed || cycle < d.completeAt)
+        if (!d.executed || cycle < d.completeAt) {
+            commitBlock = d.uop.isLoad() || d.uop.isStore()
+                              ? CommitBlock::HeadMem
+                              : CommitBlock::HeadExec;
             return;
+        }
         svb_assert(!d.faulted, "faulted memory access reached commit, pc=",
                    d.pc, " core=", coreId, " isLoad=", d.uop.isLoad(),
                    " base reg r", int(d.uop.rs1), " seq=", d.seq);
@@ -553,6 +617,7 @@ O3Cpu::commitStage()
         }
 
         ++statUops;
+        ++commitsThisCycle;
         if (d.lastUop) {
             ++statInsts;
             if (traceSink)
@@ -587,6 +652,7 @@ O3Cpu::deliverTrap(DynInst &d)
 
     ++statUops;
     ++statInsts;
+    ++commitsThisCycle;
     svb_assert(!rob.empty() && &rob.front() == &d, "trap not at ROB head");
     rob.pop_front();
 

@@ -20,6 +20,7 @@
 
 #include "base_cpu.hh"
 #include "branch_pred.hh"
+#include "stall_cause.hh"
 
 namespace svb
 {
@@ -119,6 +120,9 @@ class O3Cpu : public BaseCpu
     void renameStage();
     void fetchStage();
 
+    /** Book the finished cycle onto exactly one stall-cause counter. */
+    void accountCycle();
+
     // --- helpers ---------------------------------------------------------
     bool tryIssue(DynInst &d, unsigned &alu_used, unsigned &mult_used,
                   unsigned &mem_used);
@@ -162,6 +166,17 @@ class O3Cpu : public BaseCpu
     Cycles divBusyUntil = 0;
     Cycles commitStallUntil = 0;
 
+    // Per-cycle stall attribution scratch state (reset every tick).
+    /** Why commit made no progress this cycle, observed at its head. */
+    enum class CommitBlock { None, Trap, RobEmpty, HeadMem, HeadExec };
+    /** Which resource blocked rename this cycle, if any. */
+    enum class RenameStall { None, Rob, Iq, Lsq, Regs };
+    unsigned commitsThisCycle = 0;
+    CommitBlock commitBlock = CommitBlock::None;
+    RenameStall renameStall = RenameStall::None;
+    /** At the (empty-ROB) commit attempt, was the frontend in flight? */
+    bool frontendInFlight = false;
+
     // Statistics.
     Scalar &statCycles;
     Scalar &statIdleCycles;
@@ -177,6 +192,8 @@ class O3Cpu : public BaseCpu
     Scalar &statIqFullStalls;
     Scalar &statLsqFullStalls;
     Scalar &statFwdLoads;
+    /** Per-cycle attribution vector; sums to statCycles by design. */
+    Scalar *statStallCycles[numStallCauses];
 };
 
 } // namespace svb

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The O3 per-cycle stall-cause taxonomy.
+ *
+ * Every non-halted cycle of the detailed core is attributed to
+ * exactly ONE cause, so the cause vector always sums to numCycles —
+ * the invariant the observability tests assert on every measured
+ * request. Attribution is commit-centric with explicit backend
+ * pressure: a cycle that retires work is Retiring; otherwise the
+ * cause is why the pipeline made no forward progress, checked in this
+ * priority order:
+ *
+ *   Trap          commit is serialised behind a syscall/halt cost
+ *   FetchStarved  ROB empty, nothing in flight in the frontend
+ *                 (I-cache/ITLB stall, redirect shadow, halted fetch)
+ *   Decode        ROB empty, instructions in the frontend-delay pipe
+ *   RobFull       rename blocked: no ROB entry for the next macro-op
+ *   IqFull        rename blocked: no issue-queue entry
+ *   LsqFull       rename blocked: no LQ/SQ entry
+ *   RenameBlocked rename blocked: free list out of physical registers
+ *   Memory        ROB head is an unfinished load/store
+ *   IssueWait     ROB head waits for operands, a unit, or exec latency
+ */
+
+#ifndef SVB_CPU_STALL_CAUSE_HH
+#define SVB_CPU_STALL_CAUSE_HH
+
+namespace svb
+{
+
+enum class StallCause : unsigned
+{
+    Retiring = 0,
+    Trap,
+    FetchStarved,
+    Decode,
+    RobFull,
+    IqFull,
+    LsqFull,
+    RenameBlocked,
+    Memory,
+    IssueWait,
+};
+
+constexpr unsigned numStallCauses = 10;
+
+/** Stable stat/CSV field name of @p cause ("retiring", "robFull"...). */
+inline const char *
+stallCauseName(unsigned cause)
+{
+    static const char *names[numStallCauses] = {
+        "retiring",   "trap",    "fetchStarved",  "decode", "robFull",
+        "iqFull",     "lsqFull", "renameBlocked", "memory", "issueWait",
+    };
+    return cause < numStallCauses ? names[cause] : "?";
+}
+
+} // namespace svb
+
+#endif // SVB_CPU_STALL_CAUSE_HH

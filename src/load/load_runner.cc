@@ -2,8 +2,11 @@
 
 #include <cmath>
 #include <map>
+#include <sstream>
 
 #include "core/parallel.hh"
+#include "isa/isa_info.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace svb::load
@@ -73,6 +76,22 @@ simulateStream(const LoadScenario &s,
     Rng warmRng = master.split(2);
     InstancePool pool(s.pool);
 
+    // Per-scenario trace track (simulated nanoseconds): queue spans
+    // when an invocation waits for a slot, plus one cold/warm span
+    // per invocation. All times come from the load timeline, so the
+    // track is deterministic in (scenario, calibrations).
+    obs::Tracer &tracer = obs::Tracer::global();
+    obs::TrackId track = obs::badTrack;
+    if (tracer.enabled()) {
+        std::ostringstream os;
+        os << isaName(s.cluster.system.isa) << "/"
+           << db::dbKindName(s.cluster.dbKind)
+           << (s.cluster.startDb ? 1 : 0)
+           << (s.cluster.startMemcached ? 1 : 0) << "/" << s.name
+           << "/load";
+        track = tracer.track(os.str());
+    }
+
     double totalWeight = 0.0;
     for (const LoadMixEntry &entry : s.mix)
         totalWeight += entry.weight;
@@ -98,6 +117,16 @@ simulateStream(const LoadScenario &s,
                     : cal.warmNs[warmRng.nextBounded(loadWarmSamples)];
         const uint64_t end = pl.startNs + std::max<uint64_t>(1, service);
         pool.release(pl.slot, end);
+
+        if (track != obs::badTrack) {
+            if (pl.startNs > arrival)
+                tracer.record(track, "queue#" + std::to_string(i), "queue",
+                              arrival, pl.startNs - arrival);
+            tracer.record(track,
+                          (pl.cold ? "cold#" : "warm#") + std::to_string(i),
+                          pl.cold ? "cold" : "warm", pl.startNs,
+                          end - pl.startNs);
+        }
 
         res.latency.record(end - arrival);
         if (end > lastEndNs)

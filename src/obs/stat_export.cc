@@ -1,0 +1,182 @@
+#include "stat_export.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace svb::obs
+{
+
+StatSnapshot
+snapshot(const StatGroup &group)
+{
+    return group.snapshotAll();
+}
+
+StatSnapshot
+delta(const StatSnapshot &before, const StatSnapshot &after)
+{
+    StatSnapshot out;
+    for (const auto &[name, value] : after) {
+        auto it = before.find(name);
+        out[name] = value - (it == before.end() ? 0.0 : it->second);
+    }
+    return out;
+}
+
+double
+statValue(const StatSnapshot &snap, const std::string &name)
+{
+    auto it = snap.find(name);
+    return it == snap.end() ? 0.0 : it->second;
+}
+
+namespace
+{
+
+/**
+ * Deterministic number formatting: counters print as integers,
+ * everything else with up to six significant digits. Avoids
+ * locale-dependent ostream state entirely.
+ */
+std::string
+formatValue(double v)
+{
+    char buf[64];
+    if (std::nearbyint(v) == v && std::fabs(v) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+    }
+    return buf;
+}
+
+std::vector<std::string>
+splitPath(const std::string &name)
+{
+    std::vector<std::string> parts;
+    size_t begin = 0;
+    for (;;) {
+        const size_t dot = name.find('.', begin);
+        if (dot == std::string::npos) {
+            parts.push_back(name.substr(begin));
+            return parts;
+        }
+        parts.push_back(name.substr(begin, dot - begin));
+        begin = dot + 1;
+    }
+}
+
+void
+writeJsonKey(std::ostream &os, int depth, const std::string &key)
+{
+    for (int i = 0; i < depth; ++i)
+        os << "  ";
+    os << '"' << key << "\": ";
+}
+
+} // namespace
+
+void
+writeJson(std::ostream &os, const StatSnapshot &snap)
+{
+    // The snapshot map is sorted, so siblings of one subtree are
+    // contiguous: a single pass with an open-path stack re-nests the
+    // dotted names without building an intermediate tree.
+    std::vector<std::string> open;
+    os << "{";
+    bool first = true;
+    for (const auto &[name, value] : snap) {
+        const std::vector<std::string> parts = splitPath(name);
+        size_t common = 0;
+        while (common < open.size() && common + 1 < parts.size() &&
+               open[common] == parts[common])
+            ++common;
+        for (size_t i = open.size(); i > common; --i) {
+            os << "\n";
+            for (size_t k = 0; k < i; ++k)
+                os << "  ";
+            os << "}";
+        }
+        open.resize(common);
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+        for (size_t i = common + 1; i < parts.size(); ++i) {
+            writeJsonKey(os, int(open.size() + 1), parts[i - 1]);
+            os << "{\n";
+            open.push_back(parts[i - 1]);
+        }
+        writeJsonKey(os, int(open.size() + 1), parts.back());
+        os << formatValue(value);
+    }
+    for (size_t i = open.size(); i > 0; --i) {
+        os << "\n";
+        for (size_t k = 0; k < i; ++k)
+            os << "  ";
+        os << "}";
+    }
+    os << "\n}\n";
+}
+
+void
+writeCsv(std::ostream &os, const StatSnapshot &snap)
+{
+    os << "stat,value\n";
+    for (const auto &[name, value] : snap)
+        os << name << "," << formatValue(value) << "\n";
+}
+
+const std::string &
+statDumpDir()
+{
+    static const std::string dir = [] {
+        const char *env = std::getenv("SVBENCH_STATDUMP");
+        return std::string(env != nullptr ? env : "");
+    }();
+    return dir;
+}
+
+void
+dumpRequestStats(const std::string &stem, const StatSnapshot &snap)
+{
+    const std::string &dir = statDumpDir();
+    if (dir.empty())
+        return;
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        warn("SVBENCH_STATDUMP: cannot create ", dir, ": ", ec.message());
+        return;
+    }
+
+    std::string safe = stem;
+    for (char &c : safe) {
+        if (c == '/' || c == ' ' || c == '\\')
+            c = '_';
+    }
+    const std::string base = dir + "/" + safe;
+    {
+        std::ofstream os(base + ".json", std::ios::binary | std::ios::trunc);
+        if (os)
+            writeJson(os, snap);
+        else
+            warn("SVBENCH_STATDUMP: cannot write ", base, ".json");
+    }
+    {
+        std::ofstream os(base + ".csv", std::ios::binary | std::ios::trunc);
+        if (os)
+            writeCsv(os, snap);
+        else
+            warn("SVBENCH_STATDUMP: cannot write ", base, ".csv");
+    }
+}
+
+} // namespace svb::obs

@@ -1,0 +1,158 @@
+#include "trace.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace svb::obs
+{
+
+Tracer &
+Tracer::global()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+Tracer::Tracer()
+{
+    const char *env = std::getenv("SVBENCH_TRACE");
+    if (env != nullptr && env[0] != '\0')
+        enable(env);
+}
+
+Tracer::~Tracer()
+{
+    flush();
+}
+
+void
+Tracer::enable(const std::string &path)
+{
+    std::lock_guard<std::mutex> lk(mtx);
+    outPath = path;
+    isEnabled.store(true, std::memory_order_relaxed);
+}
+
+void
+Tracer::reset()
+{
+    std::lock_guard<std::mutex> lk(mtx);
+    isEnabled.store(false, std::memory_order_relaxed);
+    outPath.clear();
+    tracks.clear();
+}
+
+TrackId
+Tracer::track(const std::string &name)
+{
+    if (!enabled())
+        return badTrack;
+    std::lock_guard<std::mutex> lk(mtx);
+    for (size_t i = 0; i < tracks.size(); ++i) {
+        if (tracks[i].name == name)
+            return TrackId(i);
+    }
+    tracks.push_back({name, {}});
+    return TrackId(tracks.size() - 1);
+}
+
+void
+Tracer::record(TrackId track_id, const std::string &name,
+               const std::string &cat, uint64_t start, uint64_t dur)
+{
+    if (!enabled() || track_id == badTrack)
+        return;
+    std::lock_guard<std::mutex> lk(mtx);
+    tracks.at(size_t(track_id)).events.push_back({name, cat, start, dur});
+}
+
+namespace
+{
+
+/** JSON string escaping: the span vocabulary is plain ASCII, but a
+ *  function or scenario name must never be able to break the file. */
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                const char *hex = "0123456789abcdef";
+                os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+void
+Tracer::render(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lk(mtx);
+
+    // Track creation order depends on worker scheduling; the on-disk
+    // tid assignment must not. Sort an index by track name (names are
+    // unique) and emit in that order.
+    std::vector<size_t> order(tracks.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+        return tracks[a].name < tracks[b].name;
+    });
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (size_t tid = 0; tid < order.size(); ++tid) {
+        const Track &track = tracks[order[tid]];
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+           << "\"tid\":" << tid << ",\"args\":{\"name\":";
+        writeJsonString(os, track.name);
+        os << "}}";
+        for (const TraceEvent &ev : track.events) {
+            os << ",\n{\"name\":";
+            writeJsonString(os, ev.name);
+            os << ",\"cat\":";
+            writeJsonString(os, ev.cat);
+            os << ",\"ph\":\"X\",\"ts\":" << ev.start
+               << ",\"dur\":" << ev.dur << ",\"pid\":0,\"tid\":" << tid
+               << "}";
+        }
+    }
+    os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+void
+Tracer::flush() const
+{
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        if (!isEnabled.load(std::memory_order_relaxed) || outPath.empty())
+            return;
+        path = outPath;
+    }
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        warn("SVBENCH_TRACE: cannot write ", path);
+        return;
+    }
+    render(os);
+}
+
+} // namespace svb::obs

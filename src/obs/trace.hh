@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Request-scoped tracing: deterministic, simulated-time span buffers
+ * exported as Chrome trace-event JSON.
+ *
+ * Spans record *simulated* time (cycles on the detailed cluster
+ * timeline, nanoseconds on the load timeline), never wall-clock, so a
+ * trace is a pure function of the experiment inputs. Each concurrent
+ * experiment records onto its own named track; the exporter sorts
+ * tracks by name and keeps each track's spans in append order, so the
+ * emitted JSON is byte-identical at any SVBENCH_JOBS worker count.
+ *
+ * Enable with SVBENCH_TRACE=<path> (the file is written when the
+ * process exits, or on an explicit flush()) or programmatically via
+ * Tracer::global().enable(path). When disabled, record() is a cheap
+ * early-out, so instrumentation stays in place at zero cost.
+ *
+ * Thread-safety: every public member may be called concurrently; one
+ * mutex guards the track table and all span buffers. Spans are
+ * coarse (per phase / per request, never per cycle), so the lock is
+ * far off any hot path.
+ */
+
+#ifndef SVB_OBS_TRACE_HH
+#define SVB_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace svb::obs
+{
+
+/** Opaque handle to one trace track (badTrack when tracing is off). */
+using TrackId = int;
+constexpr TrackId badTrack = -1;
+
+/** One complete span on a track's simulated timeline. */
+struct TraceEvent
+{
+    std::string name; ///< e.g. "cold", "request#10", "boot"
+    std::string cat;  ///< phase taxonomy: "phase", "request", "queue"...
+    uint64_t start = 0; ///< simulated start time (track time unit)
+    uint64_t dur = 0;   ///< simulated duration (track time unit)
+};
+
+/**
+ * The process-wide span collector.
+ */
+class Tracer
+{
+  public:
+    /** The singleton; reads SVBENCH_TRACE once on first use. */
+    static Tracer &global();
+
+    /** @return true when spans are being collected. */
+    bool enabled() const { return isEnabled.load(std::memory_order_relaxed); }
+
+    /** Start collecting; the JSON lands at @p path on flush/exit. */
+    void enable(const std::string &path);
+
+    /** Stop collecting and drop every buffered span (for tests). */
+    void reset();
+
+    /**
+     * Find or create the track named @p name. Track names must be
+     * unique per concurrently running experiment (embed the platform
+     * and mode); reusing a name appends to the existing track.
+     * @return badTrack when tracing is disabled
+     */
+    TrackId track(const std::string &name);
+
+    /** Append a completed span to @p track; no-op when disabled. */
+    void record(TrackId track, const std::string &name,
+                const std::string &cat, uint64_t start, uint64_t dur);
+
+    /** Serialise every track as Chrome trace-event JSON. */
+    void render(std::ostream &os) const;
+
+    /** Write the JSON to the configured path (no-op when disabled). */
+    void flush() const;
+
+    ~Tracer();
+
+  private:
+    Tracer();
+
+    struct Track
+    {
+        std::string name;
+        std::vector<TraceEvent> events;
+    };
+
+    std::atomic<bool> isEnabled{false};
+    mutable std::mutex mtx;
+    std::string outPath;
+    std::vector<Track> tracks;
+};
+
+} // namespace svb::obs
+
+#endif // SVB_OBS_TRACE_HH

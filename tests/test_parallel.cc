@@ -212,8 +212,8 @@ TEST(ResultCache, ConcurrentDetailedRunsKeyOnce)
     }
 
     // Exactly one row, not torn: it parses and carries every field a
-    // serial run writes (10 cold + 10 warm stats + ok + schema
-    // version).
+    // serial run writes (20 cold + 20 warm stats — 10 counters plus
+    // 10 stall causes each — + ok + schema version).
     std::istringstream is(slurp(file.path));
     std::string line, extra;
     ASSERT_TRUE(std::getline(is, line));
@@ -227,5 +227,5 @@ TEST(ResultCache, ConcurrentDetailedRunsKeyOnce)
         EXPECT_NE(tok.find('='), std::string::npos) << tok;
         ++fields;
     }
-    EXPECT_EQ(fields, 22u);
+    EXPECT_EQ(fields, 42u);
 }

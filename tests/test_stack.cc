@@ -176,9 +176,10 @@ TEST(Report, FiguresPrintWithoutCrashing)
     // Smoke-test the printers (they write to stdout).
     report::figureHeader("Figure T", "test caption",
                          {SystemConfig::paperConfig(IsaId::Riscv)});
-    report::barFigure({"a", "b"}, "cycles",
+    report::barFigure({{"a", "cycles"}, {"b", "cycles"}},
                       {{"row1", {100, 50}}, {"row2", {30, 20}}});
-    report::stackedPercentFigure({"i", "d"}, {{"row", {30, 70}}});
+    const std::vector<report::SeriesSpec> id_series = {{"i", ""}, {"d", ""}};
+    report::stackedPercentFigure(id_series, {{"row", {30, 70}}});
     report::table({"Function", "x86"}, {{"fib", {8.39}}});
     report::configTables(SystemConfig::paperConfig(IsaId::Riscv),
                          SystemConfig::paperConfig(IsaId::Cx86));
