@@ -42,7 +42,10 @@ appendSpec(std::ostringstream &os, const FunctionSpec &spec)
 CheckpointStore::CheckpointStore()
 {
     const char *d = std::getenv("SVBENCH_CKPT_DIR");
-    dir = (d != nullptr && d[0] != '\0') ? d : "svbench_ckpts";
+    // Default beside the result cache under build/ — machine output
+    // never lands at the repo root (the pre-PR-3 "svbench_ckpts"
+    // location is stale and gitignored).
+    dir = (d != nullptr && d[0] != '\0') ? d : "build/svbench_ckpts";
     const char *off = std::getenv("SVBENCH_NO_CKPT");
     disabled = off != nullptr && off[0] == '1';
 }
@@ -104,6 +107,8 @@ CheckpointStore::acquire(const std::string &fp, bool *claimed)
         pendingCv.wait(lk);
     }
     pending.insert(fp);
+    const std::function<bool(const std::string &)> faultHook =
+        restoreFaultHook;
     lk.unlock();
 
     // Disk probe outside the lock: loading a checkpoint is slow and
@@ -124,7 +129,19 @@ CheckpointStore::acquire(const std::string &fp, bool *claimed)
         warn("ignoring corrupt checkpoint ", pathFor(fp), ": ", err);
     }
 
+    bool faultInjected = false;
+    if (from_disk.has_value() && faultHook && faultHook(fp)) {
+        // Injected restore corruption: behave exactly like a corrupt
+        // file — drop the snapshot and make the caller re-prepare.
+        warn("fault injection: discarding restored checkpoint ",
+             pathFor(fp), "; re-preparing");
+        from_disk.reset();
+        faultInjected = true;
+    }
+
     lk.lock();
+    if (faultInjected)
+        ++restoreFaults;
     if (!from_disk.has_value()) {
         *claimed = true; // caller prepares, then publish()/release()
         return nullptr;
@@ -166,6 +183,21 @@ CheckpointStore::release(const std::string &fp)
 }
 
 void
+CheckpointStore::setRestoreFaultHook(
+    std::function<bool(const std::string &)> hook)
+{
+    std::lock_guard<std::mutex> lk(mtx);
+    restoreFaultHook = std::move(hook);
+}
+
+uint64_t
+CheckpointStore::restoreFaultsInjected() const
+{
+    std::lock_guard<std::mutex> lk(mtx);
+    return restoreFaults;
+}
+
+void
 CheckpointStore::resetForTest(const std::string &test_dir)
 {
     std::lock_guard<std::mutex> lk(mtx);
@@ -173,6 +205,8 @@ CheckpointStore::resetForTest(const std::string &test_dir)
     pending.clear();
     dir = test_dir;
     disabled = false;
+    restoreFaultHook = nullptr;
+    restoreFaults = 0;
 }
 
 } // namespace svb

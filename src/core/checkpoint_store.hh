@@ -17,7 +17,8 @@
  *
  * Environment:
  *  - SVBENCH_CKPT_DIR  directory for .ckpt files (default
- *    "svbench_ckpts", created on first publish)
+ *    "build/svbench_ckpts" under the working directory — machine
+ *    output never lands at the repo root; created on first publish)
  *  - SVBENCH_NO_CKPT=1 disables the store entirely (every prepare
  *    boots from scratch)
  *
@@ -30,6 +31,8 @@
 #define SVB_CORE_CHECKPOINT_STORE_HH
 
 #include <condition_variable>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -88,9 +91,22 @@ class CheckpointStore
     /** Drop a claim whose preparation failed; waiters re-claim. */
     void release(const std::string &fp);
 
-    /** Test hook: forget all state and redirect the store to @p dir
-     *  (re-enabling it regardless of SVBENCH_NO_CKPT). */
+    /** Test hook: forget all state (fault hook included) and redirect
+     *  the store to @p dir (re-enabling it regardless of
+     *  SVBENCH_NO_CKPT). */
     void resetForTest(const std::string &dir);
+
+    /**
+     * Fault injection (resilience tests): when set, a checkpoint
+     * successfully loaded from disk for which @p hook returns true is
+     * discarded as if the file were corrupt — the caller re-prepares
+     * from scratch, exercising the restore-failure recovery path
+     * deterministically. Pass nullptr to clear.
+     */
+    void setRestoreFaultHook(std::function<bool(const std::string &)> hook);
+
+    /** Disk restores discarded by the fault hook so far. */
+    uint64_t restoreFaultsInjected() const;
 
     /** On-disk path for a fingerprint (hash-named .ckpt file). */
     std::string pathFor(const std::string &fp) const;
@@ -101,7 +117,11 @@ class CheckpointStore
     std::string dir;
     bool disabled = false;
 
-    std::mutex mtx;
+    mutable std::mutex mtx;
+    /** Guarded by mtx. */
+    std::function<bool(const std::string &)> restoreFaultHook;
+    /** Guarded by mtx. */
+    uint64_t restoreFaults = 0;
     std::condition_variable pendingCv;
     std::set<std::string> pending;
     std::map<std::string, std::shared_ptr<const Checkpoint>> cache;

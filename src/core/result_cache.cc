@@ -67,10 +67,16 @@ RowSchema::find(const std::string &mode)
             ld.fields.push_back("ok");
             s.push_back(std::move(ld));
         }
-        s.push_back({"load", 1,
+        // load v2: v1 predates the resilience fields (availability,
+        // retry/fault counters, goodput/error percentiles).
+        s.push_back({"load", 2,
                      {"invocations", "coldStarts", "warmHits", "evictions",
                       "p50Ns", "p90Ns", "p99Ns", "p999Ns", "maxNs",
-                      "throughputMrps", "histoFp", "ok"}});
+                      "throughputMrps", "histoFp", "succeeded",
+                      "failedInv", "sheds", "retries", "crashes",
+                      "timeouts", "coldFails", "corruptRestores",
+                      "stragglers", "breakerOpens", "goodP50Ns",
+                      "goodP99Ns", "errP99Ns", "goodFp", "ok"}});
         return s;
     }();
     for (const RowSchema &schema : schemas)

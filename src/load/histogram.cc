@@ -44,7 +44,15 @@ LatencyHistogram::bucketLow(size_t index)
         return uint64_t(index);
     const size_t group = index / kSubBuckets;
     const uint64_t sub = index % kSubBuckets;
-    return (kSubBuckets + sub) << (group - 1);
+    const uint64_t base = kSubBuckets + sub;
+    const unsigned shift = unsigned(group - 1);
+    // A shift that pushes the sub-bucket base past 2^64 would wrap to
+    // a tiny value and make percentile() report a bogus low latency
+    // for the top octave; saturate to UINT64_MAX instead so bucket
+    // bounds stay monotone for any index (and any future kSubBits).
+    if (shift >= 64 || (shift != 0 && (base >> (64 - shift)) != 0))
+        return ~uint64_t(0);
+    return base << shift;
 }
 
 uint64_t
@@ -52,9 +60,14 @@ LatencyHistogram::bucketHigh(size_t index)
 {
     if (index < kSubBuckets)
         return uint64_t(index);
+    const uint64_t low = bucketLow(index);
+    if (low == ~uint64_t(0))
+        return low;
     const size_t group = index / kSubBuckets;
-    const uint64_t width = uint64_t(1) << (group - 1);
-    return bucketLow(index) + width - 1;
+    const unsigned shift = unsigned(group - 1);
+    const uint64_t width = shift >= 64 ? ~uint64_t(0) : uint64_t(1) << shift;
+    const uint64_t high = low + (width - 1);
+    return high < low ? ~uint64_t(0) : high; // saturate, never wrap
 }
 
 void
@@ -102,8 +115,13 @@ LatencyHistogram::percentile(double p) const
     uint64_t seen = 0;
     for (size_t i = 0; i < counts.size(); ++i) {
         seen += counts[i];
-        if (seen >= target)
-            return bucketHigh(i);
+        if (seen < target)
+            continue;
+        // A saturated bound means the true bucket top is not
+        // representable; report the exact recorded maximum instead of
+        // a meaningless UINT64_MAX.
+        const uint64_t high = bucketHigh(i);
+        return high == ~uint64_t(0) ? maxNs : high;
     }
     return maxNs; // unreachable with a consistent total
 }

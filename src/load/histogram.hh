@@ -58,7 +58,9 @@ class LatencyHistogram
      * The value at percentile @p p in [0, 100]: the inclusive upper
      * bound of the bucket holding the ceil(p/100 * count)-th smallest
      * sample. Guaranteed >= the true order statistic and within one
-     * bucket width (relative error <= 1/kSubBuckets) above it.
+     * bucket width (relative error <= 1/kSubBuckets) above it. When
+     * that bound saturated to UINT64_MAX (top-octave buckets), the
+     * exact recorded maxValue() is reported instead.
      */
     uint64_t percentile(double p) const;
 

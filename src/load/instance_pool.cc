@@ -86,8 +86,14 @@ InstancePool::acquire(uint32_t fn_id, uint64_t now_ns)
             victim = int(i);
     }
     if (victim >= 0) {
-        slots[unsigned(victim)].fnId = fn_id;
-        slots[unsigned(victim)].live = false;
+        Instance &inst = slots[unsigned(victim)];
+        inst.fnId = fn_id;
+        inst.live = false;
+        // Recycled slot: the victim's usage history must not leak
+        // into the new instance's FixedTtl age, so restart its clock
+        // at the takeover time.
+        inst.lastUsedNs = now_ns;
+        inst.busyUntilNs = now_ns;
         ++poolStats.evictions;
         if (provisioned)
             ++poolStats.warmHits;
@@ -116,6 +122,10 @@ InstancePool::acquire(uint32_t fn_id, uint64_t now_ns)
         ++poolStats.evictions;
     slots[q].live = false;
     slots[q].fnId = fn_id;
+    // Same recycle reset as step 3: the new instance's age starts at
+    // its (queued) service start, not at the victim's last use.
+    slots[q].lastUsedNs = start;
+    slots[q].busyUntilNs = start;
     if (provisioned)
         ++poolStats.warmHits;
     else
@@ -133,6 +143,32 @@ InstancePool::release(unsigned slot, uint64_t end_ns)
     // AlwaysCold tears the instance down with the request; every
     // other policy keeps it resident (until TTL/LRU eviction).
     inst.live = cfg.policy != KeepAlivePolicy::AlwaysCold;
+}
+
+void
+InstancePool::kill(unsigned slot, uint64_t at_ns)
+{
+    svb_assert(slot < slots.size(), "kill of unknown slot");
+    Instance &inst = slots[slot];
+    inst.live = false;
+    inst.busyUntilNs = at_ns;
+    inst.lastUsedNs = at_ns;
+    ++poolStats.crashes;
+    ++poolStats.evictions;
+}
+
+uint64_t
+InstancePool::slotLastUsedNs(unsigned slot) const
+{
+    svb_assert(slot < slots.size(), "unknown slot");
+    return slots[slot].lastUsedNs;
+}
+
+uint64_t
+InstancePool::slotBusyUntilNs(unsigned slot) const
+{
+    svb_assert(slot < slots.size(), "unknown slot");
+    return slots[slot].busyUntilNs;
 }
 
 unsigned

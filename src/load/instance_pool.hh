@@ -62,6 +62,9 @@ struct PoolStats
     uint64_t coldStarts = 0;
     uint64_t warmHits = 0;
     uint64_t evictions = 0;
+    /** Instances torn down by kill() (fault layer: crashes and failed
+     *  cold starts). Every crash is also counted as an eviction. */
+    uint64_t crashes = 0;
 };
 
 /**
@@ -94,10 +97,23 @@ class InstancePool
     /** Complete the invocation on @p slot at @p end_ns. */
     void release(unsigned slot, uint64_t end_ns);
 
+    /**
+     * Tear @p slot down at @p at_ns without a completion: the fault
+     * layer's instance crash / failed cold start. The slot goes dead
+     * immediately (a later request pays a fresh cold start) and the
+     * teardown counts as both a crash and an eviction. Called instead
+     * of release() for the affected invocation.
+     */
+    void kill(unsigned slot, uint64_t at_ns);
+
     const PoolStats &stats() const { return poolStats; }
 
     /** Live (kept-alive) instances right now. */
     unsigned liveInstances() const;
+
+    /** Slot metadata, exposed for tests (recycle-reset regression). */
+    uint64_t slotLastUsedNs(unsigned slot) const;
+    uint64_t slotBusyUntilNs(unsigned slot) const;
 
   private:
     struct Instance

@@ -2,12 +2,15 @@
 
 #include <cmath>
 #include <map>
+#include <queue>
 #include <sstream>
 
 #include "core/parallel.hh"
 #include "isa/isa_info.hh"
+#include "obs/stat_export.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 
 namespace svb::load
 {
@@ -31,6 +34,20 @@ packLoadResult(const LoadResult &res)
         {"throughputMrps",
          uint64_t(std::llround(res.throughputRps * 1000.0))},
         {"histoFp", res.histoFingerprint},
+        {"succeeded", res.succeeded},
+        {"failedInv", res.failedInvocations},
+        {"sheds", res.sheds},
+        {"retries", res.retries},
+        {"crashes", res.crashes},
+        {"timeouts", res.timeouts},
+        {"coldFails", res.coldStartFailures},
+        {"corruptRestores", res.corruptRestores},
+        {"stragglers", res.stragglers},
+        {"breakerOpens", res.breakerOpens},
+        {"goodP50Ns", res.goodP50Ns},
+        {"goodP99Ns", res.goodP99Ns},
+        {"errP99Ns", res.errP99Ns},
+        {"goodFp", res.goodFingerprint},
         {"ok", res.ok ? 1u : 0u},
     };
 }
@@ -52,15 +69,71 @@ unpackLoadResult(const std::string &scenario,
     res.maxNs = fields.at("maxNs");
     res.throughputRps = double(fields.at("throughputMrps")) / 1000.0;
     res.histoFingerprint = fields.at("histoFp");
+    res.succeeded = fields.at("succeeded");
+    res.failedInvocations = fields.at("failedInv");
+    res.sheds = fields.at("sheds");
+    res.retries = fields.at("retries");
+    res.crashes = fields.at("crashes");
+    res.timeouts = fields.at("timeouts");
+    res.coldStartFailures = fields.at("coldFails");
+    res.corruptRestores = fields.at("corruptRestores");
+    res.stragglers = fields.at("stragglers");
+    res.breakerOpens = fields.at("breakerOpens");
+    res.goodP50Ns = fields.at("goodP50Ns");
+    res.goodP99Ns = fields.at("goodP99Ns");
+    res.errP99Ns = fields.at("errP99Ns");
+    res.goodFingerprint = fields.at("goodFp");
     res.ok = fields.at("ok") != 0;
     return res;
 }
 
+/** Client-visible outcome of one attempt. */
+enum class AttemptOutcome
+{
+    Success,
+    ColdFail, ///< injected failed cold start
+    Crash,    ///< injected mid-request instance crash
+    Timeout,  ///< client abandoned the attempt (per-attempt timeout)
+};
+
+/**
+ * One timeline event of the stream engine: either an attempt *start*
+ * (admit through the breaker, place on the pool, roll the fault
+ * dice) or an attempt *end* (apply the client-visible outcome to the
+ * breaker and either finish the invocation or schedule its retry).
+ * Events are processed in (time, seq) order — seq is the push order,
+ * so ties resolve deterministically at any SVBENCH_JOBS value.
+ */
+struct StreamEvent
+{
+    uint64_t timeNs = 0;
+    uint64_t seq = 0;
+    uint32_t inv = 0;
+    unsigned attempt = 0;
+    bool isEnd = false;
+    AttemptOutcome outcome = AttemptOutcome::Success;
+};
+
+struct StreamEventLater
+{
+    bool operator()(const StreamEvent &a, const StreamEvent &b) const
+    {
+        if (a.timeNs != b.timeNs)
+            return a.timeNs > b.timeNs;
+        return a.seq > b.seq;
+    }
+};
+
 /**
  * The pure load simulation: replay calibrated service times through
- * the arrival process and instance pool. Deterministic in (scenario,
- * calibrations) alone — all randomness comes from seed-derived
- * substreams, never from threads or wall clocks.
+ * the arrival process, instance pool, fault model, retry policy and
+ * circuit breakers on one event-driven simulated timeline.
+ * Deterministic in (scenario, calibrations) alone — all randomness
+ * comes from seed-derived substreams, never from threads or wall
+ * clocks. With every fault rate zero and retries/breaker at their
+ * defaults, the engine performs the identical sequence of pool
+ * operations and RNG draws as the pre-fault single-pass loop, so the
+ * histograms and fingerprints are byte-identical to it.
  */
 LoadResult
 simulateStream(const LoadScenario &s,
@@ -74,11 +147,19 @@ simulateStream(const LoadScenario &s,
     ArrivalProcess arrivals(s.arrival, master.split(0));
     Rng mixRng = master.split(1);
     Rng warmRng = master.split(2);
+    // Fault and retry randomness lives on streams of its own: runs
+    // with faults disabled never touch them, and enabling faults
+    // never perturbs the arrival / mix / warm-sample sequences.
+    FaultInjector faults(s.fault, master.split(3));
+    Rng retryRng = master.split(4);
     InstancePool pool(s.pool);
+    std::vector<CircuitBreaker> breakers(s.mix.size(),
+                                         CircuitBreaker(s.breaker));
 
     // Per-scenario trace track (simulated nanoseconds): queue spans
-    // when an invocation waits for a slot, plus one cold/warm span
-    // per invocation. All times come from the load timeline, so the
+    // when an invocation waits for a slot, one cold/warm span per
+    // attempt, plus retry / timeout / breaker-open spans from the
+    // fault layer. All times come from the load timeline, so the
     // track is deterministic in (scenario, calibrations).
     obs::Tracer &tracer = obs::Tracer::global();
     obs::TrackId track = obs::badTrack;
@@ -96,55 +177,237 @@ simulateStream(const LoadScenario &s,
     for (const LoadMixEntry &entry : s.mix)
         totalWeight += entry.weight;
     svb_assert(totalWeight > 0.0, "load mix has no weight");
+    svb_assert(s.retry.maxAttempts >= 1, "retry policy needs >= 1 attempt");
 
-    uint64_t lastEndNs = 0;
-    for (uint64_t i = 0; i < s.invocations; ++i) {
-        const uint64_t arrival = arrivals.nextArrivalNs();
-
+    // Arrival times and function choices are drawn up front in
+    // arrival order — the exact draw sequence of the legacy
+    // single-pass loop (each stream is independent, so interleaving
+    // relative to other streams is irrelevant).
+    struct Invocation
+    {
+        uint64_t arrivalNs = 0;
         uint32_t fn = 0;
+        BackoffSchedule backoff;
+    };
+    std::vector<Invocation> invs;
+    invs.reserve(s.invocations);
+    for (uint64_t i = 0; i < s.invocations; ++i) {
+        Invocation iv{0, 0, BackoffSchedule(s.retry)};
+        iv.arrivalNs = arrivals.nextArrivalNs();
         double u = mixRng.nextDouble() * totalWeight;
         for (size_t m = 0; m + 1 < s.mix.size(); ++m) {
             u -= s.mix[m].weight;
             if (u < 0.0)
                 break;
-            fn = uint32_t(m + 1);
+            iv.fn = uint32_t(m + 1);
         }
+        invs.push_back(std::move(iv));
+    }
 
-        const InstancePool::Placement pl = pool.acquire(fn, arrival);
-        const LoadCalibration &cal = cals[fn];
-        const uint64_t service =
-            pl.cold ? cal.coldNs
-                    : cal.warmNs[warmRng.nextBounded(loadWarmSamples)];
-        const uint64_t end = pl.startNs + std::max<uint64_t>(1, service);
-        pool.release(pl.slot, end);
+    std::priority_queue<StreamEvent, std::vector<StreamEvent>,
+                        StreamEventLater>
+        events;
+    uint64_t seq = 0;
+    for (uint32_t i = 0; i < s.invocations; ++i)
+        events.push({invs[i].arrivalNs, seq++, i, 0, false,
+                     AttemptOutcome::Success});
 
-        if (track != obs::badTrack) {
-            if (pl.startNs > arrival)
-                tracer.record(track, "queue#" + std::to_string(i), "queue",
-                              arrival, pl.startNs - arrival);
-            tracer.record(track,
-                          (pl.cold ? "cold#" : "warm#") + std::to_string(i),
-                          pl.cold ? "cold" : "warm", pl.startNs,
-                          end - pl.startNs);
+    // A label suffix only retry attempts carry, so fault-free traces
+    // keep the legacy "cold#i"/"warm#i"/"queue#i" span names.
+    auto attemptTag = [](uint32_t inv, unsigned attempt) {
+        std::string t = std::to_string(inv);
+        if (attempt > 0)
+            t += "." + std::to_string(attempt);
+        return t;
+    };
+
+    uint64_t lastEndNs = 0;
+    auto finish = [&](uint64_t end_ns, uint64_t arrival_ns, bool good) {
+        res.latency.record(end_ns - arrival_ns);
+        (good ? res.goodLatency : res.errorLatency)
+            .record(end_ns - arrival_ns);
+        if (end_ns > lastEndNs)
+            lastEndNs = end_ns;
+    };
+
+    while (!events.empty()) {
+        const StreamEvent ev = events.top();
+        events.pop();
+        Invocation &iv = invs[ev.inv];
+        CircuitBreaker &breaker = breakers[iv.fn];
+
+        if (!ev.isEnd) {
+            // ---- attempt start at ev.timeNs --------------------------
+            if (!breaker.admit(ev.timeNs)) {
+                // Shed: the open breaker answers with the degraded
+                // fast path; terminal, but not a good response.
+                ++res.sheds;
+                const uint64_t end = ev.timeNs + s.breaker.degradedNs;
+                if (track != obs::badTrack)
+                    tracer.record(track,
+                                  "shed#" + attemptTag(ev.inv, ev.attempt),
+                                  "breaker", ev.timeNs,
+                                  s.breaker.degradedNs);
+                finish(end, iv.arrivalNs, false);
+                continue;
+            }
+
+            const InstancePool::Placement pl =
+                pool.acquire(iv.fn, ev.timeNs);
+            const LoadCalibration &cal = cals[iv.fn];
+            const FaultInjector::Draw dice = faults.draw(pl.cold);
+
+            uint64_t service =
+                pl.cold ? cal.coldNs
+                        : cal.warmNs[warmRng.nextBounded(loadWarmSamples)];
+            if (pl.cold && dice.restoreCorrupt) {
+                // The restored snapshot came up corrupt: the platform
+                // falls back to booting from scratch — the start still
+                // succeeds but pays the boot penalty.
+                service = uint64_t(double(service) *
+                                   s.fault.restoreBootFactor);
+                ++res.corruptRestores;
+            }
+            if (dice.straggler) {
+                service =
+                    uint64_t(double(service) * s.fault.stragglerFactor);
+                ++res.stragglers;
+            }
+            service = std::max<uint64_t>(1, service);
+            const uint64_t end = pl.startNs + service;
+
+            if (track != obs::badTrack) {
+                const std::string tag = attemptTag(ev.inv, ev.attempt);
+                if (pl.startNs > ev.timeNs)
+                    tracer.record(track, "queue#" + tag, "queue",
+                                  ev.timeNs, pl.startNs - ev.timeNs);
+                tracer.record(track, (pl.cold ? "cold#" : "warm#") + tag,
+                              pl.cold ? "cold" : "warm", pl.startNs,
+                              end - pl.startNs);
+            }
+
+            AttemptOutcome outcome = AttemptOutcome::Success;
+            uint64_t clientEnd = end;
+            if (pl.cold && dice.coldFail) {
+                // The instance never comes up; the client learns at
+                // the point the cold path would have completed.
+                outcome = AttemptOutcome::ColdFail;
+                pool.kill(pl.slot, end);
+                ++res.coldStartFailures;
+            } else if (dice.crash) {
+                const uint64_t crashAt =
+                    pl.startNs +
+                    std::max<uint64_t>(
+                        1, uint64_t(double(service) * dice.crashFrac));
+                outcome = AttemptOutcome::Crash;
+                clientEnd = crashAt;
+                pool.kill(pl.slot, crashAt);
+                ++res.crashes;
+            } else {
+                pool.release(pl.slot, end);
+            }
+            // The client-side timeout wins over any later outcome;
+            // the instance still finishes (or crashes) server-side —
+            // abandoned work stays on the slot's timeline.
+            if (s.retry.timeoutNs > 0 &&
+                clientEnd > ev.timeNs + s.retry.timeoutNs) {
+                outcome = AttemptOutcome::Timeout;
+                clientEnd = ev.timeNs + s.retry.timeoutNs;
+                ++res.timeouts;
+                if (track != obs::badTrack)
+                    tracer.record(track,
+                                  "timeout#" + attemptTag(ev.inv,
+                                                          ev.attempt),
+                                  "timeout", ev.timeNs, s.retry.timeoutNs);
+            }
+            events.push({clientEnd, seq++, ev.inv, ev.attempt, true,
+                         outcome});
+        } else {
+            // ---- attempt end at ev.timeNs ----------------------------
+            if (ev.outcome == AttemptOutcome::Success) {
+                breaker.onSuccess(ev.timeNs);
+                ++res.succeeded;
+                finish(ev.timeNs, iv.arrivalNs, true);
+                continue;
+            }
+            const uint64_t opensBefore = breaker.timesOpened();
+            breaker.onFailure(ev.timeNs);
+            if (track != obs::badTrack &&
+                breaker.timesOpened() > opensBefore)
+                tracer.record(track,
+                              "breaker-open#" +
+                                  std::to_string(breaker.timesOpened()),
+                              "breaker", ev.timeNs,
+                              s.breaker.openCooldownNs);
+            if (ev.attempt + 1 < s.retry.maxAttempts) {
+                const uint64_t delay = iv.backoff.nextDelayNs(retryRng);
+                ++res.retries;
+                if (track != obs::badTrack)
+                    tracer.record(
+                        track,
+                        "retry#" + attemptTag(ev.inv, ev.attempt + 1),
+                        "retry", ev.timeNs, delay);
+                events.push({ev.timeNs + delay, seq++, ev.inv,
+                             ev.attempt + 1, false,
+                             AttemptOutcome::Success});
+            } else {
+                ++res.failedInvocations;
+                finish(ev.timeNs, iv.arrivalNs, false);
+            }
         }
-
-        res.latency.record(end - arrival);
-        if (end > lastEndNs)
-            lastEndNs = end;
     }
 
     res.coldStarts = pool.stats().coldStarts;
     res.warmHits = pool.stats().warmHits;
     res.evictions = pool.stats().evictions;
+    for (const CircuitBreaker &breaker : breakers)
+        res.breakerOpens += breaker.timesOpened();
     res.p50Ns = res.latency.percentile(50.0);
     res.p90Ns = res.latency.percentile(90.0);
     res.p99Ns = res.latency.percentile(99.0);
     res.p999Ns = res.latency.percentile(99.9);
     res.maxNs = res.latency.maxValue();
+    res.goodP50Ns = res.goodLatency.percentile(50.0);
+    res.goodP99Ns = res.goodLatency.percentile(99.0);
+    res.errP99Ns = res.errorLatency.percentile(99.0);
     res.throughputRps =
         lastEndNs ? double(s.invocations) * 1e9 / double(lastEndNs) : 0.0;
     res.histoFingerprint = res.latency.fingerprint();
+    res.goodFingerprint = res.goodLatency.fingerprint();
     res.ok = true;
+
+    // fault.* StatGroup counters through the observability layer: a
+    // per-scenario stat tree, dumped wherever SVBENCH_STATDUMP points
+    // (only when the resilience machinery is actually engaged, so
+    // fault-free runs emit exactly the legacy file set).
+    if ((faults.enabled() || s.breaker.enabled) &&
+        !obs::statDumpDir().empty()) {
+        StatGroup fstats("fault");
+        auto set = [&fstats](const char *name, const char *desc,
+                             uint64_t v) {
+            fstats.addScalar(name, desc) += v;
+        };
+        set("injected.coldFail", "injected failed cold starts",
+            res.coldStartFailures);
+        set("injected.crash", "injected instance crashes", res.crashes);
+        set("injected.straggler", "injected straggler slowdowns",
+            res.stragglers);
+        set("injected.corruptRestore", "injected corrupt restores",
+            res.corruptRestores);
+        set("retry.retries", "retry attempts issued", res.retries);
+        set("retry.timeouts", "client-side attempt timeouts",
+            res.timeouts);
+        set("breaker.opens", "circuit-breaker open transitions",
+            res.breakerOpens);
+        set("breaker.sheds", "requests shed to the degraded path",
+            res.sheds);
+        set("outcome.succeeded", "invocations answered successfully",
+            res.succeeded);
+        set("outcome.failed", "invocations exhausted without success",
+            res.failedInvocations);
+        obs::dumpRequestStats("load_" + s.name + "_fault",
+                              obs::snapshot(fstats));
+    }
     return res;
 }
 

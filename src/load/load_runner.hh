@@ -27,6 +27,17 @@
  * Everything downstream of calibration is a pure function of the
  * scenario (seed included): identical seeds give byte-identical
  * histograms and cold-start counts at any worker count.
+ *
+ * Resilience (fault.hh): a scenario may additionally carry a fault
+ * model (failed cold starts, instance crashes, stragglers, corrupt
+ * restores), a client retry policy (timeouts, decorrelated-jitter
+ * backoff) and a per-function circuit breaker. The stream engine is
+ * event-driven — attempt starts and completions interleave on one
+ * simulated timeline, failed attempts re-enter it after their
+ * backoff, crashed instances go dead in the pool — and splits the
+ * latency accounting into goodput vs. error distributions plus an
+ * availability figure. With all fault rates zero (the default) the
+ * engine replays the exact pre-fault byte stream.
  */
 
 #ifndef SVB_LOAD_LOAD_RUNNER_HH
@@ -37,6 +48,7 @@
 
 #include "arrival.hh"
 #include "core/result_cache.hh"
+#include "fault.hh"
 #include "histogram.hh"
 #include "instance_pool.hh"
 
@@ -54,17 +66,27 @@ struct LoadMixEntry
 /** A complete load-scenario description. */
 struct LoadScenario
 {
-    /** Row-key component; no ',', '|' or '=' characters. */
+    /** Row-key component; no ',', '|' or '=' characters. The cache
+     *  keys scenario rows by (cluster, name) alone, so the name must
+     *  encode every knob below that varies within a sweep — fault
+     *  rates and retry/breaker settings included. */
     std::string name;
     ClusterConfig cluster;
     std::vector<LoadMixEntry> mix;
     ArrivalConfig arrival;
     PoolConfig pool;
+    /** Fault model; all-zero rates (the default) are byte-identical
+     *  to a build without the fault layer. */
+    FaultConfig fault;
+    /** Client-side retry/timeout behaviour (default: no retries). */
+    RetryPolicy retry;
+    /** Per-function circuit breaker (default: disabled). */
+    BreakerConfig breaker;
     uint64_t invocations = 2000;
     uint64_t seed = 0x10adULL;
 };
 
-/** Scenario outcome: pool stats plus the latency distribution. */
+/** Scenario outcome: pool stats plus the latency distributions. */
 struct LoadResult
 {
     std::string scenario;
@@ -72,6 +94,7 @@ struct LoadResult
     uint64_t coldStarts = 0;
     uint64_t warmHits = 0;
     uint64_t evictions = 0;
+    /** Percentiles of the overall (success + error) distribution. */
     uint64_t p50Ns = 0;
     uint64_t p90Ns = 0;
     uint64_t p99Ns = 0;
@@ -80,9 +103,50 @@ struct LoadResult
     /** Completed invocations per second of simulated load time. */
     double throughputRps = 0.0;
     uint64_t histoFingerprint = 0;
-    /** Full distribution; empty when the result came from the CSV
-     *  cache (summary fields are always populated). */
+
+    // --- resilience outcomes (all zero when faults are disabled) ---
+    /** Invocations that eventually returned a good response. */
+    uint64_t succeeded = 0;
+    /** Invocations whose attempts were exhausted without success. */
+    uint64_t failedInvocations = 0;
+    /** Invocations shed to the degraded fast path (breaker open). */
+    uint64_t sheds = 0;
+    /** Retry attempts issued (attempts beyond each first one). */
+    uint64_t retries = 0;
+    /** Injected mid-request instance crashes. */
+    uint64_t crashes = 0;
+    /** Attempts abandoned by the client-side timeout. */
+    uint64_t timeouts = 0;
+    /** Injected failed cold starts. */
+    uint64_t coldStartFailures = 0;
+    /** Cold starts that restored a corrupt checkpoint and re-booted. */
+    uint64_t corruptRestores = 0;
+    /** Injected straggler slowdowns. */
+    uint64_t stragglers = 0;
+    /** Circuit-breaker open transitions across the scenario's mix. */
+    uint64_t breakerOpens = 0;
+    /** Goodput (successful-response) latency percentiles. */
+    uint64_t goodP50Ns = 0;
+    uint64_t goodP99Ns = 0;
+    /** Error-response (failed / shed) latency percentile. */
+    uint64_t errP99Ns = 0;
+    uint64_t goodFingerprint = 0;
+
+    /** Successful invocations as a share of all, in percent. */
+    double availabilityPct() const
+    {
+        return invocations
+                   ? 100.0 * double(succeeded) / double(invocations)
+                   : 0.0;
+    }
+
+    /** Full distributions; empty when the result came from the CSV
+     *  cache (summary fields are always populated). `latency` holds
+     *  every client-visible completion, `goodLatency` successes only,
+     *  `errorLatency` failures and sheds. */
     LatencyHistogram latency;
+    LatencyHistogram goodLatency;
+    LatencyHistogram errorLatency;
     bool ok = false;
 };
 

@@ -17,7 +17,9 @@
  * for a given tree state.
  *
  * SVBENCH_STATDUMP=<dir> makes the experiment runner write one
- * JSON+CSV pair per measured request into <dir>.
+ * JSON+CSV pair per measured request into <dir>; the load engine
+ * additionally writes one "load_<scenario>_fault" pair of fault.*
+ * counters per scenario whose fault/breaker machinery is engaged.
  */
 
 #ifndef SVB_OBS_STAT_EXPORT_HH

@@ -283,6 +283,40 @@ TEST(InstancePool, LruEvictsTheLeastRecentlyUsedUnderPressure)
     EXPECT_EQ(pool.stats().evictions, 2u);
 }
 
+TEST(InstancePool, RecycledSlotsDoNotInheritStaleTimes)
+{
+    // Regression: step-3/step-4 eviction used to leave the victim's
+    // lastUsedNs/busyUntilNs from its previous tenant, so a recycled
+    // slot could look "recently used" (or still busy) to TTL expiry
+    // before its first request even completed.
+    PoolConfig cfg;
+    cfg.policy = KeepAlivePolicy::Lru;
+    cfg.maxInstances = 1;
+    InstancePool pool(cfg);
+
+    auto a = pool.acquire(0, 0);
+    pool.release(a.slot, 9'000'000); // fn 0 busy until t=9ms
+
+    // fn 1 at t=10ms: evicts fn 0's idle instance (step 3). The
+    // recycled slot's times must reflect the new tenant's start, not
+    // the victim's history.
+    auto b = pool.acquire(1, 10'000'000);
+    EXPECT_TRUE(b.cold);
+    EXPECT_EQ(pool.stats().evictions, 1u);
+    EXPECT_EQ(pool.slotLastUsedNs(b.slot), 10'000'000u);
+    EXPECT_EQ(pool.slotBusyUntilNs(b.slot), 10'000'000u);
+    pool.release(b.slot, 11'000'000);
+
+    // Step 4 (all slots busy, queue behind the earliest-free one for
+    // a different function): same contract at the queued start time.
+    auto c = pool.acquire(0, 10'500'000);
+    EXPECT_TRUE(c.cold);
+    EXPECT_EQ(c.startNs, 11'000'000u);
+    EXPECT_EQ(pool.slotLastUsedNs(c.slot), 11'000'000u);
+    EXPECT_EQ(pool.slotBusyUntilNs(c.slot), 11'000'000u);
+    pool.release(c.slot, 12'000'000);
+}
+
 TEST(InstancePool, QueuesWhenEverySlotIsBusy)
 {
     PoolConfig cfg;
@@ -301,6 +335,71 @@ TEST(InstancePool, QueuesWhenEverySlotIsBusy)
     EXPECT_FALSE(b.cold);
     EXPECT_EQ(b.startNs, 10'000u);
     pool.release(b.slot, 20'000);
+}
+
+// --------------------------------------------------------------------------
+// Histogram bucket bounds near the top of the value range
+// --------------------------------------------------------------------------
+
+TEST(Histogram, BucketBoundsContainTheirValuesUpToUint64Max)
+{
+    // Regression: bucketLow/bucketHigh in the top octave used to be
+    // computed with an unguarded shift, so bounds near 2^63 could
+    // wrap; they must bracket their value for the whole uint64 range.
+    const uint64_t probes[] = {
+        1,
+        LatencyHistogram::kSubBuckets - 1,
+        LatencyHistogram::kSubBuckets,
+        (uint64_t(1) << 62) + 12345,
+        (uint64_t(1) << 63) - 1,
+        uint64_t(1) << 63,
+        (uint64_t(1) << 63) + 0x3039,
+        ~uint64_t(0),
+    };
+    for (uint64_t v : probes) {
+        const size_t idx = LatencyHistogram::bucketIndex(v);
+        ASSERT_LT(idx, LatencyHistogram::numBuckets()) << v;
+        EXPECT_LE(LatencyHistogram::bucketLow(idx), v) << v;
+        EXPECT_GE(LatencyHistogram::bucketHigh(idx), v) << v;
+    }
+
+    // The layout is contiguous (no gaps, no wrap-induced overlap) and
+    // the top bucket saturates exactly at UINT64_MAX.
+    for (size_t i = 0; i + 1 < LatencyHistogram::numBuckets(); ++i) {
+        ASSERT_LE(LatencyHistogram::bucketLow(i),
+                  LatencyHistogram::bucketHigh(i)) << i;
+        ASSERT_EQ(LatencyHistogram::bucketHigh(i) + 1,
+                  LatencyHistogram::bucketLow(i + 1)) << i;
+    }
+    EXPECT_EQ(
+        LatencyHistogram::bucketHigh(LatencyHistogram::numBuckets() - 1),
+        ~uint64_t(0));
+}
+
+TEST(Histogram, PercentileIsNeverTinyForHugeLatencies)
+{
+    // Regression: an unguarded shift could wrap a top-octave bucket
+    // bound to a tiny value, so percentile() reported nanoseconds for
+    // multi-century latencies. The reported value must always be at
+    // or above the true order statistic, within one bucket width.
+    const uint64_t big = (uint64_t(1) << 63) + 0x3039;
+    LatencyHistogram h;
+    h.record(100);
+    h.record(big);
+    EXPECT_EQ(h.maxValue(), big);
+    EXPECT_GE(h.percentile(99.0), big);
+    EXPECT_LE(h.percentile(99.0),
+              LatencyHistogram::bucketHigh(
+                  LatencyHistogram::bucketIndex(big)));
+
+    // In the very top bucket the inclusive bound saturates to
+    // UINT64_MAX; the exact recorded maximum is reported instead.
+    const uint64_t huge = ~uint64_t(0) - 5;
+    LatencyHistogram h2;
+    h2.record(100);
+    h2.record(huge);
+    EXPECT_EQ(h2.percentile(99.0), huge);
+    EXPECT_EQ(h2.percentile(100.0), huge);
 }
 
 // --------------------------------------------------------------------------
