@@ -142,6 +142,51 @@ BM_AtomicSimRate(benchmark::State &state)
 }
 BENCHMARK(BM_AtomicSimRate)->Unit(benchmark::kMillisecond);
 
+/**
+ * Setup-phase host throughput: guest instructions retired per host
+ * second on the Atomic model, across the two execution engines and
+ * with functional warming on/off. Args: (isa, fast, warm). The
+ * fast/slow ratio at equal warming is the superblock tier's
+ * setup-phase speedup recorded in EXPERIMENTS.md; guest-visible
+ * results are byte-identical either way (tests/test_cpu_differential).
+ */
+void
+BM_AtomicHostMips(benchmark::State &state)
+{
+    const IsaId isa = state.range(0) == 0 ? IsaId::Riscv : IsaId::Cx86;
+    const bool fast = state.range(1) != 0;
+    const bool warm = state.range(2) != 0;
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        SystemConfig cfg = SystemConfig::paperConfig(isa);
+        cfg.numCores = 1;
+        cfg.fastWarm = fast;
+        System sys(cfg);
+        LoadableImage image =
+            gen::compileProgram(computeProgram(), isa);
+        loadProcess(sys.kernel(), image, "bench", 0);
+        sys.scheduleIdleCores();
+        sys.atomicCpu(0).setWarmingEnabled(warm);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(sys.run(30'000'000));
+        insts += sys.atomicCpu(0).instCount();
+    }
+    state.counters["guest_mips"] =
+        benchmark::Counter(double(insts) / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AtomicHostMips)
+    ->ArgNames({"isa", "fast", "warm"})
+    ->Args({0, 0, 1})
+    ->Args({0, 1, 1})
+    ->Args({0, 0, 0})
+    ->Args({0, 1, 0})
+    ->Args({1, 0, 1})
+    ->Args({1, 1, 1})
+    ->Args({1, 0, 0})
+    ->Args({1, 1, 0})
+    ->Unit(benchmark::kMillisecond);
+
 /** Whole-system simulation rate: detailed O3 model. */
 void
 BM_O3SimRate(benchmark::State &state)

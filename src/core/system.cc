@@ -18,6 +18,17 @@ System::System(const SystemConfig &config)
             int(c), cfg.caches, *dram, bus, rootStats));
     }
     decoder = std::make_unique<DecodeCache>(cfg.isa, *physMem);
+    // Host-observability groups: they count simulator work, which
+    // legitimately differs across emulation tiers and checkpoint
+    // restores, so they stay outside the snapshot identity surface.
+    StatGroup &decode_grp = rootStats.childGroup("decode");
+    decode_grp.markHostOnly();
+    decoder->attachStats(decode_grp);
+    sblocks = std::make_unique<SuperblockCache>(*decoder);
+    StatGroup &sblock_grp = rootStats.childGroup("superblock");
+    sblock_grp.markHostOnly();
+    sblocks->attachStats(sblock_grp);
+    fastWarm = cfg.fastWarm && SuperblockCache::envEnabled();
     guestKernel = std::make_unique<GuestKernel>(
         *physMem, *frameAlloc, cfg.isa, int(cfg.numCores), rootStats);
     guestKernel->setM5Listener(this);
@@ -27,7 +38,7 @@ System::System(const SystemConfig &config)
             rootStats.childGroup("cpu" + std::to_string(c));
         atomics.push_back(std::make_unique<AtomicCpu>(
             int(c), cfg.isa, *physMem, *coreMems[c], *decoder,
-            *guestKernel, core_group));
+            *guestKernel, core_group, sblocks.get()));
         o3s.push_back(std::make_unique<O3Cpu>(
             cfg.o3, int(c), cfg.isa, *physMem, *coreMems[c], *decoder,
             *guestKernel, core_group));
@@ -72,8 +83,23 @@ System::flushMicroarchState()
         coreMems[c]->flushAll();
         cpu(c).itlb().flush();
         cpu(c).dtlb().flush();
+        // The superblock cursor caches an instruction-page translation
+        // made before this flush; drop it so the fast path re-walks.
+        atomics[c]->resetFastPath();
         o3s[c]->branchPredictor().reset();
     }
+}
+
+void
+System::tickCore(unsigned c)
+{
+    // Atomic-model cores step through the superblock engine when the
+    // fast tier is enabled and no trace sink needs per-retirement
+    // callbacks; tickFast() is cycle-for-cycle identical to tick().
+    if (fastWarm && models[c] == CpuModel::Atomic && !atomics[c]->tracing())
+        atomics[c]->tickFast();
+    else
+        cpu(c).tick();
 }
 
 uint64_t
@@ -81,19 +107,115 @@ System::run(uint64_t max_cycles)
 {
     stopRequested = false;
     uint64_t ran = 0;
-    for (; ran < max_cycles && !stopRequested; ++ran) {
+    while (ran < max_cycles && !stopRequested) {
+        // Fast-path eligibility, re-evaluated every iteration: model
+        // switches, halts and trace sinks only change inside trap
+        // handlers or between run() calls, both of which end the
+        // chained batch below.
+        bool all_atomic_fast = fastWarm;
+        unsigned n_active = 0;
+        unsigned active_core = 0;
+        for (unsigned c = 0; c < cfg.numCores && all_atomic_fast; ++c) {
+            if (models[c] != CpuModel::Atomic || atomics[c]->tracing()) {
+                all_atomic_fast = false;
+            } else if (!atomics[c]->halted()) {
+                ++n_active;
+                active_core = c;
+            }
+        }
+
+        if (all_atomic_fast && n_active == 1) {
+            // Chained superblock execution on the single runnable
+            // core: stay inside the dispatch loop until the budget, a
+            // trap, or the next pending event — nothing inside a batch
+            // schedules events, so the clamp below keeps event
+            // delivery on its exact per-cycle tick. Halted cores are
+            // credited idle cycles in bulk; the mid-cycle interleaving
+            // a trap handler could observe is reconstructed by
+            // pre_trap before the handler runs.
+            uint64_t budget = max_cycles - ran;
+            if (eventq.pending() > 0) {
+                const Tick next_ev = eventq.nextEventTick();
+                svb_assert(next_ev > globalCycle, "overdue event");
+                budget =
+                    std::min<uint64_t>(budget, next_ev - globalCycle);
+            }
+            const unsigned k = active_core;
+            const uint64_t g0 = globalCycle;
+            bool trapped = false;
+            const AtomicCpu::PreTrap pre_trap = [&](uint64_t batch) {
+                // On the per-cycle path, cycle g0+batch would have
+                // ticked cores 0..k-1 (idle) before core k traps and
+                // cores k+1.. only on the batch's earlier cycles.
+                trapped = true;
+                globalCycle = g0 + batch;
+                for (unsigned c = 0; c < cfg.numCores; ++c) {
+                    if (c < k)
+                        atomics[c]->addIdleCycles(batch);
+                    else if (c > k)
+                        atomics[c]->addIdleCycles(batch - 1);
+                }
+            };
+            const uint64_t consumed =
+                atomics[k]->runFast(budget, &pre_trap);
+            globalCycle = g0 + consumed;
+            ran += consumed;
+            // Idle top-up to exactly `consumed` per halted core: after
+            // a trap, cores above k still owe the trapping cycle; with
+            // no trap, pre_trap never ran and everyone owes the batch.
+            for (unsigned c = 0; c < cfg.numCores; ++c) {
+                if (c == k)
+                    continue;
+                if (trapped) {
+                    if (c > k)
+                        atomics[c]->addIdleCycles(1);
+                } else {
+                    atomics[c]->addIdleCycles(consumed);
+                }
+            }
+            eventq.serviceUpTo(globalCycle);
+            bool any_active = false;
+            for (unsigned c = 0; c < cfg.numCores; ++c)
+                any_active |= !cpu(c).halted();
+            if (!any_active && eventq.pending() == 0)
+                break;
+            continue;
+        }
+
+        if (all_atomic_fast && n_active == 0 && eventq.pending() > 0) {
+            // Everyone is halted but an event is due: jump straight to
+            // it, crediting the skipped cycles as idle — byte-identical
+            // to ticking every core through its halted branch.
+            const Tick next_ev = eventq.nextEventTick();
+            svb_assert(next_ev > globalCycle, "overdue event");
+            const uint64_t skip = std::min<uint64_t>(max_cycles - ran,
+                                                     next_ev - globalCycle);
+            globalCycle += skip;
+            ran += skip;
+            for (unsigned c = 0; c < cfg.numCores; ++c)
+                atomics[c]->addIdleCycles(skip);
+            eventq.serviceUpTo(globalCycle);
+            bool any_active = false;
+            for (unsigned c = 0; c < cfg.numCores; ++c)
+                any_active |= !cpu(c).halted();
+            if (!any_active && eventq.pending() == 0)
+                break;
+            continue;
+        }
+
+        // Per-cycle path: detailed cores present, several Atomic cores
+        // runnable at once (shared-ring polling needs cycle-accurate
+        // interleaving), or the final all-idle drain.
         ++globalCycle;
+        ++ran;
         bool any_active = false;
         for (unsigned c = 0; c < cfg.numCores; ++c) {
-            BaseCpu &core = cpu(c);
-            core.tick();
-            any_active |= !core.halted();
+            tickCore(c);
+            any_active |= !cpu(c).halted();
         }
         eventq.serviceUpTo(globalCycle);
-        if (!any_active && eventq.pending() == 0) {
-            ++ran;
+        if (!any_active && eventq.pending() == 0)
             break;
-        }
     }
     return ran;
 }
@@ -104,13 +226,14 @@ System::runUntil(const std::function<bool()> &cond, uint64_t max_cycles)
     stopRequested = false;
     uint64_t ran = 0;
     while (ran < max_cycles && !stopRequested && !cond()) {
+        // @p cond must be evaluated between cycles, so no chaining
+        // here; the superblock engine still accelerates each step.
         ++globalCycle;
         ++ran;
         bool any_active = false;
         for (unsigned c = 0; c < cfg.numCores; ++c) {
-            BaseCpu &core = cpu(c);
-            core.tick();
-            any_active |= !core.halted();
+            tickCore(c);
+            any_active |= !cpu(c).halted();
         }
         eventq.serviceUpTo(globalCycle);
         if (!any_active && eventq.pending() == 0)
@@ -173,6 +296,7 @@ System::saveCheckpoint(bool include_uarch) const
     if (include_uarch) {
         cp.setScalar("uarch.present", 1);
         decoder->serializeState("decode.", cp);
+        sblocks->serializeState("superblock.", cp);
         dram->serializeState("dram.", cp);
         for (unsigned c = 0; c < cfg.numCores; ++c) {
             const std::string prefix = "cpu" + std::to_string(c) + ".";
@@ -201,6 +325,9 @@ System::restoreCheckpoint(const Checkpoint &cp)
                "checkpoint ISA mismatch");
     globalCycle = cp.getScalar("system.cycle");
     eventq.clear();
+    // Superblocks lower code from the pre-restore physical memory;
+    // drop them all. setContext() below resets every core's cursor.
+    sblocks->clear();
     physMem->unserializeState("mem.", cp);
     frameAlloc->unserializeState("frames.", cp);
     guestKernel->unserializeState("kernel.", cp);
@@ -224,6 +351,11 @@ System::restoreCheckpoint(const Checkpoint &cp)
     // the Atomic TLBs, so they are repopulated here; physical memory
     // is already restored, so the decode cache can re-decode.
     decoder->unserializeState("decode.", cp);
+    // Older (or published, see CheckpointStore) snapshots carry no
+    // superblock anchors; the cache then re-forms lazily, which is
+    // functionally identical — blocks hold no guest state.
+    if (cp.hasBlob("superblock.paddrs"))
+        sblocks->unserializeState("superblock.", cp);
     dram->unserializeState("dram.", cp);
     for (unsigned c = 0; c < cfg.numCores; ++c) {
         const std::string prefix = "cpu" + std::to_string(c) + ".";

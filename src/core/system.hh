@@ -17,6 +17,7 @@
 
 #include "cpu/atomic_cpu.hh"
 #include "cpu/o3_cpu.hh"
+#include "cpu/superblock.hh"
 #include "guest/kernel.hh"
 #include "sim/eventq.hh"
 #include "sim/rng.hh"
@@ -50,6 +51,11 @@ class System : public M5Listener
     BaseCpu &cpu(unsigned core);
     CpuModel cpuModel(unsigned core) const { return models.at(core); }
     uint64_t cycle() const { return globalCycle; }
+    SuperblockCache &superblocks() { return *sblocks; }
+
+    /** True when Atomic-model cores run through the superblock tier
+     *  (config AND SVBENCH_FASTWARM both enabled). */
+    bool fastPathEnabled() const { return fastWarm; }
 
     // --- CPU control --------------------------------------------------------
     /** Hand the core's architectural state to the other CPU model. */
@@ -115,6 +121,9 @@ class System : public M5Listener
     void restoreCheckpoint(const Checkpoint &cp);
 
   private:
+    /** One cycle for core @p c through the appropriate engine. */
+    void tickCore(unsigned c);
+
     SystemConfig cfg;
     StatGroup rootStats{"system"};
     Rng rngState;
@@ -126,12 +135,14 @@ class System : public M5Listener
     CoherenceBus bus;
     std::vector<std::unique_ptr<CoreMemSystem>> coreMems;
     std::unique_ptr<DecodeCache> decoder;
+    std::unique_ptr<SuperblockCache> sblocks;
     std::unique_ptr<GuestKernel> guestKernel;
     std::vector<std::unique_ptr<AtomicCpu>> atomics;
     std::vector<std::unique_ptr<O3Cpu>> o3s;
     std::vector<CpuModel> models;
 
     uint64_t globalCycle = 0;
+    bool fastWarm = true;
     bool stopRequested = false;
     M5Listener *chainedListener = nullptr;
     std::ostream *statsDumpStream = nullptr;

@@ -42,6 +42,15 @@ struct SystemConfig
 
     uint64_t seed = 0x5eed;
 
+    /**
+     * Route boot/warming (Atomic-model) execution through the
+     * superblock fast path (cpu/superblock.hh). Byte-identical to the
+     * per-instruction path; disable to force the oracle interpreter.
+     * ANDed with the SVBENCH_FASTWARM environment override ("0"
+     * disables), so either side can force the slow path.
+     */
+    bool fastWarm = true;
+
     /** Table 4.2 / 4.3 provenance strings (reporting only). */
     std::string osLabel;
     std::string compilerLabel;

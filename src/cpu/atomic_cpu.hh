@@ -5,17 +5,31 @@
  * One macro instruction per cycle, instantaneous memory. Used for
  * system boot, functional cache warming between the measured requests
  * (vSwarm-u "setup mode"), and QEMU-style emulation studies.
+ *
+ * Two execution engines share the architectural semantics:
+ *  - tick(): the per-instruction oracle (fetch, translate, decode
+ *    cache lookup, uop interpretation) — one cycle per call.
+ *  - runFast()/tickFast(): the superblock fast path, a
+ *    threaded-dispatch interpreter over pre-lowered uop arrays
+ *    (cpu/superblock.hh) that caches the instruction-page translation
+ *    and batches statistic updates. Architectural state, warming
+ *    traffic, TLB/trap behavior and every StatGroup value stay
+ *    byte-identical to tick(); only host speed differs.
  */
 
 #ifndef SVB_CPU_ATOMIC_CPU_HH
 #define SVB_CPU_ATOMIC_CPU_HH
 
 #include <array>
+#include <functional>
 
 #include "base_cpu.hh"
 
 namespace svb
 {
+
+class SuperblockCache;
+struct Superblock;
 
 /**
  * The AtomicSimpleCPU-equivalent model.
@@ -24,9 +38,38 @@ class AtomicCpu : public BaseCpu
 {
   public:
     AtomicCpu(int core_id, IsaId isa, PhysMemory &phys, CoreMemSystem &mem,
-              DecodeCache &decoder, TrapHandler &trap, StatGroup &stats);
+              DecodeCache &decoder, TrapHandler &trap, StatGroup &stats,
+              SuperblockCache *sblocks = nullptr);
 
     void tick() override;
+
+    /**
+     * One cycle through the superblock engine. Byte-identical to
+     * tick(); statistics are flushed before returning, so callers may
+     * interleave it freely with tick() and with other cores.
+     */
+    void tickFast();
+
+    /**
+     * Invoked just before a trap handler runs inside a chained batch,
+     * with the number of cycles consumed so far (including the
+     * trapping one). The system uses it to bring the global cycle and
+     * the other cores' idle statistics up to date, because trap
+     * handlers can observe both (m5 stat dumps, work-begin/end marks).
+     */
+    using PreTrap = std::function<void(uint64_t batch_cycles)>;
+
+    /**
+     * Chained superblock execution: run up to @p budget cycles without
+     * returning to the event loop, ending early at any trap (syscall /
+     * halt, after whose handler the caller must re-evaluate scheduling
+     * and events) or when the core is halted. Nothing executed here
+     * schedules events, so the caller bounds @p budget by the next
+     * pending event tick.
+     *
+     * @return cycles consumed (>= 1 when budget >= 1)
+     */
+    uint64_t runFast(uint64_t budget, const PreTrap *pre_trap);
 
     /** When false, skip cache/TLB warming entirely (fast boot). */
     void setWarmingEnabled(bool enabled) { warming = enabled; }
@@ -42,11 +85,53 @@ class AtomicCpu : public BaseCpu
     Cycles stallCycles() const { return pendingStall; }
     void setStallCycles(Cycles c) { pendingStall = c; }
 
+    /** Import state and drop the superblock cursor (the cached
+     *  instruction-page translation is no longer valid). */
+    void
+    setContext(const HwContext &new_ctx) override
+    {
+        BaseCpu::setContext(new_ctx);
+        resetFastPath();
+    }
+
+    /**
+     * Invalidate the superblock cursor. Must be called whenever the
+     * iTLB is flushed behind the engine's back (microarch flush): the
+     * fast path credits guaranteed same-page hits mid-block, which is
+     * only equivalent to per-instruction translation while the
+     * block-entry fill is still resident.
+     */
+    void
+    resetFastPath()
+    {
+        curBlock = nullptr;
+        curInst = 0;
+        curFrame = 0;
+        curVpage = 0;
+    }
+
+    /** Credit @p n halted cycles (batched idle accounting while
+     *  another core runs a chained batch). */
+    void addIdleCycles(uint64_t n) { statIdleCycles += n; }
+
   private:
+    void recordPc(Addr pc);
+
+    SuperblockCache *sblocks;
+
     bool warming = true;
     Cycles pendingStall = 0; ///< trap-cost cycles still to burn
     std::array<Addr, 64> pcHistory{};
-    size_t pcHistoryPos = 0;
+    size_t pcHistoryPos = 0;  ///< next slot to write (oldest entry)
+    bool pcHistoryFull = false;
+
+    // Superblock cursor: position of the next instruction inside the
+    // current block, valid across calls until a control transfer, a
+    // trap, a block end, or a context import.
+    const Superblock *curBlock = nullptr;
+    uint32_t curInst = 0;
+    Addr curFrame = 0; ///< physical page base of the block's code page
+    Addr curVpage = 0; ///< virtual page base backing the cursor
 
     Scalar &statCycles;
     Scalar &statInsts;

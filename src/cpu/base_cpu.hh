@@ -82,6 +82,10 @@ class BaseCpu
     using TraceSink = std::function<void(Addr pc, const StaticInst &)>;
     void setTraceSink(TraceSink sink) { traceSink = std::move(sink); }
 
+    /** @return true while a trace sink is installed (the superblock
+     *  fast path is bypassed so every retirement is observed). */
+    bool tracing() const { return static_cast<bool>(traceSink); }
+
   protected:
     int coreId;
     IsaId isa;

@@ -20,6 +20,7 @@
 #include "isa/static_inst.hh"
 #include "mem/phys_memory.hh"
 #include "sim/serialize.hh"
+#include "sim/stats.hh"
 
 namespace svb
 {
@@ -52,29 +53,17 @@ class DecodeCache
         // address many times in a row (O3 refetch, atomic stepping
         // through tight loops), so skip the hash lookup when the
         // address repeats.
-        if (mru && paddr == mruPaddr)
+        if (mru && paddr == mruPaddr) {
+            ++nMruHits;
             return *mru;
+        }
 
         auto it = cache.find(paddr);
         if (it == cache.end()) {
-            StaticInst inst;
-            if (isa == IsaId::Riscv) {
-                inst = riscv::decode(phys.read32(paddr));
-            } else {
-                uint8_t window[16];
-                // A wild fetch past the end of physical memory must
-                // not underflow the window size; decode(nullptr-ish, 0)
-                // yields an invalid instruction the CPU traps on.
-                const size_t avail =
-                    paddr < phys.size()
-                        ? std::min<size_t>(sizeof(window),
-                                           phys.size() - paddr)
-                        : 0;
-                if (avail)
-                    phys.readBytes(paddr, window, avail);
-                inst = cx86::decode(window, avail);
-            }
-            it = cache.emplace(paddr, std::move(inst)).first;
+            ++nMisses;
+            it = cache.emplace(paddr, decodeMiss(paddr)).first;
+        } else {
+            ++nHits;
         }
         // unordered_map is node-based: &it->second survives rehash.
         mruPaddr = paddr;
@@ -83,6 +72,30 @@ class DecodeCache
     }
 
     size_t size() const { return cache.size(); }
+
+    /**
+     * Host-side lookup counters. These measure simulator work (e.g.
+     * how much fetching the superblock tier absorbs), not guest
+     * events, so they are outside the fast/slow byte-identity
+     * contract and a fast-path run legitimately shows fewer lookups.
+     */
+    uint64_t hits() const { return nHits; }
+    uint64_t misses() const { return nMisses; }
+    uint64_t mruHits() const { return nMruHits; }
+
+    /** Register the lookup counters as derived stats under @p g. */
+    void
+    attachStats(StatGroup &g)
+    {
+        g.addFormula("hits", "decode cache hash hits (host work)",
+                     [this] { return double(nHits); });
+        g.addFormula("misses", "decode cache misses (host work)",
+                     [this] { return double(nMisses); });
+        g.addFormula("mruHits", "decode cache MRU hits (host work)",
+                     [this] { return double(nMruHits); });
+        g.addFormula("entries", "distinct instruction addresses decoded",
+                     [this] { return double(cache.size()); });
+    }
 
     /**
      * Serialize the set of decoded addresses (sorted, for a stable
@@ -120,11 +133,34 @@ class DecodeCache
     }
 
   private:
+    /** Decode the raw bytes at @p paddr (the shared miss path). */
+    StaticInst
+    decodeMiss(Addr paddr) const
+    {
+        if (isa == IsaId::Riscv)
+            return riscv::decode(phys.read32(paddr));
+        uint8_t window[16];
+        // A wild fetch past the end of physical memory must not
+        // underflow the window size; decode(nullptr-ish, 0) yields an
+        // invalid instruction the CPU traps on.
+        const size_t avail =
+            paddr < phys.size()
+                ? std::min<size_t>(sizeof(window), phys.size() - paddr)
+                : 0;
+        if (avail)
+            phys.readBytes(paddr, window, avail);
+        return cx86::decode(window, avail);
+    }
+
     IsaId isa;
     PhysMemory &phys;
     std::unordered_map<Addr, StaticInst> cache;
     Addr mruPaddr = 0;
     const StaticInst *mru = nullptr;
+
+    uint64_t nHits = 0;
+    uint64_t nMisses = 0;
+    uint64_t nMruHits = 0;
 };
 
 } // namespace svb

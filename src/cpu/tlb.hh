@@ -55,6 +55,16 @@ class Tlb
     /** Drop all cached translations (context switch). */
     void flush();
 
+    /**
+     * Account @p n guaranteed hits without performing lookups. Used by
+     * the superblock fast path for same-page instruction fetches: the
+     * entry was (re)filled by the block-entry translate() and nothing
+     * else can evict or flush it mid-block, so each fetch the slow
+     * path would perform is a certain hit. Keeps the hit statistic
+     * byte-identical to per-instruction execution.
+     */
+    void creditHits(uint64_t n) { statHits += n; }
+
     /** Serialize translation + walk-cache warm state (checkpointing).
      *  Note: does NOT bump the flush statistic. */
     void serializeState(const std::string &prefix, Checkpoint &cp) const;

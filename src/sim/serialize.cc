@@ -177,6 +177,23 @@ Checkpoint::hasBlob(const std::string &key) const
 }
 
 void
+Checkpoint::erasePrefix(const std::string &prefix)
+{
+    // std::map keys are ordered: every key with this prefix forms one
+    // contiguous range starting at lower_bound(prefix).
+    const auto erase_range = [&prefix](auto &m) {
+        auto it = m.lower_bound(prefix);
+        while (it != m.end() && it->first.compare(0, prefix.size(),
+                                                  prefix) == 0) {
+            it = m.erase(it);
+        }
+    };
+    erase_range(scalars);
+    erase_range(strings);
+    erase_range(blobs);
+}
+
+void
 Checkpoint::saveToFile(const std::string &path) const
 {
     // Write-then-rename: readers either see the previous complete file

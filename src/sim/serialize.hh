@@ -55,6 +55,14 @@ class Checkpoint
     bool hasBlob(const std::string &key) const;
 
     /**
+     * Drop every scalar, string and blob whose key starts with
+     * @p prefix. Used by the checkpoint store to strip host-side
+     * acceleration state (e.g. "superblock.") before an image is
+     * published for sharing.
+     */
+    void erasePrefix(const std::string &prefix);
+
+    /**
      * Write the checkpoint to a file (simple tagged binary format).
      * The write goes to a temporary sibling first and is renamed into
      * place, so a crash mid-write never leaves a truncated checkpoint

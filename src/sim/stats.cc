@@ -147,8 +147,11 @@ StatGroup::snapshotInto(const std::string &prefix,
 {
     for (const auto &stat : stats)
         stat->snapshot(prefix, out);
-    for (const auto &child : children)
+    for (const auto &child : children) {
+        if (child->hostOnly())
+            continue;
         child->snapshotInto(prefix + child->name() + ".", out);
+    }
 }
 
 void

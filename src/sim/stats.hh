@@ -162,10 +162,22 @@ class StatGroup
 
     const std::string &name() const { return _name; }
 
+    /**
+     * Mark this group as host-observability only: its statistics
+     * measure simulator work (decode-cache lookups, superblock
+     * formation), not guest events, so they are excluded from
+     * snapshotAll() — the surface on which experiments assert
+     * byte-identity across emulation tiers and checkpoint restores.
+     * printAll() still lists them.
+     */
+    void markHostOnly() { _hostOnly = true; }
+    bool hostOnly() const { return _hostOnly; }
+
     /** Recursively reset every statistic under this group. */
     void resetAll();
 
-    /** Flatten the tree into dotted-name -> value pairs. */
+    /** Flatten the tree into dotted-name -> value pairs, skipping
+     *  host-only subtrees. */
     std::map<std::string, double> snapshotAll() const;
 
     /** Pretty-print the whole tree. */
@@ -177,6 +189,7 @@ class StatGroup
     void printInto(const std::string &prefix, std::ostream &os) const;
 
     std::string _name;
+    bool _hostOnly = false;
     std::vector<std::unique_ptr<Stat>> stats;
     std::vector<std::unique_ptr<StatGroup>> children;
 };

@@ -5,9 +5,22 @@
  * and the detailed out-of-order model, on both ISAs. This is the
  * strongest correctness check of the O3 pipeline (renaming, LSQ
  * forwarding, squash/recovery) against the simple reference model.
+ *
+ * The same harness also pins down the Atomic CPU's superblock fast
+ * path (cpu/superblock.hh) against its per-instruction oracle: a
+ * fast-tier system and a slow-tier system execute the same program in
+ * cycle lockstep, and the full architectural context plus the entire
+ * guest-visible stats tree must match at every chunk boundary — not
+ * just at the end. A checkpoint taken mid-run must likewise restore
+ * and resume through the fast tier byte-identically to the
+ * uninterrupted machine.
  */
 
 #include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
 
 #include "core/system.hh"
 #include "gen/guestlib.hh"
@@ -147,6 +160,147 @@ runOn(const gen::Program &prog, IsaId isa, CpuModel model, Addr result)
     return sys.kernel().process(lp.pid).space->read(result, 8);
 }
 
+/**
+ * A mostly-straight-line program whose hot function is large enough
+ * (well over 4 KiB of code on either ISA) that execution repeatedly
+ * streams across instruction-page boundaries — the case where the
+ * superblock engine must re-translate instead of chaining in-page.
+ */
+gen::Program
+pageCrossProgram(Addr &result_addr)
+{
+    gen::ProgramBuilder pb;
+    result_addr = pb.addZeroData(8);
+    {
+        auto f = pb.beginFunction("blob", 1);
+        const int a = f.arg(0);
+        for (int k = 0; k < 1500; ++k) {
+            f.bini(k % 2 ? gen::BinOp::Add : gen::BinOp::Xor, a, a,
+                   int64_t((uint64_t(k) * 2654435761u) & 0xffff));
+        }
+        f.ret(a);
+    }
+    const int blob = pb.functionIndex("blob");
+
+    auto f = pb.beginFunction("main", 0);
+    const int acc = f.newVreg();
+    f.movi(acc, 0x9e3779b9);
+    const int i = f.newVreg();
+    const int loop = f.newLabel(), done = f.newLabel();
+    f.movi(i, 0);
+    f.label(loop);
+    f.brcondi(gen::CondOp::Ge, i, 4, done);
+    const int r = f.call(blob, {acc});
+    f.mov(acc, r);
+    f.addi(i, i, 1);
+    f.br(loop);
+    f.label(done);
+    const int out = f.newVreg();
+    f.lea(out, result_addr);
+    f.store(out, 0, acc, 8);
+    f.ret();
+    pb.setEntry("main");
+    return pb.take();
+}
+
+/** A loaded, scheduled, not-yet-run system the tests step manually. */
+struct LiveRun
+{
+    std::unique_ptr<System> sys;
+    int pid = -1;
+    Addr result = 0;
+
+    uint64_t
+    readResult() const
+    {
+        return sys->kernel().process(pid).space->read(result, 8);
+    }
+};
+
+LiveRun
+startRun(const gen::Program &prog, IsaId isa, bool fast_warm, Addr result)
+{
+    LiveRun r;
+    SystemConfig cfg = SystemConfig::paperConfig(isa);
+    cfg.numCores = 1;
+    cfg.fastWarm = fast_warm;
+    r.sys = std::make_unique<System>(cfg);
+    LoadableImage image = gen::compileProgram(prog, isa);
+    LoadedProgram lp = loadProcess(r.sys->kernel(), image, "rand", 0);
+    r.pid = lp.pid;
+    r.result = result;
+    r.sys->scheduleIdleCores();
+    return r;
+}
+
+void
+expectSameContext(const HwContext &a, const HwContext &b,
+                  const std::string &label)
+{
+    EXPECT_EQ(a.pc, b.pc) << label;
+    EXPECT_EQ(a.regs, b.regs) << label;
+    EXPECT_EQ(a.ptRoot, b.ptRoot) << label;
+    EXPECT_EQ(a.processId, b.processId) << label;
+    EXPECT_EQ(a.halted, b.halted) << label;
+}
+
+/** Compare two stats snapshots key by key, naming every divergence. */
+void
+expectSameSnapshots(const std::map<std::string, double> &a,
+                    const std::map<std::string, double> &b,
+                    const std::string &label)
+{
+    for (const auto &[key, value] : a) {
+        const auto it = b.find(key);
+        if (it == b.end())
+            ADD_FAILURE() << label << ": stat " << key << " missing";
+        else
+            EXPECT_EQ(value, it->second) << label << ": stat " << key;
+    }
+    for (const auto &[key, value] : b) {
+        if (!a.count(key))
+            ADD_FAILURE() << label << ": unexpected stat " << key;
+    }
+}
+
+/**
+ * Run the fast-tier and slow-tier systems in cycle lockstep: after
+ * every chunk the architectural context, the global cycle, and the
+ * whole guest-visible stats tree (host-only groups are excluded by
+ * snapshotAll()) must agree exactly. Chunk boundaries deliberately
+ * fall mid-block, mid-stall, and between a syscall and its resumption,
+ * so the fast path's cursor save/restore is exercised too.
+ */
+void
+lockstepFastSlow(const gen::Program &prog, Addr result, IsaId isa,
+                 const std::string &what)
+{
+    LiveRun fast = startRun(prog, isa, true, result);
+    LiveRun slow = startRun(prog, isa, false, result);
+
+    const uint64_t chunk = 2048;
+    const uint64_t maxChunks = 80'000'000 / chunk;
+    for (uint64_t n = 0; n < maxChunks && !slow.sys->cpu(0).halted();
+         ++n) {
+        const uint64_t rf = fast.sys->run(chunk);
+        const uint64_t rs = slow.sys->run(chunk);
+        const std::string label =
+            what + " " + isaInfo(isa).name + " cycle " +
+            std::to_string(slow.sys->cycle());
+        ASSERT_EQ(rf, rs) << label << ": tiers ran different cycle counts";
+        ASSERT_EQ(fast.sys->cycle(), slow.sys->cycle()) << label;
+        expectSameContext(fast.sys->cpu(0).getContext(),
+                          slow.sys->cpu(0).getContext(), label);
+        expectSameSnapshots(fast.sys->stats().snapshotAll(),
+                            slow.sys->stats().snapshotAll(), label);
+        if (::testing::Test::HasFailure())
+            return; // first divergence located; the rest is noise
+    }
+    ASSERT_TRUE(slow.sys->cpu(0).halted()) << what << ": program hung";
+    ASSERT_TRUE(fast.sys->cpu(0).halted()) << what << ": fast tier hung";
+    EXPECT_EQ(fast.readResult(), slow.readResult()) << what;
+}
+
 } // namespace
 
 class DifferentialTest : public ::testing::TestWithParam<uint64_t>
@@ -178,3 +332,106 @@ TEST_P(DifferentialTest, AtomicAndO3AgreeOnBothIsas)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::Range(uint64_t(1), uint64_t(25)));
+
+class FastSlowLockstepTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+// The random programs mix syscalls (sysYield traps mid-block), calls,
+// data-dependent branches and loads/stores — the trap and side-exit
+// cases of the superblock engine.
+TEST_P(FastSlowLockstepTest, ArchStateAndStatsMatchOnBothIsas)
+{
+    const uint64_t seed = GetParam();
+    Addr result = 0;
+    const gen::Program prog = randomProgram(seed, result);
+    lockstepFastSlow(prog, result, IsaId::Riscv,
+                     "seed " + std::to_string(seed));
+    lockstepFastSlow(prog, result, IsaId::Cx86,
+                     "seed " + std::to_string(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastSlowLockstepTest,
+                         ::testing::Range(uint64_t(1), uint64_t(9)));
+
+// Instruction streams crossing 4 KiB code-page boundaries: the fast
+// path must re-translate at every page edge exactly like the oracle.
+TEST(FastSlowLockstepTest, PageCrossingCodeMatches)
+{
+    Addr result = 0;
+    const gen::Program prog = pageCrossProgram(result);
+    lockstepFastSlow(prog, result, IsaId::Riscv, "pagecross");
+    lockstepFastSlow(prog, result, IsaId::Cx86, "pagecross");
+}
+
+namespace
+{
+
+/**
+ * Save a warm (uarch-carrying) checkpoint mid-run, restore it into
+ * fresh systems — one resuming through the fast tier, one through the
+ * per-instruction path — and require the remainder of the run to be
+ * byte-identical to the uninterrupted machine: same cycle count, same
+ * final context, same guest result, same stats tree. Statistics are
+ * rebased at the checkpoint moment on every system because checkpoints
+ * carry no stats (same contract as the experiment harness).
+ */
+void
+checkpointFastResume(IsaId isa)
+{
+    Addr result = 0;
+    const gen::Program prog = randomProgram(7, result);
+    LiveRun ref = startRun(prog, isa, true, result);
+
+    const uint64_t lead = 4'000;
+    ASSERT_EQ(ref.sys->run(lead), lead)
+        << "program finished before the checkpoint";
+    ASSERT_FALSE(ref.sys->cpu(0).halted());
+    const Checkpoint cp = ref.sys->saveCheckpoint(true);
+
+    ref.sys->stats().resetAll();
+    const uint64_t ranRef = ref.sys->run(80'000'000);
+    ASSERT_LT(ranRef, 80'000'000u) << "program hung";
+    ASSERT_TRUE(ref.sys->cpu(0).halted());
+    const HwContext ctxRef = ref.sys->cpu(0).getContext();
+    const auto snapRef = ref.sys->stats().snapshotAll();
+    const uint64_t resultRef = ref.readResult();
+
+    for (const bool fast : {true, false}) {
+        // Restore requires an identically built machine: same config,
+        // same loaded processes (the cluster's restore path rebuilds
+        // the workload first, then restores over it).
+        LiveRun resumed = startRun(prog, isa, fast, result);
+        System &sys = *resumed.sys;
+        sys.restoreCheckpoint(cp);
+        const std::string label = std::string("resume tier ") +
+                                  (fast ? "fast " : "slow ") +
+                                  isaInfo(isa).name;
+        // The checkpointed superblock anchors must have re-formed
+        // (only observable when the env leaves the fast tier on).
+        if (sys.fastPathEnabled()) {
+            EXPECT_GT(sys.superblocks().size(), 0u) << label;
+        }
+        sys.stats().resetAll();
+        const uint64_t ran = sys.run(80'000'000);
+        EXPECT_EQ(ran, ranRef) << label;
+        EXPECT_TRUE(sys.cpu(0).halted()) << label;
+        expectSameContext(sys.cpu(0).getContext(), ctxRef, label);
+        expectSameSnapshots(sys.stats().snapshotAll(), snapRef, label);
+        EXPECT_EQ(sys.kernel().process(ref.pid).space->read(result, 8),
+                  resultRef)
+            << label;
+    }
+}
+
+} // namespace
+
+TEST(FastResumeTest, CheckpointRestoreResumesByteIdenticalRiscv)
+{
+    checkpointFastResume(IsaId::Riscv);
+}
+
+TEST(FastResumeTest, CheckpointRestoreResumesByteIdenticalCx86)
+{
+    checkpointFastResume(IsaId::Cx86);
+}
