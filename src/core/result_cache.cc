@@ -67,16 +67,20 @@ RowSchema::find(const std::string &mode)
             ld.fields.push_back("ok");
             s.push_back(std::move(ld));
         }
-        // load v2: v1 predates the resilience fields (availability,
-        // retry/fault counters, goodput/error percentiles).
-        s.push_back({"load", 2,
+        // load v3: v1 predates the resilience fields (availability,
+        // retry/fault counters, goodput/error percentiles), v2 the
+        // fleet fields (node count, routing policy, autoscaler peak,
+        // throttles, node faults, utilisation).
+        s.push_back({"load", 3,
                      {"invocations", "coldStarts", "warmHits", "evictions",
                       "p50Ns", "p90Ns", "p99Ns", "p999Ns", "maxNs",
                       "throughputMrps", "histoFp", "succeeded",
                       "failedInv", "sheds", "retries", "crashes",
                       "timeouts", "coldFails", "corruptRestores",
                       "stragglers", "breakerOpens", "goodP50Ns",
-                      "goodP99Ns", "errP99Ns", "goodFp", "ok"}});
+                      "goodP99Ns", "errP99Ns", "goodFp", "nodes",
+                      "policy", "maxActive", "throttles", "nodeFaults",
+                      "utilPermil", "ok"}});
         return s;
     }();
     for (const RowSchema &schema : schemas)

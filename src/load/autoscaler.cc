@@ -1,0 +1,46 @@
+#include "autoscaler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace svb::load
+{
+
+Autoscaler::Autoscaler(const AutoscalerConfig &config, unsigned fleet_size)
+    : cfg(config)
+{
+    svb_assert(fleet_size > 0, "autoscaler over an empty fleet");
+    capNodes = cfg.maxNodes == 0 ? fleet_size
+                                 : std::min(cfg.maxNodes, fleet_size);
+    floorNodes = std::min(cfg.minNodes, capNodes);
+    if (cfg.enabled) {
+        svb_assert(cfg.evalPeriodNs > 0, "autoscaler eval period is zero");
+        svb_assert(cfg.targetInFlightPerNode > 0.0,
+                   "autoscaler per-node concurrency target is zero");
+        nextEvalAtNs = cfg.evalPeriodNs;
+    }
+}
+
+unsigned
+Autoscaler::desiredFor(unsigned in_flight) const
+{
+    unsigned want = 0;
+    if (in_flight > 0) {
+        want = unsigned(
+            std::ceil(double(in_flight) / cfg.targetInFlightPerNode));
+    }
+    return std::clamp(want, floorNodes, capNodes);
+}
+
+unsigned
+Autoscaler::evaluate(unsigned in_flight)
+{
+    svb_assert(cfg.enabled, "evaluate() on a disabled autoscaler");
+    nextEvalAtNs += cfg.evalPeriodNs;
+    ++evals;
+    return desiredFor(in_flight);
+}
+
+} // namespace svb::load

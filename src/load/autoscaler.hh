@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Reactive autoscaling policy for the multi-node fleet simulation.
+ *
+ * Commodity FaaS platforms ("Characterizing Commodity Serverless
+ * Computing Platforms", PAPERS.md) scale instances and hosts on
+ * observed concurrency, not on a schedule: capacity follows demand
+ * with a measurable reaction lag, and idle capacity is reclaimed —
+ * down to zero for cold deployments. This header models that control
+ * loop at node granularity:
+ *
+ *  - the scaler is evaluated on fixed simulated-time boundaries
+ *    (evalPeriodNs), never on wall clocks, so decisions are a pure
+ *    function of the event timeline;
+ *  - the desired node count tracks client-visible in-flight requests
+ *    against a per-node concurrency target (the Knative/KPA-style
+ *    "concurrency autoscaler" shape);
+ *  - newly activated nodes only become routable after scaleUpLagNs
+ *    (host provisioning + image pull), which is what makes bursts
+ *    pay a scale-up penalty;
+ *  - nodes idle for scaleDownIdleNs are eligible for deactivation,
+ *    down to minNodes — with minNodes = 0 the whole fleet scales to
+ *    zero and the next arrival pays the full scale-up lag.
+ *
+ * The class only computes *desired* counts; the Fleet (fleet.hh)
+ * applies them — it owns the per-node idle/ready bookkeeping that
+ * decides which concrete node to activate or retire.
+ */
+
+#ifndef SVB_LOAD_AUTOSCALER_HH
+#define SVB_LOAD_AUTOSCALER_HH
+
+#include <cstdint>
+
+namespace svb::load
+{
+
+/** Autoscaler parameters (disabled by default: a fixed fleet). */
+struct AutoscalerConfig
+{
+    bool enabled = false;
+    /** Floor of active nodes; 0 allows scale-to-zero. */
+    unsigned minNodes = 1;
+    /** Ceiling of active nodes; 0 means the whole fleet. */
+    unsigned maxNodes = 0;
+    /** Simulated time between scaler evaluations. */
+    uint64_t evalPeriodNs = 100'000'000; // 100 ms
+    /** Client-visible in-flight requests one node is sized for. */
+    double targetInFlightPerNode = 2.0;
+    /** Activation-to-routable lag of a scaled-up node. */
+    uint64_t scaleUpLagNs = 250'000'000; // 250 ms
+    /** Idle time after which an active node may be retired. */
+    uint64_t scaleDownIdleNs = 1'000'000'000; // 1 s
+};
+
+/**
+ * The reactive control loop: fixed-period evaluations mapping the
+ * observed in-flight concurrency to a desired active-node count.
+ *
+ * Deterministic by construction — the only inputs are the scenario
+ * config, the evaluation boundary times and the in-flight counts the
+ * engine feeds in, all of which live on the simulated timeline.
+ */
+class Autoscaler
+{
+  public:
+    /** @param fleet_size total nodes the fleet owns (the hard cap). */
+    Autoscaler(const AutoscalerConfig &config, unsigned fleet_size);
+
+    bool enabled() const { return cfg.enabled; }
+
+    /** @return true while evaluation boundaries <= @p now_ns remain. */
+    bool due(uint64_t now_ns) const
+    {
+        return cfg.enabled && nextEvalAtNs <= now_ns;
+    }
+
+    /** The next evaluation boundary (valid while enabled). */
+    uint64_t nextEvalNs() const { return nextEvalAtNs; }
+
+    /**
+     * Consume one evaluation boundary: advance the evaluation clock
+     * and return the desired active-node count for @p in_flight
+     * client-visible requests.
+     */
+    unsigned evaluate(unsigned in_flight);
+
+    /** The desired node count for @p in_flight, without advancing the
+     *  clock (pure; exposed for tests). */
+    unsigned desiredFor(unsigned in_flight) const;
+
+    /** Effective floor / ceiling after clamping to the fleet size. */
+    unsigned minNodes() const { return floorNodes; }
+    unsigned maxNodes() const { return capNodes; }
+
+    /** Evaluation boundaries consumed so far. */
+    uint64_t evaluations() const { return evals; }
+
+  private:
+    AutoscalerConfig cfg;
+    unsigned floorNodes = 1;
+    unsigned capNodes = 1;
+    uint64_t nextEvalAtNs = 0;
+    uint64_t evals = 0;
+};
+
+} // namespace svb::load
+
+#endif // SVB_LOAD_AUTOSCALER_HH

@@ -1,0 +1,343 @@
+#include "fleet.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace svb::load
+{
+
+const char *
+routingPolicyName(RoutingPolicy policy)
+{
+    switch (policy) {
+      case RoutingPolicy::LeastLoaded: return "least-loaded";
+      case RoutingPolicy::Random: return "random";
+      case RoutingPolicy::PowerOfTwo: return "p2c";
+      case RoutingPolicy::Affinity: return "affinity";
+    }
+    return "?";
+}
+
+const char *
+nodeFaultKindName(NodeFaultEvent::Kind kind)
+{
+    switch (kind) {
+      case NodeFaultEvent::Kind::Crash: return "crash";
+      case NodeFaultEvent::Kind::Partition: return "partition";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** The home node a function sticks to under Affinity routing:
+ *  a SplitMix64-style avalanche so consecutive fn ids spread. */
+unsigned
+affinityHome(uint32_t fn, unsigned num_nodes)
+{
+    uint64_t h = uint64_t(fn) + 0x9E3779B97F4A7C15ull;
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+    h ^= h >> 31;
+    return unsigned(h % num_nodes);
+}
+
+} // namespace
+
+Fleet::Fleet(const FleetConfig &config, const PoolConfig &node_pool,
+             unsigned num_fns)
+    : cfg(config), scaler(config.autoscaler, std::max(1u, config.nodes))
+{
+    svb_assert(cfg.nodes >= 1, "fleet needs at least one node");
+    svb_assert(cfg.nodeSpeed.empty() || cfg.nodeSpeed.size() == cfg.nodes,
+               "fleet nodeSpeed must be empty or one factor per node");
+    for (const double f : cfg.nodeSpeed)
+        svb_assert(f > 0.0, "fleet node speed factor must be positive");
+    for (const NodeFaultEvent &ev : cfg.nodeFaults) {
+        svb_assert(ev.node < cfg.nodes, "node fault on unknown node ",
+                   ev.node);
+        svb_assert(ev.durationNs > 0, "node fault with zero duration");
+    }
+
+    nodes.reserve(cfg.nodes);
+    for (unsigned i = 0; i < cfg.nodes; ++i)
+        nodes.emplace_back(node_pool);
+    fnInFlight.assign(std::max(1u, num_fns), 0);
+
+    if (scaler.enabled()) {
+        // Start at the autoscaler floor; the rest of the fleet waits
+        // inactive until demand (or an evaluation) activates it. A
+        // zero floor is scale-to-zero: the first arrival pays the
+        // scale-up lag.
+        for (unsigned i = 0; i < cfg.nodes; ++i)
+            nodes[i].active = i < scaler.minNodes();
+    }
+    maxActive = activeNodes();
+}
+
+unsigned
+Fleet::activeNodes() const
+{
+    unsigned n = 0;
+    for (const Node &node : nodes)
+        n += node.active ? 1 : 0;
+    return n;
+}
+
+const NodeStats &
+Fleet::nodeStats(unsigned node) const
+{
+    svb_assert(node < nodes.size(), "unknown fleet node");
+    return nodes[node].stats;
+}
+
+InstancePool &
+Fleet::pool(unsigned node)
+{
+    svb_assert(node < nodes.size(), "unknown fleet node");
+    return nodes[node].pool;
+}
+
+double
+Fleet::speedFactor(unsigned node) const
+{
+    svb_assert(node < nodes.size(), "unknown fleet node");
+    return cfg.nodeSpeed.empty() ? 1.0 : cfg.nodeSpeed[node];
+}
+
+bool
+Fleet::routable(unsigned node, uint64_t now_ns) const
+{
+    svb_assert(node < nodes.size(), "unknown fleet node");
+    const Node &n = nodes[node];
+    return n.active && n.readyAtNs <= now_ns && n.downUntilNs <= now_ns;
+}
+
+uint64_t
+Fleet::backlogNs(unsigned node, uint64_t now_ns) const
+{
+    svb_assert(node < nodes.size(), "unknown fleet node");
+    return nodes[node].pool.backlogNs(now_ns);
+}
+
+void
+Fleet::advance(uint64_t now_ns)
+{
+    while (scaler.due(now_ns)) {
+        const uint64_t t = scaler.nextEvalNs();
+        applyDesired(scaler.evaluate(totalInFlight), t);
+    }
+}
+
+void
+Fleet::activateOne(uint64_t t_ns)
+{
+    for (unsigned i = 0; i < nodes.size(); ++i) {
+        Node &n = nodes[i];
+        if (n.active)
+            continue;
+        n.active = true;
+        n.readyAtNs = t_ns + cfg.autoscaler.scaleUpLagNs;
+        // The idle-retire clock starts when the node becomes
+        // routable, so a freshly scaled-up node is never torn down
+        // before it had a chance to serve.
+        n.lastBusyNs = n.readyAtNs;
+        ++numActivations;
+        maxActive = std::max(maxActive, activeNodes());
+        return;
+    }
+    svb_panic("activateOne() with no inactive node");
+}
+
+void
+Fleet::applyDesired(unsigned desired, uint64_t t_ns)
+{
+    unsigned active = activeNodes();
+    while (active < desired && active < nodes.size()) {
+        activateOne(t_ns);
+        ++active;
+    }
+    if (active <= desired || active <= scaler.minNodes())
+        return;
+
+    // Scale down: retire the most-idle eligible nodes. Eligible means
+    // routable (past its own lag), empty (no in-flight work, no busy
+    // slot) and idle at least scaleDownIdleNs. Ties break on the node
+    // index, so the retire order is deterministic.
+    while (active > desired && active > scaler.minNodes()) {
+        int victim = -1;
+        for (unsigned i = 0; i < nodes.size(); ++i) {
+            const Node &n = nodes[i];
+            if (!n.active || n.readyAtNs > t_ns || n.inFlight > 0 ||
+                n.pool.busySlots(t_ns) > 0)
+                continue;
+            if (t_ns - n.lastBusyNs < cfg.autoscaler.scaleDownIdleNs)
+                continue;
+            if (victim < 0 ||
+                n.lastBusyNs < nodes[unsigned(victim)].lastBusyNs)
+                victim = int(i);
+        }
+        if (victim < 0)
+            return; // nothing idle enough yet; try next evaluation
+        Node &n = nodes[unsigned(victim)];
+        n.active = false;
+        // Scale-to-zero semantics: retiring the node tears its warm
+        // instances down, so traffic landing here later is cold.
+        n.pool.evictAll(t_ns);
+        ++numDeactivations;
+        --active;
+    }
+}
+
+uint64_t
+Fleet::ensureCapacity(uint64_t now_ns)
+{
+    // Earliest point an already-activated node becomes routable:
+    // a pending scale-up completing or a fault window closing.
+    uint64_t earliest = ~uint64_t(0);
+    for (const Node &n : nodes) {
+        if (!n.active)
+            continue;
+        earliest =
+            std::min(earliest, std::max(n.readyAtNs, n.downUntilNs));
+    }
+    // Demand-driven scale-up: a request arrived and nothing can take
+    // it — activate a node now (even between autoscaler evaluations)
+    // when the scaler's ceiling allows it.
+    if (scaler.enabled() && activeNodes() < scaler.maxNodes()) {
+        bool anyInactive = false;
+        for (const Node &n : nodes)
+            anyInactive = anyInactive || !n.active;
+        if (anyInactive) {
+            activateOne(now_ns);
+            earliest =
+                std::min(earliest, now_ns + cfg.autoscaler.scaleUpLagNs);
+        }
+    }
+    svb_assert(earliest != ~uint64_t(0),
+               "fleet has no node that can ever become routable");
+    return std::max(earliest, now_ns);
+}
+
+Fleet::Route
+Fleet::route(uint32_t fn, uint64_t now_ns, Rng &rng)
+{
+    advance(now_ns);
+
+    svb_assert(fn < fnInFlight.size(), "route() of unknown function");
+    if (cfg.fnConcurrencyLimit > 0 &&
+        fnInFlight[fn] >= cfg.fnConcurrencyLimit) {
+        ++numThrottles;
+        return {badNode, 0, true};
+    }
+
+    cands.clear();
+    for (unsigned i = 0; i < nodes.size(); ++i) {
+        if (routable(i, now_ns))
+            cands.push_back(i);
+    }
+    if (cands.empty())
+        return {badNode, ensureCapacity(now_ns), false};
+
+    // One routable node: every policy picks it, and no randomness is
+    // drawn — the single-node byte-identity contract.
+    unsigned chosen = cands[0];
+    if (cands.size() > 1) {
+        auto leastLoaded = [&]() {
+            unsigned best = cands[0];
+            uint64_t bestLoad = backlogNs(best, now_ns);
+            for (size_t k = 1; k < cands.size(); ++k) {
+                const uint64_t load = backlogNs(cands[k], now_ns);
+                if (load < bestLoad) {
+                    best = cands[k];
+                    bestLoad = load;
+                }
+            }
+            return best;
+        };
+        switch (cfg.routing) {
+          case RoutingPolicy::LeastLoaded:
+            chosen = leastLoaded();
+            break;
+          case RoutingPolicy::Random:
+            chosen = cands[rng.nextBounded(cands.size())];
+            break;
+          case RoutingPolicy::PowerOfTwo: {
+            const unsigned a = cands[rng.nextBounded(cands.size())];
+            const unsigned b = cands[rng.nextBounded(cands.size())];
+            const uint64_t la = backlogNs(a, now_ns);
+            const uint64_t lb = backlogNs(b, now_ns);
+            // Ties (including a == b) break on the node index.
+            chosen = lb < la ? b : la < lb ? a : std::min(a, b);
+            break;
+          }
+          case RoutingPolicy::Affinity: {
+            const unsigned home = affinityHome(fn, cfg.nodes);
+            chosen = badNode;
+            for (const unsigned c : cands) {
+                if (c == home) {
+                    chosen = home;
+                    break;
+                }
+            }
+            if (chosen == badNode)
+                chosen = leastLoaded();
+            break;
+          }
+        }
+    }
+    return {chosen, 0, false};
+}
+
+void
+Fleet::onAttemptStart(unsigned node, uint32_t fn, uint64_t start_ns,
+                      uint64_t server_end_ns)
+{
+    svb_assert(node < nodes.size(), "unknown fleet node");
+    svb_assert(fn < fnInFlight.size(), "attempt of unknown function");
+    svb_assert(server_end_ns >= start_ns, "attempt ends before it starts");
+    Node &n = nodes[node];
+    ++n.stats.routed;
+    n.stats.busyNs += server_end_ns - start_ns;
+    n.lastBusyNs = std::max(n.lastBusyNs, server_end_ns);
+    ++n.inFlight;
+    ++fnInFlight[fn];
+    ++totalInFlight;
+}
+
+void
+Fleet::onAttemptEnd(unsigned node, uint32_t fn)
+{
+    svb_assert(node < nodes.size(), "unknown fleet node");
+    svb_assert(fn < fnInFlight.size(), "attempt of unknown function");
+    Node &n = nodes[node];
+    svb_assert(n.inFlight > 0 && fnInFlight[fn] > 0 && totalInFlight > 0,
+               "attempt end without a matching start");
+    --n.inFlight;
+    --fnInFlight[fn];
+    --totalInFlight;
+}
+
+void
+Fleet::applyNodeFault(const NodeFaultEvent &ev)
+{
+    svb_assert(ev.node < nodes.size(), "node fault on unknown node");
+    Node &n = nodes[ev.node];
+    n.downUntilNs = std::max(n.downUntilNs, ev.atNs + ev.durationNs);
+    if (ev.kind == NodeFaultEvent::Kind::Crash) {
+        ++n.stats.crashEvents;
+        n.pool.crashAll(ev.atNs);
+    }
+}
+
+void
+Fleet::truncateBusy(unsigned node, uint64_t ns)
+{
+    svb_assert(node < nodes.size(), "unknown fleet node");
+    Node &n = nodes[node];
+    n.stats.busyNs -= std::min(n.stats.busyNs, ns);
+}
+
+} // namespace svb::load

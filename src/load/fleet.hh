@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Multi-node fleet simulation for the invocation-load subsystem.
+ *
+ * A single InstancePool models one serverless host; production
+ * platforms route every invocation across a *fleet* of hosts behind a
+ * cluster-level scheduler ("Characterizing Commodity Serverless
+ * Computing Platforms", PAPERS.md, measures exactly this layer on
+ * AWS/Azure/GCP). This header scales the load engine out:
+ *
+ *  - Fleet: N simulated nodes, each owning its own InstancePool (the
+ *    per-node keep-alive state and concurrency limit) plus an optional
+ *    per-node speed factor over the calibration-derived cold/warm
+ *    service model (heterogeneous hosts);
+ *  - ClusterScheduler routing policies: random, power-of-two-choices,
+ *    least-loaded (by queued-backlog nanoseconds) and session/locality
+ *    affinity (a function hashes to a home node and sticks to it,
+ *    keeping its instances warm there);
+ *  - per-function fleet-wide concurrency limits: excess client-visible
+ *    in-flight requests are throttled with a fast 429-style response;
+ *  - scale-to-zero and scale-up lag through the reactive Autoscaler
+ *    (autoscaler.hh), plus demand-driven activation when a request
+ *    arrives and no node is routable;
+ *  - node-level faults that compose with the request-level fault layer
+ *    (fault.hh): a crash kills every slot on the node (in-flight
+ *    attempts fail, warm instances are lost), a partition makes the
+ *    node unroutable for its duration (in-flight work completes).
+ *
+ * Determinism contract: routing draws come from a dedicated
+ * Rng::split substream and are skipped entirely when only one node is
+ * routable, so a single-node fleet with the default router performs
+ * exactly the pool-operation and RNG-draw sequence of the pre-fleet
+ * engine — byte-identical histograms, fingerprints and CSV rows.
+ */
+
+#ifndef SVB_LOAD_FLEET_HH
+#define SVB_LOAD_FLEET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "autoscaler.hh"
+#include "instance_pool.hh"
+#include "sim/rng.hh"
+
+namespace svb::load
+{
+
+/** Cluster-scheduler routing policy. */
+enum class RoutingPolicy
+{
+    /** Deterministic argmin of queued-backlog ns (the default; draws
+     *  no randomness, so it is the byte-identity baseline). */
+    LeastLoaded,
+    /** Uniformly random routable node. */
+    Random,
+    /** Power-of-two-choices: two uniform draws, keep the less loaded. */
+    PowerOfTwo,
+    /** Session/locality affinity: fn hashes to a home node; falls back
+     *  to least-loaded when the home node is unroutable. */
+    Affinity,
+};
+
+const char *routingPolicyName(RoutingPolicy policy);
+
+/** One scheduled node-level fault. */
+struct NodeFaultEvent
+{
+    enum class Kind
+    {
+        /** All slots killed at atNs (in-flight attempts fail, warm
+         *  instances lost); unroutable until atNs + durationNs. */
+        Crash,
+        /** Unroutable (route-around) for the duration; in-flight work
+         *  still completes. */
+        Partition,
+    };
+    Kind kind = Kind::Crash;
+    unsigned node = 0;
+    uint64_t atNs = 0;
+    uint64_t durationNs = 500'000'000; // 500 ms
+};
+
+const char *nodeFaultKindName(NodeFaultEvent::Kind kind);
+
+/** Fleet shape and scheduler parameters. */
+struct FleetConfig
+{
+    /** Simulated hosts; 1 reproduces the single-pool engine. */
+    unsigned nodes = 1;
+    RoutingPolicy routing = RoutingPolicy::LeastLoaded;
+    /** Fleet-wide cap on client-visible in-flight requests per
+     *  function; 0 = unlimited. Excess attempts are throttled. */
+    unsigned fnConcurrencyLimit = 0;
+    /** Latency of the 429-style response a throttled request gets. */
+    uint64_t throttleNs = 50'000; // 50 us
+    /** Per-node service-time multiplier (empty = all 1.0). Factors of
+     *  exactly 1.0 leave service times bit-untouched. */
+    std::vector<double> nodeSpeed;
+    AutoscalerConfig autoscaler;
+    /** Scheduled node crashes / partitions, applied on the engine's
+     *  event timeline. */
+    std::vector<NodeFaultEvent> nodeFaults;
+
+    /** @return true when any fleet machinery beyond the single-pool
+     *  engine is engaged (used to keep legacy trace/stat surfaces
+     *  byte-identical for plain scenarios). */
+    bool engaged() const
+    {
+        return nodes > 1 || autoscaler.enabled || !nodeFaults.empty() ||
+               fnConcurrencyLimit > 0 || !nodeSpeed.empty();
+    }
+};
+
+/** Per-node outcome counters over a run. */
+struct NodeStats
+{
+    /** Attempts routed (and started) on this node. */
+    uint64_t routed = 0;
+    /** Accumulated slot-occupancy time (service ns actually held). */
+    uint64_t busyNs = 0;
+    /** Node-level crash events applied to this node. */
+    uint64_t crashEvents = 0;
+};
+
+/**
+ * The fleet of nodes plus the cluster scheduler over them.
+ *
+ * The load engine drives it per attempt: route() picks (or defers)
+ * the node, pool(node) serves the usual acquire/release/kill
+ * sequence, and onAttemptStart/onAttemptEnd keep the in-flight and
+ * utilisation accounting that routing, throttling and autoscaling
+ * read. All state changes happen at simulated-time points the engine
+ * supplies; nothing here reads clocks or global state.
+ */
+class Fleet
+{
+  public:
+    static constexpr unsigned badNode = ~0u;
+
+    /**
+     * @param config    fleet shape and scheduler parameters
+     * @param node_pool per-node InstancePool configuration
+     * @param num_fns   functions in the scenario mix (fn ids < this)
+     */
+    Fleet(const FleetConfig &config, const PoolConfig &node_pool,
+          unsigned num_fns);
+
+    /** route()'s decision for one attempt. */
+    struct Route
+    {
+        /** Chosen node, or badNode when no node is routable yet. */
+        unsigned node = badNode;
+        /** When node == badNode and !throttled: earliest time a node
+         *  can serve (scale-up lag / fault recovery); the attempt
+         *  re-enters the timeline then. */
+        uint64_t retryAtNs = 0;
+        /** The per-function concurrency limit rejected the attempt. */
+        bool throttled = false;
+    };
+
+    /**
+     * Advance the autoscaler to @p now_ns and route one attempt of
+     * function @p fn. @p rng is the dedicated routing substream; it
+     * is only drawn from when the policy is randomised AND more than
+     * one node is routable.
+     */
+    Route route(uint32_t fn, uint64_t now_ns, Rng &rng);
+
+    /** The instance pool of @p node. */
+    InstancePool &pool(unsigned node);
+
+    /**
+     * An attempt was placed on @p node: runs from @p start_ns to
+     * @p server_end_ns server-side. Updates in-flight counts (client
+     * concurrency), busy-time and idle bookkeeping.
+     */
+    void onAttemptStart(unsigned node, uint32_t fn, uint64_t start_ns,
+                        uint64_t server_end_ns);
+
+    /** The client-visible side of an attempt on @p node ended. */
+    void onAttemptEnd(unsigned node, uint32_t fn);
+
+    /**
+     * Apply @p ev at its scheduled time: mark the node unroutable
+     * for the duration; a crash additionally kills every slot of its
+     * pool. The engine converts the node's in-flight attempts itself
+     * (it owns the event timeline).
+     */
+    void applyNodeFault(const NodeFaultEvent &ev);
+
+    /** Give back @p ns of accounted busy time on @p node (an attempt
+     *  a node crash truncated). */
+    void truncateBusy(unsigned node, uint64_t ns);
+
+    /** @return true when @p node can take traffic at @p now_ns. */
+    bool routable(unsigned node, uint64_t now_ns) const;
+
+    /** Queued-backlog load metric of @p node (routing order key). */
+    uint64_t backlogNs(unsigned node, uint64_t now_ns) const;
+
+    /** Service-time multiplier of @p node (1.0 when homogeneous). */
+    double speedFactor(unsigned node) const;
+
+    unsigned nodeCount() const { return unsigned(nodes.size()); }
+    /** Nodes currently activated (including ones still in their
+     *  scale-up lag window). */
+    unsigned activeNodes() const;
+    /** Peak concurrently-activated nodes over the run. */
+    unsigned maxActiveNodes() const { return maxActive; }
+    /** Scale-up activations performed (autoscaler or demand-driven). */
+    uint64_t activations() const { return numActivations; }
+    /** Scale-downs performed. */
+    uint64_t deactivations() const { return numDeactivations; }
+    /** Autoscaler evaluation boundaries consumed. */
+    uint64_t autoscaleEvaluations() const { return scaler.evaluations(); }
+    /** Attempts rejected by the per-function concurrency limit. */
+    uint64_t throttles() const { return numThrottles; }
+
+    const NodeStats &nodeStats(unsigned node) const;
+    const FleetConfig &config() const { return cfg; }
+
+  private:
+    struct Node
+    {
+        InstancePool pool;
+        NodeStats stats;
+        /** Activated (routable once readyAtNs passes). */
+        bool active = true;
+        /** Activation lag end; 0 for initially-active nodes. */
+        uint64_t readyAtNs = 0;
+        /** Crash/partition route-around window end. */
+        uint64_t downUntilNs = 0;
+        /** Client-visible in-flight attempts on this node. */
+        unsigned inFlight = 0;
+        /** Last time the node was known busy (idle-retire clock). */
+        uint64_t lastBusyNs = 0;
+
+        explicit Node(const PoolConfig &pool_cfg) : pool(pool_cfg) {}
+    };
+
+    /** Consume autoscaler evaluation boundaries up to @p now_ns. */
+    void advance(uint64_t now_ns);
+    /** Activate/retire nodes toward @p desired at time @p t_ns. */
+    void applyDesired(unsigned desired, uint64_t t_ns);
+    /** Activate the lowest-index inactive node at @p t_ns. */
+    void activateOne(uint64_t t_ns);
+    /**
+     * No node is routable at @p now_ns: trigger demand-driven
+     * activation if possible and @return the earliest time any node
+     * becomes routable (> now_ns unless an activation completes
+     * instantly under a zero scale-up lag).
+     */
+    uint64_t ensureCapacity(uint64_t now_ns);
+
+    FleetConfig cfg;
+    Autoscaler scaler;
+    std::vector<Node> nodes;
+    /** Client-visible in-flight per function (throttle limit). */
+    std::vector<unsigned> fnInFlight;
+    unsigned totalInFlight = 0;
+    unsigned maxActive = 0;
+    uint64_t numActivations = 0;
+    uint64_t numDeactivations = 0;
+    uint64_t numThrottles = 0;
+    /** Scratch candidate list (avoids per-route allocation). */
+    std::vector<unsigned> cands;
+};
+
+} // namespace svb::load
+
+#endif // SVB_LOAD_FLEET_HH

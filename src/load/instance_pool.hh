@@ -72,9 +72,11 @@ struct PoolStats
  *
  * Usage per invocation (in arrival order): acquire() chooses the
  * slot and the cold/warm path and the start time; the caller computes
- * the service time and immediately release()s the slot with the
- * completion time. The strict acquire-then-release pairing is what
- * makes the greedy placement well-defined.
+ * the service time and release()s the slot with the completion time.
+ * acquire() *reserves* the slot (busy flag + fnId) until the matching
+ * release()/kill(), so two acquires at the same timestamp — or an
+ * acquire landing before the matching release event fires — can never
+ * double-book one slot as a warm hit.
  */
 class InstancePool
 {
@@ -106,10 +108,32 @@ class InstancePool
      */
     void kill(unsigned slot, uint64_t at_ns);
 
+    /**
+     * Tear every slot down at @p at_ns: the fleet layer's node crash.
+     * Reserved or still-busy slots count as crashes (plus evictions,
+     * matching kill()); idle live instances count as plain evictions.
+     * @return the number of busy/reserved slots killed.
+     */
+    unsigned crashAll(uint64_t at_ns);
+
+    /**
+     * Evict every live idle instance at @p at_ns: the autoscaler's
+     * scale-to-zero teardown. The caller guarantees the pool is
+     * quiescent (no reserved or busy slot).
+     */
+    void evictAll(uint64_t at_ns);
+
     const PoolStats &stats() const { return poolStats; }
 
     /** Live (kept-alive) instances right now. */
     unsigned liveInstances() const;
+
+    /** Slots reserved or still busy at @p now_ns. */
+    unsigned busySlots(uint64_t now_ns) const;
+
+    /** Total queued work: sum over slots of (busyUntilNs - now_ns)
+     *  clamped at 0 — the fleet scheduler's load metric. */
+    uint64_t backlogNs(uint64_t now_ns) const;
 
     /** Slot metadata, exposed for tests (recycle-reset regression). */
     uint64_t slotLastUsedNs(unsigned slot) const;
@@ -119,6 +143,8 @@ class InstancePool
     struct Instance
     {
         bool live = false;
+        /** Handed out by acquire(), not yet release()d/kill()ed. */
+        bool reserved = false;
         uint32_t fnId = 0;
         uint64_t busyUntilNs = 0;
         uint64_t lastUsedNs = 0;

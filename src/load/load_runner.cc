@@ -48,6 +48,13 @@ packLoadResult(const LoadResult &res)
         {"goodP99Ns", res.goodP99Ns},
         {"errP99Ns", res.errP99Ns},
         {"goodFp", res.goodFingerprint},
+        {"nodes", res.nodes},
+        {"policy", res.policyId},
+        {"maxActive", res.maxActiveNodes},
+        {"throttles", res.throttles},
+        {"nodeFaults", res.nodeFaults},
+        {"utilPermil",
+         uint64_t(std::llround(res.fleetUtilisation * 1000.0))},
         {"ok", res.ok ? 1u : 0u},
     };
 }
@@ -83,8 +90,26 @@ unpackLoadResult(const std::string &scenario,
     res.goodP99Ns = fields.at("goodP99Ns");
     res.errP99Ns = fields.at("errP99Ns");
     res.goodFingerprint = fields.at("goodFp");
+    res.nodes = fields.at("nodes");
+    res.policyId = fields.at("policy");
+    res.maxActiveNodes = fields.at("maxActive");
+    res.throttles = fields.at("throttles");
+    res.nodeFaults = fields.at("nodeFaults");
+    res.fleetUtilisation = double(fields.at("utilPermil")) / 1000.0;
     res.ok = fields.at("ok") != 0;
     return res;
+}
+
+/** Enforce the documented LoadScenario::name contract: the name is a
+ *  CSV row-key component, so the cache metacharacters would silently
+ *  corrupt build/svbench_results.csv rows. */
+void
+validateScenarioName(const std::string &name)
+{
+    svb_assert(!name.empty(), "load scenario with an empty name");
+    svb_assert(name.find_first_of(",|=") == std::string::npos,
+               "load scenario name '", name,
+               "' contains a cache metacharacter (',', '|' or '=')");
 }
 
 /** Client-visible outcome of one attempt. */
@@ -92,17 +117,29 @@ enum class AttemptOutcome
 {
     Success,
     ColdFail, ///< injected failed cold start
-    Crash,    ///< injected mid-request instance crash
+    Crash,    ///< instance crash (injected, or a node-level crash)
     Timeout,  ///< client abandoned the attempt (per-attempt timeout)
 };
 
+/** What a timeline event is. */
+enum class EvKind : uint8_t
+{
+    /** Admit through the breaker, route across the fleet, place on
+     *  the node's pool, roll the fault dice. */
+    AttemptStart,
+    /** Apply the client-visible outcome to the breaker and either
+     *  finish the invocation or schedule its retry. */
+    AttemptEnd,
+    /** Apply a scheduled node-level crash/partition. */
+    NodeFault,
+};
+
 /**
- * One timeline event of the stream engine: either an attempt *start*
- * (admit through the breaker, place on the pool, roll the fault
- * dice) or an attempt *end* (apply the client-visible outcome to the
- * breaker and either finish the invocation or schedule its retry).
- * Events are processed in (time, seq) order — seq is the push order,
- * so ties resolve deterministically at any SVBENCH_JOBS value.
+ * One timeline event of the stream engine. Events are processed in
+ * (time, seq) order — seq is the push order, so ties resolve
+ * deterministically at any SVBENCH_JOBS value. Attempt events carry
+ * the node the attempt runs on; NodeFault events reuse `inv` as the
+ * index into the scenario's nodeFaults list.
  */
 struct StreamEvent
 {
@@ -110,8 +147,13 @@ struct StreamEvent
     uint64_t seq = 0;
     uint32_t inv = 0;
     unsigned attempt = 0;
-    bool isEnd = false;
+    EvKind kind = EvKind::AttemptStart;
     AttemptOutcome outcome = AttemptOutcome::Success;
+    /** Node of an attempt event (unused for NodeFault events). */
+    unsigned node = 0;
+    /** An AttemptEnd synthesised by a node crash, replacing the
+     *  cancelled original end of the same attempt. */
+    bool synthetic = false;
 };
 
 struct StreamEventLater
@@ -142,6 +184,8 @@ simulateStream(const LoadScenario &s,
     LoadResult res;
     res.scenario = s.name;
     res.invocations = s.invocations;
+    res.nodes = s.fleet.nodes;
+    res.policyId = uint64_t(s.fleet.routing);
 
     const Rng master(s.seed);
     ArrivalProcess arrivals(s.arrival, master.split(0));
@@ -152,7 +196,12 @@ simulateStream(const LoadScenario &s,
     // never perturbs the arrival / mix / warm-sample sequences.
     FaultInjector faults(s.fault, master.split(3));
     Rng retryRng = master.split(4);
-    InstancePool pool(s.pool);
+    // Routing randomness gets the same treatment, and the scheduler
+    // never draws when only one node is routable — the default
+    // single-node fleet replays the exact pre-fleet byte stream.
+    Rng routeRng = master.split(5);
+    Fleet fleet(s.fleet, s.pool, unsigned(s.mix.size()));
+    const bool fleetOn = s.fleet.engaged();
     std::vector<CircuitBreaker> breakers(s.mix.size(),
                                          CircuitBreaker(s.breaker));
 
@@ -209,8 +258,32 @@ simulateStream(const LoadScenario &s,
         events;
     uint64_t seq = 0;
     for (uint32_t i = 0; i < s.invocations; ++i)
-        events.push({invs[i].arrivalNs, seq++, i, 0, false,
-                     AttemptOutcome::Success});
+        events.push({invs[i].arrivalNs, seq++, i, 0,
+                     EvKind::AttemptStart, AttemptOutcome::Success, 0,
+                     false});
+    for (size_t f = 0; f < s.fleet.nodeFaults.size(); ++f)
+        events.push({s.fleet.nodeFaults[f].atNs, seq++, uint32_t(f), 0,
+                     EvKind::NodeFault, AttemptOutcome::Success,
+                     s.fleet.nodeFaults[f].node, false});
+
+    // A node crash cancels the original AttemptEnd of every attempt
+    // in flight on the node and replaces it with a synthetic Crash
+    // end at the crash instant. The flag is keyed by (invocation,
+    // attempt); the synthetic replacement shares the key, so only
+    // non-synthetic ends consult it.
+    std::vector<uint8_t> cancelled(
+        size_t(s.invocations) * s.retry.maxAttempts, 0);
+    auto cancelKey = [&](uint32_t inv, unsigned attempt) {
+        return size_t(inv) * s.retry.maxAttempts + attempt;
+    };
+    // Client-side in-flight attempts per node: what a crash cancels.
+    struct Pending
+    {
+        uint32_t inv;
+        unsigned attempt;
+        uint64_t serverEndNs;
+    };
+    std::vector<std::vector<Pending>> pending(fleet.nodeCount());
 
     // A label suffix only retry attempts carry, so fault-free traces
     // keep the legacy "cold#i"/"warm#i"/"queue#i" span names.
@@ -233,10 +306,44 @@ simulateStream(const LoadScenario &s,
     while (!events.empty()) {
         const StreamEvent ev = events.top();
         events.pop();
+
+        if (ev.kind == EvKind::NodeFault) {
+            // ---- node-level fault at ev.timeNs -----------------------
+            const NodeFaultEvent &nf = s.fleet.nodeFaults[ev.inv];
+            ++res.nodeFaults;
+            fleet.applyNodeFault(nf);
+            if (track != obs::badTrack)
+                tracer.record(track,
+                              std::string("node-") +
+                                  nodeFaultKindName(nf.kind) + "#" +
+                                  std::to_string(ev.inv) + "@n" +
+                                  std::to_string(nf.node),
+                              "node", ev.timeNs, nf.durationNs);
+            if (nf.kind == NodeFaultEvent::Kind::Crash) {
+                // Every attempt in flight on the node dies with it:
+                // cancel the scheduled end, hand back the busy time
+                // the node will no longer serve, and let the client
+                // learn of the crash right now via the retry path.
+                for (const Pending &p : pending[nf.node]) {
+                    cancelled[cancelKey(p.inv, p.attempt)] = 1;
+                    if (p.serverEndNs > ev.timeNs)
+                        fleet.truncateBusy(nf.node,
+                                           p.serverEndNs - ev.timeNs);
+                    fleet.onAttemptEnd(nf.node, invs[p.inv].fn);
+                    ++res.crashes;
+                    events.push({ev.timeNs, seq++, p.inv, p.attempt,
+                                 EvKind::AttemptEnd,
+                                 AttemptOutcome::Crash, nf.node, true});
+                }
+                pending[nf.node].clear();
+            }
+            continue;
+        }
+
         Invocation &iv = invs[ev.inv];
         CircuitBreaker &breaker = breakers[iv.fn];
 
-        if (!ev.isEnd) {
+        if (ev.kind == EvKind::AttemptStart) {
             // ---- attempt start at ev.timeNs --------------------------
             if (!breaker.admit(ev.timeNs)) {
                 // Shed: the open breaker answers with the degraded
@@ -252,6 +359,45 @@ simulateStream(const LoadScenario &s,
                 continue;
             }
 
+            const Fleet::Route rt =
+                fleet.route(iv.fn, ev.timeNs, routeRng);
+            if (rt.throttled) {
+                // Per-function concurrency limit: the platform answers
+                // with a fast 429-style response — terminal, shed-like
+                // (counted in both sheds and throttles).
+                ++res.throttles;
+                ++res.sheds;
+                const uint64_t end = ev.timeNs + s.fleet.throttleNs;
+                if (track != obs::badTrack)
+                    tracer.record(track,
+                                  "throttle#" +
+                                      attemptTag(ev.inv, ev.attempt),
+                                  "throttle", ev.timeNs,
+                                  s.fleet.throttleNs);
+                finish(end, iv.arrivalNs, false);
+                continue;
+            }
+            if (rt.node == Fleet::badNode) {
+                // No routable node yet (scale-up lag, or every node in
+                // a fault window): the attempt re-enters the timeline
+                // once capacity can exist. Progress is guaranteed —
+                // either the retry time is strictly later, or a
+                // zero-lag activation just made a node routable.
+                svb_assert(rt.retryAtNs >= ev.timeNs,
+                           "unroutable attempt scheduled into the past");
+                if (track != obs::badTrack)
+                    tracer.record(track,
+                                  "scale-wait#" +
+                                      attemptTag(ev.inv, ev.attempt),
+                                  "scale", ev.timeNs,
+                                  rt.retryAtNs - ev.timeNs);
+                events.push({rt.retryAtNs, seq++, ev.inv, ev.attempt,
+                             EvKind::AttemptStart,
+                             AttemptOutcome::Success, 0, false});
+                continue;
+            }
+
+            InstancePool &pool = fleet.pool(rt.node);
             const InstancePool::Placement pl =
                 pool.acquire(iv.fn, ev.timeNs);
             const LoadCalibration &cal = cals[iv.fn];
@@ -273,11 +419,22 @@ simulateStream(const LoadScenario &s,
                     uint64_t(double(service) * s.fault.stragglerFactor);
                 ++res.stragglers;
             }
+            // Heterogeneous fleets scale the calibrated service time
+            // by the node's speed factor; exactly 1.0 (the homogeneous
+            // default) leaves the value bit-untouched.
+            const double speed = fleet.speedFactor(rt.node);
+            if (speed != 1.0)
+                service = uint64_t(double(service) * speed);
             service = std::max<uint64_t>(1, service);
             const uint64_t end = pl.startNs + service;
 
             if (track != obs::badTrack) {
                 const std::string tag = attemptTag(ev.inv, ev.attempt);
+                if (fleetOn)
+                    tracer.record(track,
+                                  "route#" + tag + "@n" +
+                                      std::to_string(rt.node),
+                                  "route", ev.timeNs, 0);
                 if (pl.startNs > ev.timeNs)
                     tracer.record(track, "queue#" + tag, "queue",
                                   ev.timeNs, pl.startNs - ev.timeNs);
@@ -288,6 +445,7 @@ simulateStream(const LoadScenario &s,
 
             AttemptOutcome outcome = AttemptOutcome::Success;
             uint64_t clientEnd = end;
+            uint64_t serverEnd = end;
             if (pl.cold && dice.coldFail) {
                 // The instance never comes up; the client learns at
                 // the point the cold path would have completed.
@@ -301,6 +459,7 @@ simulateStream(const LoadScenario &s,
                         1, uint64_t(double(service) * dice.crashFrac));
                 outcome = AttemptOutcome::Crash;
                 clientEnd = crashAt;
+                serverEnd = crashAt;
                 pool.kill(pl.slot, crashAt);
                 ++res.crashes;
             } else {
@@ -320,10 +479,25 @@ simulateStream(const LoadScenario &s,
                                                           ev.attempt),
                                   "timeout", ev.timeNs, s.retry.timeoutNs);
             }
-            events.push({clientEnd, seq++, ev.inv, ev.attempt, true,
-                         outcome});
+            fleet.onAttemptStart(rt.node, iv.fn, pl.startNs, serverEnd);
+            pending[rt.node].push_back({ev.inv, ev.attempt, serverEnd});
+            events.push({clientEnd, seq++, ev.inv, ev.attempt,
+                         EvKind::AttemptEnd, outcome, rt.node, false});
         } else {
             // ---- attempt end at ev.timeNs ----------------------------
+            if (!ev.synthetic) {
+                if (cancelled[cancelKey(ev.inv, ev.attempt)])
+                    continue; // superseded by a node-crash end
+                std::vector<Pending> &inflight = pending[ev.node];
+                for (auto it = inflight.begin(); it != inflight.end();
+                     ++it) {
+                    if (it->inv == ev.inv && it->attempt == ev.attempt) {
+                        inflight.erase(it);
+                        break;
+                    }
+                }
+                fleet.onAttemptEnd(ev.node, iv.fn);
+            }
             if (ev.outcome == AttemptOutcome::Success) {
                 breaker.onSuccess(ev.timeNs);
                 ++res.succeeded;
@@ -348,8 +522,8 @@ simulateStream(const LoadScenario &s,
                         "retry#" + attemptTag(ev.inv, ev.attempt + 1),
                         "retry", ev.timeNs, delay);
                 events.push({ev.timeNs + delay, seq++, ev.inv,
-                             ev.attempt + 1, false,
-                             AttemptOutcome::Success});
+                             ev.attempt + 1, EvKind::AttemptStart,
+                             AttemptOutcome::Success, 0, false});
             } else {
                 ++res.failedInvocations;
                 finish(ev.timeNs, iv.arrivalNs, false);
@@ -357,9 +531,17 @@ simulateStream(const LoadScenario &s,
         }
     }
 
-    res.coldStarts = pool.stats().coldStarts;
-    res.warmHits = pool.stats().warmHits;
-    res.evictions = pool.stats().evictions;
+    // Pool counters aggregate across the fleet (a single-node fleet
+    // reads the one pool, exactly as the pre-fleet engine did).
+    uint64_t fleetBusyNs = 0;
+    res.nodeUtilisation.assign(fleet.nodeCount(), 0.0);
+    for (unsigned n = 0; n < fleet.nodeCount(); ++n) {
+        const PoolStats &ps = fleet.pool(n).stats();
+        res.coldStarts += ps.coldStarts;
+        res.warmHits += ps.warmHits;
+        res.evictions += ps.evictions;
+        fleetBusyNs += fleet.nodeStats(n).busyNs;
+    }
     for (const CircuitBreaker &breaker : breakers)
         res.breakerOpens += breaker.timesOpened();
     res.p50Ns = res.latency.percentile(50.0);
@@ -370,10 +552,18 @@ simulateStream(const LoadScenario &s,
     res.goodP50Ns = res.goodLatency.percentile(50.0);
     res.goodP99Ns = res.goodLatency.percentile(99.0);
     res.errP99Ns = res.errorLatency.percentile(99.0);
-    res.throughputRps =
-        lastEndNs ? double(s.invocations) * 1e9 / double(lastEndNs) : 0.0;
+    res.throughputRps = safeRatePerSec(s.invocations, lastEndNs);
     res.histoFingerprint = res.latency.fingerprint();
     res.goodFingerprint = res.goodLatency.fingerprint();
+    res.maxActiveNodes = fleet.maxActiveNodes();
+    // Utilisation: occupied slot-time over the run's span, normalised
+    // by each node's slot count (so 1.0 = every slot busy throughout).
+    const uint64_t nodeCapacityNs = lastEndNs * s.pool.maxInstances;
+    for (unsigned n = 0; n < fleet.nodeCount(); ++n)
+        res.nodeUtilisation[n] =
+            safeShare(fleet.nodeStats(n).busyNs, nodeCapacityNs);
+    res.fleetUtilisation =
+        safeShare(fleetBusyNs, nodeCapacityNs * fleet.nodeCount());
     res.ok = true;
 
     // fault.* StatGroup counters through the observability layer: a
@@ -408,14 +598,68 @@ simulateStream(const LoadScenario &s,
         obs::dumpRequestStats("load_" + s.name + "_fault",
                               obs::snapshot(fstats));
     }
+
+    // fleet.* StatGroup counters, same discipline: only emitted when
+    // the fleet machinery is engaged, so plain single-node scenarios
+    // keep the legacy stat-file set byte-for-byte.
+    if (fleetOn && !obs::statDumpDir().empty()) {
+        StatGroup fstats("fleet");
+        auto set = [&fstats](const std::string &name,
+                             const std::string &desc, uint64_t v) {
+            fstats.addScalar(name, desc) += v;
+        };
+        set("sched.policy", "routing policy id", res.policyId);
+        set("sched.throttles", "attempts rejected by the concurrency limit",
+            res.throttles);
+        set("sched.nodeFaults", "node fault events applied",
+            res.nodeFaults);
+        set("sched.maxActive", "peak concurrently active nodes",
+            fleet.maxActiveNodes());
+        set("sched.activations", "node scale-up activations",
+            fleet.activations());
+        set("sched.deactivations", "node scale-down retirements",
+            fleet.deactivations());
+        set("sched.evaluations", "autoscaler evaluation rounds",
+            fleet.autoscaleEvaluations());
+        for (unsigned n = 0; n < fleet.nodeCount(); ++n) {
+            const std::string p = "node" + std::to_string(n) + ".";
+            const NodeStats &nst = fleet.nodeStats(n);
+            const PoolStats &ps = fleet.pool(n).stats();
+            set(p + "routed", "attempts routed to the node", nst.routed);
+            set(p + "busyNs", "occupied slot-time on the node",
+                nst.busyNs);
+            set(p + "crashEvents", "node-level crashes applied",
+                nst.crashEvents);
+            set(p + "coldStarts", "cold starts on the node",
+                ps.coldStarts);
+            set(p + "warmHits", "warm hits on the node", ps.warmHits);
+            set(p + "evictions", "instance evictions on the node",
+                ps.evictions);
+        }
+        obs::dumpRequestStats("load_" + s.name + "_fleet",
+                              obs::snapshot(fstats));
+    }
     return res;
 }
 
 } // namespace
 
+double
+safeRatePerSec(uint64_t events, uint64_t span_ns)
+{
+    return span_ns ? double(events) * 1e9 / double(span_ns) : 0.0;
+}
+
+double
+safeShare(uint64_t part_ns, uint64_t whole_ns)
+{
+    return whole_ns ? double(part_ns) / double(whole_ns) : 0.0;
+}
+
 LoadResult
 LoadRunner::run(const LoadScenario &scenario)
 {
+    validateScenarioName(scenario.name);
     svb_assert(!scenario.mix.empty(), "load scenario with empty mix");
     svb_assert(scenario.invocations > 0, "load scenario with no traffic");
 
@@ -440,6 +684,9 @@ std::vector<LoadResult>
 loadSweep(ResultCache &cache, const std::vector<LoadScenario> &scenarios,
           unsigned jobs_override)
 {
+    for (const LoadScenario &s : scenarios)
+        validateScenarioName(s.name);
+
     // --- Phase 1: calibrate every distinct (cluster, function) ----------
     // Concurrent compute, submission-order record: ldcal CSV rows are
     // identical to a serial sweep's at any worker count.

@@ -38,6 +38,16 @@
  * latency accounting into goodput vs. error distributions plus an
  * availability figure. With all fault rates zero (the default) the
  * engine replays the exact pre-fault byte stream.
+ *
+ * Fleet (fleet.hh): a scenario may scale out to N nodes, each with
+ * its own InstancePool built from the scenario's PoolConfig, behind
+ * a cluster scheduler (random / power-of-two-choices / least-loaded /
+ * affinity routing), per-function concurrency limits, a reactive
+ * autoscaler with scale-to-zero and scale-up lag, and scheduled
+ * node-level crashes/partitions that compose with the fault layer.
+ * Every timeline event carries its node id. The default single-node
+ * fleet performs the identical pool-operation and RNG-draw sequence
+ * as the pre-fleet engine — byte-identical outputs.
  */
 
 #ifndef SVB_LOAD_LOAD_RUNNER_HH
@@ -49,6 +59,7 @@
 #include "arrival.hh"
 #include "core/result_cache.hh"
 #include "fault.hh"
+#include "fleet.hh"
 #include "histogram.hh"
 #include "instance_pool.hh"
 
@@ -66,10 +77,12 @@ struct LoadMixEntry
 /** A complete load-scenario description. */
 struct LoadScenario
 {
-    /** Row-key component; no ',', '|' or '=' characters. The cache
-     *  keys scenario rows by (cluster, name) alone, so the name must
-     *  encode every knob below that varies within a sweep — fault
-     *  rates and retry/breaker settings included. */
+    /** Row-key component; no ',', '|' or '=' characters (enforced by
+     *  LoadRunner::run and loadSweep — a bad name would corrupt the
+     *  backing CSV's rows). The cache keys scenario rows by (cluster,
+     *  name) alone, so the name must encode every knob below that
+     *  varies within a sweep — fault rates, retry/breaker settings
+     *  and fleet/routing/autoscaler knobs included. */
     std::string name;
     ClusterConfig cluster;
     std::vector<LoadMixEntry> mix;
@@ -82,9 +95,22 @@ struct LoadScenario
     RetryPolicy retry;
     /** Per-function circuit breaker (default: disabled). */
     BreakerConfig breaker;
+    /** Fleet shape, routing policy, autoscaler and node faults; the
+     *  default (one node, least-loaded router) is byte-identical to
+     *  the pre-fleet single-pool engine. `pool` above configures each
+     *  node's InstancePool. */
+    FleetConfig fleet;
     uint64_t invocations = 2000;
     uint64_t seed = 0x10adULL;
 };
+
+/** @return completions per second over @p span_ns, 0 when the span
+ *  is zero (a single-invocation scenario must not report inf/nan). */
+double safeRatePerSec(uint64_t events, uint64_t span_ns);
+
+/** @return part/whole as a fraction in [0, 1], 0 when @p whole_ns is
+ *  zero; used for the per-node utilisation figures. */
+double safeShare(uint64_t part_ns, uint64_t whole_ns);
 
 /** Scenario outcome: pool stats plus the latency distributions. */
 struct LoadResult
@@ -131,6 +157,26 @@ struct LoadResult
     /** Error-response (failed / shed) latency percentile. */
     uint64_t errP99Ns = 0;
     uint64_t goodFingerprint = 0;
+
+    // --- fleet outcomes (single-node defaults when not scaled out) ---
+    /** Fleet size of the scenario. */
+    uint64_t nodes = 1;
+    /** Routing policy (numeric RoutingPolicy value, for the cache). */
+    uint64_t policyId = 0;
+    /** Peak concurrently-activated nodes (== nodes without the
+     *  autoscaler). */
+    uint64_t maxActiveNodes = 1;
+    /** Attempts rejected by the per-function concurrency limit (each
+     *  also counted as a shed). */
+    uint64_t throttles = 0;
+    /** Node-level crash/partition events applied. */
+    uint64_t nodeFaults = 0;
+    /** Fleet-wide utilisation: occupied slot-time over the whole
+     *  fleet's wall time (idle capacity counts in the denominator). */
+    double fleetUtilisation = 0.0;
+    /** Per-node utilisation shares; empty when the result came from
+     *  the CSV cache (like the histograms below). */
+    std::vector<double> nodeUtilisation;
 
     /** Successful invocations as a share of all, in percent. */
     double availabilityPct() const

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -337,6 +338,53 @@ TEST(InstancePool, QueuesWhenEverySlotIsBusy)
     pool.release(b.slot, 20'000);
 }
 
+TEST(InstancePool, SameTimestampAcquiresNeverDoubleBookASlot)
+{
+    // Regression: acquire() used to leave busyUntilNs untouched until
+    // the matching release(), so a second arrival at the same
+    // timestamp saw the just-handed-out slot as "warm idle" and
+    // double-booked it. The reservation flag makes concurrent
+    // same-timestamp acquires land on distinct slots.
+    PoolConfig cfg;
+    cfg.policy = KeepAlivePolicy::FixedTtl;
+    cfg.maxInstances = 2;
+    cfg.keepAliveNs = 1'000'000'000;
+    InstancePool pool(cfg);
+
+    // Warm both slots up for function 0 and let them go idle.
+    auto a = pool.acquire(0, 0);
+    auto b = pool.acquire(0, 0);
+    EXPECT_NE(a.slot, b.slot);
+    pool.release(a.slot, 1'000);
+    pool.release(b.slot, 1'000);
+
+    // Two arrivals at the same instant: both are warm hits, but they
+    // must occupy the two distinct instances, not stack up on the MRU
+    // one as impossible parallel work.
+    auto c = pool.acquire(0, 10'000);
+    auto d = pool.acquire(0, 10'000);
+    EXPECT_FALSE(c.cold);
+    EXPECT_FALSE(d.cold);
+    EXPECT_NE(c.slot, d.slot);
+    EXPECT_EQ(c.startNs, 10'000u);
+    EXPECT_EQ(d.startNs, 10'000u);
+
+    // A third same-instant arrival queues behind the earliest release
+    // rather than stealing a reserved slot.
+    pool.release(c.slot, 30'000);
+    pool.release(d.slot, 40'000);
+    auto e = pool.acquire(0, 10'000);
+    EXPECT_EQ(e.startNs, 30'000u);
+}
+
+TEST(InstancePool, ReleaseWithoutAcquireDies)
+{
+    PoolConfig cfg;
+    cfg.maxInstances = 1;
+    InstancePool pool(cfg);
+    EXPECT_DEATH(pool.release(0, 100), "not acquired");
+}
+
 // --------------------------------------------------------------------------
 // Histogram bucket bounds near the top of the value range
 // --------------------------------------------------------------------------
@@ -481,6 +529,60 @@ TEST(LoadSweep, SecondSweepIsAllCacheHits)
     // A cache-hit result carries the summary but not the buckets.
     EXPECT_EQ(second[0].latency.count(), 0u);
     EXPECT_TRUE(second[0].ok);
+}
+
+TEST(LoadSweep, ScenarioNamesWithCacheMetacharactersDie)
+{
+    // The scenario name is a CSV row-key component: ',' separates key
+    // fields, '|' separates row fields, '=' separates field values. A
+    // name containing any of them would corrupt the backing file, so
+    // both entry points reject it up front.
+    TempCacheFile file("test_load_badname.csv");
+    for (const char *bad : {"a,b", "a|b", "a=b", ""}) {
+        LoadScenario s = smallScenario("placeholder",
+                                       KeepAlivePolicy::FixedTtl);
+        s.name = bad;
+        EXPECT_DEATH(
+            {
+                ResultCache cache(file.path);
+                LoadRunner(cache).run(s);
+            },
+            "metacharacter|empty name")
+            << "name: '" << bad << "'";
+        EXPECT_DEATH(
+            {
+                ResultCache cache(file.path);
+                loadSweep(cache, {s}, 1);
+            },
+            "metacharacter|empty name")
+            << "name: '" << bad << "'";
+    }
+}
+
+TEST(LoadResultGuards, ZeroSpanReportsZeroNotInfOrNan)
+{
+    // throughputRps and the utilisation shares divide by the simulated
+    // load span; a degenerate scenario must report 0, not inf/nan.
+    EXPECT_EQ(safeRatePerSec(100, 0), 0.0);
+    EXPECT_EQ(safeShare(5, 0), 0.0);
+    EXPECT_GT(safeRatePerSec(100, 1'000'000'000), 0.0);
+    EXPECT_DOUBLE_EQ(safeShare(1, 4), 0.25);
+}
+
+TEST(LoadResultGuards, SingleInvocationScenarioStaysFinite)
+{
+    TempCheckpointDir ckpts("ckpt_load_single");
+    TempCacheFile file("test_load_single.csv");
+    LoadScenario s = smallScenario("t-single", KeepAlivePolicy::FixedTtl);
+    s.invocations = 1;
+    ResultCache cache(file.path);
+    const LoadResult res = LoadRunner(cache).run(s);
+    ASSERT_TRUE(res.ok);
+    EXPECT_TRUE(std::isfinite(res.throughputRps));
+    EXPECT_TRUE(std::isfinite(res.fleetUtilisation));
+    ASSERT_EQ(res.nodeUtilisation.size(), 1u);
+    EXPECT_TRUE(std::isfinite(res.nodeUtilisation[0]));
+    EXPECT_GE(res.throughputRps, 0.0);
 }
 
 // --------------------------------------------------------------------------
