@@ -81,6 +81,26 @@ RowSchema::find(const std::string &mode)
                       "goodP99Ns", "errP99Ns", "goodFp", "nodes",
                       "policy", "maxActive", "throttles", "nodeFaults",
                       "utilPermil", "ok"}});
+        // wflow v1: workflow-scenario summaries (workflow.hh). The
+        // critN slots memoise per-stage critical-path permil shares
+        // for the first kMaxCritSlots stages (unused slots store 0).
+        {
+            RowSchema wf{"wflow", 1,
+                         {"invocations", "succeeded", "failedWf", "sheds",
+                          "throttles", "retries", "crashes", "timeouts",
+                          "coldFails", "corruptRestores", "stragglers",
+                          "breakerOpens", "nodeFaults", "coldStarts",
+                          "warmHits", "evictions", "stages", "tasks",
+                          "p50Ns", "p90Ns", "p99Ns", "p999Ns", "maxNs",
+                          "throughputMrps", "histoFp", "goodP50Ns",
+                          "goodP99Ns", "errP99Ns", "goodFp", "critFp",
+                          "xferLocal", "xferRemote", "xferLocalBytes",
+                          "xferRemoteBytes", "xferNs", "nodes", "policy",
+                          "maxActive", "utilPermil", "ok"}};
+            for (unsigned k = 0; k < 12; ++k)
+                wf.fields.push_back("crit" + std::to_string(k));
+            s.push_back(std::move(wf));
+        }
         return s;
     }();
     for (const RowSchema &schema : schemas)
@@ -631,6 +651,19 @@ ResultCache::loadKey(const ClusterConfig &cfg,
     os << isaName(cfg.system.isa) << "," << db::dbKindName(cfg.dbKind)
        << "," << (cfg.startDb ? 1 : 0) << (cfg.startMemcached ? 1 : 0)
        << "," << scenario << ",load";
+    return os.str();
+}
+
+std::string
+ResultCache::workflowKey(const ClusterConfig &cfg,
+                         const std::string &scenario) const
+{
+    svb_assert(scenario.find_first_of(",|=") == std::string::npos,
+               "scenario name contains a CSV metacharacter");
+    std::ostringstream os;
+    os << isaName(cfg.system.isa) << "," << db::dbKindName(cfg.dbKind)
+       << "," << (cfg.startDb ? 1 : 0) << (cfg.startMemcached ? 1 : 0)
+       << "," << scenario << ",wflow";
     return os.str();
 }
 

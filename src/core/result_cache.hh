@@ -13,7 +13,7 @@
  * output never lands at the repo root).
  *
  * Row modes and schemas: each row's key ends in a mode tag ("o3",
- * "emu", "ldcal", "load") and each mode is described by a RowSchema
+ * "emu", "ldcal", "load", "wflow") and each mode is described by a RowSchema
  * descriptor (tag, version, field set) — the single source of truth
  * for the "v" version stamp and for completeness validation. Loading
  * a row whose mode is unknown or whose version does not match warns
@@ -56,7 +56,7 @@ namespace svb
  */
 struct RowSchema
 {
-    const char *mode;   ///< key tag: "o3", "emu", "ldcal", "load"
+    const char *mode;   ///< key tag: "o3", "emu", "ldcal", "load", "wflow"
     uint64_t version;   ///< current generation, stored as "v"
     std::vector<std::string> fields; ///< data fields (excluding "v")
 
@@ -194,6 +194,15 @@ class ResultCache
     /** Store a load-scenario summary row (schema-checked). */
     void recordLoadRow(const std::string &key,
                        const std::map<std::string, uint64_t> &fields);
+
+    // --- workflow-scenario summary rows (mode "wflow") -------------------
+    // The workflow engine (load/workflow.hh) owns the field semantics;
+    // rows travel through the generic lookupRow()/recordRow() pair.
+
+    /** Key of a workflow-scenario row. @p scenario must not contain
+     *  the CSV metacharacters ',', '|' or '='. */
+    std::string workflowKey(const ClusterConfig &cfg,
+                            const std::string &scenario) const;
 
     /** Forget everything (and remove the backing file). */
     void clear();

@@ -1,0 +1,193 @@
+#include "dag.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "sim/logging.hh"
+
+namespace svb::load
+{
+
+const char *
+stagePlacementName(StagePlacement placement)
+{
+    switch (placement) {
+      case StagePlacement::Inherit: return "inherit";
+      case StagePlacement::PayloadAffinity: return "payload-affinity";
+    }
+    return "?";
+}
+
+void
+WorkflowSpec::validate(size_t num_fns) const
+{
+    if (stages.empty())
+        svb_fatal("workflow '", name, "': empty DAG (no stages)");
+
+    std::set<std::string> names;
+    for (const StageSpec &st : stages) {
+        if (st.name.empty())
+            svb_fatal("workflow '", name, "': stage with an empty name");
+        if (st.name.find_first_of(",|=") != std::string::npos)
+            svb_fatal("workflow '", name, "': stage name '", st.name,
+                      "' contains a cache metacharacter (',', '|' or '=')");
+        if (!names.insert(st.name).second)
+            svb_fatal("workflow '", name, "': duplicate stage name '",
+                      st.name, "'");
+        if (st.parallelism == 0)
+            svb_fatal("workflow '", name, "': stage '", st.name,
+                      "' has zero parallelism");
+        if (st.fn >= num_fns)
+            svb_fatal("workflow '", name, "': stage '", st.name,
+                      "' names unknown function index ", st.fn, " (have ",
+                      num_fns, ")");
+    }
+
+    std::set<std::pair<unsigned, unsigned>> seen;
+    for (const auto &[from, to] : edges) {
+        if (from >= stages.size() || to >= stages.size())
+            svb_fatal("workflow '", name, "': edge ", from, "->", to,
+                      " names an unknown stage (have ", stages.size(),
+                      " stages)");
+        if (from == to)
+            svb_fatal("workflow '", name, "': self-edge on stage '",
+                      stages[from].name, "'");
+        if (!seen.insert({from, to}).second)
+            svb_fatal("workflow '", name, "': duplicate edge ",
+                      stages[from].name, "->", stages[to].name);
+    }
+
+    // Cycle detection rides on the topological sort below; a spec
+    // that fails to order every stage is cyclic.
+    topoOrder(*this);
+}
+
+uint64_t
+WorkflowSpec::totalTasks() const
+{
+    uint64_t n = 0;
+    for (const StageSpec &st : stages)
+        n += st.parallelism;
+    return n;
+}
+
+std::vector<std::vector<unsigned>>
+stagePredecessors(const WorkflowSpec &spec)
+{
+    std::vector<std::vector<unsigned>> preds(spec.stages.size());
+    for (const auto &[from, to] : spec.edges)
+        preds[to].push_back(from);
+    for (std::vector<unsigned> &p : preds)
+        std::sort(p.begin(), p.end());
+    return preds;
+}
+
+std::vector<std::vector<unsigned>>
+stageSuccessors(const WorkflowSpec &spec)
+{
+    std::vector<std::vector<unsigned>> succs(spec.stages.size());
+    for (const auto &[from, to] : spec.edges)
+        succs[from].push_back(to);
+    for (std::vector<unsigned> &s : succs)
+        std::sort(s.begin(), s.end());
+    return succs;
+}
+
+std::vector<unsigned>
+topoOrder(const WorkflowSpec &spec)
+{
+    std::vector<unsigned> indeg(spec.stages.size(), 0);
+    for (const auto &edge : spec.edges)
+        ++indeg[edge.second];
+
+    // Kahn's algorithm with an ordered ready set: the emitted order
+    // is a pure function of the spec, independent of edge order.
+    std::set<unsigned> ready;
+    for (unsigned i = 0; i < spec.stages.size(); ++i) {
+        if (indeg[i] == 0)
+            ready.insert(i);
+    }
+    const auto succs = stageSuccessors(spec);
+    std::vector<unsigned> order;
+    order.reserve(spec.stages.size());
+    while (!ready.empty()) {
+        const unsigned s = *ready.begin();
+        ready.erase(ready.begin());
+        order.push_back(s);
+        for (const unsigned t : succs[s]) {
+            if (--indeg[t] == 0)
+                ready.insert(t);
+        }
+    }
+    if (order.size() != spec.stages.size())
+        svb_fatal("workflow '", spec.name, "': cycle through ",
+                  spec.stages.size() - order.size(), " stage(s)");
+    return order;
+}
+
+namespace
+{
+
+uint32_t
+fnAt(const std::vector<uint32_t> &fns, size_t i)
+{
+    svb_assert(!fns.empty(), "workflow shape with no functions");
+    return fns[i % fns.size()];
+}
+
+} // namespace
+
+WorkflowSpec
+chainSpec(const std::string &name, unsigned length,
+          const std::vector<uint32_t> &fns, uint64_t payload_bytes)
+{
+    svb_assert(length >= 1, "chain needs at least one stage");
+    WorkflowSpec spec;
+    spec.name = name;
+    for (unsigned i = 0; i < length; ++i) {
+        spec.stages.push_back({"s" + std::to_string(i), fnAt(fns, i), 1,
+                               payload_bytes, StagePlacement::Inherit});
+        if (i > 0)
+            spec.edges.push_back({i - 1, i});
+    }
+    return spec;
+}
+
+WorkflowSpec
+fanOutSpec(const std::string &name, unsigned width,
+           const std::vector<uint32_t> &fns, uint64_t payload_bytes)
+{
+    svb_assert(width >= 1, "fan-out needs at least one worker");
+    WorkflowSpec spec;
+    spec.name = name;
+    spec.stages.push_back({"split", fnAt(fns, 0), 1, payload_bytes,
+                           StagePlacement::Inherit});
+    spec.stages.push_back({"work", fnAt(fns, 1), width, payload_bytes,
+                           StagePlacement::Inherit});
+    spec.stages.push_back({"join", fnAt(fns, 2), 1, payload_bytes,
+                           StagePlacement::Inherit});
+    spec.edges = {{0, 1}, {1, 2}};
+    return spec;
+}
+
+WorkflowSpec
+mapReduceSpec(const std::string &name, unsigned mappers, unsigned reducers,
+              const std::vector<uint32_t> &fns, uint64_t payload_bytes)
+{
+    svb_assert(mappers >= 1 && reducers >= 1,
+               "map-reduce needs at least one mapper and one reducer");
+    WorkflowSpec spec;
+    spec.name = name;
+    spec.stages.push_back({"ingest", fnAt(fns, 0), 1, payload_bytes,
+                           StagePlacement::Inherit});
+    spec.stages.push_back({"map", fnAt(fns, 1), mappers, payload_bytes,
+                           StagePlacement::Inherit});
+    spec.stages.push_back({"reduce", fnAt(fns, 2), reducers,
+                           payload_bytes, StagePlacement::Inherit});
+    spec.stages.push_back({"merge", fnAt(fns, 3), 1, payload_bytes,
+                           StagePlacement::Inherit});
+    spec.edges = {{0, 1}, {1, 2}, {2, 3}};
+    return spec;
+}
+
+} // namespace svb::load

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Workflow DAG model for the invocation-load subsystem.
+ *
+ * Production serverless traffic is dominated by *compositions* of
+ * functions — chains, fan-out/fan-in and map-reduce pipelines — and
+ * SeBS-Flow (PAPERS.md) shows end-to-end workflow latency is governed
+ * by inter-function transfer and stage scheduling, not just per-stage
+ * service time. This header is the shape layer of that extension: a
+ * WorkflowSpec is a DAG of stages, each naming a calibrated function,
+ * a parallelism degree (fan-out / map stages spawn that many tasks)
+ * and the payload each task hands to every consumer task downstream.
+ *
+ * The graph is validated eagerly and loudly: empty DAGs, duplicate
+ * stage names, edges naming unknown stages, self-edges, duplicate
+ * edges and cycles are all configuration errors (svb_fatal with a
+ * named message), never silent misbehaviour inside the engine.
+ *
+ * Everything here is plain data plus pure graph algorithms; the
+ * engine that schedules a WorkflowSpec onto the fleet lives in
+ * workflow.hh.
+ */
+
+#ifndef SVB_LOAD_DAG_HH
+#define SVB_LOAD_DAG_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace svb::load
+{
+
+/** How a stage's tasks are placed onto the fleet. */
+enum class StagePlacement
+{
+    /** Use the scenario fleet's routing policy unchanged. */
+    Inherit,
+    /** Co-locate each task with the node of its largest-payload
+     *  producer task (warm-cache hand-off instead of a cross-node
+     *  copy); falls back to the fleet policy when that node is not
+     *  routable or the stage has no producers. */
+    PayloadAffinity,
+};
+
+const char *stagePlacementName(StagePlacement placement);
+
+/** One stage of a workflow. */
+struct StageSpec
+{
+    /** Stage label; must be unique within the spec and free of the
+     *  result-cache metacharacters (',', '|', '='). */
+    std::string name;
+    /** Index into the scenario's calibrated function list. */
+    uint32_t fn = 0;
+    /** Tasks spawned when the stage fires (fan-out / map width). */
+    unsigned parallelism = 1;
+    /** Bytes each task of this stage hands to EACH task of every
+     *  consumer stage (the inter-stage transfer the engine prices). */
+    uint64_t payloadBytes = 0;
+    /** Placement of this stage's tasks. */
+    StagePlacement placement = StagePlacement::Inherit;
+};
+
+/**
+ * A workflow: stages plus producer->consumer edges between them.
+ *
+ * Task-level dataflow is all-to-all across an edge: every task of the
+ * producer stage feeds every task of the consumer stage (the shuffle
+ * of a map-reduce, the gather of a fan-in). A consumer task becomes
+ * ready only when every task of every producer stage has completed.
+ */
+struct WorkflowSpec
+{
+    std::string name;
+    std::vector<StageSpec> stages;
+    /** (producer stage index, consumer stage index) pairs. */
+    std::vector<std::pair<unsigned, unsigned>> edges;
+
+    /**
+     * Reject malformed specs with a named fatal error: empty DAG,
+     * duplicate or metacharacter-bearing stage names, zero
+     * parallelism, function index >= @p num_fns, edges naming
+     * unknown stages, self-edges, duplicate edges, cycles.
+     */
+    void validate(size_t num_fns) const;
+
+    /** Total tasks one workflow instance executes. */
+    uint64_t totalTasks() const;
+};
+
+/**
+ * Deterministic topological order of @p spec's stages: Kahn's
+ * algorithm, always consuming the smallest ready stage index first.
+ * Calls validate-grade cycle detection implicitly — a cyclic spec is
+ * a fatal error here too.
+ */
+std::vector<unsigned> topoOrder(const WorkflowSpec &spec);
+
+/** Predecessor stage lists, indexed by consumer stage. */
+std::vector<std::vector<unsigned>> stagePredecessors(const WorkflowSpec &spec);
+
+/** Successor stage lists, indexed by producer stage. */
+std::vector<std::vector<unsigned>> stageSuccessors(const WorkflowSpec &spec);
+
+// --- canonical shapes -----------------------------------------------------
+// The three workflow families the SeBS-Flow literature benchmarks,
+// parameterised over the scenario's function list. @p fns is cycled
+// when shorter than the stage count.
+
+/** length-stage linear chain: s0 -> s1 -> ... */
+WorkflowSpec chainSpec(const std::string &name, unsigned length,
+                       const std::vector<uint32_t> &fns,
+                       uint64_t payload_bytes);
+
+/** split -> width parallel workers -> join. */
+WorkflowSpec fanOutSpec(const std::string &name, unsigned width,
+                        const std::vector<uint32_t> &fns,
+                        uint64_t payload_bytes);
+
+/** ingest -> map (mappers wide) -> reduce (reducers wide) -> merge,
+ *  with the all-to-all map->reduce shuffle edge. */
+WorkflowSpec mapReduceSpec(const std::string &name, unsigned mappers,
+                           unsigned reducers,
+                           const std::vector<uint32_t> &fns,
+                           uint64_t payload_bytes);
+
+} // namespace svb::load
+
+#endif // SVB_LOAD_DAG_HH

@@ -222,7 +222,8 @@ Fleet::ensureCapacity(uint64_t now_ns)
 }
 
 Fleet::Route
-Fleet::route(uint32_t fn, uint64_t now_ns, Rng &rng)
+Fleet::route(uint32_t fn, uint64_t now_ns, Rng &rng,
+             unsigned preferred_node)
 {
     advance(now_ns);
 
@@ -240,6 +241,12 @@ Fleet::route(uint32_t fn, uint64_t now_ns, Rng &rng)
     }
     if (cands.empty())
         return {badNode, ensureCapacity(now_ns), false};
+
+    // A routable placement hint short-circuits the policy without
+    // touching the routing substream (the caller's affinity decision
+    // must not shift the draws of unrelated attempts).
+    if (preferred_node < nodes.size() && routable(preferred_node, now_ns))
+        return {preferred_node, 0, false};
 
     // One routable node: every policy picks it, and no randomness is
     // drawn — the single-node byte-identity contract.

@@ -164,8 +164,17 @@ class Fleet
      * function @p fn. @p rng is the dedicated routing substream; it
      * is only drawn from when the policy is randomised AND more than
      * one node is routable.
+     *
+     * @p preferred_node (badNode = none) is a placement hint from the
+     * caller — the workflow engine's payload-affinity policy names
+     * the producer's node here. A routable preferred node is chosen
+     * directly, with no policy evaluation and no routing draws (the
+     * hint must not perturb the routing substream of co-scheduled
+     * attempts); an unroutable one falls back to the configured
+     * policy. Throttling applies either way.
      */
-    Route route(uint32_t fn, uint64_t now_ns, Rng &rng);
+    Route route(uint32_t fn, uint64_t now_ns, Rng &rng,
+                unsigned preferred_node = badNode);
 
     /** The instance pool of @p node. */
     InstancePool &pool(unsigned node);

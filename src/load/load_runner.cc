@@ -100,18 +100,6 @@ unpackLoadResult(const std::string &scenario,
     return res;
 }
 
-/** Enforce the documented LoadScenario::name contract: the name is a
- *  CSV row-key component, so the cache metacharacters would silently
- *  corrupt build/svbench_results.csv rows. */
-void
-validateScenarioName(const std::string &name)
-{
-    svb_assert(!name.empty(), "load scenario with an empty name");
-    svb_assert(name.find_first_of(",|=") == std::string::npos,
-               "load scenario name '", name,
-               "' contains a cache metacharacter (',', '|' or '=')");
-}
-
 /** Client-visible outcome of one attempt. */
 enum class AttemptOutcome
 {
@@ -187,19 +175,20 @@ simulateStream(const LoadScenario &s,
     res.nodes = s.fleet.nodes;
     res.policyId = uint64_t(s.fleet.routing);
 
+    // Substream ids come from the StreamId claim table (load_runner.hh).
     const Rng master(s.seed);
-    ArrivalProcess arrivals(s.arrival, master.split(0));
-    Rng mixRng = master.split(1);
-    Rng warmRng = master.split(2);
+    ArrivalProcess arrivals(s.arrival, master.split(kStreamArrival));
+    Rng mixRng = master.split(kStreamMix);
+    Rng warmRng = master.split(kStreamWarm);
     // Fault and retry randomness lives on streams of its own: runs
     // with faults disabled never touch them, and enabling faults
     // never perturbs the arrival / mix / warm-sample sequences.
-    FaultInjector faults(s.fault, master.split(3));
-    Rng retryRng = master.split(4);
+    FaultInjector faults(s.fault, master.split(kStreamFault));
+    Rng retryRng = master.split(kStreamRetry);
     // Routing randomness gets the same treatment, and the scheduler
     // never draws when only one node is routable — the default
     // single-node fleet replays the exact pre-fleet byte stream.
-    Rng routeRng = master.split(5);
+    Rng routeRng = master.split(kStreamRoute);
     Fleet fleet(s.fleet, s.pool, unsigned(s.mix.size()));
     const bool fleetOn = s.fleet.engaged();
     std::vector<CircuitBreaker> breakers(s.mix.size(),
@@ -643,6 +632,15 @@ simulateStream(const LoadScenario &s,
 }
 
 } // namespace
+
+void
+validateScenarioName(const std::string &name)
+{
+    svb_assert(!name.empty(), "load scenario with an empty name");
+    svb_assert(name.find_first_of(",|=") == std::string::npos,
+               "load scenario name '", name,
+               "' contains a cache metacharacter (',', '|' or '=')");
+}
 
 double
 safeRatePerSec(uint64_t events, uint64_t span_ns)

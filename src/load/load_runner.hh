@@ -66,6 +66,48 @@
 namespace svb::load
 {
 
+/**
+ * Registry of the Rng::split substream ids claimed off a scenario's
+ * master seed (LoadScenario::seed / WorkflowScenario::seed).
+ *
+ * Every engine on the load timeline derives ALL of its randomness
+ * from `Rng master(seed)` via `master.split(id)`, one dedicated id
+ * per concern, so enabling one subsystem can never perturb another's
+ * draw sequence (the byte-identity contracts depend on it). This
+ * enum is the single claim table — add new subsystems HERE so two
+ * engines can't silently collide on a stream id:
+ *
+ *   id | claimed by      | drawn for
+ *   ---+-----------------+------------------------------------------
+ *    0 | arrival.hh      | arrival-process inter-arrival times
+ *    1 | load_runner.cc  | traffic-mix function choice per invocation
+ *    2 | load_runner.cc / workflow.cc | warm-path service samples
+ *    3 | fault.hh        | fault-injection dice (per attempt)
+ *    4 | load_runner.cc / workflow.cc | retry-backoff jitter
+ *    5 | fleet.hh        | routing draws (random / power-of-two)
+ *    6 | workflow.cc     | workflow engine (reserved for randomised
+ *      |                 | per-stage placement; the current policies
+ *      |                 | draw nothing from it)
+ */
+enum StreamId : uint64_t
+{
+    kStreamArrival = 0,
+    kStreamMix = 1,
+    kStreamWarm = 2,
+    kStreamFault = 3,
+    kStreamRetry = 4,
+    kStreamRoute = 5,
+    kStreamWorkflow = 6,
+};
+
+/**
+ * Enforce the scenario-name contract shared by LoadScenario and
+ * WorkflowScenario: the name is a CSV row-key component, so the
+ * cache metacharacters (',', '|', '=') would silently corrupt
+ * build/svbench_results.csv rows. Fatal on violation.
+ */
+void validateScenarioName(const std::string &name);
+
 /** One function of a scenario's traffic mix. */
 struct LoadMixEntry
 {

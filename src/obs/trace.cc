@@ -66,7 +66,20 @@ Tracer::record(TrackId track_id, const std::string &name,
     if (!enabled() || track_id == badTrack)
         return;
     std::lock_guard<std::mutex> lk(mtx);
-    tracks.at(size_t(track_id)).events.push_back({name, cat, start, dur});
+    tracks.at(size_t(track_id)).events.push_back(
+        {name, cat, start, dur, {}});
+}
+
+void
+Tracer::record(TrackId track_id, const std::string &name,
+               const std::string &cat, uint64_t start, uint64_t dur,
+               std::vector<std::pair<std::string, std::string>> args)
+{
+    if (!enabled() || track_id == badTrack)
+        return;
+    std::lock_guard<std::mutex> lk(mtx);
+    tracks.at(size_t(track_id))
+        .events.push_back({name, cat, start, dur, std::move(args)});
 }
 
 namespace
@@ -130,8 +143,24 @@ Tracer::render(std::ostream &os) const
             os << ",\"cat\":";
             writeJsonString(os, ev.cat);
             os << ",\"ph\":\"X\",\"ts\":" << ev.start
-               << ",\"dur\":" << ev.dur << ",\"pid\":0,\"tid\":" << tid
-               << "}";
+               << ",\"dur\":" << ev.dur << ",\"pid\":0,\"tid\":" << tid;
+            // Args only render when present, so spans without them
+            // keep their pre-args byte layout (the goldens in
+            // tests/test_obs.cc pin it).
+            if (!ev.args.empty()) {
+                os << ",\"args\":{";
+                bool firstArg = true;
+                for (const auto &[k, v] : ev.args) {
+                    if (!firstArg)
+                        os << ",";
+                    firstArg = false;
+                    writeJsonString(os, k);
+                    os << ":";
+                    writeJsonString(os, v);
+                }
+                os << "}";
+            }
+            os << "}";
         }
     }
     os << "\n],\"displayTimeUnit\":\"ns\"}\n";

@@ -29,6 +29,7 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace svb::obs
@@ -45,6 +46,11 @@ struct TraceEvent
     std::string cat;  ///< phase taxonomy: "phase", "request", "queue"...
     uint64_t start = 0; ///< simulated start time (track time unit)
     uint64_t dur = 0;   ///< simulated duration (track time unit)
+    /** Optional key-value annotations, rendered as the span's "args"
+     *  object (viewers show them in the selection pane). Left empty
+     *  (the common case) the span renders exactly as it did before
+     *  args existed — the byte-identity goldens depend on that. */
+    std::vector<std::pair<std::string, std::string>> args;
 };
 
 /**
@@ -76,6 +82,12 @@ class Tracer
     /** Append a completed span to @p track; no-op when disabled. */
     void record(TrackId track, const std::string &name,
                 const std::string &cat, uint64_t start, uint64_t dur);
+
+    /** Append a completed span carrying key-value args (rendered as
+     *  the trace-event "args" object); no-op when disabled. */
+    void record(TrackId track, const std::string &name,
+                const std::string &cat, uint64_t start, uint64_t dur,
+                std::vector<std::pair<std::string, std::string>> args);
 
     /** Serialise every track as Chrome trace-event JSON. */
     void render(std::ostream &os) const;

@@ -47,6 +47,14 @@ class Rng
      * drawn from this generator, nor on which thread calls it. Work
      * split across SVBENCH_JOBS workers therefore sees identical
      * substreams regardless of worker count or scheduling order.
+     *
+     * Stream ids are a shared namespace per master generator: two
+     * subsystems splitting the same master with the same id would
+     * silently replay each other's draws. Any engine splitting a
+     * scenario's master seed must claim its id in the StreamId
+     * registry table in load/load_runner.hh (arrival=0, mix=1,
+     * warm=2, fault=3, retry=4, fleet routing=5, workflow=6) instead
+     * of hard-coding a literal.
      */
     Rng split(uint64_t stream_id) const;
 
