@@ -8,9 +8,8 @@
  * instruction count of the lean RISC-V software stack.
  */
 
-#include <cstdlib>
-
 #include "bench_common.hh"
+#include "bench_env.hh"
 
 using namespace svb;
 
@@ -73,7 +72,7 @@ main()
 
     // Opt-in extra panel (off by default so the figure output above
     // stays byte-identical): per-request stall-cause attribution.
-    if (std::getenv("SVBENCH_STALLS") != nullptr) {
+    if (benchenv::flag("SVBENCH_STALLS")) {
         report::figureHeader("Stall panel",
                              "O3 stall-cause breakdown, cold + warm, "
                              "RISC-V vs x86 (percent of cycles)",

@@ -13,7 +13,11 @@
  * companion tables exercise the rest of the fleet machinery: the
  * goodput/error split when one node of four crashes mid-run (retries
  * drain onto the survivors), and the reactive autoscaler riding a
- * bursty arrival process from one active node to its ceiling.
+ * bursty arrival process from one active node to its ceiling. A
+ * fourth sweep builds class-structured fleets (FleetSpec) — all
+ * RISC-V, all x86 at 2 GHz, and a 2+2 mixed-ISA cluster — and
+ * reports capacity, capacity-per-watt and capacity-per-dollar under
+ * the class-aware cost/power routing policies.
  *
  * Deterministic: routing draws come from a dedicated seed-derived
  * substream (and the least-loaded default draws nothing), so every
@@ -25,7 +29,9 @@
 #include <sstream>
 
 #include "bench_common.hh"
+#include "bench_env.hh"
 #include "load/load_runner.hh"
+#include "load/names.hh"
 
 using namespace svb;
 
@@ -279,6 +285,118 @@ main()
                       rows);
     }
 
+    // --- Sweep 4: node-class fleets — mixed RISC-V + x86 ----------------
+    // The figure the paper doesn't have: capacity AND capacity-per-watt
+    // for class-structured fleets (load/fleet.hh FleetSpec). Each class
+    // carries its own calibrated service model — the x86 class is
+    // clocked at 2 GHz, so its nodes really are faster per request —
+    // plus cost/power weights sized like a small RISC-V SBC (~4 W,
+    // cheap) vs a server-class x86 host (~18 W, 3x the hourly price).
+    // The homogeneous fleets bracket the 2+2 mix, and the class-aware
+    // policies (cost / power argmin; draw-free) show what routing on
+    // the weights does to throughput-per-watt.
+    load::NodeClass rvClass =
+        load::NodeClass::forIsa("rv64sbc", IsaId::Riscv);
+    rvClass.costPerHour = 1.0;
+    rvClass.watts = 4.0;
+    load::NodeClass x86Class =
+        load::NodeClass::forIsa("x86srv", IsaId::Cx86);
+    x86Class.system.clockMHz = 2000;
+    x86Class.costPerHour = 3.0;
+    x86Class.watts = 18.0;
+
+    struct FleetMix {
+        const char *name;
+        load::FleetSpec spec;
+    };
+    std::vector<FleetMix> fleets(3);
+    fleets[0].name = "rv4";
+    fleets[0].spec.groups = {{rvClass, 4}};
+    fleets[1].name = "x864";
+    fleets[1].spec.groups = {{x86Class, 4}};
+    fleets[2].name = "rv2x862";
+    fleets[2].spec.groups = {{rvClass, 2}, {x86Class, 2}};
+
+    // Routing policies under test, overridable from the environment
+    // (e.g. SVBENCH_FLEET_POLICIES=least-loaded,p2c,cost). Parsed
+    // through the shared name round-trip, so the accepted names are
+    // exactly the ones the tables print.
+    std::vector<load::RoutingPolicy> classPolicies;
+    for (const std::string &tok : benchenv::tokenList(
+             "SVBENCH_FLEET_POLICIES", "least-loaded,cost,power")) {
+        load::RoutingPolicy pol;
+        if (!load::parseRoutingPolicy(tok, pol))
+            svb_panic("SVBENCH_FLEET_POLICIES: unknown routing policy '",
+                      tok, "'");
+        classPolicies.push_back(pol);
+    }
+
+    std::vector<load::LoadScenario> mixScenarios;
+    for (const FleetMix &fm : fleets) {
+        for (load::RoutingPolicy pol : classPolicies) {
+            for (double rate : rates) {
+                // The base cluster is the row-key platform; per-class
+                // calibrations ride their own class-tagged rows.
+                load::LoadScenario s = baseScenario(IsaId::Riscv);
+                std::ostringstream name;
+                name << "go-mix3;fleetmix;" << fm.name << ";"
+                     << load::routingPolicyName(pol) << ";rate"
+                     << unsigned(rate) << ";n1000;seed53";
+                s.name = name.str();
+                s.arrival.ratePerSec = rate;
+                s.fleet.spec = fm.spec;
+                s.fleet.routing = pol;
+                mixScenarios.push_back(std::move(s));
+            }
+        }
+    }
+    const std::vector<load::LoadResult> mixResults =
+        load::loadSweep(cache, mixScenarios);
+
+    report::figureHeader(
+        "Fleet extension",
+        "node-class fleets: capacity and capacity-per-watt, all-RISC-V "
+        "vs all-x86 (2 GHz) vs 2+2 mixed, class-aware routing "
+        "(Poisson, 3-function Go mix, 2 slots/node, 1000 invocations; "
+        "common SLO = 5x the unloaded p50 of the all-RISC-V fleet)",
+        {SystemConfig::paperConfig(IsaId::Riscv),
+         SystemConfig::paperConfig(IsaId::Cx86)});
+    {
+        // One SLO bar for every fleet — capacity-per-watt is only
+        // comparable against a common latency target. Anchored at the
+        // all-RISC-V fleet's first-policy lowest-rate point.
+        const uint64_t mixSloNs = 5 * mixResults[0].goodP50Ns;
+        std::vector<report::Row> rows;
+        for (size_t fIdx = 0; fIdx < fleets.size(); ++fIdx) {
+            for (size_t pIdx = 0; pIdx < classPolicies.size(); ++pIdx) {
+                const size_t base =
+                    (fIdx * classPolicies.size() + pIdx) * rates.size();
+                size_t cap = 0;
+                for (size_t r = 0; r < rates.size(); ++r) {
+                    if (mixResults[base + r].goodP99Ns <= mixSloNs)
+                        cap = r;
+                }
+                const load::LoadResult &at = mixResults[base + cap];
+                const double watts = double(at.fleetPowerMw) / 1000.0;
+                const double dollarsPerHour =
+                    double(at.fleetCostMilli) / 1000.0;
+                std::ostringstream label;
+                label << fleets[fIdx].name << "/"
+                      << load::routingPolicyName(classPolicies[pIdx]);
+                rows.push_back(
+                    {label.str(),
+                     {rates[cap], watts, rates[cap] / watts,
+                      rates[cap] / dollarsPerHour,
+                      double(at.goodP99Ns) / 1000.0,
+                      100.0 * at.fleetUtilisation}});
+            }
+        }
+        report::table({"fleet/policy", "capacity rps", "fleet W",
+                       "rps per W", "rps per $/h", "good p99 us",
+                       "util %"},
+                      rows);
+    }
+
     // The determinism probe: per-scenario fingerprints over the full
     // and goodput-only distributions, independent of SVBENCH_JOBS.
     std::printf("\nDeterminism fingerprints (stable across SVBENCH_JOBS):\n");
@@ -292,5 +410,6 @@ main()
     printFps(results);
     printFps(crashResults);
     printFps(scaleResults);
+    printFps(mixResults);
     return 0;
 }

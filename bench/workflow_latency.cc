@@ -26,6 +26,7 @@
 #include <sstream>
 
 #include "bench_common.hh"
+#include "load/names.hh"
 #include "load/workflow.hh"
 
 using namespace svb;

@@ -77,6 +77,11 @@ CheckpointStore::fingerprint(const ClusterConfig &cfg,
     os << ";dram=" << sys.dram.numBanks << "/" << sys.dram.rowBytes;
     os << ";db=" << db::dbKindName(cfg.dbKind) << "/" << cfg.startDb
        << cfg.startMemcached;
+    // Node-class calibration platforms carry their class tag, so two
+    // classes sharing every geometry above still checkpoint apart;
+    // untagged clusters keep the legacy fingerprint byte-for-byte.
+    if (!cfg.classTag.empty())
+        os << ";class=" << cfg.classTag;
     os << ";fn=";
     appendSpec(os, spec);
     if (interferer != nullptr) {

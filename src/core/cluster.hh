@@ -34,6 +34,14 @@ struct ClusterConfig
     bool startMemcached = true;
     /** Upper bound for any single run phase (cycles). */
     uint64_t phaseCycleLimit = 400'000'000;
+    /** Node-class tag (load::NodeClass name) when this cluster is the
+     *  calibration platform of one fleet class; empty for the plain
+     *  per-ISA platform. Non-empty tags namespace result-cache keys
+     *  and checkpoint fingerprints as "<isa>@<tag>", so two classes
+     *  sharing an ISA but differing in clock or cache budget never
+     *  share calibration rows. Must be free of the result-cache
+     *  metacharacters (',', '|', '='). */
+    std::string classTag;
 };
 
 /**

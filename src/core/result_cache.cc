@@ -38,6 +38,27 @@ modeOfKey(const std::string &key)
     return comma == std::string::npos ? "" : key.substr(comma + 1);
 }
 
+/**
+ * The platform component of a row/runner key: the ISA name, plus
+ * "@<classTag>" when the cluster is the calibration platform of one
+ * fleet node class (cluster.hh). The tag keeps two classes that share
+ * an ISA but differ in clock or cache budget from ever sharing rows,
+ * runners or checkpoints; untagged clusters keep the plain per-ISA
+ * keys byte-for-byte.
+ */
+std::string
+platformTag(const ClusterConfig &cfg)
+{
+    std::string tag = isaName(cfg.system.isa);
+    if (!cfg.classTag.empty()) {
+        svb_assert(cfg.classTag.find_first_of(",|=") == std::string::npos,
+                   "cluster classTag contains a CSV metacharacter");
+        tag += "@";
+        tag += cfg.classTag;
+    }
+    return tag;
+}
+
 } // namespace
 
 /**
@@ -67,11 +88,12 @@ RowSchema::find(const std::string &mode)
             ld.fields.push_back("ok");
             s.push_back(std::move(ld));
         }
-        // load v3: v1 predates the resilience fields (availability,
+        // load v4: v1 predates the resilience fields (availability,
         // retry/fault counters, goodput/error percentiles), v2 the
         // fleet fields (node count, routing policy, autoscaler peak,
-        // throttles, node faults, utilisation).
-        s.push_back({"load", 3,
+        // throttles, node faults, utilisation), v3 the node-class
+        // fields (class count, provisioned fleet power/cost weights).
+        s.push_back({"load", 4,
                      {"invocations", "coldStarts", "warmHits", "evictions",
                       "p50Ns", "p90Ns", "p99Ns", "p999Ns", "maxNs",
                       "throughputMrps", "histoFp", "succeeded",
@@ -80,12 +102,15 @@ RowSchema::find(const std::string &mode)
                       "stragglers", "breakerOpens", "goodP50Ns",
                       "goodP99Ns", "errP99Ns", "goodFp", "nodes",
                       "policy", "maxActive", "throttles", "nodeFaults",
-                      "utilPermil", "ok"}});
-        // wflow v1: workflow-scenario summaries (workflow.hh). The
-        // critN slots memoise per-stage critical-path permil shares
-        // for the first kMaxCritSlots stages (unused slots store 0).
+                      "utilPermil", "classes", "powerMw", "costMilli",
+                      "ok"}});
+        // wflow v2: workflow-scenario summaries (workflow.hh); v1
+        // predates the node-class fields (classes/powerMw/costMilli)
+        // and the placement-hint hit/miss counters. The critN slots
+        // memoise per-stage critical-path permil shares for the first
+        // kMaxCritSlots stages (unused slots store 0).
         {
-            RowSchema wf{"wflow", 1,
+            RowSchema wf{"wflow", 2,
                          {"invocations", "succeeded", "failedWf", "sheds",
                           "throttles", "retries", "crashes", "timeouts",
                           "coldFails", "corruptRestores", "stragglers",
@@ -96,7 +121,8 @@ RowSchema::find(const std::string &mode)
                           "goodP99Ns", "errP99Ns", "goodFp", "critFp",
                           "xferLocal", "xferRemote", "xferLocalBytes",
                           "xferRemoteBytes", "xferNs", "nodes", "policy",
-                          "maxActive", "utilPermil", "ok"}};
+                          "maxActive", "utilPermil", "classes", "powerMw",
+                          "costMilli", "prefHits", "prefMisses", "ok"}};
             for (unsigned k = 0; k < 12; ++k)
                 wf.fields.push_back("crit" + std::to_string(k));
             s.push_back(std::move(wf));
@@ -421,9 +447,9 @@ ResultCache::keyOf(const ClusterConfig &cfg, const FunctionSpec &spec,
                    const std::string &mode) const
 {
     std::ostringstream os;
-    os << isaName(cfg.system.isa) << "," << db::dbKindName(cfg.dbKind)
-       << "," << (cfg.startDb ? 1 : 0) << (cfg.startMemcached ? 1 : 0)
-       << "," << spec.name << "," << mode;
+    os << platformTag(cfg) << "," << db::dbKindName(cfg.dbKind) << ","
+       << (cfg.startDb ? 1 : 0) << (cfg.startMemcached ? 1 : 0) << ","
+       << spec.name << "," << mode;
     return os.str();
 }
 
@@ -449,8 +475,8 @@ ResultCache::runnerFor(const ClusterConfig &cfg)
     // driven from two threads. Within one thread it is reused across
     // functions, preserving the serial path's boot-once behaviour.
     std::ostringstream os;
-    os << isaName(cfg.system.isa) << "/" << db::dbKindName(cfg.dbKind)
-       << "/" << cfg.startDb << cfg.startMemcached << "/tid"
+    os << platformTag(cfg) << "/" << db::dbKindName(cfg.dbKind) << "/"
+       << cfg.startDb << cfg.startMemcached << "/tid"
        << std::hash<std::thread::id>{}(std::this_thread::get_id());
     const std::string key = os.str();
 
@@ -648,9 +674,9 @@ ResultCache::loadKey(const ClusterConfig &cfg,
     svb_assert(scenario.find_first_of(",|=") == std::string::npos,
                "scenario name contains a CSV metacharacter");
     std::ostringstream os;
-    os << isaName(cfg.system.isa) << "," << db::dbKindName(cfg.dbKind)
-       << "," << (cfg.startDb ? 1 : 0) << (cfg.startMemcached ? 1 : 0)
-       << "," << scenario << ",load";
+    os << platformTag(cfg) << "," << db::dbKindName(cfg.dbKind) << ","
+       << (cfg.startDb ? 1 : 0) << (cfg.startMemcached ? 1 : 0) << ","
+       << scenario << ",load";
     return os.str();
 }
 
@@ -661,9 +687,9 @@ ResultCache::workflowKey(const ClusterConfig &cfg,
     svb_assert(scenario.find_first_of(",|=") == std::string::npos,
                "scenario name contains a CSV metacharacter");
     std::ostringstream os;
-    os << isaName(cfg.system.isa) << "," << db::dbKindName(cfg.dbKind)
-       << "," << (cfg.startDb ? 1 : 0) << (cfg.startMemcached ? 1 : 0)
-       << "," << scenario << ",wflow";
+    os << platformTag(cfg) << "," << db::dbKindName(cfg.dbKind) << ","
+       << (cfg.startDb ? 1 : 0) << (cfg.startMemcached ? 1 : 0) << ","
+       << scenario << ",wflow";
     return os.str();
 }
 

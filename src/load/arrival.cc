@@ -7,17 +7,6 @@
 namespace svb::load
 {
 
-const char *
-arrivalKindName(ArrivalKind kind)
-{
-    switch (kind) {
-      case ArrivalKind::Uniform: return "uniform";
-      case ArrivalKind::Poisson: return "poisson";
-      case ArrivalKind::Burst: return "burst";
-    }
-    return "?";
-}
-
 ArrivalProcess::ArrivalProcess(const ArrivalConfig &config, Rng rng_arg)
     : cfg(config), rng(rng_arg)
 {

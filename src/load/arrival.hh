@@ -34,8 +34,6 @@ enum class ArrivalKind
     Burst,   ///< square-wave modulated Poisson (on/off phases)
 };
 
-const char *arrivalKindName(ArrivalKind kind);
-
 /** Arrival-process parameters. */
 struct ArrivalConfig
 {

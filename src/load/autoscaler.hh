@@ -25,6 +25,13 @@
  * The class only computes *desired* counts; the Fleet (fleet.hh)
  * applies them — it owns the per-node idle/ready bookkeeping that
  * decides which concrete node to activate or retire.
+ *
+ * Class-structured fleets (fleet.hh FleetSpec) run one Autoscaler
+ * instance PER CLASS GROUP on a shared evaluation clock: each group
+ * is sized against its own in-flight demand (with this config's
+ * floor/ceiling applied per group), so a quiet class scales to zero
+ * while a loaded one holds capacity. A class-less fleet owns exactly
+ * one instance — the legacy whole-fleet loop.
  */
 
 #ifndef SVB_LOAD_AUTOSCALER_HH

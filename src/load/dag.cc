@@ -8,16 +8,6 @@
 namespace svb::load
 {
 
-const char *
-stagePlacementName(StagePlacement placement)
-{
-    switch (placement) {
-      case StagePlacement::Inherit: return "inherit";
-      case StagePlacement::PayloadAffinity: return "payload-affinity";
-    }
-    return "?";
-}
-
 void
 WorkflowSpec::validate(size_t num_fns) const
 {

@@ -44,8 +44,6 @@ enum class StagePlacement
     PayloadAffinity,
 };
 
-const char *stagePlacementName(StagePlacement placement);
-
 /** One stage of a workflow. */
 struct StageSpec
 {

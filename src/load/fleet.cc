@@ -1,33 +1,12 @@
 #include "fleet.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/logging.hh"
 
 namespace svb::load
 {
-
-const char *
-routingPolicyName(RoutingPolicy policy)
-{
-    switch (policy) {
-      case RoutingPolicy::LeastLoaded: return "least-loaded";
-      case RoutingPolicy::Random: return "random";
-      case RoutingPolicy::PowerOfTwo: return "p2c";
-      case RoutingPolicy::Affinity: return "affinity";
-    }
-    return "?";
-}
-
-const char *
-nodeFaultKindName(NodeFaultEvent::Kind kind)
-{
-    switch (kind) {
-      case NodeFaultEvent::Kind::Crash: return "crash";
-      case NodeFaultEvent::Kind::Partition: return "partition";
-    }
-    return "?";
-}
 
 namespace
 {
@@ -44,13 +23,59 @@ affinityHome(uint32_t fn, unsigned num_nodes)
     return unsigned(h % num_nodes);
 }
 
+void
+validateClass(const NodeClass &k)
+{
+    svb_assert(!k.name.empty(), "FleetSpec class with an empty name");
+    svb_assert(k.name.find_first_of(",|= \t") == std::string::npos,
+               "FleetSpec class name '", k.name,
+               "' contains a cache metacharacter or whitespace");
+    svb_assert(k.speedFactor > 0.0, "node class '", k.name,
+               "' needs a positive speed factor");
+    svb_assert(k.costPerHour > 0.0, "node class '", k.name,
+               "' needs a positive cost weight");
+    svb_assert(k.watts > 0.0, "node class '", k.name,
+               "' needs a positive power weight");
+}
+
 } // namespace
+
+NodeClass
+NodeClass::forIsa(const std::string &name_arg, IsaId isa)
+{
+    NodeClass k;
+    k.name = name_arg;
+    k.system = SystemConfig::paperConfig(isa);
+    k.ownSystem = true;
+    return k;
+}
 
 Fleet::Fleet(const FleetConfig &config, const PoolConfig &node_pool,
              unsigned num_fns)
-    : cfg(config), scaler(config.autoscaler, std::max(1u, config.nodes))
+    : cfg(config)
 {
-    svb_assert(cfg.nodes >= 1, "fleet needs at least one node");
+    if (!cfg.spec.empty()) {
+        svb_assert(cfg.nodeSpeed.empty(),
+                   "FleetSpec and nodeSpeed are mutually exclusive "
+                   "(classes carry their own speed factor)");
+        unsigned first = 0;
+        for (const FleetGroup &g : cfg.spec.groups) {
+            validateClass(g.klass);
+            svb_assert(g.count >= 1, "FleetSpec group '", g.klass.name,
+                       "' with zero nodes");
+            groups.push_back({g.klass, first, g.count});
+            first += g.count;
+        }
+        // Derive the scalar node count so downstream validation (and
+        // the affinity hash) see the true fleet size.
+        cfg.nodes = first;
+    } else {
+        // Legacy scalar adapter: one synthetic default-class group
+        // spanning the fleet. Every group-ranged loop below then
+        // degenerates to exactly the pre-class behaviour.
+        svb_assert(cfg.nodes >= 1, "fleet needs at least one node");
+        groups.push_back({NodeClass{}, 0, cfg.nodes});
+    }
     svb_assert(cfg.nodeSpeed.empty() || cfg.nodeSpeed.size() == cfg.nodes,
                "fleet nodeSpeed must be empty or one factor per node");
     for (const double f : cfg.nodeSpeed)
@@ -62,17 +87,25 @@ Fleet::Fleet(const FleetConfig &config, const PoolConfig &node_pool,
     }
 
     nodes.reserve(cfg.nodes);
-    for (unsigned i = 0; i < cfg.nodes; ++i)
-        nodes.emplace_back(node_pool);
+    scalers.reserve(groups.size());
+    for (const Group &g : groups) {
+        const PoolConfig &pool_cfg =
+            g.klass.ownPool ? g.klass.pool : node_pool;
+        for (unsigned i = 0; i < g.count; ++i)
+            nodes.emplace_back(pool_cfg);
+        scalers.emplace_back(cfg.autoscaler, g.count);
+    }
     fnInFlight.assign(std::max(1u, num_fns), 0);
 
-    if (scaler.enabled()) {
-        // Start at the autoscaler floor; the rest of the fleet waits
-        // inactive until demand (or an evaluation) activates it. A
-        // zero floor is scale-to-zero: the first arrival pays the
-        // scale-up lag.
-        for (unsigned i = 0; i < cfg.nodes; ++i)
-            nodes[i].active = i < scaler.minNodes();
+    if (scalers.front().enabled()) {
+        // Start each group at its autoscaler floor; the rest of the
+        // fleet waits inactive until demand (or an evaluation)
+        // activates it. A zero floor is scale-to-zero: the first
+        // arrival pays the scale-up lag.
+        for (unsigned g = 0; g < groups.size(); ++g) {
+            for (unsigned i = 0; i < groups[g].count; ++i)
+                nodes[groups[g].first + i].active = i < scalers[g].minNodes();
+        }
     }
     maxActive = activeNodes();
 }
@@ -84,6 +117,61 @@ Fleet::activeNodes() const
     for (const Node &node : nodes)
         n += node.active ? 1 : 0;
     return n;
+}
+
+unsigned
+Fleet::groupOf(unsigned node) const
+{
+    svb_assert(node < nodes.size(), "unknown fleet node");
+    for (unsigned g = 0; g < groups.size(); ++g) {
+        if (node < groups[g].first + groups[g].count)
+            return g;
+    }
+    svb_panic("node outside every fleet group");
+}
+
+const NodeClass &
+Fleet::nodeClass(unsigned g) const
+{
+    svb_assert(g < groups.size(), "unknown fleet group");
+    return groups[g].klass;
+}
+
+unsigned
+Fleet::groupActiveNodes(unsigned g) const
+{
+    svb_assert(g < groups.size(), "unknown fleet group");
+    unsigned n = 0;
+    for (unsigned i = 0; i < groups[g].count; ++i)
+        n += nodes[groups[g].first + i].active ? 1 : 0;
+    return n;
+}
+
+unsigned
+Fleet::groupInFlight(unsigned g) const
+{
+    unsigned n = 0;
+    for (unsigned i = 0; i < groups[g].count; ++i)
+        n += nodes[groups[g].first + i].inFlight;
+    return n;
+}
+
+uint64_t
+Fleet::fleetPowerMw() const
+{
+    double mw = 0.0;
+    for (const Group &g : groups)
+        mw += double(g.count) * g.klass.watts * 1000.0;
+    return uint64_t(std::llround(mw));
+}
+
+uint64_t
+Fleet::fleetCostMilli() const
+{
+    double milli = 0.0;
+    for (const Group &g : groups)
+        milli += double(g.count) * g.klass.costPerHour * 1000.0;
+    return uint64_t(std::llround(milli));
 }
 
 const NodeStats &
@@ -104,7 +192,9 @@ double
 Fleet::speedFactor(unsigned node) const
 {
     svb_assert(node < nodes.size(), "unknown fleet node");
-    return cfg.nodeSpeed.empty() ? 1.0 : cfg.nodeSpeed[node];
+    if (!cfg.nodeSpeed.empty())
+        return cfg.nodeSpeed[node];
+    return groups[groupOf(node)].klass.speedFactor;
 }
 
 bool
@@ -125,17 +215,21 @@ Fleet::backlogNs(unsigned node, uint64_t now_ns) const
 void
 Fleet::advance(uint64_t now_ns)
 {
-    while (scaler.due(now_ns)) {
-        const uint64_t t = scaler.nextEvalNs();
-        applyDesired(scaler.evaluate(totalInFlight), t);
+    // All group scalers share one evaluation clock (identical config),
+    // so scalers[0] paces the loop and each group is sized against its
+    // own in-flight demand at every boundary.
+    while (scalers.front().due(now_ns)) {
+        const uint64_t t = scalers.front().nextEvalNs();
+        for (unsigned g = 0; g < groups.size(); ++g)
+            applyDesired(g, scalers[g].evaluate(groupInFlight(g)), t);
     }
 }
 
 void
-Fleet::activateOne(uint64_t t_ns)
+Fleet::activateOne(unsigned g, uint64_t t_ns)
 {
-    for (unsigned i = 0; i < nodes.size(); ++i) {
-        Node &n = nodes[i];
+    for (unsigned i = 0; i < groups[g].count; ++i) {
+        Node &n = nodes[groups[g].first + i];
         if (n.active)
             continue;
         n.active = true;
@@ -148,28 +242,29 @@ Fleet::activateOne(uint64_t t_ns)
         maxActive = std::max(maxActive, activeNodes());
         return;
     }
-    svb_panic("activateOne() with no inactive node");
+    svb_panic("activateOne() with no inactive node in group");
 }
 
 void
-Fleet::applyDesired(unsigned desired, uint64_t t_ns)
+Fleet::applyDesired(unsigned g, unsigned desired, uint64_t t_ns)
 {
-    unsigned active = activeNodes();
-    while (active < desired && active < nodes.size()) {
-        activateOne(t_ns);
+    unsigned active = groupActiveNodes(g);
+    while (active < desired && active < groups[g].count) {
+        activateOne(g, t_ns);
         ++active;
     }
-    if (active <= desired || active <= scaler.minNodes())
+    if (active <= desired || active <= scalers[g].minNodes())
         return;
 
-    // Scale down: retire the most-idle eligible nodes. Eligible means
-    // routable (past its own lag), empty (no in-flight work, no busy
-    // slot) and idle at least scaleDownIdleNs. Ties break on the node
-    // index, so the retire order is deterministic.
-    while (active > desired && active > scaler.minNodes()) {
+    // Scale down: retire the group's most-idle eligible nodes.
+    // Eligible means routable (past its own lag), empty (no in-flight
+    // work, no busy slot) and idle at least scaleDownIdleNs. Ties
+    // break on the node index, so the retire order is deterministic.
+    while (active > desired && active > scalers[g].minNodes()) {
         int victim = -1;
-        for (unsigned i = 0; i < nodes.size(); ++i) {
-            const Node &n = nodes[i];
+        for (unsigned i = 0; i < groups[g].count; ++i) {
+            const unsigned id = groups[g].first + i;
+            const Node &n = nodes[id];
             if (!n.active || n.readyAtNs > t_ns || n.inFlight > 0 ||
                 n.pool.busySlots(t_ns) > 0)
                 continue;
@@ -177,7 +272,7 @@ Fleet::applyDesired(unsigned desired, uint64_t t_ns)
                 continue;
             if (victim < 0 ||
                 n.lastBusyNs < nodes[unsigned(victim)].lastBusyNs)
-                victim = int(i);
+                victim = int(id);
         }
         if (victim < 0)
             return; // nothing idle enough yet; try next evaluation
@@ -205,15 +300,22 @@ Fleet::ensureCapacity(uint64_t now_ns)
     }
     // Demand-driven scale-up: a request arrived and nothing can take
     // it — activate a node now (even between autoscaler evaluations)
-    // when the scaler's ceiling allows it.
-    if (scaler.enabled() && activeNodes() < scaler.maxNodes()) {
-        bool anyInactive = false;
-        for (const Node &n : nodes)
-            anyInactive = anyInactive || !n.active;
-        if (anyInactive) {
-            activateOne(now_ns);
+    // when a group's scaler ceiling allows it. The first group with
+    // headroom wins, which for a single group is the legacy rule.
+    if (scalers.front().enabled()) {
+        for (unsigned g = 0; g < groups.size(); ++g) {
+            if (groupActiveNodes(g) >= scalers[g].maxNodes())
+                continue;
+            bool anyInactive = false;
+            for (unsigned i = 0; i < groups[g].count; ++i)
+                anyInactive =
+                    anyInactive || !nodes[groups[g].first + i].active;
+            if (!anyInactive)
+                continue;
+            activateOne(g, now_ns);
             earliest =
                 std::min(earliest, now_ns + cfg.autoscaler.scaleUpLagNs);
+            break;
         }
     }
     svb_assert(earliest != ~uint64_t(0),
@@ -244,9 +346,16 @@ Fleet::route(uint32_t fn, uint64_t now_ns, Rng &rng,
 
     // A routable placement hint short-circuits the policy without
     // touching the routing substream (the caller's affinity decision
-    // must not shift the draws of unrelated attempts).
-    if (preferred_node < nodes.size() && routable(preferred_node, now_ns))
-        return {preferred_node, 0, false};
+    // must not shift the draws of unrelated attempts). A hint that is
+    // NOT routable falls back to the policy — counted so payload
+    // affinity misses are observable, not silent.
+    if (preferred_node < nodes.size()) {
+        if (routable(preferred_node, now_ns)) {
+            ++numPreferredHits;
+            return {preferred_node, 0, false};
+        }
+        ++numPreferredMisses;
+    }
 
     // One routable node: every policy picks it, and no randomness is
     // drawn — the single-node byte-identity contract.
@@ -260,6 +369,28 @@ Fleet::route(uint32_t fn, uint64_t now_ns, Rng &rng,
                 if (load < bestLoad) {
                     best = cands[k];
                     bestLoad = load;
+                }
+            }
+            return best;
+        };
+        // Weighted variants of the same argmin: scale each candidate's
+        // backlog by a per-class weight so at equal load the cheapest
+        // (or most power-efficient) class wins. +1 keeps an idle
+        // expensive node distinguishable from an idle cheap one.
+        // Strict < keeps the lowest node index on exact ties —
+        // deterministic, and zero draws from the routing substream.
+        auto weightedArgmin = [&](auto weight_of) {
+            unsigned best = cands[0];
+            double bestScore = weight_of(groups[groupOf(best)].klass) *
+                               double(backlogNs(best, now_ns) + 1);
+            for (size_t k = 1; k < cands.size(); ++k) {
+                const unsigned c = cands[k];
+                const double score =
+                    weight_of(groups[groupOf(c)].klass) *
+                    double(backlogNs(c, now_ns) + 1);
+                if (score < bestScore) {
+                    best = c;
+                    bestScore = score;
                 }
             }
             return best;
@@ -293,6 +424,14 @@ Fleet::route(uint32_t fn, uint64_t now_ns, Rng &rng,
                 chosen = leastLoaded();
             break;
           }
+          case RoutingPolicy::CostWeighted:
+            chosen = weightedArgmin(
+                [](const NodeClass &k) { return k.costPerHour; });
+            break;
+          case RoutingPolicy::PowerWeighted:
+            chosen = weightedArgmin(
+                [](const NodeClass &k) { return k.watts; });
+            break;
         }
     }
     return {chosen, 0, false};

@@ -8,19 +8,30 @@
  * Computing Platforms", PAPERS.md, measures exactly this layer on
  * AWS/Azure/GCP). This header scales the load engine out:
  *
+ *  - NodeClass / FleetSpec: the class-structured fleet API. A
+ *    NodeClass bundles one hardware/pricing tier of node — its own
+ *    calibration platform (ISA + cache/DRAM budget, so a mixed
+ *    RISC-V + x86 cluster calibrates each tier on its own simulated
+ *    host), per-class keep-alive defaults, a residual speed factor,
+ *    and cost/power weights. A FleetSpec is an ordered list of
+ *    {class, count} groups; the legacy scalar fields (nodes +
+ *    nodeSpeed) remain as a thin single-class adapter and stay
+ *    byte-identical.
  *  - Fleet: N simulated nodes, each owning its own InstancePool (the
- *    per-node keep-alive state and concurrency limit) plus an optional
- *    per-node speed factor over the calibration-derived cold/warm
- *    service model (heterogeneous hosts);
+ *    per-node keep-alive state and concurrency limit) plus the
+ *    class-derived service model over the calibrated cold/warm times;
  *  - ClusterScheduler routing policies: random, power-of-two-choices,
- *    least-loaded (by queued-backlog nanoseconds) and session/locality
- *    affinity (a function hashes to a home node and sticks to it,
- *    keeping its instances warm there);
+ *    least-loaded (by queued-backlog nanoseconds), session/locality
+ *    affinity, and the class-aware cost- and power-weighted argmins
+ *    (backlog scaled by the candidate's class weight — carbon/price
+ *    aware placement over heterogeneous classes);
  *  - per-function fleet-wide concurrency limits: excess client-visible
  *    in-flight requests are throttled with a fast 429-style response;
  *  - scale-to-zero and scale-up lag through the reactive Autoscaler
- *    (autoscaler.hh), plus demand-driven activation when a request
- *    arrives and no node is routable;
+ *    (autoscaler.hh), evaluated PER CLASS GROUP (each group tracks
+ *    its own in-flight demand against the shared autoscaler config),
+ *    plus demand-driven activation when a request arrives and no node
+ *    is routable;
  *  - node-level faults that compose with the request-level fault layer
  *    (fault.hh): a crash kills every slot on the node (in-flight
  *    attempts fail, warm instances are lost), a partition makes the
@@ -30,16 +41,23 @@
  * Rng::split substream and are skipped entirely when only one node is
  * routable, so a single-node fleet with the default router performs
  * exactly the pool-operation and RNG-draw sequence of the pre-fleet
- * engine — byte-identical histograms, fingerprints and CSV rows.
+ * engine — byte-identical histograms, fingerprints and CSV rows. A
+ * FleetSpec with one default-constructed class is the same adapter:
+ * it degenerates to one group spanning the whole fleet and replays
+ * the legacy byte stream exactly (tests/test_fleet.cc pins it). The
+ * cost/power-weighted policies are deterministic argmins and draw
+ * nothing from the routing substream.
  */
 
 #ifndef SVB_LOAD_FLEET_HH
 #define SVB_LOAD_FLEET_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "autoscaler.hh"
+#include "core/system_config.hh"
 #include "instance_pool.hh"
 #include "sim/rng.hh"
 
@@ -59,9 +77,14 @@ enum class RoutingPolicy
     /** Session/locality affinity: fn hashes to a home node; falls back
      *  to least-loaded when the home node is unroutable. */
     Affinity,
+    /** Class-aware cost-weighted argmin: minimise (backlog ns + 1) x
+     *  the node class's costPerHour. Deterministic, zero draws; with
+     *  equal backlogs the cheapest class wins. */
+    CostWeighted,
+    /** Class-aware power/carbon-weighted argmin: minimise (backlog ns
+     *  + 1) x the node class's watts. Deterministic, zero draws. */
+    PowerWeighted,
 };
-
-const char *routingPolicyName(RoutingPolicy policy);
 
 /** One scheduled node-level fault. */
 struct NodeFaultEvent
@@ -81,12 +104,80 @@ struct NodeFaultEvent
     uint64_t durationNs = 500'000'000; // 500 ms
 };
 
-const char *nodeFaultKindName(NodeFaultEvent::Kind kind);
+/**
+ * One hardware/pricing class of fleet node: the unit of calibration,
+ * keep-alive defaults and cost/power accounting in a heterogeneous
+ * (e.g. mixed RISC-V + x86) cluster.
+ */
+struct NodeClass
+{
+    /** Class tag. Required non-empty for every class of a FleetSpec;
+     *  must be free of the result-cache metacharacters (',', '|',
+     *  '='). When the class carries its own calibration platform the
+     *  tag namespaces the cache keys and checkpoint fingerprints
+     *  ("<isa>@<tag>") away from the plain per-ISA rows. */
+    std::string name;
+    /** Per-class calibration platform (ISA, cores, clock, cache/DRAM
+     *  budget). Only read when ownSystem is true; otherwise the class
+     *  calibrates on the scenario's own cluster — the legacy shared
+     *  service model. */
+    SystemConfig system;
+    bool ownSystem = false;
+    /** Per-class InstancePool defaults (slots, keep-alive policy).
+     *  Only read when ownPool is true; otherwise the scenario's
+     *  PoolConfig applies, as it always did. */
+    PoolConfig pool;
+    bool ownPool = false;
+    /** Residual service-time multiplier over the class's calibrated
+     *  model; exactly 1.0 (the default) leaves service times
+     *  bit-untouched. */
+    double speedFactor = 1.0;
+    /** Cost weight of one node of this class (arbitrary $/h units);
+     *  the CostWeighted router and the capacity-per-dollar figures
+     *  read it. */
+    double costPerHour = 1.0;
+    /** Power/carbon weight of one provisioned node, in watts; the
+     *  PowerWeighted router and the capacity-per-watt figures read
+     *  it. */
+    double watts = 1.0;
+
+    /** A class calibrated on the stock Chapter-4 platform of @p isa
+     *  (SystemConfig::paperConfig), tagged @p name_arg. */
+    static NodeClass forIsa(const std::string &name_arg, IsaId isa);
+};
+
+/** One {class, count} group of a FleetSpec. */
+struct FleetGroup
+{
+    NodeClass klass;
+    unsigned count = 1;
+};
+
+/**
+ * The class-structured fleet shape: an ordered list of {class, count}
+ * groups. Node ids are assigned group-major (group 0's nodes first),
+ * so a single-group spec numbers its nodes exactly like the legacy
+ * scalar API.
+ */
+struct FleetSpec
+{
+    std::vector<FleetGroup> groups;
+
+    bool empty() const { return groups.empty(); }
+    unsigned nodeCount() const
+    {
+        unsigned n = 0;
+        for (const FleetGroup &g : groups)
+            n += g.count;
+        return n;
+    }
+};
 
 /** Fleet shape and scheduler parameters. */
 struct FleetConfig
 {
-    /** Simulated hosts; 1 reproduces the single-pool engine. */
+    /** Simulated hosts; 1 reproduces the single-pool engine. Ignored
+     *  (derived from the group counts) when `spec` is non-empty. */
     unsigned nodes = 1;
     RoutingPolicy routing = RoutingPolicy::LeastLoaded;
     /** Fleet-wide cap on client-visible in-flight requests per
@@ -95,20 +186,33 @@ struct FleetConfig
     /** Latency of the 429-style response a throttled request gets. */
     uint64_t throttleNs = 50'000; // 50 us
     /** Per-node service-time multiplier (empty = all 1.0). Factors of
-     *  exactly 1.0 leave service times bit-untouched. */
+     *  exactly 1.0 leave service times bit-untouched. Legacy adapter:
+     *  mutually exclusive with `spec` (classes carry speedFactor). */
     std::vector<double> nodeSpeed;
     AutoscalerConfig autoscaler;
     /** Scheduled node crashes / partitions, applied on the engine's
      *  event timeline. */
     std::vector<NodeFaultEvent> nodeFaults;
+    /** Class-structured fleet shape. When non-empty it replaces
+     *  `nodes` (sum of group counts) and `nodeSpeed` (per-class
+     *  speedFactor); a spec of one default class is byte-identical
+     *  to the legacy scalar fields. */
+    FleetSpec spec;
+
+    /** Total nodes, whichever API described the fleet. */
+    unsigned nodeCount() const
+    {
+        return spec.empty() ? nodes : spec.nodeCount();
+    }
 
     /** @return true when any fleet machinery beyond the single-pool
      *  engine is engaged (used to keep legacy trace/stat surfaces
      *  byte-identical for plain scenarios). */
     bool engaged() const
     {
-        return nodes > 1 || autoscaler.enabled || !nodeFaults.empty() ||
-               fnConcurrencyLimit > 0 || !nodeSpeed.empty();
+        return nodeCount() > 1 || autoscaler.enabled ||
+               !nodeFaults.empty() || fnConcurrencyLimit > 0 ||
+               !nodeSpeed.empty() || !spec.empty();
     }
 };
 
@@ -132,6 +236,12 @@ struct NodeStats
  * utilisation accounting that routing, throttling and autoscaling
  * read. All state changes happen at simulated-time points the engine
  * supplies; nothing here reads clocks or global state.
+ *
+ * Class structure: nodes are grouped by NodeClass (a legacy scalar
+ * config becomes one synthetic default group spanning the fleet), and
+ * the autoscaler runs one evaluation loop per group on a shared
+ * clock, sizing each group against its own in-flight demand — so a
+ * quiet class scales to zero while a loaded one holds its ceiling.
  */
 class Fleet
 {
@@ -140,7 +250,8 @@ class Fleet
 
     /**
      * @param config    fleet shape and scheduler parameters
-     * @param node_pool per-node InstancePool configuration
+     * @param node_pool per-node InstancePool configuration (the
+     *                  default for classes without their own pool)
      * @param num_fns   functions in the scenario mix (fn ids < this)
      */
     Fleet(const FleetConfig &config, const PoolConfig &node_pool,
@@ -171,7 +282,8 @@ class Fleet
      * directly, with no policy evaluation and no routing draws (the
      * hint must not perturb the routing substream of co-scheduled
      * attempts); an unroutable one falls back to the configured
-     * policy. Throttling applies either way.
+     * policy, counted in preferredMisses() so affinity misses are
+     * observable. Throttling applies either way.
      */
     Route route(uint32_t fn, uint64_t now_ns, Rng &rng,
                 unsigned preferred_node = badNode);
@@ -208,10 +320,31 @@ class Fleet
     /** Queued-backlog load metric of @p node (routing order key). */
     uint64_t backlogNs(unsigned node, uint64_t now_ns) const;
 
-    /** Service-time multiplier of @p node (1.0 when homogeneous). */
+    /** Residual service-time multiplier of @p node: the legacy
+     *  per-node factor, or the node's class speedFactor (1.0 when
+     *  homogeneous). */
     double speedFactor(unsigned node) const;
 
     unsigned nodeCount() const { return unsigned(nodes.size()); }
+
+    // --- class structure -------------------------------------------------
+    /** Was the fleet described through a FleetSpec (>= 1 explicit
+     *  class)? False for the legacy scalar adapter. */
+    bool classed() const { return !cfg.spec.empty(); }
+    /** Class groups (1 for a legacy scalar fleet). */
+    unsigned groupCount() const { return unsigned(groups.size()); }
+    /** The group (== class index) @p node belongs to. */
+    unsigned groupOf(unsigned node) const;
+    /** The class of group @p g. */
+    const NodeClass &nodeClass(unsigned g) const;
+    /** Currently-activated nodes of group @p g. */
+    unsigned groupActiveNodes(unsigned g) const;
+    /** Provisioned fleet power, in milliwatts (count x watts over all
+     *  groups; nodes x 1000 for a legacy fleet of 1 W defaults). */
+    uint64_t fleetPowerMw() const;
+    /** Provisioned fleet cost, in milli-$/h (same shape). */
+    uint64_t fleetCostMilli() const;
+
     /** Nodes currently activated (including ones still in their
      *  scale-up lag window). */
     unsigned activeNodes() const;
@@ -221,10 +354,19 @@ class Fleet
     uint64_t activations() const { return numActivations; }
     /** Scale-downs performed. */
     uint64_t deactivations() const { return numDeactivations; }
-    /** Autoscaler evaluation boundaries consumed. */
-    uint64_t autoscaleEvaluations() const { return scaler.evaluations(); }
+    /** Autoscaler evaluation boundaries consumed (per-group loops
+     *  share one clock, so this counts boundaries, not groups). */
+    uint64_t autoscaleEvaluations() const
+    {
+        return scalers.front().evaluations();
+    }
     /** Attempts rejected by the per-function concurrency limit. */
     uint64_t throttles() const { return numThrottles; }
+    /** Placement hints honoured (preferred node was routable). */
+    uint64_t preferredHits() const { return numPreferredHits; }
+    /** Placement hints that fell back to the routing policy (the
+     *  preferred node was unroutable at route time). */
+    uint64_t preferredMisses() const { return numPreferredMisses; }
 
     const NodeStats &nodeStats(unsigned node) const;
     const FleetConfig &config() const { return cfg; }
@@ -248,12 +390,22 @@ class Fleet
         explicit Node(const PoolConfig &pool_cfg) : pool(pool_cfg) {}
     };
 
+    /** One contiguous run of same-class nodes. */
+    struct Group
+    {
+        NodeClass klass;
+        unsigned first = 0;
+        unsigned count = 0;
+    };
+
     /** Consume autoscaler evaluation boundaries up to @p now_ns. */
     void advance(uint64_t now_ns);
-    /** Activate/retire nodes toward @p desired at time @p t_ns. */
-    void applyDesired(unsigned desired, uint64_t t_ns);
-    /** Activate the lowest-index inactive node at @p t_ns. */
-    void activateOne(uint64_t t_ns);
+    /** Activate/retire group @p g's nodes toward @p desired at @p t_ns. */
+    void applyDesired(unsigned g, unsigned desired, uint64_t t_ns);
+    /** Activate group @p g's lowest-index inactive node at @p t_ns. */
+    void activateOne(unsigned g, uint64_t t_ns);
+    /** Client-visible in-flight attempts across group @p g. */
+    unsigned groupInFlight(unsigned g) const;
     /**
      * No node is routable at @p now_ns: trigger demand-driven
      * activation if possible and @return the earliest time any node
@@ -263,7 +415,9 @@ class Fleet
     uint64_t ensureCapacity(uint64_t now_ns);
 
     FleetConfig cfg;
-    Autoscaler scaler;
+    std::vector<Group> groups;
+    /** One autoscaler loop per group, on a shared evaluation clock. */
+    std::vector<Autoscaler> scalers;
     std::vector<Node> nodes;
     /** Client-visible in-flight per function (throttle limit). */
     std::vector<unsigned> fnInFlight;
@@ -272,6 +426,8 @@ class Fleet
     uint64_t numActivations = 0;
     uint64_t numDeactivations = 0;
     uint64_t numThrottles = 0;
+    uint64_t numPreferredHits = 0;
+    uint64_t numPreferredMisses = 0;
     /** Scratch candidate list (avoids per-route allocation). */
     std::vector<unsigned> cands;
 };

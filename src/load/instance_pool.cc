@@ -5,18 +5,6 @@
 namespace svb::load
 {
 
-const char *
-keepAlivePolicyName(KeepAlivePolicy policy)
-{
-    switch (policy) {
-      case KeepAlivePolicy::AlwaysCold: return "always-cold";
-      case KeepAlivePolicy::AlwaysWarm: return "always-warm";
-      case KeepAlivePolicy::FixedTtl: return "fixed-ttl";
-      case KeepAlivePolicy::Lru: return "lru";
-    }
-    return "?";
-}
-
 InstancePool::InstancePool(const PoolConfig &config) : cfg(config)
 {
     svb_assert(cfg.maxInstances > 0, "pool needs at least one slot");

@@ -44,8 +44,6 @@ enum class KeepAlivePolicy
     Lru,
 };
 
-const char *keepAlivePolicyName(KeepAlivePolicy policy);
-
 /** Pool parameters. */
 struct PoolConfig
 {

@@ -7,6 +7,7 @@
 
 #include "core/parallel.hh"
 #include "isa/isa_info.hh"
+#include "names.hh"
 #include "obs/stat_export.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
@@ -55,6 +56,9 @@ packLoadResult(const LoadResult &res)
         {"nodeFaults", res.nodeFaults},
         {"utilPermil",
          uint64_t(std::llround(res.fleetUtilisation * 1000.0))},
+        {"classes", res.classes},
+        {"powerMw", res.fleetPowerMw},
+        {"costMilli", res.fleetCostMilli},
         {"ok", res.ok ? 1u : 0u},
     };
 }
@@ -96,6 +100,9 @@ unpackLoadResult(const std::string &scenario,
     res.throttles = fields.at("throttles");
     res.nodeFaults = fields.at("nodeFaults");
     res.fleetUtilisation = double(fields.at("utilPermil")) / 1000.0;
+    res.classes = fields.at("classes");
+    res.fleetPowerMw = fields.at("powerMw");
+    res.fleetCostMilli = fields.at("costMilli");
     res.ok = fields.at("ok") != 0;
     return res;
 }
@@ -167,12 +174,11 @@ struct StreamEventLater
  */
 LoadResult
 simulateStream(const LoadScenario &s,
-               const std::vector<LoadCalibration> &cals)
+               const std::vector<std::vector<LoadCalibration>> &cals)
 {
     LoadResult res;
     res.scenario = s.name;
     res.invocations = s.invocations;
-    res.nodes = s.fleet.nodes;
     res.policyId = uint64_t(s.fleet.routing);
 
     // Substream ids come from the StreamId claim table (load_runner.hh).
@@ -191,6 +197,12 @@ simulateStream(const LoadScenario &s,
     Rng routeRng = master.split(kStreamRoute);
     Fleet fleet(s.fleet, s.pool, unsigned(s.mix.size()));
     const bool fleetOn = s.fleet.engaged();
+    svb_assert(cals.size() == fleet.groupCount(),
+               "calibration matrix does not match the fleet's classes");
+    res.nodes = fleet.nodeCount();
+    res.classes = fleet.groupCount();
+    res.fleetPowerMw = fleet.fleetPowerMw();
+    res.fleetCostMilli = fleet.fleetCostMilli();
     std::vector<CircuitBreaker> breakers(s.mix.size(),
                                          CircuitBreaker(s.breaker));
 
@@ -389,7 +401,11 @@ simulateStream(const LoadScenario &s,
             InstancePool &pool = fleet.pool(rt.node);
             const InstancePool::Placement pl =
                 pool.acquire(iv.fn, ev.timeNs);
-            const LoadCalibration &cal = cals[iv.fn];
+            // The node's CLASS picks the calibrated service model:
+            // on a mixed-ISA fleet the same function replays different
+            // measured cold/warm times depending on where it landed.
+            const LoadCalibration &cal =
+                cals[fleet.groupOf(rt.node)][iv.fn];
             const FaultInjector::Draw dice = faults.draw(pl.cold);
 
             uint64_t service =
@@ -419,7 +435,18 @@ simulateStream(const LoadScenario &s,
 
             if (track != obs::badTrack) {
                 const std::string tag = attemptTag(ev.inv, ev.attempt);
-                if (fleetOn)
+                // Class-structured fleets tag the route span with the
+                // node's class so mixed-ISA placement is visible in
+                // the trace; class-less traces keep the legacy spans
+                // byte-for-byte.
+                if (fleetOn && fleet.classed())
+                    tracer.record(
+                        track,
+                        "route#" + tag + "@n" + std::to_string(rt.node),
+                        "route", ev.timeNs, 0,
+                        {{"class",
+                          fleet.nodeClass(fleet.groupOf(rt.node)).name}});
+                else if (fleetOn)
                     tracer.record(track,
                                   "route#" + tag + "@n" +
                                       std::to_string(rt.node),
@@ -553,6 +580,14 @@ simulateStream(const LoadScenario &s,
             safeShare(fleet.nodeStats(n).busyNs, nodeCapacityNs);
     res.fleetUtilisation =
         safeShare(fleetBusyNs, nodeCapacityNs * fleet.nodeCount());
+    if (fleet.classed()) {
+        res.classRouted.assign(fleet.groupCount(), 0);
+        res.classNames.resize(fleet.groupCount());
+        for (unsigned g = 0; g < fleet.groupCount(); ++g)
+            res.classNames[g] = fleet.nodeClass(g).name;
+        for (unsigned n = 0; n < fleet.nodeCount(); ++n)
+            res.classRouted[fleet.groupOf(n)] += fleet.nodeStats(n).routed;
+    }
     res.ok = true;
 
     // fault.* StatGroup counters through the observability layer: a
@@ -610,6 +645,22 @@ simulateStream(const LoadScenario &s,
             fleet.deactivations());
         set("sched.evaluations", "autoscaler evaluation rounds",
             fleet.autoscaleEvaluations());
+        set("sched.prefHits", "placement hints honoured",
+            fleet.preferredHits());
+        set("sched.prefMisses", "placement hints that fell back",
+            fleet.preferredMisses());
+        if (fleet.classed()) {
+            for (unsigned g = 0; g < fleet.groupCount(); ++g) {
+                const std::string p =
+                    "class." + fleet.nodeClass(g).name + ".";
+                set(p + "nodes", "provisioned nodes of the class",
+                    fleet.config().spec.groups[g].count);
+                set(p + "active", "active nodes of the class at the end",
+                    fleet.groupActiveNodes(g));
+                set(p + "routed", "attempts routed to the class",
+                    res.classRouted.empty() ? 0 : res.classRouted[g]);
+            }
+        }
         for (unsigned n = 0; n < fleet.nodeCount(); ++n) {
             const std::string p = "node" + std::to_string(n) + ".";
             const NodeStats &nst = fleet.nodeStats(n);
@@ -654,6 +705,31 @@ safeShare(uint64_t part_ns, uint64_t whole_ns)
     return whole_ns ? double(part_ns) / double(whole_ns) : 0.0;
 }
 
+ClusterConfig
+classCluster(const NodeClass &klass, const ClusterConfig &base)
+{
+    if (!klass.ownSystem)
+        return base;
+    ClusterConfig c = base;
+    c.system = klass.system;
+    c.classTag = klass.name;
+    return c;
+}
+
+std::vector<ClusterConfig>
+calibrationClusters(const ClusterConfig &base, const FleetConfig &fleet)
+{
+    std::vector<ClusterConfig> clusters;
+    if (fleet.spec.empty()) {
+        clusters.push_back(base);
+        return clusters;
+    }
+    clusters.reserve(fleet.spec.groups.size());
+    for (const FleetGroup &g : fleet.spec.groups)
+        clusters.push_back(classCluster(g.klass, base));
+    return clusters;
+}
+
 LoadResult
 LoadRunner::run(const LoadScenario &scenario)
 {
@@ -661,18 +737,26 @@ LoadRunner::run(const LoadScenario &scenario)
     svb_assert(!scenario.mix.empty(), "load scenario with empty mix");
     svb_assert(scenario.invocations > 0, "load scenario with no traffic");
 
-    std::vector<LoadCalibration> cals;
-    cals.reserve(scenario.mix.size());
-    for (const LoadMixEntry &entry : scenario.mix) {
-        svb_assert(entry.impl != nullptr, "mix entry without workload");
-        cals.push_back(cache.loadCalibration(scenario.cluster, entry.spec,
-                                             *entry.impl));
-        if (!cals.back().ok) {
-            warn(scenario.name, ": calibration of ", entry.spec.name,
-                 " failed; scenario skipped");
-            LoadResult res;
-            res.scenario = scenario.name;
-            return res;
+    // One calibration pass per fleet class (class-less scenarios have
+    // exactly one, the legacy cluster): the [group][fn] matrix the
+    // stream engine indexes by the class of the routed node.
+    const std::vector<ClusterConfig> clusters =
+        calibrationClusters(scenario.cluster, scenario.fleet);
+    std::vector<std::vector<LoadCalibration>> cals(clusters.size());
+    for (size_t g = 0; g < clusters.size(); ++g) {
+        cals[g].reserve(scenario.mix.size());
+        for (const LoadMixEntry &entry : scenario.mix) {
+            svb_assert(entry.impl != nullptr, "mix entry without workload");
+            cals[g].push_back(cache.loadCalibration(clusters[g],
+                                                    entry.spec,
+                                                    *entry.impl));
+            if (!cals[g].back().ok) {
+                warn(scenario.name, ": calibration of ", entry.spec.name,
+                     " failed; scenario skipped");
+                LoadResult res;
+                res.scenario = scenario.name;
+                return res;
+            }
         }
     }
     return simulateStream(scenario, cals);
@@ -687,37 +771,43 @@ loadSweep(ResultCache &cache, const std::vector<LoadScenario> &scenarios,
 
     // --- Phase 1: calibrate every distinct (cluster, function) ----------
     // Concurrent compute, submission-order record: ldcal CSV rows are
-    // identical to a serial sweep's at any worker count.
+    // identical to a serial sweep's at any worker count. Class-
+    // structured fleets contribute one cluster per class here (the
+    // clusters are synthesised per scenario, so the job stores its
+    // config by value).
     struct CalJob
     {
-        const ClusterConfig *cfg;
+        ClusterConfig cfg;
         const FunctionSpec *spec;
         const WorkloadImpl *impl;
     };
     std::vector<CalJob> calJobs;
     std::map<std::string, char> seenCal;
     for (const LoadScenario &s : scenarios) {
-        for (const LoadMixEntry &entry : s.mix) {
-            const std::string key =
-                cache.loadCalKey(s.cluster, entry.spec);
-            if (!seenCal.emplace(key, 1).second)
-                continue;
-            LoadCalibration cached;
-            if (!cache.lookupLoadCal(s.cluster, entry.spec, cached))
-                calJobs.push_back({&s.cluster, &entry.spec, entry.impl});
+        for (const ClusterConfig &cluster :
+             calibrationClusters(s.cluster, s.fleet)) {
+            for (const LoadMixEntry &entry : s.mix) {
+                const std::string key =
+                    cache.loadCalKey(cluster, entry.spec);
+                if (!seenCal.emplace(key, 1).second)
+                    continue;
+                LoadCalibration cached;
+                if (!cache.lookupLoadCal(cluster, entry.spec, cached))
+                    calJobs.push_back({cluster, &entry.spec, entry.impl});
+            }
         }
     }
     if (!calJobs.empty()) {
         const auto cals = parallelIndexed<LoadCalibration>(
             calJobs.size(),
             [&](size_t i) {
-                return cache.computeLoadCal(*calJobs[i].cfg,
+                return cache.computeLoadCal(calJobs[i].cfg,
                                             *calJobs[i].spec,
                                             *calJobs[i].impl);
             },
             jobs_override);
         for (size_t i = 0; i < calJobs.size(); ++i)
-            cache.recordLoadCal(*calJobs[i].cfg, *calJobs[i].spec,
+            cache.recordLoadCal(calJobs[i].cfg, *calJobs[i].spec,
                                 cals[i]);
     }
 

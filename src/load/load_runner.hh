@@ -42,12 +42,21 @@
  * Fleet (fleet.hh): a scenario may scale out to N nodes, each with
  * its own InstancePool built from the scenario's PoolConfig, behind
  * a cluster scheduler (random / power-of-two-choices / least-loaded /
- * affinity routing), per-function concurrency limits, a reactive
- * autoscaler with scale-to-zero and scale-up lag, and scheduled
- * node-level crashes/partitions that compose with the fault layer.
- * Every timeline event carries its node id. The default single-node
- * fleet performs the identical pool-operation and RNG-draw sequence
- * as the pre-fleet engine — byte-identical outputs.
+ * affinity / cost- and power-weighted routing), per-function
+ * concurrency limits, a reactive autoscaler with scale-to-zero and
+ * scale-up lag, and scheduled node-level crashes/partitions that
+ * compose with the fault layer. Every timeline event carries its node
+ * id. The default single-node fleet performs the identical
+ * pool-operation and RNG-draw sequence as the pre-fleet engine —
+ * byte-identical outputs.
+ *
+ * Node classes (fleet.hh FleetSpec): a mixed-ISA fleet calibrates one
+ * service model PER CLASS — each class with its own SystemConfig gets
+ * its own tagged calibration cluster ("<isa>@<class>" cache keys via
+ * ClusterConfig::classTag), and every attempt replays the calibrated
+ * cold/warm times of the class of the node it actually landed on.
+ * calibrationClusters() below is the single source of that mapping;
+ * a class-less scenario calibrates exactly the one legacy cluster.
  */
 
 #ifndef SVB_LOAD_LOAD_RUNNER_HH
@@ -146,6 +155,24 @@ struct LoadScenario
     uint64_t seed = 0x10adULL;
 };
 
+/**
+ * The calibration platform of one node class over a scenario's base
+ * cluster: the base cluster itself when the class carries no system
+ * of its own, otherwise the base with the class's SystemConfig and a
+ * classTag naming it (so its cache/checkpoint keys are namespaced
+ * "<isa>@<class>").
+ */
+ClusterConfig classCluster(const NodeClass &klass,
+                           const ClusterConfig &base);
+
+/**
+ * Every calibration platform a scenario needs, one per fleet class
+ * group in group order — the [group] axis of the calibration matrix
+ * the engines consume. A class-less fleet yields exactly {base}.
+ */
+std::vector<ClusterConfig> calibrationClusters(const ClusterConfig &base,
+                                               const FleetConfig &fleet);
+
 /** @return completions per second over @p span_ns, 0 when the span
  *  is zero (a single-invocation scenario must not report inf/nan). */
 double safeRatePerSec(uint64_t events, uint64_t span_ns);
@@ -216,9 +243,20 @@ struct LoadResult
     /** Fleet-wide utilisation: occupied slot-time over the whole
      *  fleet's wall time (idle capacity counts in the denominator). */
     double fleetUtilisation = 0.0;
+    /** Node-class groups of the fleet (1 for a class-less fleet). */
+    uint64_t classes = 1;
+    /** Provisioned fleet power in milliwatts (sum of count x watts
+     *  over the class groups; nodes x 1000 for default 1 W classes). */
+    uint64_t fleetPowerMw = 1000;
+    /** Provisioned fleet cost in milli-$/h (same shape). */
+    uint64_t fleetCostMilli = 1000;
     /** Per-node utilisation shares; empty when the result came from
      *  the CSV cache (like the histograms below). */
     std::vector<double> nodeUtilisation;
+    /** Per-class routed-attempt counts and class names, in group
+     *  order; empty when cached or class-less (fresh-only detail). */
+    std::vector<uint64_t> classRouted;
+    std::vector<std::string> classNames;
 
     /** Successful invocations as a share of all, in percent. */
     double availabilityPct() const

@@ -1,0 +1,113 @@
+#include "names.hh"
+
+namespace svb::load
+{
+
+namespace
+{
+
+/** Match @p name against name_fn over the enum values [0, count). */
+template <typename E, typename NameFn>
+bool
+parseByName(const std::string &name, unsigned count, NameFn name_fn,
+            E &out)
+{
+    for (unsigned v = 0; v < count; ++v) {
+        if (name == name_fn(E(v))) {
+            out = E(v);
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+const char *
+routingPolicyName(RoutingPolicy policy)
+{
+    switch (policy) {
+      case RoutingPolicy::LeastLoaded: return "least-loaded";
+      case RoutingPolicy::Random: return "random";
+      case RoutingPolicy::PowerOfTwo: return "p2c";
+      case RoutingPolicy::Affinity: return "affinity";
+      case RoutingPolicy::CostWeighted: return "cost";
+      case RoutingPolicy::PowerWeighted: return "power";
+    }
+    return "?";
+}
+
+bool
+parseRoutingPolicy(const std::string &name, RoutingPolicy &out)
+{
+    return parseByName(name, 6, routingPolicyName, out);
+}
+
+const char *
+keepAlivePolicyName(KeepAlivePolicy policy)
+{
+    switch (policy) {
+      case KeepAlivePolicy::AlwaysCold: return "always-cold";
+      case KeepAlivePolicy::AlwaysWarm: return "always-warm";
+      case KeepAlivePolicy::FixedTtl: return "fixed-ttl";
+      case KeepAlivePolicy::Lru: return "lru";
+    }
+    return "?";
+}
+
+bool
+parseKeepAlivePolicy(const std::string &name, KeepAlivePolicy &out)
+{
+    return parseByName(name, 4, keepAlivePolicyName, out);
+}
+
+const char *
+arrivalKindName(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::Uniform: return "uniform";
+      case ArrivalKind::Poisson: return "poisson";
+      case ArrivalKind::Burst: return "burst";
+    }
+    return "?";
+}
+
+bool
+parseArrivalKind(const std::string &name, ArrivalKind &out)
+{
+    return parseByName(name, 3, arrivalKindName, out);
+}
+
+const char *
+nodeFaultKindName(NodeFaultEvent::Kind kind)
+{
+    switch (kind) {
+      case NodeFaultEvent::Kind::Crash: return "crash";
+      case NodeFaultEvent::Kind::Partition: return "partition";
+    }
+    return "?";
+}
+
+bool
+parseNodeFaultKind(const std::string &name, NodeFaultEvent::Kind &out)
+{
+    return parseByName(name, 2, nodeFaultKindName, out);
+}
+
+const char *
+stagePlacementName(StagePlacement placement)
+{
+    switch (placement) {
+      case StagePlacement::Inherit: return "inherit";
+      case StagePlacement::PayloadAffinity: return "payload-affinity";
+    }
+    return "?";
+}
+
+bool
+parseStagePlacement(const std::string &name, StagePlacement &out)
+{
+    return parseByName(name, 2, stagePlacementName, out);
+}
+
+} // namespace svb::load

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Enum <-> name round-trips for the load subsystem's configuration
+ * enums, in one place.
+ *
+ * Every scenario knob that lands in a result-cache row key or a bench
+ * table needs a stable printable name, and benches that take knobs
+ * from the environment need the reverse direction. The name functions
+ * are the single source of truth; each parse function simply walks
+ * the enum's values through its name function, so the two directions
+ * can never drift apart (tests/test_fleet.cc pins the round-trips).
+ *
+ * Parse functions return false (leaving @p out untouched) on an
+ * unknown name rather than dying: the callers own the error message
+ * and the context (usually an environment variable name).
+ */
+
+#ifndef SVB_LOAD_NAMES_HH
+#define SVB_LOAD_NAMES_HH
+
+#include <string>
+
+#include "arrival.hh"
+#include "dag.hh"
+#include "fleet.hh"
+#include "instance_pool.hh"
+
+namespace svb::load
+{
+
+const char *routingPolicyName(RoutingPolicy policy);
+bool parseRoutingPolicy(const std::string &name, RoutingPolicy &out);
+
+const char *keepAlivePolicyName(KeepAlivePolicy policy);
+bool parseKeepAlivePolicy(const std::string &name, KeepAlivePolicy &out);
+
+const char *arrivalKindName(ArrivalKind kind);
+bool parseArrivalKind(const std::string &name, ArrivalKind &out);
+
+const char *nodeFaultKindName(NodeFaultEvent::Kind kind);
+bool parseNodeFaultKind(const std::string &name, NodeFaultEvent::Kind &out);
+
+const char *stagePlacementName(StagePlacement placement);
+bool parseStagePlacement(const std::string &name, StagePlacement &out);
+
+} // namespace svb::load
+
+#endif // SVB_LOAD_NAMES_HH

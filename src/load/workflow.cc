@@ -8,6 +8,7 @@
 
 #include "core/parallel.hh"
 #include "isa/isa_info.hh"
+#include "names.hh"
 #include "obs/stat_export.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
@@ -92,6 +93,11 @@ packWorkflowResult(const WorkflowResult &res)
         {"maxActive", res.maxActiveNodes},
         {"utilPermil",
          uint64_t(std::llround(res.fleetUtilisation * 1000.0))},
+        {"classes", res.classes},
+        {"powerMw", res.fleetPowerMw},
+        {"costMilli", res.fleetCostMilli},
+        {"prefHits", res.preferredHits},
+        {"prefMisses", res.preferredMisses},
         {"ok", res.ok ? 1u : 0u},
     };
     for (size_t k = 0; k < kMaxCritSlots; ++k)
@@ -145,6 +151,11 @@ unpackWorkflowResult(const std::string &scenario,
     res.policyId = f.at("policy");
     res.maxActiveNodes = f.at("maxActive");
     res.fleetUtilisation = double(f.at("utilPermil")) / 1000.0;
+    res.classes = f.at("classes");
+    res.fleetPowerMw = f.at("powerMw");
+    res.fleetCostMilli = f.at("costMilli");
+    res.preferredHits = f.at("prefHits");
+    res.preferredMisses = f.at("prefMisses");
     res.ok = f.at("ok") != 0;
     // Attribution shares survive the round-trip for the first
     // kMaxCritSlots stages; anything beyond reads as 0 from a cached
@@ -229,12 +240,11 @@ struct WfEventLater
  */
 WorkflowResult
 simulateWorkflow(const WorkflowScenario &s,
-                 const std::vector<LoadCalibration> &cals)
+                 const std::vector<std::vector<LoadCalibration>> &cals)
 {
     WorkflowResult res;
     res.scenario = s.name;
     res.invocations = s.invocations;
-    res.nodes = s.fleet.nodes;
     res.policyId = uint64_t(s.fleet.routing);
     res.stages = s.dag.stages.size();
     res.tasksPerWorkflow = s.dag.totalTasks();
@@ -280,6 +290,12 @@ simulateWorkflow(const WorkflowScenario &s,
     Rng routeRng = master.split(kStreamRoute);
     Fleet fleet(s.fleet, s.pool, unsigned(s.functions.size()));
     const bool fleetOn = s.fleet.engaged();
+    svb_assert(cals.size() == fleet.groupCount(),
+               "calibration matrix does not match the fleet's classes");
+    res.nodes = fleet.nodeCount();
+    res.classes = fleet.groupCount();
+    res.fleetPowerMw = fleet.fleetPowerMw();
+    res.fleetCostMilli = fleet.fleetCostMilli();
     std::vector<CircuitBreaker> breakers(s.functions.size(),
                                          CircuitBreaker(s.breaker));
 
@@ -527,7 +543,10 @@ simulateWorkflow(const WorkflowScenario &s,
             InstancePool &pool = fleet.pool(rt.node);
             const InstancePool::Placement pl =
                 pool.acquire(stage.fn, execStart);
-            const LoadCalibration &cal = cals[stage.fn];
+            // The landed node's CLASS picks the calibrated service
+            // model (mixed-ISA fleets replay per-class measurements).
+            const LoadCalibration &cal =
+                cals[fleet.groupOf(rt.node)][stage.fn];
             const FaultInjector::Draw dice = faults.draw(pl.cold);
 
             uint64_t service =
@@ -551,7 +570,16 @@ simulateWorkflow(const WorkflowScenario &s,
 
             if (track != obs::badTrack) {
                 const std::string t = tag(ev.wf, ev.task, ev.attempt);
-                if (fleetOn)
+                // Class-structured fleets tag route spans with the
+                // node's class (legacy traces stay byte-identical).
+                if (fleetOn && fleet.classed())
+                    tracer.record(
+                        track,
+                        "route#" + t + "@n" + std::to_string(rt.node),
+                        "route", ev.timeNs, 0,
+                        {{"class",
+                          fleet.nodeClass(fleet.groupOf(rt.node)).name}});
+                else if (fleetOn)
                     tracer.record(track,
                                   "route#" + t + "@n" +
                                       std::to_string(rt.node),
@@ -730,6 +758,8 @@ simulateWorkflow(const WorkflowScenario &s,
     res.histoFingerprint = res.latency.fingerprint();
     res.goodFingerprint = res.goodLatency.fingerprint();
     res.maxActiveNodes = fleet.maxActiveNodes();
+    res.preferredHits = fleet.preferredHits();
+    res.preferredMisses = fleet.preferredMisses();
     const uint64_t nodeCapacityNs = lastEndNs * s.pool.maxInstances;
     res.fleetUtilisation =
         safeShare(fleetBusyNs, nodeCapacityNs * fleet.nodeCount());
@@ -771,6 +801,21 @@ simulateWorkflow(const WorkflowScenario &s,
             res.transfersRemote);
         set("xfer.totalNs", "modelled transfer time charged",
             res.transferNs);
+        set("sched.prefHits", "placement hints honoured",
+            res.preferredHits);
+        set("sched.prefMisses",
+            "placement hints that fell back to the routing policy",
+            res.preferredMisses);
+        if (fleet.classed()) {
+            for (unsigned g = 0; g < fleet.groupCount(); ++g) {
+                uint64_t routed = 0;
+                for (unsigned n = 0; n < fleet.nodeCount(); ++n)
+                    if (fleet.groupOf(n) == g)
+                        routed += fleet.nodeStats(n).routed;
+                set("class." + fleet.nodeClass(g).name + ".routed",
+                    "task attempts routed to the class", routed);
+            }
+        }
         for (size_t st = 0; st < numStages; ++st)
             set("crit." + s.dag.stages[st].name,
                 "critical-path ns attributed to the stage", critNs[st]);
@@ -792,19 +837,27 @@ WorkflowRunner::run(const WorkflowScenario &scenario)
                "workflow scenario with no traffic");
     scenario.dag.validate(scenario.functions.size());
 
-    std::vector<LoadCalibration> cals;
-    cals.reserve(scenario.functions.size());
-    for (const LoadMixEntry &entry : scenario.functions) {
-        svb_assert(entry.impl != nullptr,
-                   "workflow function without workload");
-        cals.push_back(cache.loadCalibration(scenario.cluster, entry.spec,
-                                             *entry.impl));
-        if (!cals.back().ok) {
-            warn(scenario.name, ": calibration of ", entry.spec.name,
-                 " failed; scenario skipped");
-            WorkflowResult res;
-            res.scenario = scenario.name;
-            return res;
+    // One calibration pass per fleet class (see load_runner.hh): the
+    // [group][fn] matrix the DAG engine indexes by the class of the
+    // node each task actually lands on.
+    const std::vector<ClusterConfig> clusters =
+        calibrationClusters(scenario.cluster, scenario.fleet);
+    std::vector<std::vector<LoadCalibration>> cals(clusters.size());
+    for (size_t g = 0; g < clusters.size(); ++g) {
+        cals[g].reserve(scenario.functions.size());
+        for (const LoadMixEntry &entry : scenario.functions) {
+            svb_assert(entry.impl != nullptr,
+                       "workflow function without workload");
+            cals[g].push_back(cache.loadCalibration(clusters[g],
+                                                    entry.spec,
+                                                    *entry.impl));
+            if (!cals[g].back().ok) {
+                warn(scenario.name, ": calibration of ", entry.spec.name,
+                     " failed; scenario skipped");
+                WorkflowResult res;
+                res.scenario = scenario.name;
+                return res;
+            }
         }
     }
     return simulateWorkflow(scenario, cals);
@@ -821,36 +874,42 @@ workflowSweep(ResultCache &cache,
     }
 
     // --- Phase 1: calibrate every distinct (cluster, function) ----------
+    // Class-structured fleets contribute one cluster per class (the
+    // clusters are synthesised per scenario, so jobs store the config
+    // by value).
     struct CalJob
     {
-        const ClusterConfig *cfg;
+        ClusterConfig cfg;
         const FunctionSpec *spec;
         const WorkloadImpl *impl;
     };
     std::vector<CalJob> calJobs;
     std::map<std::string, char> seenCal;
     for (const WorkflowScenario &s : scenarios) {
-        for (const LoadMixEntry &entry : s.functions) {
-            const std::string key =
-                cache.loadCalKey(s.cluster, entry.spec);
-            if (!seenCal.emplace(key, 1).second)
-                continue;
-            LoadCalibration cached;
-            if (!cache.lookupLoadCal(s.cluster, entry.spec, cached))
-                calJobs.push_back({&s.cluster, &entry.spec, entry.impl});
+        for (const ClusterConfig &cluster :
+             calibrationClusters(s.cluster, s.fleet)) {
+            for (const LoadMixEntry &entry : s.functions) {
+                const std::string key =
+                    cache.loadCalKey(cluster, entry.spec);
+                if (!seenCal.emplace(key, 1).second)
+                    continue;
+                LoadCalibration cached;
+                if (!cache.lookupLoadCal(cluster, entry.spec, cached))
+                    calJobs.push_back({cluster, &entry.spec, entry.impl});
+            }
         }
     }
     if (!calJobs.empty()) {
         const auto cals = parallelIndexed<LoadCalibration>(
             calJobs.size(),
             [&](size_t i) {
-                return cache.computeLoadCal(*calJobs[i].cfg,
+                return cache.computeLoadCal(calJobs[i].cfg,
                                             *calJobs[i].spec,
                                             *calJobs[i].impl);
             },
             jobs_override);
         for (size_t i = 0; i < calJobs.size(); ++i)
-            cache.recordLoadCal(*calJobs[i].cfg, *calJobs[i].spec,
+            cache.recordLoadCal(calJobs[i].cfg, *calJobs[i].spec,
                                 cals[i]);
     }
 

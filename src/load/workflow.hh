@@ -168,6 +168,16 @@ struct WorkflowResult
     uint64_t policyId = 0;
     uint64_t maxActiveNodes = 1;
     double fleetUtilisation = 0.0;
+    /** Node-class groups of the fleet (1 for a class-less fleet). */
+    uint64_t classes = 1;
+    /** Provisioned fleet power (milliwatts) / cost (milli-$/h). */
+    uint64_t fleetPowerMw = 1000;
+    uint64_t fleetCostMilli = 1000;
+    /** Placement hints honoured vs fallen back to the routing policy
+     *  (PayloadAffinity stages asking for an unroutable producer
+     *  node): the observable cost of affinity misses. */
+    uint64_t preferredHits = 0;
+    uint64_t preferredMisses = 0;
 
     /**
      * Critical-path attribution: per-stage share (permil of the

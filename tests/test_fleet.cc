@@ -25,6 +25,7 @@
 
 #include "core/checkpoint_store.hh"
 #include "load/load_runner.hh"
+#include "load/names.hh"
 #include "workloads/workloads.hh"
 
 using namespace svb;
@@ -266,6 +267,221 @@ TEST(FleetRouting, ConcurrencyLimitThrottles)
     fleet.pool(first.node).release(pl.slot, 1'000);
     fleet.onAttemptEnd(first.node, 0);
     EXPECT_FALSE(fleet.route(0, 2'000, rng).throttled);
+}
+
+// --------------------------------------------------------------------------
+// Node classes: weighted routing, preferred hints, name round-trips
+// --------------------------------------------------------------------------
+
+TEST(FleetClasses, CostAndPowerWeightedPickByWeightAtEqualBacklog)
+{
+    // A pricey-but-efficient class ahead of a cheap-but-hungry one, so
+    // the two weighted argmins pick OPPOSITE nodes — index order alone
+    // can't explain either placement.
+    NodeClass pricey;
+    pricey.name = "pricey";
+    pricey.costPerHour = 5.0;
+    pricey.watts = 2.0;
+    NodeClass cheap;
+    cheap.name = "cheap";
+    cheap.costPerHour = 1.0;
+    cheap.watts = 10.0;
+
+    FleetConfig fc;
+    fc.spec.groups = {{pricey, 1}, {cheap, 1}};
+    PoolConfig pc;
+    pc.maxInstances = 2;
+
+    fc.routing = RoutingPolicy::CostWeighted;
+    {
+        Fleet fleet(fc, pc, 1);
+        Rng rng(7);
+        EXPECT_EQ(fleet.route(0, 0, rng).node, 1u); // cheapest $/h
+        // Deterministic: the routing substream is untouched.
+        EXPECT_EQ(rng.next(), Rng(7).next());
+    }
+    fc.routing = RoutingPolicy::PowerWeighted;
+    {
+        Fleet fleet(fc, pc, 1);
+        Rng rng(7);
+        EXPECT_EQ(fleet.route(0, 0, rng).node, 0u); // fewest watts
+        EXPECT_EQ(rng.next(), Rng(7).next());
+    }
+}
+
+TEST(FleetClasses, WeightedArgminStillYieldsToBacklog)
+{
+    // The weight scales the backlog, it does not override it: enough
+    // queued work on the cheap node sends cost-weighted routing to the
+    // expensive idle one (5*(0+1) = 5 < 1*(200+1) = 201).
+    NodeClass pricey;
+    pricey.name = "pricey";
+    pricey.costPerHour = 5.0;
+    NodeClass cheap;
+    cheap.name = "cheap";
+    cheap.costPerHour = 1.0;
+
+    FleetConfig fc;
+    fc.routing = RoutingPolicy::CostWeighted;
+    fc.spec.groups = {{pricey, 1}, {cheap, 1}};
+    PoolConfig pc;
+    pc.maxInstances = 2;
+    Fleet fleet(fc, pc, 1);
+
+    auto pl = fleet.pool(1).acquire(0, 0);
+    fleet.onAttemptStart(1, 0, pl.startNs, 300);
+    fleet.pool(1).release(pl.slot, 300);
+    fleet.onAttemptEnd(1, 0);
+
+    Rng rng(7);
+    EXPECT_EQ(fleet.backlogNs(1, 100), 200u);
+    EXPECT_EQ(fleet.route(0, 100, rng).node, 0u);
+}
+
+TEST(FleetClasses, SpecDerivesCountsWeightsAndGroups)
+{
+    NodeClass rv;
+    rv.name = "rv";
+    rv.watts = 4.0;
+    rv.costPerHour = 1.0;
+    NodeClass x86;
+    x86.name = "x86";
+    x86.speedFactor = 2.0;
+    x86.watts = 18.0;
+    x86.costPerHour = 3.0;
+
+    FleetConfig fc;
+    fc.spec.groups = {{rv, 2}, {x86, 3}};
+    PoolConfig pc;
+    pc.maxInstances = 2;
+    Fleet fleet(fc, pc, 1);
+
+    EXPECT_TRUE(fleet.classed());
+    EXPECT_EQ(fleet.nodeCount(), 5u);
+    EXPECT_EQ(fleet.groupCount(), 2u);
+    EXPECT_EQ(fleet.groupOf(1), 0u);
+    EXPECT_EQ(fleet.groupOf(2), 1u);
+    EXPECT_EQ(fleet.nodeClass(1).name, "x86");
+    EXPECT_DOUBLE_EQ(fleet.speedFactor(0), 1.0);
+    EXPECT_DOUBLE_EQ(fleet.speedFactor(4), 2.0);
+    // 2*4 W + 3*18 W = 62 W; 2*1 $/h + 3*3 $/h = 11 $/h.
+    EXPECT_EQ(fleet.fleetPowerMw(), 62'000u);
+    EXPECT_EQ(fleet.fleetCostMilli(), 11'000u);
+    // A class-less fleet is one synthetic group at 1 W / 1 $/h a node.
+    FleetConfig legacy;
+    legacy.nodes = 3;
+    Fleet plain(legacy, pc, 1);
+    EXPECT_FALSE(plain.classed());
+    EXPECT_EQ(plain.groupCount(), 1u);
+    EXPECT_EQ(plain.fleetPowerMw(), 3'000u);
+    EXPECT_EQ(plain.fleetCostMilli(), 3'000u);
+}
+
+TEST(FleetClasses, PreferredHintHitsAndMissesAreCounted)
+{
+    FleetConfig fc;
+    fc.nodes = 3;
+    fc.routing = RoutingPolicy::LeastLoaded;
+    Fleet fleet = backloggedFleet(fc);
+    Rng rng(7);
+
+    // A routable hint short-circuits the policy: node 0 carries the
+    // largest backlog, yet the hint wins — and counts as a hit.
+    const Fleet::Route hit = fleet.route(0, 100, rng, 0);
+    EXPECT_EQ(hit.node, 0u);
+    EXPECT_EQ(fleet.preferredHits(), 1u);
+    EXPECT_EQ(fleet.preferredMisses(), 0u);
+
+    // An unroutable hint falls back to the policy and counts a miss.
+    fleet.applyNodeFault({NodeFaultEvent::Kind::Partition, 0, 100, 1'000});
+    const Fleet::Route miss = fleet.route(0, 200, rng, 0);
+    EXPECT_EQ(miss.node, 2u); // least loaded of the survivors
+    EXPECT_EQ(fleet.preferredHits(), 1u);
+    EXPECT_EQ(fleet.preferredMisses(), 1u);
+    // No hint, no counting.
+    fleet.route(0, 200, rng);
+    EXPECT_EQ(fleet.preferredHits(), 1u);
+    EXPECT_EQ(fleet.preferredMisses(), 1u);
+}
+
+TEST(FleetClasses, ClassTagsNamespaceCalibrationAndCheckpoints)
+{
+    const ClusterConfig base = standaloneConfig(IsaId::Riscv);
+
+    // A class without its own system calibrates on the scenario's
+    // base cluster — no extra boots, no new cache keys.
+    NodeClass shared;
+    shared.name = "shared";
+    const ClusterConfig same = classCluster(shared, base);
+    EXPECT_TRUE(same.classTag.empty());
+    EXPECT_EQ(same.system.isa, base.system.isa);
+
+    // A class owning its system gets a class-tagged cluster so its
+    // calibration rows and checkpoints can't collide with the base's.
+    NodeClass own = NodeClass::forIsa("edge", IsaId::Cx86);
+    own.system.clockMHz = 2000;
+    const ClusterConfig tagged = classCluster(own, base);
+    EXPECT_EQ(tagged.classTag, "edge");
+    EXPECT_EQ(tagged.system.isa, IsaId::Cx86);
+    EXPECT_EQ(tagged.system.clockMHz, 2000u);
+
+    const FunctionSpec spec = specFor("fibonacci-go");
+    const std::string fpBase = CheckpointStore::fingerprint(base, spec);
+    const std::string fpTagged =
+        CheckpointStore::fingerprint(tagged, spec);
+    EXPECT_NE(fpBase, fpTagged);
+    EXPECT_EQ(fpBase.find(";class="), std::string::npos);
+    EXPECT_NE(fpTagged.find(";class=edge"), std::string::npos);
+
+    // One calibration cluster per group, in group order.
+    FleetConfig fc;
+    fc.spec.groups = {{shared, 2}, {own, 1}};
+    const std::vector<ClusterConfig> clusters =
+        calibrationClusters(base, fc);
+    ASSERT_EQ(clusters.size(), 2u);
+    EXPECT_TRUE(clusters[0].classTag.empty());
+    EXPECT_EQ(clusters[1].classTag, "edge");
+    // The legacy scalar fleet calibrates exactly the base cluster.
+    FleetConfig legacy;
+    legacy.nodes = 4;
+    EXPECT_EQ(calibrationClusters(base, legacy).size(), 1u);
+}
+
+TEST(FleetClasses, NameRoundTripsParseBothDirections)
+{
+    for (unsigned v = 0; v < 6; ++v) {
+        const RoutingPolicy pol = RoutingPolicy(v);
+        RoutingPolicy out;
+        ASSERT_TRUE(parseRoutingPolicy(routingPolicyName(pol), out));
+        EXPECT_EQ(out, pol);
+    }
+    for (unsigned v = 0; v < 4; ++v) {
+        const KeepAlivePolicy pol = KeepAlivePolicy(v);
+        KeepAlivePolicy out;
+        ASSERT_TRUE(parseKeepAlivePolicy(keepAlivePolicyName(pol), out));
+        EXPECT_EQ(out, pol);
+    }
+    for (unsigned v = 0; v < 3; ++v) {
+        const ArrivalKind kind = ArrivalKind(v);
+        ArrivalKind out;
+        ASSERT_TRUE(parseArrivalKind(arrivalKindName(kind), out));
+        EXPECT_EQ(out, kind);
+    }
+    for (unsigned v = 0; v < 2; ++v) {
+        const NodeFaultEvent::Kind kind = NodeFaultEvent::Kind(v);
+        NodeFaultEvent::Kind out;
+        ASSERT_TRUE(parseNodeFaultKind(nodeFaultKindName(kind), out));
+        EXPECT_EQ(out, kind);
+    }
+    for (unsigned v = 0; v < 2; ++v) {
+        const StagePlacement placement = StagePlacement(v);
+        StagePlacement out;
+        ASSERT_TRUE(parseStagePlacement(stagePlacementName(placement),
+                                        out));
+        EXPECT_EQ(out, placement);
+    }
+    RoutingPolicy out;
+    EXPECT_FALSE(parseRoutingPolicy("no-such-policy", out));
 }
 
 // --------------------------------------------------------------------------
@@ -550,4 +766,172 @@ TEST(FleetSweep, SingleNodeDefaultFleetMatchesThePreFleetEngine)
     EXPECT_EQ(ra.throughputRps, rb.throughputRps);
     // The CSV rows match field-for-field as well.
     EXPECT_EQ(slurp(fa.path), slurp(fb.path));
+}
+
+TEST(FleetClasses, SingleClassSpecMatchesTheLegacyScalarApi)
+{
+    TempCheckpointDir ckpts("ckpt_class_ident");
+
+    // The redesign's adapter contract: a FleetSpec of ONE class with
+    // default calibration/pool/weights is indistinguishable from the
+    // legacy scalar API — histograms, fingerprints and the CSV rows
+    // (including the new class fields) are byte-identical.
+    LoadScenario legacy = fleetScenario("t-class-ident", 3,
+                                        RoutingPolicy::LeastLoaded);
+    LoadScenario classed = legacy;
+    classed.fleet = FleetConfig{};
+    classed.fleet.routing = RoutingPolicy::LeastLoaded;
+    NodeClass k;
+    k.name = "small";
+    classed.fleet.spec.groups = {{k, 3}};
+
+    TempCacheFile fa("test_class_ident_a.csv");
+    TempCacheFile fb("test_class_ident_b.csv");
+    LoadResult ra, rb;
+    {
+        ResultCache cache(fa.path);
+        ra = LoadRunner(cache).run(legacy);
+    }
+    {
+        ResultCache cache(fb.path);
+        rb = LoadRunner(cache).run(classed);
+    }
+    ASSERT_TRUE(ra.ok);
+    ASSERT_TRUE(rb.ok);
+    EXPECT_TRUE(ra.latency == rb.latency);
+    EXPECT_EQ(ra.histoFingerprint, rb.histoFingerprint);
+    EXPECT_EQ(ra.goodFingerprint, rb.goodFingerprint);
+    EXPECT_EQ(ra.coldStarts, rb.coldStarts);
+    EXPECT_EQ(ra.warmHits, rb.warmHits);
+    EXPECT_EQ(ra.nodes, rb.nodes);
+    EXPECT_EQ(ra.classes, rb.classes);
+    EXPECT_EQ(ra.fleetPowerMw, rb.fleetPowerMw);
+    EXPECT_EQ(ra.fleetCostMilli, rb.fleetCostMilli);
+    EXPECT_EQ(slurp(fa.path), slurp(fb.path));
+}
+
+TEST(FleetClasses, MixedClassSweepByteIdenticalAcrossWorkerCounts)
+{
+    TempCheckpointDir ckpts("ckpt_class_sweep");
+
+    // A genuinely heterogeneous fleet — two classes with different
+    // speed/cost/power weights (sharing the base calibration, so the
+    // test stays cheap) — swept under every class-aware policy at
+    // jobs 1 and 8. The cost-weighted determinism contract from the
+    // issue, plus the CSV with the v4 class fields.
+    NodeClass sbc;
+    sbc.name = "sbc";
+    sbc.costPerHour = 1.0;
+    sbc.watts = 4.0;
+    NodeClass srv;
+    srv.name = "srv";
+    srv.speedFactor = 1.6;
+    srv.costPerHour = 3.0;
+    srv.watts = 18.0;
+
+    std::vector<LoadScenario> scenarios;
+    for (RoutingPolicy pol :
+         {RoutingPolicy::CostWeighted, RoutingPolicy::PowerWeighted,
+          RoutingPolicy::LeastLoaded}) {
+        std::ostringstream name;
+        name << "t-class-" << routingPolicyName(pol);
+        LoadScenario s = fleetScenario(name.str(), 1, pol);
+        s.arrival.ratePerSec = 12'000.0;
+        s.fleet.spec.groups = {{sbc, 2}, {srv, 2}};
+        scenarios.push_back(std::move(s));
+    }
+
+    TempCacheFile serial_file("test_class_serial.csv");
+    std::vector<LoadResult> serial;
+    {
+        ResultCache cache(serial_file.path);
+        serial = loadSweep(cache, scenarios, 1);
+    }
+    TempCacheFile par_file("test_class_jobs8.csv");
+    std::vector<LoadResult> wide;
+    {
+        ResultCache cache(par_file.path);
+        wide = loadSweep(cache, scenarios, 8);
+    }
+
+    ASSERT_EQ(serial.size(), wide.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_TRUE(serial[i].ok) << scenarios[i].name;
+        EXPECT_EQ(serial[i].classes, 2u);
+        EXPECT_EQ(serial[i].nodes, 4u);
+        EXPECT_EQ(serial[i].fleetPowerMw, 44'000u);
+        EXPECT_EQ(serial[i].fleetCostMilli, 8'000u);
+        EXPECT_TRUE(serial[i].latency == wide[i].latency)
+            << scenarios[i].name;
+        EXPECT_EQ(serial[i].histoFingerprint, wide[i].histoFingerprint)
+            << scenarios[i].name;
+        EXPECT_EQ(serial[i].goodFingerprint, wide[i].goodFingerprint)
+            << scenarios[i].name;
+        // Fresh runs expose the per-class routing split; it must be
+        // identical too, and every attempt lands in some class.
+        ASSERT_EQ(serial[i].classRouted.size(), 2u);
+        EXPECT_EQ(serial[i].classRouted, wide[i].classRouted);
+        EXPECT_EQ(serial[i].classNames, wide[i].classNames);
+    }
+    // The cost-weighted placement really differs from least-loaded on
+    // a weighted fleet (same seed, same arrivals).
+    EXPECT_NE(serial[0].classRouted, serial[2].classRouted);
+
+    const std::string serial_csv = slurp(serial_file.path);
+    EXPECT_FALSE(serial_csv.empty());
+    EXPECT_EQ(serial_csv, slurp(par_file.path));
+}
+
+TEST(FleetClasses, AutoscalerScalesEachClassIndependentlyToZero)
+{
+    // Two single-class groups with a zero floor: demand lands only on
+    // group 0, so group 1 must never activate, and once the work
+    // drains both groups retire every node — per-class scale-to-zero.
+    NodeClass a;
+    a.name = "a";
+    NodeClass b;
+    b.name = "b";
+    FleetConfig fc;
+    fc.spec.groups = {{a, 2}, {b, 2}};
+    fc.autoscaler.enabled = true;
+    fc.autoscaler.minNodes = 0;
+    fc.autoscaler.evalPeriodNs = 1'000;
+    fc.autoscaler.targetInFlightPerNode = 1.0;
+    fc.autoscaler.scaleUpLagNs = 500;
+    fc.autoscaler.scaleDownIdleNs = 2'000;
+    PoolConfig pc;
+    pc.maxInstances = 2;
+    Fleet fleet(fc, pc, 1);
+    Rng rng(7);
+
+    // Scale-to-zero start: nothing is active, the first arrival
+    // demand-activates one node of group 0 and pays the lag.
+    EXPECT_EQ(fleet.activeNodes(), 0u);
+    const Fleet::Route cold = fleet.route(0, 0, rng);
+    EXPECT_EQ(cold.node, Fleet::badNode);
+    EXPECT_EQ(cold.retryAtNs, 500u);
+    EXPECT_EQ(fleet.groupActiveNodes(0), 1u);
+    EXPECT_EQ(fleet.groupActiveNodes(1), 0u);
+
+    // Three in-flight attempts on group 0 at the next evaluation want
+    // more capacity — group 0 grows to its 2-node cap, group 1 sees
+    // zero demand and stays at zero.
+    EXPECT_EQ(fleet.route(0, 500, rng).node, 0u);
+    for (int i = 0; i < 3; ++i)
+        fleet.onAttemptStart(0, 0, 500, 600);
+    fleet.route(0, 1'000, rng);
+    EXPECT_EQ(fleet.groupActiveNodes(0), 2u);
+    EXPECT_EQ(fleet.groupActiveNodes(1), 0u);
+
+    // Drain; past the idle threshold every node of group 0 retires
+    // too (zero floor), so the whole fleet is back to zero before the
+    // late arrival demand-activates afresh.
+    for (int i = 0; i < 3; ++i)
+        fleet.onAttemptEnd(0, 0);
+    const Fleet::Route late = fleet.route(0, 20'000, rng);
+    EXPECT_EQ(fleet.deactivations(), 2u);
+    EXPECT_EQ(late.node, Fleet::badNode);
+    EXPECT_EQ(late.retryAtNs, 20'500u);
+    EXPECT_EQ(fleet.groupActiveNodes(0), 1u); // the fresh activation
+    EXPECT_EQ(fleet.groupActiveNodes(1), 0u);
 }
