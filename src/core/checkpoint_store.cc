@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "db/store_gen.hh"
+#include "mem/phys_memory.hh"
 #include "sim/logging.hh"
 
 namespace svb
@@ -129,6 +130,15 @@ CheckpointStore::acquire(const std::string &fp, bool *claimed)
             warn("checkpoint ", pathFor(fp),
                  " belongs to a different configuration; re-preparing");
             from_disk.reset();
+        } else if (std::string verr;
+                   PhysMemory::hasMemoryImage("mem.", *from_disk) &&
+                   !PhysMemory::validateCheckpoint("mem.", *from_disk,
+                                                   &verr)) {
+            // A doctored/corrupt memory image is a miss, never a
+            // crash: the restore path must not index out of bounds
+            // from hostile page counts or offsets.
+            warn("ignoring corrupt checkpoint ", pathFor(fp), ": ", verr);
+            from_disk.reset();
         }
     } else if (!err.empty() && std::filesystem::exists(pathFor(fp))) {
         warn("ignoring corrupt checkpoint ", pathFor(fp), ": ", err);
@@ -179,8 +189,52 @@ CheckpointStore::publish(const std::string &fp, Checkpoint cp)
         std::lock_guard<std::mutex> lk(mtx);
         cache[fp] = std::make_shared<const Checkpoint>(std::move(cp));
         pending.erase(fp);
+        images.erase(fp);
     }
     pendingCv.notify_all();
+}
+
+std::shared_ptr<const PageImage>
+CheckpointStore::imageFor(const std::string &fp, const Checkpoint &cp)
+{
+    if (!PhysMemory::hasPageTable("mem.", cp))
+        return nullptr; // pre-page-table snapshot: full restore only
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        if (auto img = images[fp].lock())
+            return img;
+    }
+    // Build outside the lock (interning a large image is slow). Two
+    // racing builders both produce valid images whose pages dedup in
+    // the global PageStore; the second insert simply wins.
+    std::shared_ptr<const PageImage> img = PhysMemory::buildImage("mem.", cp);
+    std::lock_guard<std::mutex> lk(mtx);
+    images[fp] = img;
+    return img;
+}
+
+bool
+CheckpointStore::attachWorkingSet(const std::string &fp,
+                                  const std::vector<uint64_t> &pages)
+{
+    std::lock_guard<std::mutex> lk(mtx);
+    const auto it = cache.find(fp);
+    if (it == cache.end() || it->second->hasBlob("mem.ws"))
+        return false; // unknown tuple, or first writer already won
+    Checkpoint cp = *it->second;
+    BlobWriter w;
+    for (uint64_t p : pages)
+        w.putU64(p);
+    cp.setBlob("mem.ws", w.take());
+    // Atomic rewrite (unique-tmp + rename), so concurrent readers of
+    // the .ckpt file still only ever see a complete checkpoint.
+    if (std::filesystem::exists(dir))
+        cp.saveToFile(pathFor(fp));
+    it->second = std::make_shared<const Checkpoint>(std::move(cp));
+    // Images built before the working set existed prefetch nothing;
+    // rebuild on next use.
+    images.erase(fp);
+    return true;
 }
 
 void
@@ -214,6 +268,7 @@ CheckpointStore::resetForTest(const std::string &test_dir)
     std::lock_guard<std::mutex> lk(mtx);
     cache.clear();
     pending.clear();
+    images.clear();
     dir = test_dir;
     disabled = false;
     restoreFaultHook = nullptr;

@@ -38,8 +38,10 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "cluster.hh"
+#include "mem/page_store.hh"
 
 namespace svb
 {
@@ -88,6 +90,28 @@ class CheckpointStore
      *  write + in-memory publication) and wake any waiters. */
     void publish(const std::string &fp, Checkpoint cp);
 
+    /**
+     * The shared page-granular image of @p cp (the checkpoint
+     * acquire() returned for @p fp): built once per fingerprint,
+     * cached weakly (pages live exactly as long as some restored
+     * instance or pool lease holds them) and interned into the global
+     * CoW PageStore. Returns nullptr when @p cp predates the
+     * page-table format — the caller then restores fully.
+     */
+    std::shared_ptr<const PageImage> imageFor(const std::string &fp,
+                                              const Checkpoint &cp);
+
+    /**
+     * Record the cold-request page working set of @p fp (sorted page
+     * indices from PhysMemory::stopTouchRecording()): stored into the
+     * cached checkpoint as "mem.ws" and rewritten to disk atomically.
+     * First writer wins — a fingerprint's working set is recorded by
+     * whichever runner completes the first cold request.
+     * @return true when this call attached the set
+     */
+    bool attachWorkingSet(const std::string &fp,
+                          const std::vector<uint64_t> &pages);
+
     /** Drop a claim whose preparation failed; waiters re-claim. */
     void release(const std::string &fp);
 
@@ -125,6 +149,10 @@ class CheckpointStore
     std::condition_variable pendingCv;
     std::set<std::string> pending;
     std::map<std::string, std::shared_ptr<const Checkpoint>> cache;
+    /** Weak per-fingerprint PageImage cache (guarded by mtx): holds
+     *  no refcount of its own, so pool evictions/kills dropping the
+     *  last lease genuinely free the shared pages. */
+    std::map<std::string, std::weak_ptr<const PageImage>> images;
 };
 
 } // namespace svb

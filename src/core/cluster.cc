@@ -129,9 +129,10 @@ ServerlessCluster::beginRestore()
 }
 
 void
-ServerlessCluster::finishRestore(const Checkpoint &cp)
+ServerlessCluster::finishRestore(const Checkpoint &cp,
+                                 std::shared_ptr<const PageImage> image)
 {
-    machine->restoreCheckpoint(cp);
+    machine->restoreCheckpoint(cp, std::move(image));
     nWorkBegin = cp.getScalar("cluster.nWorkBegin");
     nWorkEnd = cp.getScalar("cluster.nWorkEnd");
     nSlotWorkEnd[0] = cp.getScalar("cluster.nSlotWorkEnd0");

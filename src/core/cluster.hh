@@ -90,8 +90,12 @@ class ServerlessCluster : public M5Listener
      */
     void beginRestore();
 
-    /** Second half: overwrite the rebuilt platform with @p cp. */
-    void finishRestore(const Checkpoint &cp);
+    /** Second half: overwrite the rebuilt platform with @p cp. With a
+     *  non-null @p image (the store's shared page image of @p cp) and
+     *  the system's REAP gate on, guest memory restores working-set
+     *  aware instead of via a full copy-in (see System). */
+    void finishRestore(const Checkpoint &cp,
+                       std::shared_ptr<const PageImage> image = nullptr);
 
     /** A deployed function-under-test. */
     struct Deployment

@@ -120,6 +120,7 @@ ExperimentRunner::prepare(const FunctionSpec &spec,
 {
     ServerlessCluster &cl = *clusterPtr;
     CheckpointStore &store = CheckpointStore::global();
+    pendingWsFp.clear();
     if (!store.enabled())
         return prepareFresh(spec, impl, ok);
 
@@ -128,22 +129,64 @@ ExperimentRunner::prepare(const FunctionSpec &spec,
     if (auto cp = store.acquire(fp, &claimed)) {
         // Restore-many: rebuild the platform, re-issue the same
         // deployments (the kernel restore checks the process table),
-        // then overwrite everything with the prepared snapshot.
+        // then overwrite everything with the prepared snapshot —
+        // working-set-aware when the REAP gate is on and the snapshot
+        // carries a page table.
         cl.beginRestore();
         auto dep = cl.deploy(spec, impl);
-        cl.finishRestore(*cp);
-        span("restore", "phase", cl.system().cycle(), cl.system().cycle());
+        std::shared_ptr<const PageImage> img;
+        if (cl.system().reapEnabled())
+            img = store.imageFor(fp, *cp);
+        cl.finishRestore(*cp, img);
+        PhysMemory &phys = cl.system().phys();
+        if (curTrack != obs::badTrack) {
+            obs::Tracer::global().record(
+                curTrack, "restore", "phase", cl.system().cycle(), 0,
+                {{"mode", img != nullptr ? "reap" : "full"},
+                 {"imagePages", std::to_string(phys.imagePages())},
+                 {"prefetchedPages",
+                  std::to_string(phys.prefetchedPages())},
+                 {"residentPages",
+                  std::to_string(phys.residentImagePages())}});
+        }
+        armWorkingSetCapture(fp, cp.get());
         ok = true;
         return dep;
     }
     // First preparation of this tuple anywhere: do the real work once
     // and publish the settle-point snapshot for everyone else.
     auto dep = prepareFresh(spec, impl, ok);
-    if (ok)
+    if (ok) {
         store.publish(fp, cl.savePrepared());
-    else
+        armWorkingSetCapture(fp, nullptr);
+    } else {
         store.release(fp);
+    }
     return dep;
+}
+
+void
+ExperimentRunner::armWorkingSetCapture(const std::string &fp,
+                                       const Checkpoint *cp)
+{
+    // Only fingerprints without a recorded working set need one; the
+    // capture costs a bitmap update per touched page until the cold
+    // request completes.
+    if (cp != nullptr && cp->hasBlob("mem.ws"))
+        return;
+    pendingWsFp = fp;
+    clusterPtr->system().phys().startTouchRecording();
+}
+
+void
+ExperimentRunner::noteColdRequestDone()
+{
+    if (pendingWsFp.empty())
+        return;
+    PhysMemory &phys = clusterPtr->system().phys();
+    CheckpointStore::global().attachWorkingSet(pendingWsFp,
+                                               phys.stopTouchRecording());
+    pendingWsFp.clear();
 }
 
 uint64_t
@@ -202,6 +245,7 @@ ExperimentRunner::runFunction(const FunctionSpec &spec,
         warn(spec.name, ": cold request did not complete");
         return result;
     }
+    noteColdRequestDone();
     result.cold = measureServerCore("cold");
     span("cold", "measure", cl.lastWorkBeginCycle(), cl.lastWorkEndCycle());
 
@@ -261,12 +305,17 @@ ExperimentRunner::runLukewarm(const FunctionSpec &spec,
 
     ServerlessCluster::Deployment dep;
     ServerlessCluster::Deployment dep2;
+    pendingWsFp.clear();
     if (cp) {
         cl.beginRestore();
         dep = cl.deploy(spec, impl, /*ring_slot=*/0);
         dep2 = cl.deploy(interferer, interferer_impl, /*ring_slot=*/1);
-        cl.finishRestore(*cp);
+        std::shared_ptr<const PageImage> img;
+        if (cl.system().reapEnabled())
+            img = store.imageFor(fp, *cp);
+        cl.finishRestore(*cp, img);
         span("restore", "phase", cl.system().cycle(), cl.system().cycle());
+        armWorkingSetCapture(fp, cp.get());
     } else {
         cl.boot();
         cl.resetToBaseline();
@@ -281,8 +330,10 @@ ExperimentRunner::runLukewarm(const FunctionSpec &spec,
         }
         span("container-start", "phase", start_begin, cl.system().cycle());
         cl.system().run(5'000);
-        if (claimed)
+        if (claimed) {
             store.publish(fp, cl.savePrepared());
+            armWorkingSetCapture(fp, nullptr);
+        }
     }
 
     System &m = cl.system();
@@ -297,6 +348,10 @@ ExperimentRunner::runLukewarm(const FunctionSpec &spec,
         warn(spec.name, ": lukewarm warming did not complete");
         return result;
     }
+    // The pair checkpoint's working set covers the whole interleaved
+    // warming phase — a superset of the cold path, so a later REAP
+    // restore prefetches everything the study touches.
+    noteColdRequestDone();
     span("warming", "phase", warming_begin, cl.lastWorkEndCycle());
 
     // Measure the next request of the function under test, detailed.
@@ -334,6 +389,7 @@ ExperimentRunner::runLoadCalibration(const FunctionSpec &spec,
     cl.openClientGate(dep);
     if (!cl.runUntilWorkEnds(1))
         return result;
+    noteColdRequestDone();
     result.coldNs = cyclesToNs(cl.lastWorkEndCycle() -
                                cl.lastWorkBeginCycle());
     span("cold", "measure", cl.lastWorkBeginCycle(), cl.lastWorkEndCycle());
@@ -368,6 +424,7 @@ ExperimentRunner::runFunctionEmu(const FunctionSpec &spec,
     cl.openClientGate(dep);
     if (!cl.runUntilWorkEnds(1))
         return result;
+    noteColdRequestDone();
     result.coldNs = cyclesToNs(cl.lastWorkEndCycle() -
                                cl.lastWorkBeginCycle());
     span("cold", "measure", cl.lastWorkBeginCycle(), cl.lastWorkEndCycle());

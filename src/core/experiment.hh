@@ -240,6 +240,18 @@ class ExperimentRunner
                                                const WorkloadImpl &impl,
                                                bool &ok);
 
+    /**
+     * Arm cold-request working-set capture for fingerprint @p fp when
+     * the published checkpoint does not carry one yet (@p cp nullptr
+     * means "just published by this runner"): the touch hook records
+     * every page the first request reaches, and noteColdRequestDone()
+     * attaches the set to the store (first writer wins).
+     */
+    void armWorkingSetCapture(const std::string &fp, const Checkpoint *cp);
+
+    /** Stop an armed capture and attach the recorded working set. */
+    void noteColdRequestDone();
+
     /** Convert a cycle delta to nanoseconds at the configured clock. */
     uint64_t cyclesToNs(uint64_t cycles) const;
 
@@ -267,6 +279,9 @@ class ExperimentRunner
     std::unique_ptr<ServerlessCluster> clusterPtr;
     obs::TrackId curTrack = obs::badTrack;
     std::string curName; ///< current experiment's name (dump stem)
+    /** Fingerprint whose working set the armed touch recording will
+     *  feed; empty when no capture is in flight. */
+    std::string pendingWsFp;
 };
 
 } // namespace svb

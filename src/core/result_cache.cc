@@ -88,12 +88,15 @@ RowSchema::find(const std::string &mode)
             ld.fields.push_back("ok");
             s.push_back(std::move(ld));
         }
-        // load v4: v1 predates the resilience fields (availability,
+        // load v5: v1 predates the resilience fields (availability,
         // retry/fault counters, goodput/error percentiles), v2 the
         // fleet fields (node count, routing policy, autoscaler peak,
         // throttles, node faults, utilisation), v3 the node-class
-        // fields (class count, provisioned fleet power/cost weights).
-        s.push_back({"load", 4,
+        // fields (class count, provisioned fleet power/cost weights);
+        // v4 rows were computed before the inclusive keep-alive TTL
+        // (an instance idle exactly keepAliveNs is now evicted), which
+        // shifts cold/warm splits at TTL boundaries.
+        s.push_back({"load", 5,
                      {"invocations", "coldStarts", "warmHits", "evictions",
                       "p50Ns", "p90Ns", "p99Ns", "p999Ns", "maxNs",
                       "throughputMrps", "histoFp", "succeeded",
@@ -104,13 +107,14 @@ RowSchema::find(const std::string &mode)
                       "policy", "maxActive", "throttles", "nodeFaults",
                       "utilPermil", "classes", "powerMw", "costMilli",
                       "ok"}});
-        // wflow v2: workflow-scenario summaries (workflow.hh); v1
+        // wflow v3: workflow-scenario summaries (workflow.hh); v1
         // predates the node-class fields (classes/powerMw/costMilli)
-        // and the placement-hint hit/miss counters. The critN slots
-        // memoise per-stage critical-path permil shares for the first
-        // kMaxCritSlots stages (unused slots store 0).
+        // and the placement-hint hit/miss counters; v2 predates the
+        // inclusive keep-alive TTL (see the load v5 note). The critN
+        // slots memoise per-stage critical-path permil shares for the
+        // first kMaxCritSlots stages (unused slots store 0).
         {
-            RowSchema wf{"wflow", 2,
+            RowSchema wf{"wflow", 3,
                          {"invocations", "succeeded", "failedWf", "sheds",
                           "throttles", "retries", "crashes", "timeouts",
                           "coldFails", "corruptRestores", "stragglers",
@@ -127,6 +131,14 @@ RowSchema::find(const std::string &mode)
                 wf.fields.push_back("crit" + std::to_string(k));
             s.push_back(std::move(wf));
         }
+        // coldrs v1: cold-start restore-mode sweeps
+        // (bench/coldstart_restore.cc) — per (runtime tier, ISA,
+        // restore mode, function) cold/warm latencies plus the page
+        // accounting of the REAP/CoW restore path.
+        s.push_back({"coldrs", 1,
+                     {"coldNs", "warmNs", "imagePages", "uniquePages",
+                      "wsPages", "prefetched", "faults", "residentEnd",
+                      "ok"}});
         return s;
     }();
     for (const RowSchema &schema : schemas)
@@ -690,6 +702,19 @@ ResultCache::workflowKey(const ClusterConfig &cfg,
     os << platformTag(cfg) << "," << db::dbKindName(cfg.dbKind) << ","
        << (cfg.startDb ? 1 : 0) << (cfg.startMemcached ? 1 : 0) << ","
        << scenario << ",wflow";
+    return os.str();
+}
+
+std::string
+ResultCache::coldRestoreKey(const ClusterConfig &cfg,
+                            const std::string &scenario) const
+{
+    svb_assert(scenario.find_first_of(",|=") == std::string::npos,
+               "scenario name contains a CSV metacharacter");
+    std::ostringstream os;
+    os << platformTag(cfg) << "," << db::dbKindName(cfg.dbKind) << ","
+       << (cfg.startDb ? 1 : 0) << (cfg.startMemcached ? 1 : 0) << ","
+       << scenario << ",coldrs";
     return os.str();
 }
 

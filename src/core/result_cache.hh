@@ -13,7 +13,7 @@
  * output never lands at the repo root).
  *
  * Row modes and schemas: each row's key ends in a mode tag ("o3",
- * "emu", "ldcal", "load", "wflow") and each mode is described by a RowSchema
+ * "emu", "ldcal", "load", "wflow", "coldrs") and each mode is described by a RowSchema
  * descriptor (tag, version, field set) — the single source of truth
  * for the "v" version stamp and for completeness validation. Loading
  * a row whose mode is unknown or whose version does not match warns
@@ -56,7 +56,7 @@ namespace svb
  */
 struct RowSchema
 {
-    const char *mode;   ///< key tag: "o3", "emu", "ldcal", "load", "wflow"
+    const char *mode;   ///< key tag: "o3", "emu", "ldcal", "load", "wflow", "coldrs"
     uint64_t version;   ///< current generation, stored as "v"
     std::vector<std::string> fields; ///< data fields (excluding "v")
 
@@ -203,6 +203,15 @@ class ResultCache
      *  the CSV metacharacters ',', '|' or '='. */
     std::string workflowKey(const ClusterConfig &cfg,
                             const std::string &scenario) const;
+
+    // --- cold-start restore-mode rows (mode "coldrs") --------------------
+    // bench/coldstart_restore.cc owns the field semantics (cold/warm
+    // latencies plus REAP/CoW page accounting per restore mode).
+
+    /** Key of a cold-start restore row. @p scenario must not contain
+     *  the CSV metacharacters ',', '|' or '='. */
+    std::string coldRestoreKey(const ClusterConfig &cfg,
+                               const std::string &scenario) const;
 
     /** Forget everything (and remove the backing file). */
     void clear();

@@ -29,6 +29,13 @@ System::System(const SystemConfig &config)
     sblock_grp.markHostOnly();
     sblocks->attachStats(sblock_grp);
     fastWarm = cfg.fastWarm && SuperblockCache::envEnabled();
+    reapRestore = cfg.reapRestore && reapEnvEnabled();
+    // Page/restore accounting is simulator work (restore mode changes
+    // it, guest-visible behavior doesn't), so it stays host-only like
+    // the decode and superblock groups.
+    StatGroup &mempage_grp = rootStats.childGroup("mempage");
+    mempage_grp.markHostOnly();
+    physMem->attachStats(mempage_grp);
     guestKernel = std::make_unique<GuestKernel>(
         *physMem, *frameAlloc, cfg.isa, int(cfg.numCores), rootStats);
     guestKernel->setM5Listener(this);
@@ -319,7 +326,8 @@ System::saveCheckpoint(bool include_uarch) const
 }
 
 void
-System::restoreCheckpoint(const Checkpoint &cp)
+System::restoreCheckpoint(const Checkpoint &cp,
+                          std::shared_ptr<const PageImage> image)
 {
     svb_assert(cp.getString("system.isa") == isaName(cfg.isa),
                "checkpoint ISA mismatch");
@@ -328,7 +336,10 @@ System::restoreCheckpoint(const Checkpoint &cp)
     // Superblocks lower code from the pre-restore physical memory;
     // drop them all. setContext() below resets every core's cursor.
     sblocks->clear();
-    physMem->unserializeState("mem.", cp);
+    if (image != nullptr && reapRestore)
+        physMem->restoreLazy(std::move(image));
+    else
+        physMem->unserializeState("mem.", cp);
     frameAlloc->unserializeState("frames.", cp);
     guestKernel->unserializeState("kernel.", cp);
     for (unsigned c = 0; c < cfg.numCores; ++c) {

@@ -57,6 +57,10 @@ class System : public M5Listener
      *  (config AND SVBENCH_FASTWARM both enabled). */
     bool fastPathEnabled() const { return fastWarm; }
 
+    /** True when checkpoint restores may take the working-set-aware
+     *  lazy path (config AND SVBENCH_REAP both enabled). */
+    bool reapEnabled() const { return reapRestore; }
+
     // --- CPU control --------------------------------------------------------
     /** Hand the core's architectural state to the other CPU model. */
     void switchCpu(unsigned core, CpuModel model);
@@ -117,8 +121,15 @@ class System : public M5Listener
      * restore that warm state instead. Restore must happen on a
      * freshly built system (detailed-CPU structures in their
      * constructed state), which the cluster's restore path guarantees.
+     *
+     * With a non-null @p image (the CheckpointStore's shared page
+     * image of @p cp) and reapEnabled(), guest memory restores
+     * working-set-aware: the recorded working set is prefetched and
+     * the remaining snapshot pages materialise copy-on-write on first
+     * touch — byte-identical guest state either way.
      */
-    void restoreCheckpoint(const Checkpoint &cp);
+    void restoreCheckpoint(const Checkpoint &cp,
+                           std::shared_ptr<const PageImage> image = nullptr);
 
   private:
     /** One cycle for core @p c through the appropriate engine. */
@@ -143,6 +154,7 @@ class System : public M5Listener
 
     uint64_t globalCycle = 0;
     bool fastWarm = true;
+    bool reapRestore = true;
     bool stopRequested = false;
     M5Listener *chainedListener = nullptr;
     std::ostream *statsDumpStream = nullptr;

@@ -51,6 +51,17 @@ struct SystemConfig
      */
     bool fastWarm = true;
 
+    /**
+     * Restore prepared-state checkpoints working-set-aware (REAP
+     * style): prefetch the recorded cold-request working set from the
+     * shared CoW page store and materialise every other snapshot page
+     * on first touch. Byte-identical guest state and statistics to a
+     * full restore; disable to force the full-copy oracle. ANDed with
+     * the SVBENCH_REAP environment override ("0" disables), so either
+     * side can force the slow path.
+     */
+    bool reapRestore = true;
+
     /** Table 4.2 / 4.3 provenance strings (reporting only). */
     std::string osLabel;
     std::string compilerLabel;

@@ -17,9 +17,14 @@ InstancePool::expireIdle(uint64_t now_ns)
     if (cfg.policy != KeepAlivePolicy::FixedTtl)
         return;
     for (Instance &inst : slots) {
+        // The TTL is inclusive: an instance whose idle time has
+        // *reached* keepAliveNs is gone, so a request arriving exactly
+        // at the boundary pays the cold path (the platform tears the
+        // container down at the deadline, not one tick later).
         if (inst.live && !inst.reserved && inst.busyUntilNs <= now_ns &&
-            now_ns - inst.lastUsedNs > cfg.keepAliveNs) {
+            now_ns - inst.lastUsedNs >= cfg.keepAliveNs) {
             inst.live = false;
+            inst.lease.reset();
             ++poolStats.evictions;
         }
     }
@@ -84,6 +89,7 @@ InstancePool::acquire(uint32_t fn_id, uint64_t now_ns)
         Instance &inst = slots[unsigned(victim)];
         inst.fnId = fn_id;
         inst.live = false;
+        inst.lease.reset();
         inst.reserved = true;
         // Recycled slot: the victim's usage history must not leak
         // into the new instance's FixedTtl age, so restart its clock
@@ -125,6 +131,7 @@ InstancePool::acquire(uint32_t fn_id, uint64_t now_ns)
     if (slots[q].live)
         ++poolStats.evictions;
     slots[q].live = false;
+    slots[q].lease.reset();
     slots[q].fnId = fn_id;
     slots[q].reserved = true;
     // Same recycle reset as step 3: the new instance's age starts at
@@ -150,6 +157,8 @@ InstancePool::release(unsigned slot, uint64_t end_ns)
     // AlwaysCold tears the instance down with the request; every
     // other policy keeps it resident (until TTL/LRU eviction).
     inst.live = cfg.policy != KeepAlivePolicy::AlwaysCold;
+    if (!inst.live)
+        inst.lease.reset();
 }
 
 void
@@ -160,6 +169,7 @@ InstancePool::kill(unsigned slot, uint64_t at_ns)
     svb_assert(inst.reserved, "kill of a slot that was not acquired");
     inst.reserved = false;
     inst.live = false;
+    inst.lease.reset();
     inst.busyUntilNs = at_ns;
     inst.lastUsedNs = at_ns;
     ++poolStats.crashes;
@@ -185,6 +195,7 @@ InstancePool::crashAll(uint64_t at_ns)
         }
         inst.live = false;
         inst.reserved = false;
+        inst.lease.reset();
         inst.busyUntilNs = at_ns;
         inst.lastUsedNs = at_ns;
     }
@@ -201,6 +212,7 @@ InstancePool::evictAll(uint64_t at_ns)
             inst.live = false;
             ++poolStats.evictions;
         }
+        inst.lease.reset();
         inst.busyUntilNs = at_ns;
         inst.lastUsedNs = at_ns;
     }
@@ -218,6 +230,20 @@ InstancePool::slotBusyUntilNs(unsigned slot) const
 {
     svb_assert(slot < slots.size(), "unknown slot");
     return slots[slot].busyUntilNs;
+}
+
+void
+InstancePool::setLease(unsigned slot, std::shared_ptr<const void> lease)
+{
+    svb_assert(slot < slots.size(), "setLease of unknown slot");
+    slots[slot].lease = std::move(lease);
+}
+
+bool
+InstancePool::slotHasLease(unsigned slot) const
+{
+    svb_assert(slot < slots.size(), "unknown slot");
+    return slots[slot].lease != nullptr;
 }
 
 unsigned

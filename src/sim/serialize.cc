@@ -1,9 +1,11 @@
 #include "serialize.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
+#include <unistd.h>
 
 #include "logging.hh"
 
@@ -197,8 +199,15 @@ void
 Checkpoint::saveToFile(const std::string &path) const
 {
     // Write-then-rename: readers either see the previous complete file
-    // or the new complete file, never a half-written one.
-    const std::string tmp = path + ".tmp";
+    // or the new complete file, never a half-written one. The
+    // temporary sibling carries a per-process, per-call unique suffix:
+    // with a fixed ".tmp" name, two concurrent writers of the same
+    // path would interleave into one temporary file and a corrupt mix
+    // could be renamed into place.
+    static std::atomic<uint64_t> tmpCounter{0};
+    const std::string tmp =
+        path + ".tmp." + std::to_string(uint64_t(::getpid())) + "." +
+        std::to_string(tmpCounter.fetch_add(1, std::memory_order_relaxed));
     {
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
         if (!os)

@@ -64,9 +64,10 @@ class Checkpoint
 
     /**
      * Write the checkpoint to a file (simple tagged binary format).
-     * The write goes to a temporary sibling first and is renamed into
-     * place, so a crash mid-write never leaves a truncated checkpoint
-     * under @p path.
+     * The write goes to a uniquely named temporary sibling first and
+     * is atomically renamed into place, so neither a crash mid-write
+     * nor a concurrent writer of the same path can ever leave a
+     * truncated or interleaved checkpoint under @p path.
      */
     void saveToFile(const std::string &path) const;
 

@@ -13,14 +13,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/checkpoint_store.hh"
+#include "mem/phys_memory.hh"
 #include "core/result_cache.hh"
 #include "workloads/workloads.hh"
 
@@ -354,6 +357,129 @@ TEST(CheckpointNegativeTest, StoreTreatsCorruptFileAsMiss)
     EXPECT_EQ(store.acquire(fp, &claimed), nullptr);
     EXPECT_TRUE(claimed);
     store.release(fp);
+}
+
+TEST(CheckpointNegativeTest, DoctoredMemoryImageIsAMiss)
+{
+    // A checkpoint whose memory image carries hostile page counts or
+    // offsets must be refused at acquire() time — warn and miss, never
+    // an OOB index in the restore path.
+    TempCheckpointDir ckpts("ckpt_neg_doctored");
+    std::filesystem::create_directories(ckpts.dir);
+    CheckpointStore &store = CheckpointStore::global();
+    const std::string fp = "doctored-image-test";
+    const std::string path = store.pathFor(fp);
+
+    // A genuine page-granular image, published the way the store
+    // writes them.
+    PhysMemory mem(8 * snapshotPageBytes);
+    mem.write64(0, 0x1234);
+    mem.write64(5 * snapshotPageBytes, 0x5678);
+    Checkpoint cp;
+    mem.serializeState("mem.", cp);
+    cp.setString("meta.fingerprint", fp);
+    cp.saveToFile(path);
+
+    bool claimed = false;
+    ASSERT_NE(store.acquire(fp, &claimed), nullptr)
+        << "the intact checkpoint must load";
+
+    // Doctor the on-disk page count far beyond the recorded memory
+    // and drop the in-memory cache so acquire() re-reads the file.
+    Checkpoint evil = Checkpoint::loadFromFile(path);
+    evil.setScalar("mem.pages", uint64_t(1) << 20);
+    evil.saveToFile(path);
+    CheckpointStore::global().resetForTest(ckpts.dir);
+
+    claimed = false;
+    EXPECT_EQ(store.acquire(fp, &claimed), nullptr)
+        << "a doctored memory image was served";
+    EXPECT_TRUE(claimed);
+    store.release(fp);
+
+    // Same for a table that indexes outside the unique-page pool.
+    Checkpoint evil2 = Checkpoint::loadFromFile(path);
+    std::vector<uint8_t> table = evil2.getBlob("mem.table");
+    ASSERT_GE(table.size(), 16u);
+    table[8] = 0xff; // first mapping's unique-page id
+    evil2.setBlob("mem.table", std::move(table));
+    evil2.setScalar("mem.pages", 2); // restore a sane page count
+    evil2.saveToFile(path);
+    CheckpointStore::global().resetForTest(ckpts.dir);
+
+    claimed = false;
+    EXPECT_EQ(store.acquire(fp, &claimed), nullptr);
+    EXPECT_TRUE(claimed);
+    store.release(fp);
+}
+
+TEST(CheckpointAtomicityTest, ConcurrentWritersNeverTearTheFile)
+{
+    // Several threads repeatedly save DIFFERENT checkpoints to the
+    // same path while a reader polls it: every successful load must be
+    // exactly one writer's complete content. With a fixed temporary
+    // sibling name (the pre-fix behaviour) concurrent writers
+    // interleave their bytes in the shared temp file and a mixed or
+    // torn checkpoint can be renamed into place.
+    TempCheckpointDir ckpts("ckpt_atomic_stress");
+    std::filesystem::create_directories(ckpts.dir);
+    const std::string path = ckpts.dir + "/contended.ckpt";
+    constexpr unsigned kWriters = 4;
+    constexpr unsigned kRounds = 40;
+
+    std::vector<Checkpoint> contents(kWriters);
+    for (unsigned w = 0; w < kWriters; ++w) {
+        contents[w].setScalar("writer", w);
+        contents[w].setBlob(
+            "payload", std::vector<uint8_t>(64 * 1024, uint8_t(w + 1)));
+    }
+
+    std::atomic<bool> done{false};
+    std::atomic<unsigned> torn{0};
+    std::atomic<unsigned> loads{0};
+    std::thread reader([&] {
+        while (!done.load()) {
+            std::optional<Checkpoint> cp = Checkpoint::tryLoadFromFile(path);
+            if (!cp.has_value())
+                continue; // not yet written; never torn (see below)
+            ++loads;
+            const uint64_t w = cp->getScalar("writer");
+            const std::vector<uint8_t> &payload = cp->getBlob("payload");
+            bool consistent = w < kWriters &&
+                              payload.size() == 64 * 1024;
+            for (size_t i = 0; consistent && i < payload.size(); ++i)
+                consistent = payload[i] == uint8_t(w + 1);
+            if (!consistent)
+                ++torn;
+        }
+    });
+
+    std::vector<std::thread> writers;
+    for (unsigned w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+            for (unsigned r = 0; r < kRounds; ++r)
+                contents[w].saveToFile(path);
+        });
+    }
+    for (std::thread &t : writers)
+        t.join();
+    done = true;
+    reader.join();
+
+    EXPECT_EQ(torn.load(), 0u)
+        << "a reader observed a torn/mixed checkpoint";
+    EXPECT_GT(loads.load(), 0u) << "the reader never saw the file";
+
+    // The final file is intact and is one writer's exact content.
+    std::optional<Checkpoint> last = Checkpoint::tryLoadFromFile(path);
+    ASSERT_TRUE(last.has_value());
+    EXPECT_LT(last->getScalar("writer"), kWriters);
+
+    // No temporary siblings left behind.
+    unsigned files = 0;
+    for (const auto &e : std::filesystem::directory_iterator(ckpts.dir))
+        files += e.is_regular_file() ? 1 : 0;
+    EXPECT_EQ(files, 1u) << "stray temp files left beside the checkpoint";
 }
 
 TEST(ResultCacheRobustnessTest, TruncatedCsvLosesOnlyAffectedRows)

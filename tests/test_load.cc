@@ -248,6 +248,38 @@ TEST(InstancePool, FixedTtlEvictsIdleInstances)
     EXPECT_EQ(pool.stats().evictions, 1u);
 }
 
+TEST(InstancePool, FixedTtlBoundaryIsInclusive)
+{
+    // Regression: expireIdle() used a strict `>` comparison, so a
+    // request arriving when the idle time EQUALED keepAliveNs was
+    // served warm by an instance the platform had already torn down
+    // at that deadline. The TTL is inclusive: exactly-at-boundary is
+    // an eviction and a cold start.
+    PoolConfig cfg;
+    cfg.policy = KeepAlivePolicy::FixedTtl;
+    cfg.maxInstances = 1;
+    cfg.keepAliveNs = 1000;
+    InstancePool pool(cfg);
+
+    auto pl = pool.acquire(0, 0);
+    EXPECT_TRUE(pl.cold);
+    pool.release(pl.slot, 700); // idle from t=700
+
+    // One tick before the deadline: still warm.
+    pl = pool.acquire(0, 700 + cfg.keepAliveNs - 1);
+    EXPECT_FALSE(pl.cold);
+    pool.release(pl.slot, 1700); // idle from t=1700
+
+    // Exactly at the deadline: evicted, cold.
+    pl = pool.acquire(0, 1700 + cfg.keepAliveNs);
+    EXPECT_TRUE(pl.cold);
+    pool.release(pl.slot, 2800);
+
+    EXPECT_EQ(pool.stats().coldStarts, 2u);
+    EXPECT_EQ(pool.stats().warmHits, 1u);
+    EXPECT_EQ(pool.stats().evictions, 1u);
+}
+
 TEST(InstancePool, LruEvictsTheLeastRecentlyUsedUnderPressure)
 {
     PoolConfig cfg;

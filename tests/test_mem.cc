@@ -1,11 +1,15 @@
 /**
  * @file
- * Memory system unit tests: physical memory, tag-only caches (LRU,
- * writebacks, invalidation), the DRAM row-buffer model, and the
- * per-core hierarchies with write-invalidate coherence.
+ * Memory system unit tests: physical memory (including the
+ * page-granular checkpoint format, working-set touch recording and
+ * lazy CoW restores), tag-only caches (LRU, writebacks,
+ * invalidation), the DRAM row-buffer model, and the per-core
+ * hierarchies with write-invalidate coherence.
  */
 
 #include <gtest/gtest.h>
+
+#include <cstring>
 
 #include "mem/hierarchy.hh"
 #include "mem/phys_memory.hh"
@@ -47,6 +51,279 @@ TEST(PhysMemory, CheckpointRoundtrip)
     PhysMemory other(4096);
     other.unserializeState("m.", cp);
     EXPECT_EQ(other.read64(8), 0xdeadbeefu);
+}
+
+TEST(PhysMemory, PageTableFormatDedupsIdenticalPages)
+{
+    PhysMemory mem(8 * snapshotPageBytes);
+    // Three identical non-zero pages plus one distinct one; the rest
+    // stay zero and must not be stored at all.
+    for (uint64_t page : {0ull, 3ull, 6ull}) {
+        for (size_t b = 0; b < snapshotPageBytes; b += 8)
+            mem.write64(page * snapshotPageBytes + b, 0xa5a5a5a5ull);
+    }
+    mem.write64(5 * snapshotPageBytes + 16, 0x123456789ull);
+
+    Checkpoint cp;
+    mem.serializeState("m.", cp);
+    EXPECT_EQ(cp.getScalar("m.format"), 2u);
+    EXPECT_EQ(cp.getScalar("m.pages"), 4u);       // 4 non-zero pages
+    EXPECT_EQ(cp.getScalar("m.uniquePages"), 2u); // 2 distinct contents
+    EXPECT_EQ(cp.getBlob("m.pagedata").size(), 2 * snapshotPageBytes);
+
+    PhysMemory other(8 * snapshotPageBytes);
+    other.unserializeState("m.", cp);
+    for (Addr a = 0; a < mem.size(); a += 8)
+        ASSERT_EQ(other.read64(a), mem.read64(a)) << "at " << a;
+}
+
+TEST(PhysMemory, ZeroPagesAreNotStored)
+{
+    PhysMemory mem(16 * snapshotPageBytes);
+    Checkpoint cp;
+    mem.serializeState("m.", cp);
+    EXPECT_EQ(cp.getScalar("m.pages"), 0u);
+    EXPECT_EQ(cp.getScalar("m.uniquePages"), 0u);
+    EXPECT_TRUE(cp.getBlob("m.pagedata").empty());
+}
+
+TEST(PhysMemory, TouchRecordingCapturesAccessedPages)
+{
+    PhysMemory mem(8 * snapshotPageBytes);
+    mem.write64(0, 1); // before recording: not captured
+    mem.startTouchRecording();
+    EXPECT_TRUE(mem.touchRecording());
+    mem.write64(2 * snapshotPageBytes + 8, 2);
+    (void)mem.read64(5 * snapshotPageBytes);
+    // A straddling access touches both pages.
+    uint8_t buf[16] = {};
+    mem.readBytes(4 * snapshotPageBytes - 8, buf, sizeof(buf));
+    const std::vector<uint64_t> ws = mem.stopTouchRecording();
+    EXPECT_FALSE(mem.touchRecording());
+    EXPECT_EQ(ws, (std::vector<uint64_t>{2, 3, 4, 5}));
+    // Disarmed: later accesses record nothing.
+    mem.write64(7 * snapshotPageBytes, 3);
+    mem.startTouchRecording();
+    EXPECT_TRUE(mem.stopTouchRecording().empty());
+}
+
+TEST(PhysMemory, LazyRestoreMatchesFullRestoreByteForByte)
+{
+    PhysMemory source(8 * snapshotPageBytes);
+    for (uint64_t page : {1ull, 2ull, 6ull}) {
+        for (size_t b = 0; b < snapshotPageBytes; b += 8)
+            source.write64(page * snapshotPageBytes + b,
+                           0x1000 + page * 8 + b);
+    }
+    Checkpoint cp;
+    source.serializeState("m.", cp);
+
+    PhysMemory full(8 * snapshotPageBytes);
+    full.unserializeState("m.", cp);
+    EXPECT_EQ(full.fullRestores(), 1u);
+
+    PhysMemory lazy(8 * snapshotPageBytes);
+    lazy.write64(0, 0xdead); // pre-restore dirt must vanish
+    ASSERT_TRUE(PhysMemory::hasPageTable("m.", cp));
+    lazy.restoreLazy(PhysMemory::buildImage("m.", cp));
+    EXPECT_EQ(lazy.lazyRestores(), 1u);
+    EXPECT_EQ(lazy.imagePages(), 3u);
+    // No working set recorded: nothing prefetched, all pages pending.
+    EXPECT_EQ(lazy.prefetchedPages(), 0u);
+    EXPECT_EQ(lazy.pendingLazyPages(), 3u);
+
+    for (Addr a = 0; a < full.size(); a += 8)
+        ASSERT_EQ(lazy.read64(a), full.read64(a)) << "at " << a;
+    EXPECT_EQ(lazy.pendingLazyPages(), 0u);
+    EXPECT_EQ(lazy.lazyFaults(), 3u);
+    EXPECT_EQ(lazy.residentImagePages(), 3u);
+}
+
+TEST(PhysMemory, WorkingSetPrefetchesEagerly)
+{
+    PhysMemory source(8 * snapshotPageBytes);
+    for (uint64_t page : {1ull, 2ull, 6ull})
+        source.write64(page * snapshotPageBytes, 0xbeef00 + page);
+    source.startTouchRecording();
+    (void)source.read64(2 * snapshotPageBytes);
+    Checkpoint cp;
+    source.serializeState("m.", cp);
+    // Attach the recorded working set the way the store does.
+    BlobWriter w;
+    for (uint64_t p : source.stopTouchRecording())
+        w.putU64(p);
+    cp.setBlob("m.ws", w.take());
+
+    PhysMemory lazy(8 * snapshotPageBytes);
+    lazy.restoreLazy(PhysMemory::buildImage("m.", cp));
+    EXPECT_EQ(lazy.prefetchedPages(), 1u);
+    EXPECT_EQ(lazy.pendingLazyPages(), 2u);
+    EXPECT_EQ(lazy.residentImagePages(), 1u);
+    // The prefetched page reads without a fault.
+    EXPECT_EQ(lazy.read64(2 * snapshotPageBytes), 0xbeef02u);
+    EXPECT_EQ(lazy.lazyFaults(), 0u);
+}
+
+TEST(PhysMemory, CowSharingIsolatesInstances)
+{
+    PhysMemory source(4 * snapshotPageBytes);
+    source.write64(snapshotPageBytes, 0x1111);
+    Checkpoint cp;
+    source.serializeState("m.", cp);
+    const std::shared_ptr<const PageImage> image =
+        PhysMemory::buildImage("m.", cp);
+
+    PhysMemory a(4 * snapshotPageBytes);
+    PhysMemory b(4 * snapshotPageBytes);
+    a.restoreLazy(image);
+    b.restoreLazy(image);
+    // A guest write in one instance never reaches its sibling.
+    a.write64(snapshotPageBytes, 0x2222);
+    EXPECT_EQ(a.read64(snapshotPageBytes), 0x2222u);
+    EXPECT_EQ(b.read64(snapshotPageBytes), 0x1111u);
+    // And the shared image itself is untouched: a third restore still
+    // sees the snapshot value.
+    PhysMemory c(4 * snapshotPageBytes);
+    c.restoreLazy(image);
+    EXPECT_EQ(c.read64(snapshotPageBytes), 0x1111u);
+}
+
+TEST(PhysMemory, SerializeOfLazyInstanceMaterializesFirst)
+{
+    PhysMemory source(4 * snapshotPageBytes);
+    source.write64(2 * snapshotPageBytes, 0x77);
+    Checkpoint cp;
+    source.serializeState("m.", cp);
+
+    PhysMemory lazy(4 * snapshotPageBytes);
+    lazy.restoreLazy(PhysMemory::buildImage("m.", cp));
+    // Re-serialising an only-partially-materialised instance must
+    // produce the complete image, not just the resident pages.
+    Checkpoint cp2;
+    lazy.serializeState("m.", cp2);
+    PhysMemory back(4 * snapshotPageBytes);
+    back.unserializeState("m.", cp2);
+    EXPECT_EQ(back.read64(2 * snapshotPageBytes), 0x77u);
+}
+
+TEST(PhysMemory, ValidateCheckpointRejectsHostileImages)
+{
+    PhysMemory mem(4 * snapshotPageBytes);
+    mem.write64(0, 1);
+    mem.write64(3 * snapshotPageBytes, 2);
+    Checkpoint good;
+    mem.serializeState("m.", good);
+    std::string err;
+    EXPECT_TRUE(PhysMemory::validateCheckpoint("m.", good, &err)) << err;
+
+    // Page count beyond the memory.
+    {
+        Checkpoint cp = good;
+        cp.setScalar("m.pages", 1u << 20);
+        EXPECT_FALSE(PhysMemory::validateCheckpoint("m.", cp, &err));
+    }
+    // Unsupported page size (would scale every offset wrong).
+    {
+        Checkpoint cp = good;
+        cp.setScalar("m.pageBytes", 1u << 30);
+        EXPECT_FALSE(PhysMemory::validateCheckpoint("m.", cp, &err));
+    }
+    // Truncated page-table blob.
+    {
+        Checkpoint cp = good;
+        std::vector<uint8_t> table = cp.getBlob("m.table");
+        table.resize(table.size() - 8);
+        cp.setBlob("m.table", std::move(table));
+        EXPECT_FALSE(PhysMemory::validateCheckpoint("m.", cp, &err));
+    }
+    // Page index out of bounds.
+    {
+        Checkpoint cp = good;
+        std::vector<uint8_t> table = cp.getBlob("m.table");
+        table[0] = 0xff; // first mapping's page index -> huge
+        table[3] = 0xff;
+        cp.setBlob("m.table", std::move(table));
+        EXPECT_FALSE(PhysMemory::validateCheckpoint("m.", cp, &err));
+    }
+    // Unique-page id out of bounds.
+    {
+        Checkpoint cp = good;
+        std::vector<uint8_t> table = cp.getBlob("m.table");
+        table[8] = 0xff;
+        cp.setBlob("m.table", std::move(table));
+        EXPECT_FALSE(PhysMemory::validateCheckpoint("m.", cp, &err));
+    }
+    // Unique-page pool length mismatch.
+    {
+        Checkpoint cp = good;
+        std::vector<uint8_t> pd = cp.getBlob("m.pagedata");
+        pd.resize(pd.size() - 1);
+        cp.setBlob("m.pagedata", std::move(pd));
+        EXPECT_FALSE(PhysMemory::validateCheckpoint("m.", cp, &err));
+    }
+    // Working set with an out-of-bounds page.
+    {
+        Checkpoint cp = good;
+        BlobWriter w;
+        w.putU64(1u << 20);
+        cp.setBlob("m.ws", w.take());
+        EXPECT_FALSE(PhysMemory::validateCheckpoint("m.", cp, &err));
+    }
+    // Hostile legacy v1: payload length larger than the blob.
+    {
+        Checkpoint cp;
+        cp.setScalar("m.size", 4 * snapshotPageBytes);
+        cp.setScalar("m.pageBytes", snapshotPageBytes);
+        cp.setScalar("m.pages", 2);
+        BlobWriter w;
+        w.putU64(0); // one record, then truncation
+        cp.setBlob("m.data", w.take());
+        EXPECT_FALSE(PhysMemory::validateCheckpoint("m.", cp, &err));
+    }
+    // The original is still fine (doctored copies never leaked back).
+    EXPECT_TRUE(PhysMemory::validateCheckpoint("m.", good, &err)) << err;
+}
+
+TEST(PageStore, InternDedupsAndFreesWithLastHolder)
+{
+    PageStore &store = PageStore::global();
+    store.resetForTest();
+
+    std::vector<uint8_t> page(snapshotPageBytes, 0x5a);
+    auto first = store.intern(page.data(), page.size());
+    auto second = store.intern(page.data(), page.size());
+    EXPECT_EQ(first.get(), second.get()); // same shared page
+    EXPECT_EQ(store.internHits(), 1u);
+    EXPECT_EQ(store.internMisses(), 1u);
+    EXPECT_EQ(store.liveUniquePages(), 1u);
+
+    page[0] ^= 0xff;
+    auto third = store.intern(page.data(), page.size());
+    EXPECT_NE(first.get(), third.get());
+    EXPECT_EQ(store.liveUniquePages(), 2u);
+
+    // Dropping every holder frees the page: the next intern of the
+    // same bytes is a miss again.
+    first.reset();
+    second.reset();
+    third.reset();
+    EXPECT_EQ(store.liveUniquePages(), 0u);
+    std::vector<uint8_t> again(snapshotPageBytes, 0x5a);
+    store.intern(again.data(), again.size());
+    EXPECT_EQ(store.internMisses(), 3u);
+}
+
+TEST(PageStore, ShortTailPageHashesLikePaddedPage)
+{
+    std::vector<uint8_t> full(snapshotPageBytes, 0);
+    full[0] = 0xab;
+    EXPECT_EQ(hashSnapshotPage(full.data(), 1),
+              hashSnapshotPage(full.data(), full.size()));
+    PageStore &store = PageStore::global();
+    store.resetForTest();
+    auto tail = store.intern(full.data(), 1);
+    auto padded = store.intern(full.data(), full.size());
+    EXPECT_EQ(tail.get(), padded.get());
 }
 
 namespace

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Full vs working-set-aware (REAP-style) restore differential.
+ *
+ * The tentpole invariant of the lazy-restore path: a restore that
+ * prefetches only the recorded working set and materialises every
+ * other snapshot page on first touch is ARCHITECTURALLY INVISIBLE.
+ * Verified here by running the same experiment under SVBENCH_REAP=0
+ * and =1 — on both ISAs and both emulation tiers — and asserting
+ * byte-identity of the guest-visible latencies, the full guest stats
+ * snapshot, and a re-taken checkpoint of the final system state.
+ * Plus: CoW sharing across concurrently restored runners, and the
+ * instance-pool lease contract that makes pool density observable as
+ * live page refcounts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/checkpoint_store.hh"
+#include "core/experiment.hh"
+#include "load/instance_pool.hh"
+#include "workloads/workloads.hh"
+
+using namespace svb;
+
+namespace
+{
+
+FunctionSpec
+specFor(const std::string &name)
+{
+    for (const FunctionSpec &spec : workloads::allFunctions()) {
+        if (spec.name == name)
+            return spec;
+    }
+    ADD_FAILURE() << "unknown function " << name;
+    return {};
+}
+
+ClusterConfig
+standaloneConfig(IsaId isa, bool fast_warm)
+{
+    ClusterConfig cfg;
+    cfg.system = SystemConfig::paperConfig(isa);
+    cfg.system.fastWarm = fast_warm;
+    cfg.startDb = false;
+    cfg.startMemcached = false;
+    return cfg;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+/** Redirect the global CheckpointStore to a private directory for the
+ *  duration of one test, deleting it (and any snapshots) afterwards. */
+struct TempCheckpointDir
+{
+    explicit TempCheckpointDir(std::string d) : dir(std::move(d))
+    {
+        std::filesystem::remove_all(dir);
+        CheckpointStore::global().resetForTest(dir);
+    }
+    ~TempCheckpointDir()
+    {
+        std::filesystem::remove_all(dir);
+        CheckpointStore::global().resetForTest(dir);
+    }
+    std::string dir;
+};
+
+/** Pin SVBENCH_REAP for one scope and restore the prior value after.
+ *  The gate is latched at System construction, so it must be set
+ *  BEFORE an ExperimentRunner is built. */
+struct ReapEnv
+{
+    explicit ReapEnv(bool on)
+    {
+        const char *prev = std::getenv("SVBENCH_REAP");
+        had = prev != nullptr;
+        if (had)
+            saved = prev;
+        setenv("SVBENCH_REAP", on ? "1" : "0", 1);
+    }
+    ~ReapEnv()
+    {
+        if (had)
+            setenv("SVBENCH_REAP", saved.c_str(), 1);
+        else
+            unsetenv("SVBENCH_REAP");
+    }
+    bool had = false;
+    std::string saved;
+};
+
+/** Serialise the post-run system state to bytes (the strongest
+ *  identity surface: every architectural bit, deterministic order). */
+std::string
+stateBytes(ExperimentRunner &runner, const std::string &dir,
+           const std::string &tag)
+{
+    const std::string path = dir + "/" + tag + ".state";
+    runner.cluster().system().saveCheckpoint().saveToFile(path);
+    return slurp(path);
+}
+
+/**
+ * The differential proper: prepare once (publishing the snapshot and
+ * its recorded working set), then restore-and-measure under full and
+ * under REAP mode. Everything guest-visible must match byte for byte,
+ * while the host-side page counters prove the REAP run really did
+ * take the lazy path.
+ */
+void
+checkFullVsReap(IsaId isa, bool fast_warm, const std::string &dir)
+{
+    TempCheckpointDir ckpts(dir);
+    std::filesystem::create_directories(dir);
+    const FunctionSpec spec = specFor("fibonacci-go");
+    const WorkloadImpl &impl = workloads::workloadImpl(spec.workload);
+    const ClusterConfig cfg = standaloneConfig(isa, fast_warm);
+
+    // Prepare + publish (records the cold request's working set).
+    {
+        ReapEnv env(false);
+        ExperimentRunner prep(cfg);
+        ASSERT_TRUE(prep.runFunctionEmu(spec, impl).ok);
+    }
+
+    EmuResult full;
+    std::map<std::string, double> snapFull;
+    std::string bytesFull;
+    {
+        ReapEnv env(false);
+        ExperimentRunner runner(cfg);
+        full = runner.runFunctionEmu(spec, impl);
+        ASSERT_TRUE(full.ok);
+        EXPECT_FALSE(runner.cluster().system().reapEnabled());
+        EXPECT_EQ(runner.cluster().system().phys().lazyRestores(), 0u);
+        snapFull = runner.cluster().system().stats().snapshotAll();
+        bytesFull = stateBytes(runner, dir, "full");
+    }
+
+    EmuResult reap;
+    std::map<std::string, double> snapReap;
+    std::string bytesReap;
+    {
+        ReapEnv env(true);
+        ExperimentRunner runner(cfg);
+        reap = runner.runFunctionEmu(spec, impl);
+        ASSERT_TRUE(reap.ok);
+        PhysMemory &phys = runner.cluster().system().phys();
+        // The lazy path must actually have been exercised: at least
+        // one working-set prefetch, and not every image page resident.
+        EXPECT_GE(phys.lazyRestores(), 1u);
+        EXPECT_GT(phys.prefetchedPages(), 0u);
+        EXPECT_GT(phys.imagePages(), 0u);
+        snapReap = runner.cluster().system().stats().snapshotAll();
+        bytesReap = stateBytes(runner, dir, "reap");
+    }
+
+    EXPECT_EQ(full.coldNs, reap.coldNs) << "cold latency diverged";
+    EXPECT_EQ(full.warmNs, reap.warmNs) << "warm latency diverged";
+    EXPECT_EQ(snapFull, snapReap) << "guest stats snapshot diverged";
+    ASSERT_FALSE(bytesFull.empty());
+    EXPECT_EQ(bytesFull, bytesReap)
+        << "post-run architectural state diverged";
+}
+
+} // namespace
+
+TEST(RestoreDifferential, FullVsReapRiscvFastWarm)
+{
+    checkFullVsReap(IsaId::Riscv, true, "reapdiff_rv_fw");
+}
+
+TEST(RestoreDifferential, FullVsReapRiscvAtomic)
+{
+    checkFullVsReap(IsaId::Riscv, false, "reapdiff_rv_at");
+}
+
+TEST(RestoreDifferential, FullVsReapCx86FastWarm)
+{
+    checkFullVsReap(IsaId::Cx86, true, "reapdiff_cx_fw");
+}
+
+TEST(RestoreDifferential, FullVsReapCx86Atomic)
+{
+    checkFullVsReap(IsaId::Cx86, false, "reapdiff_cx_at");
+}
+
+TEST(RestoreDifferential, ConcurrentRestoredRunnersShareButDoNotLeak)
+{
+    // Two runners restored from the same snapshot run back to back
+    // while both are alive: the shared CoW image must serve both, and
+    // the first runner's guest writes must never leak into the second
+    // runner's restore.
+    TempCheckpointDir ckpts("reapdiff_cow");
+    const FunctionSpec spec = specFor("aes-go");
+    const WorkloadImpl &impl = workloads::workloadImpl(spec.workload);
+    const ClusterConfig cfg = standaloneConfig(IsaId::Riscv, true);
+
+    ReapEnv env(true);
+    {
+        ExperimentRunner prep(cfg);
+        ASSERT_TRUE(prep.runFunctionEmu(spec, impl).ok);
+    }
+    ExperimentRunner a(cfg);
+    const EmuResult ra = a.runFunctionEmu(spec, impl);
+    ASSERT_TRUE(ra.ok);
+    EXPECT_GE(a.cluster().system().phys().lazyRestores(), 1u);
+
+    // Runner a stays alive (its materialised pages and image refs
+    // included) while b restores from the same fingerprint.
+    ExperimentRunner b(cfg);
+    const EmuResult rb = b.runFunctionEmu(spec, impl);
+    ASSERT_TRUE(rb.ok);
+    EXPECT_GE(b.cluster().system().phys().lazyRestores(), 1u);
+    EXPECT_EQ(ra.coldNs, rb.coldNs);
+    EXPECT_EQ(ra.warmNs, rb.warmNs);
+    EXPECT_EQ(a.cluster().system().stats().snapshotAll(),
+              b.cluster().system().stats().snapshotAll());
+}
+
+TEST(RestoreDifferential, PoolLeaseReleasesPagesWithInstance)
+{
+    // The pool-density story: an instance's snapshot pages live
+    // exactly as long as its pool slot. The lease is dropped at TTL
+    // expiry, kill() and evictAll(); each drop must make the pages
+    // reclaimable (observable via PageStore::liveUniquePages()).
+    PageStore &pages = PageStore::global();
+    pages.resetForTest();
+
+    // A small image with two distinct non-zero pages.
+    PhysMemory src(4 * snapshotPageBytes);
+    src.write64(0, 0x11);
+    src.write64(2 * snapshotPageBytes, 0x22);
+    Checkpoint cp;
+    src.serializeState("m.", cp);
+
+    load::PoolConfig pc;
+    pc.policy = load::KeepAlivePolicy::FixedTtl;
+    pc.maxInstances = 4;
+    pc.keepAliveNs = 1000;
+    load::InstancePool pool(pc);
+
+    // TTL expiry drops the lease.
+    {
+        auto img = PhysMemory::buildImage("m.", cp);
+        EXPECT_EQ(pages.liveUniquePages(), 2u);
+        const auto p = pool.acquire(1, 0);
+        EXPECT_TRUE(p.cold);
+        pool.setLease(p.slot, img);
+        pool.release(p.slot, 100);
+        img.reset(); // the pool lease is now the only holder
+        EXPECT_TRUE(pool.slotHasLease(p.slot));
+        EXPECT_EQ(pages.liveUniquePages(), 2u);
+        // Idle for exactly keepAliveNs: the boundary expires (the TTL
+        // is inclusive), and the pages die with the instance.
+        const auto probe = pool.acquire(2, 100 + pc.keepAliveNs);
+        EXPECT_EQ(pages.liveUniquePages(), 0u);
+        pool.release(probe.slot, 100 + pc.keepAliveNs + 50);
+    }
+
+    // kill() (instance crash, in place of release()) drops the lease
+    // immediately.
+    {
+        auto img = PhysMemory::buildImage("m.", cp);
+        const auto p = pool.acquire(3, 5000);
+        pool.setLease(p.slot, img);
+        img.reset();
+        EXPECT_EQ(pages.liveUniquePages(), 2u);
+        pool.kill(p.slot, 5100);
+        EXPECT_EQ(pages.liveUniquePages(), 0u);
+    }
+
+    // evictAll() (scale-to-zero) drops every lease.
+    {
+        auto img = PhysMemory::buildImage("m.", cp);
+        const auto p1 = pool.acquire(4, 10000);
+        const auto p2 = pool.acquire(5, 10000);
+        pool.setLease(p1.slot, img);
+        pool.setLease(p2.slot, img);
+        pool.release(p1.slot, 10100);
+        pool.release(p2.slot, 10100);
+        img.reset();
+        EXPECT_EQ(pages.liveUniquePages(), 2u);
+        pool.evictAll(10200);
+        EXPECT_EQ(pages.liveUniquePages(), 0u);
+    }
+
+    // Two instances of the same image share pages: dropping one lease
+    // keeps them alive, dropping the last frees them.
+    {
+        auto img = PhysMemory::buildImage("m.", cp);
+        const auto p1 = pool.acquire(6, 20000);
+        const auto p2 = pool.acquire(7, 20000);
+        pool.setLease(p1.slot, img);
+        pool.setLease(p2.slot, img);
+        img.reset();
+        pool.kill(p1.slot, 20100);
+        EXPECT_EQ(pages.liveUniquePages(), 2u) << "shared pages freed "
+                                                  "while a sibling lease "
+                                                  "was still live";
+        pool.kill(p2.slot, 20200);
+        EXPECT_EQ(pages.liveUniquePages(), 0u);
+    }
+}
